@@ -1,0 +1,33 @@
+//! The Bitcoin miner's performance-interface representations.
+
+pub mod nl;
+pub mod petri;
+pub mod program;
+
+use crate::miner::{MineJob, MinerConfig};
+use perf_core::InterfaceBundle;
+
+/// Builds the miner's vendor-shipped interface bundle for a given
+/// configuration.
+pub fn bundle(cfg: MinerConfig) -> InterfaceBundle<MineJob> {
+    InterfaceBundle::new("bitcoin-miner", nl::interface())
+        .with(Box::new(
+            program::BitcoinProgramInterface::new(cfg).expect("shipped .pi parses"),
+        ))
+        .with(Box::new(
+            petri::BitcoinPetriInterface::new(cfg).expect("generated .pnet parses"),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::InterfaceKind;
+
+    #[test]
+    fn bundle_complete() {
+        let b = bundle(MinerConfig::default());
+        assert!(b.get(InterfaceKind::Program).is_some());
+        assert!(b.get(InterfaceKind::PetriNet).is_some());
+    }
+}

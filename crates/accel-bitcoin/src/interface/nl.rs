@@ -1,0 +1,76 @@
+//! Natural-language interface for the Bitcoin miner (paper Fig. 1,
+//! middle).
+
+use perf_core::nl::{Claim, Direction, NlInterface, Quantity};
+
+/// The Fig. 1 prose, with checkable claims: per-hash latency *equals*
+/// `Loop`, throughput falls as `Loop` grows, and area is inversely
+/// proportional to `Loop`.
+pub fn interface() -> NlInterface {
+    NlInterface::new(
+        "bitcoin-miner",
+        "Latency (cycles) is equal to the configuration parameter Loop. \
+         However, the area occupied by the accelerator grows inversely with Loop.",
+    )
+    .with_claim(Claim::Equals {
+        metric: Quantity::Latency,
+        axis: "loop".into(),
+    })
+    .with_claim(Claim::Monotone {
+        metric: Quantity::Throughput,
+        axis: "loop".into(),
+        direction: Direction::Decreasing,
+    })
+    .with_claim(Claim::InverselyProportional {
+        metric: Quantity::Area,
+        axis: "loop".into(),
+        tolerance: 0.02,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::MinerConfig;
+
+    #[test]
+    fn claims_hold_on_the_model() {
+        let nl = interface();
+        let loops = [1u64, 2, 4, 8, 16, 32, 64];
+        let cfgs: Vec<MinerConfig> = loops
+            .iter()
+            .map(|&l| MinerConfig::with_loop(l).unwrap())
+            .collect();
+
+        // Latency == Loop, exactly.
+        let lat: Vec<(f64, f64)> = cfgs
+            .iter()
+            .map(|c| (c.loop_ as f64, c.hash_latency() as f64))
+            .collect();
+        assert!(nl.claims[0].check(&lat).unwrap().holds);
+
+        // Throughput decreasing in Loop.
+        let tput: Vec<(f64, f64)> = cfgs
+            .iter()
+            .map(|c| (c.loop_ as f64, c.hash_throughput()))
+            .collect();
+        assert!(nl.claims[1].check(&tput).unwrap().holds);
+
+        // The *variable* area is inversely proportional to Loop; the
+        // fixed overhead is subtracted as the interface text implies
+        // "grows inversely" about the datapath.
+        let area: Vec<(f64, f64)> = cfgs
+            .iter()
+            .map(|c| (c.loop_ as f64, c.area_kge() - 48.0))
+            .collect();
+        assert!(nl.claims[2].check(&area).unwrap().holds);
+    }
+
+    #[test]
+    fn equals_claim_rejects_wrong_hardware() {
+        // A buggy config whose latency were Loop+1 would be caught.
+        let nl = interface();
+        let bad = [(8.0, 9.0), (16.0, 17.0)];
+        assert!(!nl.claims[0].check(&bad).unwrap().holds);
+    }
+}

@@ -1,0 +1,133 @@
+//! Program interface for the Bitcoin miner.
+//!
+//! Latency of a first-find scan is inherently stochastic (the golden
+//! nonce's position is data-dependent), so the interface predicts
+//! *bounds* for such jobs — the same move the paper makes for
+//! Protoacc's latency in Fig. 3 — and a point for exhaustive scans.
+
+use crate::miner::{MineJob, MinerConfig};
+use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::{CoreError, Prediction};
+use perf_iface_lang::{Program, Value};
+
+/// The shipped interface program source.
+pub const BITCOIN_PI_SRC: &str = include_str!("../../assets/bitcoin.pi");
+
+/// Executable program interface for the miner, bound to a hardware
+/// configuration.
+pub struct BitcoinProgramInterface {
+    prog: Program,
+    cfg: MinerConfig,
+}
+
+impl BitcoinProgramInterface {
+    /// Parses the shipped program for configuration `cfg`.
+    pub fn new(cfg: MinerConfig) -> Result<BitcoinProgramInterface, CoreError> {
+        let prog =
+            Program::parse(BITCOIN_PI_SRC).map_err(|e| CoreError::Artifact(e.to_string()))?;
+        Ok(BitcoinProgramInterface { prog, cfg })
+    }
+
+    /// The program's source text.
+    pub fn source(&self) -> &str {
+        self.prog.source()
+    }
+
+    fn cfg_value(&self) -> Value {
+        Value::record([("loop", Value::from(self.cfg.loop_))])
+    }
+
+    fn job_value(&self, job: &MineJob) -> Value {
+        Value::record([
+            ("loop", Value::from(self.cfg.loop_)),
+            ("nonce_count", Value::from(job.nonce_count as u64)),
+            ("difficulty_bits", Value::from(job.difficulty_bits as u64)),
+        ])
+    }
+
+    fn call_num(&self, f: &str, arg: Value) -> Result<f64, CoreError> {
+        self.prog
+            .call(f, &[arg])
+            .map_err(|e| CoreError::Artifact(e.to_string()))?
+            .as_num()
+            .ok_or_else(|| CoreError::InvalidPrediction("non-numeric".into()))
+    }
+
+    /// Predicted per-hash latency in cycles.
+    pub fn hash_latency(&self) -> Result<f64, CoreError> {
+        self.call_num("latency_hash", self.cfg_value())
+    }
+
+    /// Predicted silicon area in kGE.
+    pub fn area_kge(&self) -> Result<f64, CoreError> {
+        self.call_num("area_kge", self.cfg_value())
+    }
+}
+
+impl PerfInterface<MineJob> for BitcoinProgramInterface {
+    fn kind(&self) -> InterfaceKind {
+        InterfaceKind::Program
+    }
+
+    fn predict(&self, job: &MineJob, metric: Metric) -> Result<Prediction, CoreError> {
+        match metric {
+            Metric::Throughput => {
+                let t = self.call_num("tput_hash", self.cfg_value())?;
+                Ok(Prediction::point(t))
+            }
+            Metric::Latency => {
+                if job.difficulty_bits >= 200 {
+                    // Effectively unreachable target: exhaustive scan,
+                    // deterministic latency.
+                    let l = self.call_num("latency_scan", self.job_value(job))?;
+                    Ok(Prediction::point(l))
+                } else {
+                    let lo = self.call_num("min_latency_job", self.job_value(job))?;
+                    let hi = self.call_num("max_latency_job", self.job_value(job))?;
+                    Ok(Prediction::bounds(lo, hi))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::MinerCycleSim;
+    use perf_core::validate::validate;
+    use perf_core::GroundTruth;
+
+    #[test]
+    fn exhaustive_scan_predicted_exactly() {
+        let cfg = MinerConfig::with_loop(16).unwrap();
+        let iface = BitcoinProgramInterface::new(cfg).unwrap();
+        let mut sim = MinerCycleSim::new(cfg);
+        let job = MineJob::random(5, 1000, 256);
+        let obs = sim.measure(&job).unwrap();
+        let pred = iface.predict(&job, Metric::Latency).unwrap();
+        assert_eq!(pred, Prediction::Point(obs.latency.as_f64()));
+    }
+
+    #[test]
+    fn first_find_latency_within_bounds() {
+        let cfg = MinerConfig::default();
+        let iface = BitcoinProgramInterface::new(cfg).unwrap();
+        let mut sim = MinerCycleSim::new(cfg);
+        let jobs: Vec<MineJob> = (0..20).map(|s| MineJob::random(s, 50_000, 8)).collect();
+        let rep = validate(&mut sim, &iface, Metric::Latency, &jobs).unwrap();
+        assert_eq!(rep.bounds.n, 20);
+        assert_eq!(rep.bounds.coverage(), 1.0, "all runs inside bounds");
+    }
+
+    #[test]
+    fn throughput_and_area_from_program() {
+        let cfg = MinerConfig::with_loop(4).unwrap();
+        let iface = BitcoinProgramInterface::new(cfg).unwrap();
+        assert_eq!(iface.hash_latency().unwrap(), 4.0);
+        assert_eq!(iface.area_kge().unwrap(), 48.0 + 14.0 * 32.0);
+        let job = MineJob::random(1, 10, 256);
+        let t = iface.predict(&job, Metric::Throughput).unwrap();
+        assert_eq!(t, Prediction::Point(0.25));
+    }
+}

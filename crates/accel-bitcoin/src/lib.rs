@@ -1,0 +1,25 @@
+//! A Bitcoin-miner accelerator model with the paper's `Loop`
+//! latency/area trade-off, plus its performance interfaces.
+//!
+//! The paper's second Fig. 1 interface describes an open-source FPGA
+//! Bitcoin miner: the accelerator computes double SHA-256 over block
+//! headers, and a configuration parameter `Loop` controls how far the
+//! hash rounds are unrolled in hardware. With `128/Loop` round units
+//! instantiated, a hash completes in `Loop` cycles — so *latency
+//! (cycles) equals `Loop`*, while *area grows inversely with `Loop`*.
+//!
+//! This crate contains:
+//!
+//! * [`sha256`] — a real SHA-256 / double-SHA-256 implementation
+//!   (validated against FIPS 180-4 vectors) used as the functional
+//!   model,
+//! * [`miner`] — the miner configuration, area model, functional nonce
+//!   search and cycle-accurate simulator,
+//! * [`interface`] — the natural-language, program, and Petri-net
+//!   performance interfaces.
+
+pub mod interface;
+pub mod miner;
+pub mod sha256;
+
+pub use miner::{MineJob, MinerConfig, MinerCycleSim};

@@ -1,0 +1,69 @@
+//! Property tests for the SHA-256 functional model and miner timing.
+
+use accel_bitcoin::miner::{MineJob, MinerConfig, MinerCycleSim};
+use accel_bitcoin::sha256;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The midstate fast path equals hashing the whole 80-byte header,
+    /// for arbitrary headers and nonces.
+    #[test]
+    fn midstate_equals_full_hash(
+        header in prop::collection::vec(any::<u8>(), 80),
+        nonce in any::<u32>(),
+    ) {
+        let mut h: [u8; 80] = header.try_into().expect("sized");
+        h[76..80].copy_from_slice(&nonce.to_le_bytes());
+        let full = sha256::double_sha256(&h);
+        let first: &[u8; 64] = h[..64].try_into().expect("sized");
+        let tail: &[u8; 12] = h[64..76].try_into().expect("sized");
+        let fast = sha256::header_pow_hash(&sha256::midstate(first), tail, nonce);
+        prop_assert_eq!(full, fast);
+    }
+
+    /// Hashing is deterministic and never panics on arbitrary input.
+    #[test]
+    fn hash_deterministic(msg in prop::collection::vec(any::<u8>(), 0..300)) {
+        let a = sha256::sha256(&msg);
+        let b = sha256::sha256(&msg);
+        prop_assert_eq!(a, b);
+        prop_assert!(sha256::leading_zero_bits(&a) <= 256);
+    }
+
+    /// Padding boundaries (55/56/63/64 bytes) are all handled: the
+    /// digest of a message never equals the digest of its extension.
+    #[test]
+    fn extension_changes_digest(len in 50usize..70, extra in 1usize..4) {
+        let msg = vec![0x42u8; len];
+        let ext = vec![0x42u8; len + extra];
+        prop_assert_ne!(sha256::sha256(&msg), sha256::sha256(&ext));
+    }
+
+    /// Exhaustive-scan cycle accounting is exact for every Loop.
+    #[test]
+    fn scan_cycles_exact(loop_pow in 0u32..8, nonces in 1u32..300, seed in any::<u64>()) {
+        let l = 1u64 << loop_pow;
+        let cfg = MinerConfig::with_loop(l).expect("power of two divides 128");
+        let mut sim = MinerCycleSim::new(cfg);
+        let job = MineJob::random(seed, nonces, 256);
+        let out = sim.mine(&job);
+        prop_assert_eq!(out.hashes_done, nonces as u64);
+        prop_assert_eq!(out.cycles, nonces as u64 * l);
+    }
+
+    /// A found golden nonce always satisfies its difficulty target.
+    #[test]
+    fn golden_nonce_is_valid(seed in any::<u64>(), bits in 1u32..6) {
+        let mut sim = MinerCycleSim::new(MinerConfig::default());
+        let job = MineJob::random(seed, 2000, bits);
+        let out = sim.mine(&job);
+        if let Some(nonce) = out.golden_nonce {
+            let mut h = job.header;
+            h[76..80].copy_from_slice(&nonce.to_le_bytes());
+            let d = sha256::double_sha256(&h);
+            prop_assert!(sha256::leading_zero_bits(&d) >= bits);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The cycle-accurate ground-truth model of the JPEG decoder.
+//!
+//! This is the stand-in for the accelerator's RTL: a four-stage decode
+//! pipeline simulated tick by tick on the `perf-sim` substrate. Every
+//! 8×8 block flows through Huffman → dequant → IDCT → writer with
+//! data-dependent stage delays and bounded FIFOs, after a header-parse
+//! prologue.
+
+use crate::hw::JpegHwConfig;
+use crate::workload::{Image, HEADER_BYTES};
+use perf_core::units::Cycles;
+use perf_core::{CoreError, GroundTruth, Observation};
+use perf_sim::{Pipeline, StageSpec};
+
+/// One block's job descriptor flowing through the pipeline.
+#[derive(Clone, Copy, Debug)]
+struct BlockJob {
+    bits: u64,
+    nonzero: u64,
+    idx: u64,
+}
+
+/// Cycle-accurate JPEG decoder simulator.
+#[derive(Clone, Debug, Default)]
+pub struct JpegCycleSim {
+    /// Hardware configuration.
+    pub hw: JpegHwConfig,
+    ticks: u64,
+    images: u64,
+}
+
+impl JpegCycleSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(hw: JpegHwConfig) -> JpegCycleSim {
+        JpegCycleSim {
+            hw,
+            ticks: 0,
+            images: 0,
+        }
+    }
+
+    /// Total clock ticks simulated so far (a proxy for simulation cost;
+    /// compare with the Petri-net engine's event count in experiment
+    /// E5).
+    pub fn ticks_simulated(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Images decoded so far.
+    pub fn images_decoded(&self) -> u64 {
+        self.images
+    }
+
+    /// Decodes one image and returns its end-to-end latency in cycles.
+    pub fn decode(&mut self, img: &Image) -> u64 {
+        let hw = self.hw;
+        let mut pipe: Pipeline<BlockJob> = Pipeline::new(
+            hw.queue_capacity,
+            vec![
+                StageSpec::new("huffman", hw.queue_capacity, move |j: &BlockJob| {
+                    hw.huff_delay(j.bits)
+                }),
+                StageSpec::new("dequant", hw.queue_capacity, move |j: &BlockJob| {
+                    hw.dequant_delay(j.nonzero)
+                }),
+                StageSpec::new("idct", hw.queue_capacity, move |_: &BlockJob| {
+                    hw.idct_cycles
+                }),
+                StageSpec::new("writer", hw.queue_capacity, move |j: &BlockJob| {
+                    hw.write_delay(j.idx)
+                }),
+            ],
+        );
+        let jobs: Vec<BlockJob> = img
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BlockJob {
+                bits: b.bits as u64,
+                nonzero: b.nonzero as u64,
+                idx: i as u64,
+            })
+            .collect();
+        let (pipe_cycles, out) = pipe.run_to_completion(jobs);
+        debug_assert_eq!(out.len(), img.num_blocks());
+        let total = self.hw.header_cycles(HEADER_BYTES) + pipe_cycles;
+        self.ticks += total;
+        self.images += 1;
+        total
+    }
+}
+
+impl GroundTruth<Image> for JpegCycleSim {
+    fn measure(&mut self, img: &Image) -> Result<Observation, CoreError> {
+        if img.num_blocks() == 0 {
+            return Err(CoreError::InvalidObservation("image has no blocks".into()));
+        }
+        let lat = self.decode(img);
+        // Images are processed one by one (paper Fig. 2): throughput is
+        // the inverse of latency.
+        Ok(Observation::single_item(Cycles(lat)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ImageGen;
+    use perf_core::iface::Metric;
+
+    fn sim() -> JpegCycleSim {
+        JpegCycleSim::new(JpegHwConfig::default())
+    }
+
+    #[test]
+    fn latency_scales_with_block_count() {
+        let mut g = ImageGen::new(5);
+        let small = g.gen_sized(32, 32, 60); // 16 blocks.
+        let big = g.gen_sized(128, 128, 60); // 256 blocks.
+        let mut s = sim();
+        let l_small = s.decode(&small);
+        let l_big = s.decode(&big);
+        let ratio = l_big as f64 / l_small as f64;
+        // 16x the blocks: latency should scale roughly linearly once
+        // the header overhead is amortized.
+        assert!(ratio > 8.0 && ratio < 20.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn more_compression_decodes_faster() {
+        let mut g1 = ImageGen::new(8);
+        let mut g2 = ImageGen::new(8);
+        let hi_q = g1.gen_sized(128, 128, 95); // Low compression.
+        let lo_q = g2.gen_sized(128, 128, 20); // High compression.
+        let mut s = sim();
+        let l_hi = s.decode(&hi_q);
+        let l_lo = s.decode(&lo_q);
+        assert!(
+            l_lo <= l_hi,
+            "highly compressed image should not be slower: {l_lo} vs {l_hi}"
+        );
+    }
+
+    #[test]
+    fn idct_floor_bounds_latency_below() {
+        // Even an extremely compressible image pays the IDCT cost.
+        let mut g = ImageGen::new(3);
+        let img = g.gen_sized(64, 64, 15);
+        let mut s = sim();
+        let lat = s.decode(&img);
+        let floor = img.num_blocks() as u64 * s.hw.idct_cycles;
+        assert!(lat >= floor, "latency {lat} below IDCT floor {floor}");
+    }
+
+    #[test]
+    fn ground_truth_observation() {
+        let mut g = ImageGen::new(4);
+        let img = g.gen_sized(64, 64, 60);
+        let mut s = sim();
+        let obs = s.measure(&img).unwrap();
+        assert!(obs.latency.get() > 0);
+        let tput = Metric::Throughput.of(&obs);
+        assert!((tput - 1.0 / obs.latency.as_f64()).abs() < 1e-15);
+        assert_eq!(s.images_decoded(), 1);
+        assert!(s.ticks_simulated() >= obs.latency.get());
+    }
+
+    #[test]
+    fn deterministic_measurement() {
+        let mut g = ImageGen::new(6);
+        let img = g.gen_sized(96, 96, 70);
+        let a = sim().decode(&img);
+        let b = sim().decode(&img);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_image_rejected() {
+        let img = Image {
+            width: 0,
+            height: 0,
+            quality: 50,
+            color: crate::workload::ColorMode::Grayscale,
+            blocks: vec![],
+        };
+        assert!(sim().measure(&img).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Hardware configuration of the JPEG decoder accelerator.
+
+/// Microarchitectural parameters of the decode pipeline.
+///
+/// The defaults model a `core_jpeg`-style design: a serial
+/// bitstream/Huffman front end that consumes a few coded bits per
+/// cycle, a coefficient dequantizer, a fixed-latency 2-D IDCT datapath
+/// and a DMA writer, connected by small FIFOs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JpegHwConfig {
+    /// Fixed per-block overhead of the Huffman stage (symbol setup,
+    /// DC prediction), in cycles.
+    pub huff_fixed: u64,
+    /// Coded bits the Huffman decoder retires per cycle.
+    pub huff_bits_per_cycle: u64,
+    /// The bitstream buffer refills from the input FIFO once per this
+    /// many coded bits, costing one extra cycle each time.
+    pub huff_refill_bits: u64,
+    /// Fixed per-block overhead of the dequant/zig-zag stage.
+    pub dequant_fixed: u64,
+    /// Cycles per nonzero coefficient in the dequant stage.
+    pub dequant_per_coef: u64,
+    /// Fixed cycles of the 2-D IDCT datapath per block.
+    pub idct_cycles: u64,
+    /// Cycles to write one block's 64 output bytes in the common case.
+    pub write_cycles: u64,
+    /// Extra cycles when the writer crosses an output DRAM page.
+    pub write_page_penalty: u64,
+    /// Blocks per output DRAM page (4 KiB / 64 B).
+    pub blocks_per_page: u64,
+    /// Fixed cycles to parse the JFIF/DQT/DHT header.
+    pub header_fixed: u64,
+    /// Header bytes consumed per cycle during parsing.
+    pub header_bytes_per_cycle: u64,
+    /// Capacity of each inter-stage FIFO, in blocks.
+    pub queue_capacity: usize,
+}
+
+impl Default for JpegHwConfig {
+    fn default() -> JpegHwConfig {
+        JpegHwConfig {
+            huff_fixed: 6,
+            huff_bits_per_cycle: 2,
+            huff_refill_bits: 128,
+            dequant_fixed: 4,
+            dequant_per_coef: 1,
+            idct_cycles: 64,
+            write_cycles: 16,
+            write_page_penalty: 30,
+            blocks_per_page: 64,
+            header_fixed: 300,
+            header_bytes_per_cycle: 4,
+            queue_capacity: 4,
+        }
+    }
+}
+
+impl JpegHwConfig {
+    /// Cycles spent parsing a header of `bytes` bytes.
+    pub fn header_cycles(&self, bytes: u64) -> u64 {
+        self.header_fixed + bytes.div_ceil(self.header_bytes_per_cycle)
+    }
+
+    /// Huffman-stage delay for a block with `bits` coded bits,
+    /// including bit-buffer refill stalls.
+    pub fn huff_delay(&self, bits: u64) -> u64 {
+        self.huff_fixed + bits.div_ceil(self.huff_bits_per_cycle) + bits / self.huff_refill_bits
+    }
+
+    /// Dequant-stage delay for a block with `nonzero` coefficients.
+    pub fn dequant_delay(&self, nonzero: u64) -> u64 {
+        self.dequant_fixed + nonzero * self.dequant_per_coef
+    }
+
+    /// Writer delay for the block at scan index `idx`.
+    pub fn write_delay(&self, idx: u64) -> u64 {
+        if idx % self.blocks_per_page == 0 {
+            self.write_cycles + self.write_page_penalty
+        } else {
+            self.write_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_helpers() {
+        let hw = JpegHwConfig::default();
+        assert_eq!(hw.header_cycles(623), 300 + 156);
+        assert_eq!(hw.huff_delay(100), 6 + 50);
+        assert_eq!(hw.huff_delay(0), 6);
+        // Refill stall: one extra cycle per 512 coded bits.
+        assert_eq!(hw.huff_delay(1024), 6 + 512 + 8);
+        assert_eq!(hw.dequant_delay(10), 14);
+        assert_eq!(hw.write_delay(0), 46);
+        assert_eq!(hw.write_delay(1), 16);
+        assert_eq!(hw.write_delay(64), 46);
+    }
+}

@@ -1,0 +1,92 @@
+//! The 8×8 forward and inverse DCT-II used by the functional model.
+//!
+//! The decoder's IDCT stage has a fixed cycle cost in hardware, but the
+//! functional model still computes real pixels so that the workload
+//! generator can derive coefficient statistics from synthetic image
+//! content rather than inventing them.
+
+use std::f64::consts::PI;
+
+/// Forward 8×8 DCT-II with orthonormal scaling (JPEG convention).
+pub fn fdct8x8(pixels: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let cu = if u == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
+            let cv = if v == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
+            let mut s = 0.0;
+            for x in 0..8 {
+                for y in 0..8 {
+                    s += pixels[x * 8 + y]
+                        * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * PI / 16.0).cos();
+                }
+            }
+            out[u * 8 + v] = 0.25 * cu * cv * s;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT-II (the reconstruction the accelerator performs).
+pub fn idct8x8(coefs: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut s = 0.0;
+            for u in 0..8 {
+                for v in 0..8 {
+                    let cu = if u == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
+                    s += cu
+                        * cv
+                        * coefs[u * 8 + v]
+                        * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * PI / 16.0).cos();
+                }
+            }
+            out[x * 8 + y] = 0.25 * s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_recovers_pixels() {
+        let mut px = [0.0f64; 64];
+        for (i, p) in px.iter_mut().enumerate() {
+            *p = ((i * 37) % 256) as f64 - 128.0;
+        }
+        let co = fdct8x8(&px);
+        let back = idct8x8(&co);
+        for i in 0..64 {
+            assert!((px[i] - back[i]).abs() < 1e-9, "pixel {i} differs");
+        }
+    }
+
+    #[test]
+    fn dc_of_flat_block_is_mean_times_eight() {
+        let px = [100.0f64; 64];
+        let co = fdct8x8(&px);
+        assert!((co[0] - 800.0).abs() < 1e-9);
+        for (i, c) in co.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "AC coefficient {i} should vanish");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut px = [0.0f64; 64];
+        for (i, p) in px.iter_mut().enumerate() {
+            *p = (i as f64 * 0.7).sin() * 50.0;
+        }
+        let co = fdct8x8(&px);
+        let e_px: f64 = px.iter().map(|v| v * v).sum();
+        let e_co: f64 = co.iter().map(|v| v * v).sum();
+        assert!((e_px - e_co).abs() / e_px < 1e-9);
+    }
+}

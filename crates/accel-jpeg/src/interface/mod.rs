@@ -1,0 +1,35 @@
+//! The JPEG decoder's three performance-interface representations.
+
+pub mod nl;
+pub mod petri;
+pub mod program;
+
+use crate::workload::Image;
+use perf_core::InterfaceBundle;
+
+/// Builds the full vendor-shipped interface bundle for the JPEG
+/// decoder: prose, program, and Petri net.
+pub fn bundle() -> InterfaceBundle<Image> {
+    InterfaceBundle::new("jpeg-decoder", nl::interface())
+        .with(Box::new(
+            program::JpegProgramInterface::new().expect("shipped .pi program parses"),
+        ))
+        .with(Box::new(
+            petri::JpegPetriInterface::new().expect("shipped .pnet net parses"),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::InterfaceKind;
+
+    #[test]
+    fn bundle_has_all_three_representations() {
+        let b = bundle();
+        assert!(!b.natural_language.text.is_empty());
+        assert!(b.get(InterfaceKind::Program).is_some());
+        assert!(b.get(InterfaceKind::PetriNet).is_some());
+        assert_eq!(b.most_precise().unwrap().kind(), InterfaceKind::PetriNet);
+    }
+}

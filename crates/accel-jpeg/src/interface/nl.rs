@@ -1,0 +1,90 @@
+//! Natural-language interface for the JPEG decoder (paper Fig. 1, top).
+
+use perf_core::nl::{Claim, Direction, NlInterface, Quantity};
+
+/// The Fig. 1 prose for the JPEG decoder, with machine-checkable
+/// claims attached:
+///
+/// * latency falls monotonically as the compression rate rises (until
+///   the IDCT floor),
+/// * latency grows proportionally with decoded image size at a fixed
+///   compression rate,
+/// * throughput rises monotonically with the compression rate.
+pub fn interface() -> NlInterface {
+    NlInterface::new(
+        "jpeg-decoder",
+        "Latency is inversely proportional to the input image's compression rate, \
+         down to a fixed IDCT floor, and proportional to the decoded image size.",
+    )
+    .with_claim(Claim::Monotone {
+        metric: Quantity::Latency,
+        axis: "compress_rate".into(),
+        direction: Direction::Decreasing,
+    })
+    .with_claim(Claim::Proportional {
+        metric: Quantity::Latency,
+        axis: "orig_size".into(),
+        tolerance: 0.20,
+    })
+    .with_claim(Claim::Monotone {
+        metric: Quantity::Throughput,
+        axis: "compress_rate".into(),
+        direction: Direction::Increasing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::JpegCycleSim;
+    use crate::hw::JpegHwConfig;
+    use crate::workload::ImageGen;
+    use perf_core::iface::Metric;
+    use perf_core::validate::collect_axis_samples;
+    use perf_core::GroundTruth;
+
+    #[test]
+    fn claims_hold_on_the_simulator() {
+        let mut sim = JpegCycleSim::new(JpegHwConfig::default());
+        let nl = interface();
+
+        // Sweep compression rate by re-encoding the same content at
+        // different qualities.
+        let mut g = ImageGen::new(77);
+        let rate_sweep = g.gen_quality_sweep(128, 128, &[20, 35, 50, 65, 80, 92]);
+        let lat_rate = collect_axis_samples(&mut sim, Metric::Latency, &rate_sweep, |i| {
+            i.compress_rate()
+        })
+        .unwrap();
+        let v = nl.claims[0].check(&lat_rate).unwrap();
+        assert!(v.holds, "latency not decreasing in rate: {v:?}");
+
+        // Sweep size at fixed quality.
+        let mut g = ImageGen::new(78);
+        let size_sweep: Vec<_> = [64u32, 128, 192, 256, 384]
+            .iter()
+            .map(|&d| g.gen_sized(d, d, 60))
+            .collect();
+        let lat_size = collect_axis_samples(&mut sim, Metric::Latency, &size_sweep, |i| {
+            i.orig_size() as f64
+        })
+        .unwrap();
+        let v = nl.claims[1].check(&lat_size).unwrap();
+        assert!(
+            v.holds,
+            "latency not ~proportional to size: worst {:.3}",
+            v.worst_violation
+        );
+
+        // Throughput rises with compression rate.
+        let tput_rate: Vec<_> = rate_sweep
+            .iter()
+            .map(|i| {
+                let obs = sim.measure(i).unwrap();
+                (i.compress_rate(), Metric::Throughput.of(&obs))
+            })
+            .collect();
+        let v = nl.claims[2].check(&tput_rate).unwrap();
+        assert!(v.holds, "throughput not increasing in rate: {v:?}");
+    }
+}

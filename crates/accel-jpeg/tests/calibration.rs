@@ -1,0 +1,51 @@
+//! Calibration harness (run with --nocapture to see error stats).
+use accel_jpeg::cycle::JpegCycleSim;
+use accel_jpeg::hw::JpegHwConfig;
+use accel_jpeg::interface::{petri::JpegPetriInterface, program::JpegProgramInterface};
+use accel_jpeg::workload::ImageGen;
+use perf_core::iface::Metric;
+use perf_core::validate::validate;
+
+#[test]
+fn calibration_report() {
+    let mut sim = JpegCycleSim::new(JpegHwConfig::default());
+    let prog = JpegProgramInterface::new().unwrap();
+    let petri = JpegPetriInterface::new().unwrap();
+    let mut g = ImageGen::new(20260705);
+    let imgs = g.gen_many(60);
+    let rp = validate(&mut sim, &prog, Metric::Latency, &imgs).unwrap();
+    let rt = validate(&mut sim, &prog, Metric::Throughput, &imgs).unwrap();
+    let pp = validate(&mut sim, &petri, Metric::Latency, &imgs).unwrap();
+    let pt = validate(&mut sim, &petri, Metric::Throughput, &imgs).unwrap();
+    println!("program latency: {}", rp.point.paper_style());
+    println!("program tput:    {}", rt.point.paper_style());
+    println!("petri latency:   {}", pp.point.paper_style());
+    println!("petri tput:      {}", pt.point.paper_style());
+}
+
+#[test]
+fn interfaces_hold_on_color_images() {
+    // The interfaces were written against grayscale workloads; 4:2:0
+    // color changes the block mix but not the per-block laws, so the
+    // Petri net must stay near-exact and the program interface in its
+    // usual band.
+    let mut sim = JpegCycleSim::new(JpegHwConfig::default());
+    let prog = JpegProgramInterface::new().unwrap();
+    let petri = JpegPetriInterface::new().unwrap();
+    let mut g = ImageGen::new(31);
+    let imgs: Vec<_> = (0..12)
+        .map(|i| g.gen_color(64 + 16 * (i % 5), 64 + 16 * (i % 3), 30 + 5 * i as u8))
+        .collect();
+    let rp = validate(&mut sim, &petri, Metric::Latency, &imgs).unwrap();
+    let rg = validate(&mut sim, &prog, Metric::Latency, &imgs).unwrap();
+    assert!(
+        rp.point.avg < 0.01,
+        "petri avg on color {:.4}",
+        rp.point.avg
+    );
+    assert!(
+        rg.point.avg < 0.25,
+        "program avg on color {:.4}",
+        rg.point.avg
+    );
+}

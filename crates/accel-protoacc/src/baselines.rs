@@ -1,0 +1,94 @@
+//! Software (Xeon-style) and Optimus-Prime-style baselines.
+//!
+//! Example #2 of the paper: an infrastructure engineer choosing between
+//! serialization backends. The three candidates have different cost
+//! shapes:
+//!
+//! * **CPU** — no offload overhead, but high per-byte and per-field
+//!   cost;
+//! * **Optimus Prime** — a tightly-coupled transformation engine:
+//!   small invocation overhead, moderate streaming rate; best for
+//!   small objects (the paper: <= 300 B);
+//! * **Protoacc** — DMA-coupled with descriptor fetches and pointer
+//!   chasing: large per-message overhead, fastest streaming; best for
+//!   large objects (the paper: >= 4 KB) and *worse than the CPU* for
+//!   tiny ones.
+
+use crate::descriptor::Message;
+use crate::wire;
+
+/// Cost model of a software serializer on a commodity core (cycles at
+/// the accelerator clock for comparability).
+pub fn cpu_serialize_cycles(msg: &Message) -> u64 {
+    let bytes = wire::encoded_len(msg) as u64;
+    let fields = msg.total_fields() as u64;
+    let depth = msg.depth() as u64;
+    // Fixed call overhead + per-field dispatch + per-byte copy/encode +
+    // cache effects per nesting level.
+    60 + 22 * fields + 3 * bytes + 40 * (depth - 1)
+}
+
+/// Cost model of an Optimus-Prime-style tightly-coupled transformer.
+pub fn optimus_serialize_cycles(msg: &Message) -> u64 {
+    let bytes = wire::encoded_len(msg) as u64;
+    let fields = msg.total_fields() as u64;
+    let depth = msg.depth() as u64;
+    // Small invocation overhead; field descriptors stream with the
+    // data; per-byte rate is ~1.6 cycles (limited SRAM port width).
+    150 + 4 * fields + (16 * bytes) / 10 + 25 * (depth - 1)
+}
+
+/// Peak (marketing) throughput of the Optimus-Prime-style engine in
+/// bytes per cycle — the upper bound a datasheet would quote (§4 of the
+/// paper: "33 Gbps ... drops to 14 Gbps for realistic workloads").
+pub fn optimus_peak_bytes_per_cycle() -> f64 {
+    // 1 byte / 1.6 cycles of streaming with zero overhead amortized.
+    1.0 / 1.6
+}
+
+/// Effective throughput of the Optimus-Prime model on a message, in
+/// bytes per cycle.
+pub fn optimus_effective_bytes_per_cycle(msg: &Message) -> f64 {
+    let bytes = wire::encoded_len(msg) as f64;
+    bytes / optimus_serialize_cycles(msg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{FieldDesc, FieldKind, MessageDesc};
+
+    fn blob(bytes: usize) -> Message {
+        MessageDesc::new(
+            "blob",
+            vec![FieldDesc::single(1, FieldKind::Bytes(bytes..bytes + 1))],
+        )
+        .instantiate(1)
+    }
+
+    #[test]
+    fn cpu_scales_with_bytes_and_fields() {
+        let small = blob(16);
+        let big = blob(4096);
+        assert!(cpu_serialize_cycles(&big) > cpu_serialize_cycles(&small) * 10);
+    }
+
+    #[test]
+    fn optimus_beats_cpu_on_mid_sizes() {
+        let m = blob(300);
+        assert!(optimus_serialize_cycles(&m) < cpu_serialize_cycles(&m));
+    }
+
+    #[test]
+    fn cpu_beats_optimus_on_tiny_messages() {
+        let m = blob(4);
+        assert!(cpu_serialize_cycles(&m) < optimus_serialize_cycles(&m));
+    }
+
+    #[test]
+    fn peak_exceeds_effective_throughput() {
+        // The §4 gap between datasheet peak and realistic throughput.
+        let m = blob(256);
+        assert!(optimus_effective_bytes_per_cycle(&m) < optimus_peak_bytes_per_cycle());
+    }
+}

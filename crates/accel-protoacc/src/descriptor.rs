@@ -1,0 +1,293 @@
+//! Protobuf message schemas (descriptors) and instances.
+
+use perf_iface_lang::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of a field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldKind {
+    /// Varint-encoded unsigned integer.
+    Uint64,
+    /// Varint-encoded boolean.
+    Bool,
+    /// 8-byte fixed integer.
+    Fixed64,
+    /// 4-byte fixed integer.
+    Fixed32,
+    /// Length-delimited UTF-8 string; the parameter is the generated
+    /// length range in bytes.
+    Str(std::ops::Range<usize>),
+    /// Length-delimited opaque bytes.
+    Bytes(std::ops::Range<usize>),
+    /// A nested message.
+    Message(Box<MessageDesc>),
+}
+
+/// One field of a message schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDesc {
+    /// Protobuf field number (tag).
+    pub number: u32,
+    /// Field kind.
+    pub kind: FieldKind,
+    /// Repetition count range: `1..2` for singular fields, larger for
+    /// repeated fields.
+    pub repeat: std::ops::Range<usize>,
+}
+
+impl FieldDesc {
+    /// A singular field.
+    pub fn single(number: u32, kind: FieldKind) -> FieldDesc {
+        FieldDesc {
+            number,
+            kind,
+            repeat: 1..2,
+        }
+    }
+
+    /// A repeated field generating `count` entries.
+    pub fn repeated(number: u32, kind: FieldKind, count: std::ops::Range<usize>) -> FieldDesc {
+        FieldDesc {
+            number,
+            kind,
+            repeat: count,
+        }
+    }
+}
+
+/// A message schema.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MessageDesc {
+    /// Schema name (for reports).
+    pub name: String,
+    /// Field schemas.
+    pub fields: Vec<FieldDesc>,
+}
+
+impl MessageDesc {
+    /// Creates a named schema.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDesc>) -> MessageDesc {
+        MessageDesc {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Maximum nesting depth below (and including) this message: 1 for
+    /// a flat message.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .fields
+            .iter()
+            .map(|f| match &f.kind {
+                FieldKind::Message(m) => m.depth(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Generates a concrete instance with the given seed.
+    pub fn instantiate(&self, seed: u64) -> Message {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.gen_with(&mut rng)
+    }
+
+    fn gen_with(&self, rng: &mut StdRng) -> Message {
+        let mut fields = Vec::new();
+        for f in &self.fields {
+            let count = if f.repeat.is_empty() {
+                1
+            } else {
+                rng.gen_range(f.repeat.clone())
+            };
+            for _ in 0..count {
+                let v = match &f.kind {
+                    FieldKind::Uint64 => {
+                        FieldValue::Uint64(rng.gen::<u64>() >> rng.gen_range(0..60))
+                    }
+                    FieldKind::Bool => FieldValue::Bool(rng.gen()),
+                    FieldKind::Fixed64 => FieldValue::Fixed64(rng.gen()),
+                    FieldKind::Fixed32 => FieldValue::Fixed32(rng.gen()),
+                    FieldKind::Str(r) => {
+                        let len = if r.is_empty() {
+                            0
+                        } else {
+                            rng.gen_range(r.clone())
+                        };
+                        FieldValue::Str(
+                            (0..len)
+                                .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+                                .collect(),
+                        )
+                    }
+                    FieldKind::Bytes(r) => {
+                        let len = if r.is_empty() {
+                            0
+                        } else {
+                            rng.gen_range(r.clone())
+                        };
+                        let mut b = vec![0u8; len];
+                        rng.fill(&mut b[..]);
+                        FieldValue::Bytes(b)
+                    }
+                    FieldKind::Message(m) => FieldValue::Message(m.gen_with(rng)),
+                };
+                fields.push((f.number, v));
+            }
+        }
+        Message { fields }
+    }
+}
+
+/// A concrete field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Varint integer.
+    Uint64(u64),
+    /// Boolean (wire: varint 0/1).
+    Bool(bool),
+    /// 8-byte fixed.
+    Fixed64(u64),
+    /// 4-byte fixed.
+    Fixed32(u32),
+    /// Length-delimited string.
+    Str(String),
+    /// Length-delimited bytes.
+    Bytes(Vec<u8>),
+    /// Nested message.
+    Message(Message),
+}
+
+/// A concrete message instance.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Message {
+    /// Field-number / value pairs, in serialization order.
+    pub fields: Vec<(u32, FieldValue)>,
+}
+
+impl Message {
+    /// Number of fields at this nesting level.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Direct submessages at this level.
+    pub fn submessages(&self) -> impl Iterator<Item = &Message> {
+        self.fields.iter().filter_map(|(_, v)| match v {
+            FieldValue::Message(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Total fields across the whole tree.
+    pub fn total_fields(&self) -> usize {
+        self.num_fields() + self.submessages().map(Message::total_fields).sum::<usize>()
+    }
+
+    /// Maximum nesting depth (1 for flat).
+    pub fn depth(&self) -> usize {
+        1 + self.submessages().map(Message::depth).max().unwrap_or(0)
+    }
+
+    /// Converts to the PIL record shape consumed by the Fig. 3 program
+    /// interface: `{ num_fields, num_writes, wire_bytes, subs: [...] }`.
+    ///
+    /// `chunk_bytes` is the accelerator's output-chunk size, needed to
+    /// compute `num_writes` (total output chunks for the whole tree;
+    /// only the top level's value is used by the interface).
+    pub fn to_value(&self, chunk_bytes: usize) -> Value {
+        let wire = crate::wire::encode(self);
+        let num_writes = wire.len().div_ceil(chunk_bytes).max(1);
+        self.to_value_inner(num_writes, wire.len())
+    }
+
+    fn to_value_inner(&self, num_writes: usize, wire_bytes: usize) -> Value {
+        let subs: Vec<Value> = self
+            .submessages()
+            .map(|m| {
+                // Submessage records carry their own field counts; the
+                // writer-side numbers matter only at the top.
+                m.to_value_inner(0, 0)
+            })
+            .collect();
+        Value::record([
+            ("num_fields", Value::from(self.num_fields())),
+            ("num_writes", Value::from(num_writes)),
+            ("wire_bytes", Value::from(wire_bytes)),
+            ("subs", Value::list(subs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_desc() -> MessageDesc {
+        MessageDesc::new(
+            "outer",
+            vec![
+                FieldDesc::single(1, FieldKind::Uint64),
+                FieldDesc::single(2, FieldKind::Str(4..10)),
+                FieldDesc::single(
+                    3,
+                    FieldKind::Message(Box::new(MessageDesc::new(
+                        "inner",
+                        vec![
+                            FieldDesc::single(1, FieldKind::Fixed64),
+                            FieldDesc::single(2, FieldKind::Bool),
+                        ],
+                    ))),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn depth_computed_on_schema_and_instance() {
+        let d = nested_desc();
+        assert_eq!(d.depth(), 2);
+        let m = d.instantiate(1);
+        assert_eq!(m.depth(), 2);
+        assert_eq!(m.num_fields(), 3);
+        assert_eq!(m.total_fields(), 5);
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let d = nested_desc();
+        assert_eq!(d.instantiate(42), d.instantiate(42));
+        assert_ne!(d.instantiate(42), d.instantiate(43));
+    }
+
+    #[test]
+    fn repeated_fields_expand() {
+        let d = MessageDesc::new("rep", vec![FieldDesc::repeated(1, FieldKind::Uint64, 5..6)]);
+        let m = d.instantiate(7);
+        assert_eq!(m.num_fields(), 5);
+    }
+
+    #[test]
+    fn string_lengths_respect_range() {
+        let d = MessageDesc::new("s", vec![FieldDesc::single(1, FieldKind::Str(8..9))]);
+        let m = d.instantiate(3);
+        let (_, FieldValue::Str(s)) = &m.fields[0] else {
+            panic!("expected string")
+        };
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn to_value_shape() {
+        let d = nested_desc();
+        let m = d.instantiate(9);
+        let v = m.to_value(16);
+        assert_eq!(v.field("num_fields").unwrap().as_num(), Some(3.0));
+        assert!(v.field("num_writes").unwrap().as_num().unwrap() >= 1.0);
+        let subs = v.field("subs").unwrap().as_list().unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].field("num_fields").unwrap().as_num(), Some(2.0));
+    }
+}

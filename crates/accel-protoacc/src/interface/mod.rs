@@ -1,0 +1,33 @@
+//! Protoacc's performance-interface representations.
+
+pub mod nl;
+pub mod petri;
+pub mod program;
+
+use crate::simx::ProtoWorkload;
+use perf_core::InterfaceBundle;
+
+/// Builds Protoacc's vendor-shipped interface bundle.
+pub fn bundle() -> InterfaceBundle<ProtoWorkload> {
+    InterfaceBundle::new("protoacc", nl::interface())
+        .with(Box::new(
+            program::ProtoaccProgramInterface::new().expect("shipped .pi parses"),
+        ))
+        .with(Box::new(
+            petri::ProtoaccPetriInterface::new().expect("shipped .pnet parses"),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::InterfaceKind;
+
+    #[test]
+    fn bundle_complete() {
+        let b = bundle();
+        assert!(b.get(InterfaceKind::Program).is_some());
+        assert!(b.get(InterfaceKind::PetriNet).is_some());
+        assert!(!b.natural_language.claims.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Petri-net performance IR for Protoacc.
+//!
+//! The net has one transition per engine (reader, writer) joined by the
+//! internal queue. The ingest adapter walks each message tree once to
+//! compute the token's `read_cost` and `write_cost` fields — the token
+//! transform that makes downstream delays computable.
+
+use crate::descriptor::Message;
+use crate::simx::{ProtoWorkload, ProtoaccConfig};
+use crate::wire;
+use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::{CoreError, Prediction};
+use perf_iface_lang::Value;
+use perf_petri::engine::{Engine, Options};
+use perf_petri::net::Net;
+use perf_petri::text;
+use perf_petri::token::Token;
+
+/// The shipped `.pnet` source.
+pub const PROTOACC_PNET_SRC: &str = include_str!("../../assets/protoacc.pnet");
+
+/// Average memory latency constant used by the ingest adapter (same
+/// calibration as the program interface).
+pub const AVG_MEM_LATENCY: u64 = 145;
+
+/// Petri-net interface for Protoacc.
+pub struct ProtoaccPetriInterface {
+    net: Net,
+    cfg: ProtoaccConfig,
+}
+
+impl ProtoaccPetriInterface {
+    /// Parses the shipped net.
+    pub fn new() -> Result<ProtoaccPetriInterface, CoreError> {
+        Ok(ProtoaccPetriInterface {
+            net: text::parse(PROTOACC_PNET_SRC)?,
+            cfg: ProtoaccConfig::default(),
+        })
+    }
+
+    /// The `.pnet` source.
+    pub fn source(&self) -> &'static str {
+        PROTOACC_PNET_SRC
+    }
+
+    /// Expected reader cycles for one message tree.
+    pub fn read_cost(&self, msg: &Message) -> u64 {
+        let groups = msg.num_fields().div_ceil(self.cfg.fields_per_desc).max(1) as u64;
+        let own = self.cfg.msg_setup
+            + AVG_MEM_LATENCY * self.cfg.ptr_chases
+            + (self.cfg.desc_fixed + AVG_MEM_LATENCY) * groups;
+        own + msg.submessages().map(|m| self.read_cost(m)).sum::<u64>()
+    }
+
+    /// Expected writer cycles for one message.
+    pub fn write_cost(&self, msg: &Message) -> u64 {
+        let chunks = wire::encoded_len(msg).div_ceil(self.cfg.chunk_bytes).max(1) as u64;
+        self.cfg.write_setup + chunks * 2
+    }
+
+    /// Expected reader data-streaming cycles for the whole tree.
+    pub fn data_cost(&self, msg: &Message) -> u64 {
+        wire::encoded_len(msg) as u64 / 16
+    }
+
+    /// Runs the net over a stream and returns `(makespan, completions)`.
+    pub fn run(&self, msgs: &[Message]) -> Result<(u64, usize), CoreError> {
+        let src = self
+            .net
+            .place_id("msgs_in")
+            .ok_or_else(|| CoreError::Artifact("net lacks msgs_in".into()))?;
+        let mut eng = Engine::new(&self.net, Options::default());
+        for m in msgs {
+            eng.inject(
+                src,
+                Token::at(
+                    Value::record([
+                        (
+                            "read_cost",
+                            Value::from(self.read_cost(m) + self.data_cost(m)),
+                        ),
+                        ("write_cost", Value::from(self.write_cost(m))),
+                    ]),
+                    0,
+                ),
+            );
+        }
+        let res = eng.run().map_err(CoreError::from)?;
+        Ok((res.makespan, res.completions.len()))
+    }
+}
+
+impl PerfInterface<ProtoWorkload> for ProtoaccPetriInterface {
+    fn kind(&self) -> InterfaceKind {
+        InterfaceKind::PetriNet
+    }
+
+    fn predict(&self, w: &ProtoWorkload, metric: Metric) -> Result<Prediction, CoreError> {
+        match metric {
+            Metric::Throughput => {
+                let (span, n) = self.run(&w.messages)?;
+                Ok(Prediction::point(n as f64 / span.max(1) as f64))
+            }
+            Metric::Latency => {
+                let first = w
+                    .messages
+                    .first()
+                    .ok_or_else(|| CoreError::InvalidObservation("empty stream".into()))?;
+                let (span, _) = self.run(std::slice::from_ref(first))?;
+                Ok(Prediction::point(span as f64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simx::ProtoaccSim;
+    use crate::suite;
+    use perf_core::validate::validate;
+
+    #[test]
+    fn net_runs_on_suite() {
+        let iface = ProtoaccPetriInterface::new().unwrap();
+        for d in suite::formats().iter().take(6) {
+            let w = ProtoWorkload::of_format(d, 4, 9);
+            let (span, n) = iface.run(&w.messages).unwrap();
+            assert_eq!(n, 4);
+            assert!(span > 0);
+        }
+    }
+
+    #[test]
+    fn petri_throughput_tracks_simulator() {
+        let iface = ProtoaccPetriInterface::new().unwrap();
+        let mut sim = ProtoaccSim::default();
+        let workloads: Vec<ProtoWorkload> = suite::formats()
+            .iter()
+            .map(|d| ProtoWorkload::of_format(d, 30, 17))
+            .collect();
+        let rep = validate(&mut sim, &iface, Metric::Throughput, &workloads).unwrap();
+        // The net models per-message costs and pipelining but not the
+        // memory system's fine structure: expect low-teens error at
+        // worst.
+        assert!(
+            rep.point.avg < 0.15,
+            "petri tput avg error {:.3}",
+            rep.point.avg
+        );
+    }
+
+    #[test]
+    fn read_cost_grows_with_nesting() {
+        let iface = ProtoaccPetriInterface::new().unwrap();
+        let f = suite::formats();
+        let flat = f.iter().find(|d| d.name.ends_with("flat4")).unwrap();
+        let deep = f.iter().find(|d| d.name.ends_with("nest7")).unwrap();
+        let rc_flat = iface.read_cost(&flat.instantiate(1));
+        let rc_deep = iface.read_cost(&deep.instantiate(1));
+        assert!(rc_deep > rc_flat * 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! A model of Protoacc — Google's protocol-buffer serialization
+//! accelerator — with software and Optimus-Prime-style baselines and
+//! all three performance-interface representations.
+//!
+//! Protoacc (Karandikar et al., MICRO '21) serializes protobuf messages
+//! in hardware: a *reader* walks the in-memory message tree (descriptor
+//! fetches cover 32 fields at a time; every nested submessage costs a
+//! pointer chase through the memory system), while a *writer* drains
+//! encoded output chunks. The two stages overlap through an internal
+//! queue, which is why the paper's Fig. 3 interface can give exact
+//! throughput expressions but only latency *bounds*.
+//!
+//! This crate contains:
+//!
+//! * [`descriptor`] — message schemas and instance generation,
+//! * [`wire`] — a real protobuf wire-format encoder/decoder (the
+//!   functional model and the software baseline's workload),
+//! * [`simx`] — the cycle-accurate accelerator simulator on a DRAM+TLB
+//!   memory system,
+//! * [`baselines`] — a Xeon-style software serializer cost model and an
+//!   Optimus-Prime-style tightly-coupled accelerator model (Example #2
+//!   and the §4 discussion),
+//! * [`suite`] — the 32-message-format evaluation suite,
+//! * [`interface`] — natural-language, program and Petri-net
+//!   interfaces.
+
+pub mod baselines;
+pub mod descriptor;
+pub mod interface;
+pub mod simx;
+pub mod suite;
+pub mod wire;
+
+pub use descriptor::{FieldDesc, FieldKind, Message, MessageDesc};
+pub use simx::{ProtoaccConfig, ProtoaccSim};

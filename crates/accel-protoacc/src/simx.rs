@@ -1,0 +1,449 @@
+//! The cycle-accurate Protoacc serializer model.
+//!
+//! Two overlapping engines connected by a bounded chunk queue:
+//!
+//! * the **reader** walks the message tree — per (sub)message it pays a
+//!   setup cost and two pointer-chasing memory accesses, per 32 fields
+//!   a descriptor fetch, and per long string/bytes field a streaming
+//!   data fetch — and emits 16-byte output chunks;
+//! * the **writer** drains chunks to memory (setup per message, one
+//!   cycle per chunk plus the DRAM write).
+//!
+//! Both engines share one DRAM channel and one TLB, so memory-level
+//! contention, row-buffer locality and page walks — the effects §5 of
+//! the paper warns about — all show up in measured performance. The
+//! Fig. 3 interface summarizes all memory behavior with a single
+//! `avg_mem_latency` constant; the difference is exactly its prediction
+//! error.
+
+use crate::descriptor::{FieldValue, Message};
+use crate::wire;
+use perf_core::units::{Cycles, Throughput};
+use perf_core::{CoreError, GroundTruth, Observation};
+use perf_sim::{DramModel, Tlb};
+
+/// Hardware configuration of the serializer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProtoaccConfig {
+    /// Per-(sub)message setup cycles.
+    pub msg_setup: u64,
+    /// Pointer-chase memory accesses per (sub)message.
+    pub ptr_chases: u64,
+    /// Fixed cycles per descriptor fetch.
+    pub desc_fixed: u64,
+    /// Fields covered by one descriptor fetch.
+    pub fields_per_desc: usize,
+    /// Output chunk size in bytes.
+    pub chunk_bytes: usize,
+    /// Writer setup cycles per message.
+    pub write_setup: u64,
+    /// Writer cycles per chunk (plus the DRAM write itself).
+    pub write_per_chunk: u64,
+    /// Chunk-queue capacity between reader and writer.
+    pub chunk_queue_cap: usize,
+    /// Strings/bytes longer than this need a streaming data fetch.
+    pub inline_threshold: usize,
+    /// Reader data-fetch bandwidth, bytes per cycle.
+    pub read_bytes_per_cycle: u64,
+}
+
+impl Default for ProtoaccConfig {
+    fn default() -> ProtoaccConfig {
+        ProtoaccConfig {
+            msg_setup: 6,
+            ptr_chases: 2,
+            desc_fixed: 4,
+            fields_per_desc: 32,
+            chunk_bytes: 16,
+            write_setup: 5,
+            write_per_chunk: 1,
+            chunk_queue_cap: 128,
+            inline_threshold: 16,
+            read_bytes_per_cycle: 64,
+        }
+    }
+}
+
+/// A serialization workload: a stream of messages (typically many
+/// instances of one format).
+#[derive(Clone, Debug)]
+pub struct ProtoWorkload {
+    /// Messages serialized back to back.
+    pub messages: Vec<Message>,
+    /// Format name, for reports.
+    pub name: String,
+}
+
+impl ProtoWorkload {
+    /// Builds a stream of `n` instances of `desc` with varied seeds.
+    pub fn of_format(desc: &crate::descriptor::MessageDesc, n: usize, seed: u64) -> ProtoWorkload {
+        ProtoWorkload {
+            messages: (0..n)
+                .map(|i| desc.instantiate(seed ^ (i as u64) << 17))
+                .collect(),
+            name: desc.name.clone(),
+        }
+    }
+}
+
+/// Detailed result of serializing one stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamResult {
+    /// Total cycles from first read to last write.
+    pub total_cycles: u64,
+    /// Latency of the first message alone.
+    pub first_latency: u64,
+    /// Total wire bytes produced.
+    pub wire_bytes: u64,
+    /// Total output chunks written.
+    pub chunks: u64,
+}
+
+/// Cycle-accurate Protoacc simulator.
+#[derive(Clone, Debug)]
+pub struct ProtoaccSim {
+    /// Hardware configuration.
+    pub cfg: ProtoaccConfig,
+    dram: DramModel,
+    dram_wr: DramModel,
+    tlb: Tlb,
+    /// Scrambler state for scattered (pointer-chase) addresses.
+    scatter_state: u64,
+    /// Sequential allocator for data/descriptor/write regions.
+    seq_slot: u64,
+    ticks: u64,
+}
+
+impl Default for ProtoaccSim {
+    fn default() -> ProtoaccSim {
+        ProtoaccSim::new(ProtoaccConfig::default())
+    }
+}
+
+impl ProtoaccSim {
+    /// Creates a simulator over a typical DRAM + TLB memory system.
+    pub fn new(cfg: ProtoaccConfig) -> ProtoaccSim {
+        ProtoaccSim {
+            cfg,
+            dram: DramModel::new(90, 40, 16, 4096, 16).with_banks(8),
+            dram_wr: DramModel::new(90, 40, 16, 4096, 16).with_banks(8),
+            tlb: Tlb::new(32, 4096, 50),
+            scatter_state: 1,
+            seq_slot: 1,
+            ticks: 0,
+        }
+    }
+
+    /// Cycles simulated so far.
+    pub fn ticks_simulated(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Empirical mean memory access latency observed so far (what a
+    /// vendor would calibrate `avg_mem_latency` to).
+    pub fn observed_mem_latency(&self) -> f64 {
+        self.dram.avg_latency()
+    }
+
+    fn fresh_addr(&mut self, scattered: bool) -> u64 {
+        if scattered {
+            // Pointer chases land on unpredictable pages.
+            self.scatter_state = self
+                .scatter_state
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .rotate_left(17)
+                | 1;
+            (self.scatter_state % 0x10_0000) * 4096
+        } else {
+            // Sequential data region; wraps far before overflowing.
+            self.seq_slot = (self.seq_slot + 1) % (1 << 40);
+            self.seq_slot * 64
+        }
+    }
+
+    /// One memory access: TLB translate, then DRAM, starting no earlier
+    /// than `now`. Returns completion time.
+    fn mem_access(&mut self, now: u64, scattered: bool, bytes: u64) -> u64 {
+        let addr = self.fresh_addr(scattered);
+        let walk = self.tlb.translate(addr);
+        self.dram.access(now + walk, addr, bytes)
+    }
+
+    /// A chunk store through the writer's dedicated memory port.
+    fn store_chunk(&mut self, now: u64) -> u64 {
+        let addr = self.fresh_addr(false);
+        let walk = self.tlb.translate(addr);
+        self.dram_wr
+            .access(now + walk, addr, self.cfg.chunk_bytes as u64)
+    }
+
+    /// A streaming data fetch through the reader's prefetcher: the head
+    /// latency is hidden; the reader advances at channel bandwidth,
+    /// paying only the TLB walk for new pages.
+    fn data_fetch(&mut self, now: u64, bytes: u64) -> u64 {
+        let addr = self.fresh_addr(false);
+        let walk = self.tlb.translate(addr);
+        now + walk + 2 + bytes.div_ceil(16)
+    }
+
+    /// Walks one (sub)message with the reader, emitting chunk-complete
+    /// timestamps into `chunks`. Returns the reader's clock after the
+    /// walk. `pending_bytes` accumulates partial chunks across fields.
+    fn read_message(
+        &mut self,
+        msg: &Message,
+        mut t: u64,
+        chunks: &mut Vec<u64>,
+        pending_bytes: &mut usize,
+    ) -> u64 {
+        t += self.cfg.msg_setup;
+        for _ in 0..self.cfg.ptr_chases {
+            t = self.mem_access(t, true, 64);
+        }
+        let groups = msg.num_fields().div_ceil(self.cfg.fields_per_desc).max(1);
+        for _ in 0..groups {
+            // Descriptor tables are their own heap structures: each
+            // group fetch is a dependent, scattered access.
+            t += self.cfg.desc_fixed;
+            t = self.mem_access(t, true, 64);
+        }
+        for (number, value) in &msg.fields {
+            let t_before = t;
+            let field_bytes = match value {
+                FieldValue::Message(m) => {
+                    // Nested message: recurse (serial pointer chase).
+                    t = self.read_message(m, t, chunks, pending_bytes);
+                    // The enclosing tag + length prefix still counts.
+                    wire::varint_len((*number as u64) << 3) + 2
+                }
+                FieldValue::Str(s) if s.len() > self.cfg.inline_threshold => {
+                    t = self.data_fetch(t, s.len() as u64);
+                    wire::varint_len((*number as u64) << 3)
+                        + wire::varint_len(s.len() as u64)
+                        + s.len()
+                }
+                FieldValue::Bytes(b) if b.len() > self.cfg.inline_threshold => {
+                    t = self.data_fetch(t, b.len() as u64);
+                    wire::varint_len((*number as u64) << 3)
+                        + wire::varint_len(b.len() as u64)
+                        + b.len()
+                }
+                other => {
+                    let m = Message {
+                        fields: vec![(*number, other.clone())],
+                    };
+                    wire::encoded_len(&m)
+                }
+            };
+            // Output chunks appear progressively over the field's
+            // processing interval (a long string streams its chunks,
+            // it does not release them all at the end).
+            *pending_bytes += field_bytes;
+            let n = *pending_bytes / self.cfg.chunk_bytes;
+            *pending_bytes %= self.cfg.chunk_bytes;
+            for k in 1..=n as u64 {
+                chunks.push(t_before + (t - t_before) * k / n as u64);
+            }
+        }
+        t
+    }
+
+    /// Serializes a stream of messages back to back.
+    pub fn serialize_stream(&mut self, msgs: &[Message]) -> StreamResult {
+        let mut res = StreamResult::default();
+        let mut reader_t = 0u64;
+        let mut writer_t = 0u64;
+        let mut stream_last_done = 0u64;
+        // Completion times of in-flight chunks, bounded by the queue:
+        // the reader may run at most `chunk_queue_cap` chunks ahead of
+        // the writer.
+        let mut inflight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        for msg in msgs {
+            let mut chunk_times = Vec::new();
+            let mut pending = 0usize;
+            let t_end = self.read_message(msg, reader_t, &mut chunk_times, &mut pending);
+            if pending > 0 {
+                chunk_times.push(t_end);
+            }
+            reader_t = t_end;
+            // Writer: per-message setup, then drain each chunk. Stores
+            // are fire-and-forget through a store buffer: the writer is
+            // limited by its issue rate and the DRAM channel's
+            // occupancy, not by store completion latency.
+            writer_t += self.cfg.write_setup;
+            let mut last_store_done = writer_t;
+            if chunk_times.is_empty() {
+                // Tiny message with no full chunk: one flush write.
+                chunk_times.push(t_end);
+            }
+            for &avail in &chunk_times {
+                // Store-buffer backpressure: with too many stores in
+                // flight the writer waits for the oldest completion.
+                // (The reader-writer chunk queue itself is deep and
+                // elastic; the reader is never throttled by it.)
+                while inflight.len() >= self.cfg.chunk_queue_cap {
+                    let freed = inflight.pop_front().expect("non-empty");
+                    if freed > writer_t {
+                        writer_t = freed;
+                    }
+                }
+                let start = writer_t.max(avail) + self.cfg.write_per_chunk;
+                let done = self.store_chunk(start);
+                writer_t = start;
+                last_store_done = last_store_done.max(done);
+                inflight.push_back(done);
+            }
+            res.chunks += chunk_times.len() as u64;
+            res.wire_bytes += wire::encoded_len(msg) as u64;
+            stream_last_done = stream_last_done.max(last_store_done);
+            if res.first_latency == 0 {
+                res.first_latency = last_store_done;
+            }
+        }
+        res.total_cycles = stream_last_done.max(reader_t);
+        self.ticks += res.total_cycles;
+        res
+    }
+
+    /// Resets memory-system state (new measurement window).
+    pub fn reset(&mut self) {
+        self.dram.reset();
+        self.dram_wr.reset();
+        self.tlb.reset();
+        self.scatter_state = 1;
+        self.seq_slot = 1;
+    }
+}
+
+impl GroundTruth<ProtoWorkload> for ProtoaccSim {
+    fn measure(&mut self, w: &ProtoWorkload) -> Result<Observation, CoreError> {
+        if w.messages.is_empty() {
+            return Err(CoreError::InvalidObservation("empty stream".into()));
+        }
+        self.reset();
+        let res = self.serialize_stream(&w.messages);
+        Ok(Observation::new(
+            Cycles(res.first_latency),
+            Throughput::of(w.messages.len() as u64, Cycles(res.total_cycles)),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{FieldDesc, FieldKind, MessageDesc};
+
+    fn flat(nf: usize) -> MessageDesc {
+        MessageDesc::new(
+            format!("flat{nf}"),
+            (0..nf)
+                .map(|i| FieldDesc::single(i as u32 + 1, FieldKind::Uint64))
+                .collect(),
+        )
+    }
+
+    fn nested(depth: usize) -> MessageDesc {
+        let mut d = flat(4);
+        for level in 0..depth {
+            d = MessageDesc::new(
+                format!("nest{level}"),
+                vec![
+                    FieldDesc::single(1, FieldKind::Uint64),
+                    FieldDesc::single(2, FieldKind::Message(Box::new(d))),
+                ],
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn serializes_and_counts_bytes() {
+        let mut sim = ProtoaccSim::default();
+        let w = ProtoWorkload::of_format(&flat(8), 10, 1);
+        let res = sim.serialize_stream(&w.messages);
+        assert!(res.total_cycles > 0);
+        assert!(res.wire_bytes > 0);
+        assert!(res.chunks > 0);
+        assert!(res.first_latency <= res.total_cycles);
+    }
+
+    #[test]
+    fn more_fields_cost_more_descriptor_fetches() {
+        let mut a = ProtoaccSim::default();
+        let mut b = ProtoaccSim::default();
+        let small = ProtoWorkload::of_format(&flat(8), 20, 2);
+        let large = ProtoWorkload::of_format(&flat(120), 20, 2);
+        let ra = a.serialize_stream(&small.messages);
+        let rb = b.serialize_stream(&large.messages);
+        assert!(
+            rb.total_cycles > ra.total_cycles,
+            "120 fields {} vs 8 fields {}",
+            rb.total_cycles,
+            ra.total_cycles
+        );
+    }
+
+    #[test]
+    fn nesting_reduces_throughput() {
+        // The paper's Fig. 1 Protoacc law: throughput decreases as
+        // nesting increases (pointer chasing per level).
+        let mut tputs = Vec::new();
+        for depth in [0usize, 2, 4, 6] {
+            let mut sim = ProtoaccSim::default();
+            let w = ProtoWorkload::of_format(&nested(depth), 30, 3);
+            let obs = sim.measure(&w).unwrap();
+            tputs.push(obs.throughput.items_per_cycle());
+        }
+        for pair in tputs.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "throughput must fall with nesting: {tputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_strings_are_write_bound() {
+        let strings = MessageDesc::new(
+            "strs",
+            vec![FieldDesc::repeated(1, FieldKind::Str(200..201), 8..9)],
+        );
+        let mut sim = ProtoaccSim::default();
+        let w = ProtoWorkload::of_format(&strings, 10, 4);
+        let res = sim.serialize_stream(&w.messages);
+        // ~1600 wire bytes per message => ~100 chunks each.
+        assert!(res.chunks >= 1000, "chunks = {}", res.chunks);
+        // Write side must dominate: cycles >= chunks * (1 + mem ~ bw).
+        assert!(res.total_cycles >= res.chunks * 2);
+    }
+
+    #[test]
+    fn deterministic_after_reset() {
+        let w = ProtoWorkload::of_format(&nested(3), 15, 5);
+        let mut sim = ProtoaccSim::default();
+        let a = sim.measure(&w).unwrap();
+        let b = sim.measure(&w).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert!((a.throughput.items_per_cycle() - b.throughput.items_per_cycle()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        let mut sim = ProtoaccSim::default();
+        let w = ProtoWorkload {
+            messages: vec![],
+            name: "empty".into(),
+        };
+        assert!(sim.measure(&w).is_err());
+    }
+
+    #[test]
+    fn observed_mem_latency_reported() {
+        let mut sim = ProtoaccSim::default();
+        let w = ProtoWorkload::of_format(&nested(2), 10, 6);
+        sim.serialize_stream(&w.messages);
+        let m = sim.observed_mem_latency();
+        assert!(m > 20.0 && m < 300.0, "mem latency {m}");
+    }
+}

@@ -1,0 +1,210 @@
+//! The 32-message-format evaluation suite.
+//!
+//! The paper evaluates Protoacc's interfaces on "32 message formats
+//! from its test suite". This module defines 32 schemas spanning the
+//! same axes: scalar counts (flat, wide), string/bytes payloads (short,
+//! long, repeated), nesting depth (1–8) and mixes thereof.
+
+use crate::descriptor::{FieldDesc, FieldKind, MessageDesc};
+
+fn flat_scalars(name: &str, nf: usize) -> MessageDesc {
+    MessageDesc::new(
+        name,
+        (0..nf)
+            .map(|i| {
+                let kind = match i % 4 {
+                    0 => FieldKind::Uint64,
+                    1 => FieldKind::Fixed64,
+                    2 => FieldKind::Fixed32,
+                    _ => FieldKind::Bool,
+                };
+                FieldDesc::single(i as u32 + 1, kind)
+            })
+            .collect(),
+    )
+}
+
+fn strings(name: &str, count: usize, len: std::ops::Range<usize>) -> MessageDesc {
+    MessageDesc::new(
+        name,
+        vec![FieldDesc::repeated(
+            1,
+            FieldKind::Str(len),
+            count..count + 1,
+        )],
+    )
+}
+
+fn bytes_msg(name: &str, count: usize, len: std::ops::Range<usize>) -> MessageDesc {
+    MessageDesc::new(
+        name,
+        vec![FieldDesc::repeated(
+            1,
+            FieldKind::Bytes(len),
+            count..count + 1,
+        )],
+    )
+}
+
+fn nested(name: &str, depth: usize, leaf_fields: usize) -> MessageDesc {
+    let mut d = flat_scalars("leaf", leaf_fields);
+    for level in 0..depth {
+        d = MessageDesc::new(
+            format!("{name}_l{level}"),
+            vec![
+                FieldDesc::single(1, FieldKind::Uint64),
+                FieldDesc::single(2, FieldKind::Message(Box::new(d))),
+            ],
+        );
+    }
+    d.name = name.to_string();
+    d
+}
+
+fn fanout(name: &str, width: usize, leaf_fields: usize) -> MessageDesc {
+    let leaf = flat_scalars("leaf", leaf_fields);
+    MessageDesc::new(
+        name,
+        (0..width)
+            .map(|i| FieldDesc::single(i as u32 + 1, FieldKind::Message(Box::new(leaf.clone()))))
+            .collect(),
+    )
+}
+
+fn rpc_like(name: &str, payload: std::ops::Range<usize>) -> MessageDesc {
+    MessageDesc::new(
+        name,
+        vec![
+            FieldDesc::single(1, FieldKind::Uint64),         // request id
+            FieldDesc::single(2, FieldKind::Fixed64),        // timestamp
+            FieldDesc::single(3, FieldKind::Str(8..24)),     // method
+            FieldDesc::single(4, FieldKind::Bytes(payload)), // payload
+            FieldDesc::single(
+                5,
+                FieldKind::Message(Box::new(MessageDesc::new(
+                    "meta",
+                    vec![
+                        FieldDesc::single(1, FieldKind::Uint64),
+                        FieldDesc::single(2, FieldKind::Str(4..12)),
+                        FieldDesc::single(3, FieldKind::Bool),
+                    ],
+                ))),
+            ),
+        ],
+    )
+}
+
+/// Builds the 32-format suite.
+pub fn formats() -> Vec<MessageDesc> {
+    let mut v = vec![
+        flat_scalars("flat4", 4),
+        flat_scalars("flat8", 8),
+        flat_scalars("flat16", 16),
+        flat_scalars("flat32", 32),
+        flat_scalars("flat64", 64),
+        flat_scalars("flat128", 128),
+        flat_scalars("flat256", 256),
+        strings("str_short4", 4, 4..16),
+        strings("str_short16", 16, 4..16),
+        strings("str_mid8", 8, 32..96),
+        strings("str_long4", 4, 256..512),
+        strings("str_long16", 16, 256..512),
+        bytes_msg("bytes_small8", 8, 8..32),
+        bytes_msg("bytes_1k", 2, 1024..1025),
+        bytes_msg("bytes_4k", 1, 4096..4097),
+        bytes_msg("bytes_16k", 1, 16384..16385),
+        nested("nest1", 1, 6),
+        nested("nest2", 2, 6),
+        nested("nest3", 3, 6),
+        nested("nest4", 4, 6),
+        nested("nest5", 5, 6),
+        nested("nest6", 6, 6),
+        nested("nest7", 7, 6),
+        fanout("fan4", 4, 6),
+        fanout("fan8", 8, 6),
+        fanout("fan16", 16, 6),
+        rpc_like("rpc_small", 16..64),
+        rpc_like("rpc_mid", 256..512),
+        rpc_like("rpc_large", 2048..4096),
+        MessageDesc::new(
+            "mixed_wide",
+            vec![
+                FieldDesc::repeated(1, FieldKind::Uint64, 16..17),
+                FieldDesc::repeated(2, FieldKind::Str(16..48), 4..5),
+                FieldDesc::single(3, FieldKind::Message(Box::new(flat_scalars("sub", 12)))),
+            ],
+        ),
+        MessageDesc::new(
+            "mixed_deep_strings",
+            vec![
+                FieldDesc::single(1, FieldKind::Str(64..128)),
+                FieldDesc::single(
+                    2,
+                    FieldKind::Message(Box::new(MessageDesc::new(
+                        "inner",
+                        vec![
+                            FieldDesc::single(1, FieldKind::Str(64..128)),
+                            FieldDesc::single(
+                                2,
+                                FieldKind::Message(Box::new(strings("leafstr", 3, 32..64))),
+                            ),
+                        ],
+                    ))),
+                ),
+            ],
+        ),
+        MessageDesc::new(
+            "kitchen_sink",
+            vec![
+                FieldDesc::repeated(1, FieldKind::Uint64, 8..9),
+                FieldDesc::single(2, FieldKind::Bytes(512..1024)),
+                FieldDesc::repeated(3, FieldKind::Message(Box::new(nested("ks", 2, 4))), 3..4),
+                FieldDesc::repeated(4, FieldKind::Str(8..64), 6..7),
+            ],
+        ),
+    ];
+    debug_assert_eq!(v.len(), 32, "suite must have 32 formats");
+    // Give every format a stable index prefix for reports.
+    for (i, d) in v.iter_mut().enumerate() {
+        d.name = format!("{:02}_{}", i, d.name);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    #[test]
+    fn suite_has_32_distinct_formats() {
+        let f = formats();
+        assert_eq!(f.len(), 32);
+        let names: std::collections::HashSet<_> = f.iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn suite_spans_depth_and_size() {
+        let f = formats();
+        let depths: Vec<usize> = f.iter().map(MessageDesc::depth).collect();
+        assert!(depths.iter().any(|&d| d == 1));
+        assert!(depths.iter().any(|&d| d >= 7));
+        let sizes: Vec<usize> = f
+            .iter()
+            .map(|d| wire::encoded_len(&d.instantiate(11)))
+            .collect();
+        assert!(sizes.iter().any(|&s| s < 64), "has tiny formats");
+        assert!(sizes.iter().any(|&s| s > 8192), "has huge formats");
+    }
+
+    #[test]
+    fn every_format_round_trips_on_the_wire() {
+        for d in formats() {
+            let m = d.instantiate(3);
+            let enc = wire::encode(&m);
+            let raw = wire::decode_raw(&enc);
+            assert!(raw.is_some(), "format {} must decode", d.name);
+        }
+    }
+}

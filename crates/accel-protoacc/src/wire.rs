@@ -1,0 +1,291 @@
+//! The protobuf wire format: a real encoder and decoder.
+//!
+//! The encoder is the functional model of what Protoacc produces; the
+//! decoder exists so round-trip property tests can verify the encoder
+//! against an independent reading of the format.
+
+use crate::descriptor::{FieldValue, Message};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protobuf wire types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireType {
+    /// Varint-encoded scalar.
+    Varint = 0,
+    /// 8-byte little-endian.
+    I64 = 1,
+    /// Length-delimited (strings, bytes, submessages).
+    Len = 2,
+    /// 4-byte little-endian.
+    I32 = 5,
+}
+
+/// Encodes a varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decodes a varint; returns `None` on truncation or overflow.
+pub fn get_varint(buf: &mut Bytes) -> Option<u64> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let b = buf.get_u8();
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Size in bytes of a varint.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+fn put_tag(buf: &mut BytesMut, number: u32, wt: WireType) {
+    put_varint(buf, ((number as u64) << 3) | wt as u64);
+}
+
+fn encode_into(msg: &Message, buf: &mut BytesMut) {
+    for (number, value) in &msg.fields {
+        match value {
+            FieldValue::Uint64(v) => {
+                put_tag(buf, *number, WireType::Varint);
+                put_varint(buf, *v);
+            }
+            FieldValue::Bool(b) => {
+                put_tag(buf, *number, WireType::Varint);
+                put_varint(buf, u64::from(*b));
+            }
+            FieldValue::Fixed64(v) => {
+                put_tag(buf, *number, WireType::I64);
+                buf.put_u64_le(*v);
+            }
+            FieldValue::Fixed32(v) => {
+                put_tag(buf, *number, WireType::I32);
+                buf.put_u32_le(*v);
+            }
+            FieldValue::Str(s) => {
+                put_tag(buf, *number, WireType::Len);
+                put_varint(buf, s.len() as u64);
+                buf.put_slice(s.as_bytes());
+            }
+            FieldValue::Bytes(b) => {
+                put_tag(buf, *number, WireType::Len);
+                put_varint(buf, b.len() as u64);
+                buf.put_slice(b);
+            }
+            FieldValue::Message(m) => {
+                put_tag(buf, *number, WireType::Len);
+                let inner = encode(m);
+                put_varint(buf, inner.len() as u64);
+                buf.put_slice(&inner);
+            }
+        }
+    }
+}
+
+/// Serializes a message to wire bytes.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    encode_into(msg, &mut buf);
+    buf.to_vec()
+}
+
+/// A decoded field as raw wire data (schema-less decoding).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RawValue {
+    /// A varint payload.
+    Varint(u64),
+    /// An 8-byte payload.
+    I64(u64),
+    /// A 4-byte payload.
+    I32(u32),
+    /// A length-delimited payload.
+    Len(Vec<u8>),
+}
+
+/// Decodes wire bytes into `(field number, raw value)` pairs; `None` on
+/// malformed input.
+pub fn decode_raw(data: &[u8]) -> Option<Vec<(u32, RawValue)>> {
+    let mut buf = Bytes::copy_from_slice(data);
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        let key = get_varint(&mut buf)?;
+        let number = (key >> 3) as u32;
+        if number == 0 {
+            return None;
+        }
+        let value = match key & 7 {
+            0 => RawValue::Varint(get_varint(&mut buf)?),
+            1 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                RawValue::I64(buf.get_u64_le())
+            }
+            5 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                RawValue::I32(buf.get_u32_le())
+            }
+            2 => {
+                let len = get_varint(&mut buf)? as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                let mut v = vec![0u8; len];
+                buf.copy_to_slice(&mut v);
+                RawValue::Len(v)
+            }
+            _ => return None,
+        };
+        out.push((number, value));
+    }
+    Some(out)
+}
+
+/// Computes the encoded size without materializing bytes (used by cost
+/// models).
+pub fn encoded_len(msg: &Message) -> usize {
+    msg.fields
+        .iter()
+        .map(|(number, value)| {
+            let tag = varint_len((*number as u64) << 3);
+            tag + match value {
+                FieldValue::Uint64(v) => varint_len(*v),
+                FieldValue::Bool(_) => 1,
+                FieldValue::Fixed64(_) => 8,
+                FieldValue::Fixed32(_) => 4,
+                FieldValue::Str(s) => varint_len(s.len() as u64) + s.len(),
+                FieldValue::Bytes(b) => varint_len(b.len() as u64) + b.len(),
+                FieldValue::Message(m) => {
+                    let inner = encoded_len(m);
+                    varint_len(inner as u64) + inner
+                }
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{FieldDesc, FieldKind, MessageDesc};
+
+    #[test]
+    fn varint_golden_values() {
+        let mut b = BytesMut::new();
+        put_varint(&mut b, 300);
+        assert_eq!(&b[..], &[0xac, 0x02]);
+        let mut b = BytesMut::new();
+        put_varint(&mut b, 0);
+        assert_eq!(&b[..], &[0x00]);
+        let mut b = BytesMut::new();
+        put_varint(&mut b, u64::MAX);
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn varint_roundtrip_and_len() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 21, u64::MAX] {
+            let mut b = BytesMut::new();
+            put_varint(&mut b, v);
+            assert_eq!(b.len(), varint_len(v), "len of {v}");
+            let mut bytes = Bytes::from(b.to_vec());
+            assert_eq!(get_varint(&mut bytes), Some(v));
+        }
+    }
+
+    #[test]
+    fn known_encoding_golden() {
+        // Field 1 = varint 150 encodes as 08 96 01 (protobuf docs
+        // example).
+        let m = Message {
+            fields: vec![(1, FieldValue::Uint64(150))],
+        };
+        assert_eq!(encode(&m), vec![0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn string_field_encoding() {
+        // Field 2 = "testing" encodes as 12 07 74 65 73 74 69 6e 67.
+        let m = Message {
+            fields: vec![(2, FieldValue::Str("testing".into()))],
+        };
+        assert_eq!(
+            encode(&m),
+            vec![0x12, 0x07, 0x74, 0x65, 0x73, 0x74, 0x69, 0x6e, 0x67]
+        );
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let d = MessageDesc::new(
+            "mix",
+            vec![
+                FieldDesc::single(1, FieldKind::Uint64),
+                FieldDesc::single(2, FieldKind::Str(0..40)),
+                FieldDesc::single(3, FieldKind::Fixed32),
+                FieldDesc::repeated(4, FieldKind::Bytes(0..20), 0..4),
+                FieldDesc::single(
+                    5,
+                    FieldKind::Message(Box::new(MessageDesc::new(
+                        "sub",
+                        vec![FieldDesc::single(1, FieldKind::Fixed64)],
+                    ))),
+                ),
+            ],
+        );
+        for seed in 0..20 {
+            let m = d.instantiate(seed);
+            assert_eq!(encode(&m).len(), encoded_len(&m), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decode_raw_roundtrip() {
+        let d = MessageDesc::new(
+            "m",
+            vec![
+                FieldDesc::single(1, FieldKind::Uint64),
+                FieldDesc::single(2, FieldKind::Str(3..9)),
+                FieldDesc::single(7, FieldKind::Fixed64),
+                FieldDesc::single(9, FieldKind::Fixed32),
+            ],
+        );
+        let m = d.instantiate(5);
+        let raw = decode_raw(&encode(&m)).expect("well-formed");
+        assert_eq!(raw.len(), 4);
+        assert_eq!(raw[0].0, 1);
+        match (&m.fields[1].1, &raw[1].1) {
+            (FieldValue::Str(s), RawValue::Len(b)) => assert_eq!(s.as_bytes(), &b[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode_raw(&[0x08]).is_none()); // Tag without payload.
+        assert!(decode_raw(&[0x0c]).is_none()); // Wire type 4 invalid.
+        assert!(decode_raw(&[0x12, 0x05, 0x61]).is_none()); // Short len.
+        assert!(decode_raw(&[0x00]).is_none()); // Field number 0.
+    }
+}

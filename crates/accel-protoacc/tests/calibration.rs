@@ -1,0 +1,35 @@
+//! Calibration harness for the Protoacc interfaces.
+use accel_protoacc::interface::program::ProtoaccProgramInterface;
+use accel_protoacc::simx::{ProtoWorkload, ProtoaccSim};
+use accel_protoacc::suite;
+use perf_core::iface::{Metric, PerfInterface};
+use perf_core::GroundTruth;
+
+#[test]
+fn per_format_report() {
+    let iface = ProtoaccProgramInterface::new().unwrap();
+    for d in suite::formats() {
+        let mut sim = ProtoaccSim::default();
+        let w = ProtoWorkload::of_format(&d, 40, 42);
+        let obs = sim.measure(&w).unwrap();
+        let t_meas = obs.throughput.items_per_cycle();
+        let t_pred = iface.predict(&w, Metric::Throughput).unwrap().midpoint();
+        let l = iface.predict(&w, Metric::Latency).unwrap();
+        let (lo, hi) = match l {
+            perf_core::Prediction::Bounds { min, max } => (min, max),
+            _ => (0.0, 0.0),
+        };
+        println!(
+            "{:22} cyc/msg meas {:9.1} pred {:9.1} err {:6.2}% | lat {:8} in [{:8.0},{:9.0}] {} | mem {:5.1}",
+            d.name,
+            1.0 / t_meas,
+            1.0 / t_pred,
+            (t_pred - t_meas).abs() / t_meas * 100.0,
+            obs.latency.get(),
+            lo,
+            hi,
+            if (obs.latency.as_f64()) >= lo && (obs.latency.as_f64()) <= hi { "ok" } else { "OUT" },
+            sim.observed_mem_latency(),
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the protobuf wire format and message model.
+
+use accel_protoacc::descriptor::{FieldValue, Message};
+use accel_protoacc::wire;
+use proptest::prelude::*;
+
+/// Strategy for a random message tree.
+fn message_strategy() -> impl Strategy<Value = Message> {
+    let scalar = prop_oneof![
+        any::<u64>().prop_map(FieldValue::Uint64),
+        any::<bool>().prop_map(FieldValue::Bool),
+        any::<u64>().prop_map(FieldValue::Fixed64),
+        any::<u32>().prop_map(FieldValue::Fixed32),
+        "[a-z]{0,40}".prop_map(FieldValue::Str),
+        prop::collection::vec(any::<u8>(), 0..60).prop_map(FieldValue::Bytes),
+    ];
+    let leaf =
+        prop::collection::vec((1u32..200, scalar), 0..8).prop_map(|fields| Message { fields });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            prop::collection::vec((1u32..200, any::<u64>().prop_map(FieldValue::Uint64)), 0..5),
+            prop::collection::vec((1u32..200, inner), 0..3),
+        )
+            .prop_map(|(scalars, subs)| {
+                let mut fields: Vec<(u32, FieldValue)> = scalars;
+                fields.extend(subs.into_iter().map(|(n, m)| (n, FieldValue::Message(m))));
+                Message { fields }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `encoded_len` always agrees with the actual encoding.
+    #[test]
+    fn encoded_len_matches(msg in message_strategy()) {
+        prop_assert_eq!(wire::encode(&msg).len(), wire::encoded_len(&msg));
+    }
+
+    /// Every encoding decodes, with one raw field per encoded field.
+    #[test]
+    fn encodings_decode(msg in message_strategy()) {
+        let enc = wire::encode(&msg);
+        let raw = wire::decode_raw(&enc);
+        prop_assert!(raw.is_some(), "well-formed encoding must decode");
+        prop_assert_eq!(raw.expect("checked").len(), msg.fields.len());
+    }
+
+    /// Field numbers and payload bytes survive the round trip.
+    #[test]
+    fn field_payloads_roundtrip(msg in message_strategy()) {
+        let raw = wire::decode_raw(&wire::encode(&msg)).expect("decodes");
+        for ((num, val), (rnum, rval)) in msg.fields.iter().zip(&raw) {
+            prop_assert_eq!(num, rnum);
+            match (val, rval) {
+                (FieldValue::Uint64(v), wire::RawValue::Varint(r)) => prop_assert_eq!(v, r),
+                (FieldValue::Bool(b), wire::RawValue::Varint(r)) =>
+                    prop_assert_eq!(u64::from(*b), *r),
+                (FieldValue::Fixed64(v), wire::RawValue::I64(r)) => prop_assert_eq!(v, r),
+                (FieldValue::Fixed32(v), wire::RawValue::I32(r)) => prop_assert_eq!(v, r),
+                (FieldValue::Str(s), wire::RawValue::Len(r)) =>
+                    prop_assert_eq!(s.as_bytes(), &r[..]),
+                (FieldValue::Bytes(b), wire::RawValue::Len(r)) => prop_assert_eq!(b, r),
+                (FieldValue::Message(m), wire::RawValue::Len(r)) =>
+                    prop_assert_eq!(&wire::encode(m), r),
+                other => prop_assert!(false, "wire-type mismatch: {other:?}"),
+            }
+        }
+    }
+
+    /// Varints round-trip for all of u64.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = bytes::BytesMut::new();
+        wire::put_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), wire::varint_len(v));
+        let mut b = bytes::Bytes::from(buf.to_vec());
+        prop_assert_eq!(wire::get_varint(&mut b), Some(v));
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_never_panics(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = wire::decode_raw(&data);
+    }
+
+    /// Tree metrics are consistent: total fields bounds, depth >= 1.
+    #[test]
+    fn tree_metrics(msg in message_strategy()) {
+        prop_assert!(msg.depth() >= 1);
+        prop_assert!(msg.total_fields() >= msg.num_fields());
+        let subs: usize = msg.submessages().count();
+        prop_assert!(subs <= msg.num_fields());
+    }
+}

@@ -1,0 +1,430 @@
+//! A textual assembly format for VTA programs.
+//!
+//! Tools that consume performance interfaces need program artifacts
+//! they can read and write; this module provides the assembler and
+//! disassembler:
+//!
+//! ```text
+//! load.uop   sram=0 dram=16 count=8
+//! load.inp   sram=0 dram=1024 count=64
+//! load.wgt   sram=0 dram=2048 count=8 flags=shn
+//! gemm       uop=0..8 lp=14x3 dst=1,0 src=0,1 wgt=3,0 flags=pp,shp,shn
+//! alu.shr    imm=-3 uop=1..4 lp=7x2 dst=2,1 src=1,2
+//! store      sram=5 dram=4096 count=14 flags=pp,shp
+//! finish
+//! ```
+//!
+//! `flags` lists any of `pp` (pop prev), `pn` (pop next), `shp` (push
+//! prev), `shn` (push next). `gemm.rst` resets accumulators; `alu.*i`
+//! variants are spelled with `imm=`.
+
+use crate::isa::{AluOpcode, DepFlags, Insn, MemBuffer, Opcode, Program};
+
+/// Assembly error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_flags(s: &str, line: usize) -> Result<DepFlags, AsmError> {
+    let mut f = DepFlags::NONE;
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        match part {
+            "pp" => f.pop_prev = true,
+            "pn" => f.pop_next = true,
+            "shp" => f.push_prev = true,
+            "shn" => f.push_next = true,
+            other => {
+                return Err(AsmError {
+                    line,
+                    msg: format!("unknown flag `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(f)
+}
+
+struct Args<'a> {
+    line: usize,
+    kv: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(rest: &'a str, line: usize) -> Result<Args<'a>, AsmError> {
+        let mut kv = Vec::new();
+        for tok in rest.split_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| AsmError {
+                line,
+                msg: format!("expected key=value, found `{tok}`"),
+            })?;
+            kv.push((k, v));
+        }
+        Ok(Args { line, kv })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.kv.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn num<T: core::str::FromStr>(&self, key: &str) -> Result<T, AsmError> {
+        let raw = self.get(key).ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("missing `{key}=`"),
+        })?;
+        raw.parse().map_err(|_| AsmError {
+            line: self.line,
+            msg: format!("bad value for `{key}`: `{raw}`"),
+        })
+    }
+
+    fn num_or<T: core::str::FromStr>(&self, key: &str, default: T) -> Result<T, AsmError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: format!("bad value for `{key}`: `{raw}`"),
+            }),
+        }
+    }
+
+    fn pair(&self, key: &str) -> Result<(u16, u16), AsmError> {
+        let raw = self.get(key).ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("missing `{key}=`"),
+        })?;
+        let (a, b) = raw.split_once(',').ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("`{key}` needs `a,b`"),
+        })?;
+        Ok((
+            a.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: format!("bad `{key}`"),
+            })?,
+            b.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: format!("bad `{key}`"),
+            })?,
+        ))
+    }
+
+    fn range(&self, key: &str) -> Result<(u16, u16), AsmError> {
+        let raw = self.get(key).ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("missing `{key}=`"),
+        })?;
+        let (a, b) = raw.split_once("..").ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("`{key}` needs `a..b`"),
+        })?;
+        Ok((
+            a.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: format!("bad `{key}`"),
+            })?,
+            b.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: format!("bad `{key}`"),
+            })?,
+        ))
+    }
+
+    fn lp(&self) -> Result<(u16, u16), AsmError> {
+        let raw = self.get("lp").ok_or_else(|| AsmError {
+            line: self.line,
+            msg: "missing `lp=`".into(),
+        })?;
+        let (a, b) = raw.split_once('x').ok_or_else(|| AsmError {
+            line: self.line,
+            msg: "`lp` needs `OUTxIN`".into(),
+        })?;
+        Ok((
+            a.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: "bad `lp`".into(),
+            })?,
+            b.parse().map_err(|_| AsmError {
+                line: self.line,
+                msg: "bad `lp`".into(),
+            })?,
+        ))
+    }
+
+    fn flags(&self) -> Result<DepFlags, AsmError> {
+        match self.get("flags") {
+            None => Ok(DepFlags::NONE),
+            Some(s) => parse_flags(s, self.line),
+        }
+    }
+}
+
+/// Assembles source text into a program.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut insns = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let text = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let args = Args::parse(rest, line)?;
+        let flags = args.flags()?;
+        let op = match mnemonic {
+            "load.uop" | "load.inp" | "load.wgt" | "load.acc" => {
+                let buffer = match mnemonic {
+                    "load.uop" => MemBuffer::Uop,
+                    "load.inp" => MemBuffer::Inp,
+                    "load.wgt" => MemBuffer::Wgt,
+                    _ => MemBuffer::Acc,
+                };
+                Opcode::Load {
+                    buffer,
+                    sram_base: args.num("sram")?,
+                    dram_base: args.num("dram")?,
+                    count: args.num("count")?,
+                }
+            }
+            "store" => Opcode::Store {
+                sram_base: args.num("sram")?,
+                dram_base: args.num("dram")?,
+                count: args.num("count")?,
+            },
+            "gemm" | "gemm.rst" => {
+                let (uop_begin, uop_end) = args.range("uop")?;
+                let (lp_out, lp_in) = args.lp()?;
+                Opcode::Gemm {
+                    uop_begin,
+                    uop_end,
+                    lp_out,
+                    lp_in,
+                    dst_factor: args.pair("dst")?,
+                    src_factor: args.pair("src")?,
+                    wgt_factor: args.pair("wgt")?,
+                    reset: mnemonic == "gemm.rst",
+                }
+            }
+            m if m.starts_with("alu.") => {
+                let op = match &m[4..] {
+                    "add" => AluOpcode::Add,
+                    "max" => AluOpcode::Max,
+                    "min" => AluOpcode::Min,
+                    "shr" => AluOpcode::Shr,
+                    other => {
+                        return Err(AsmError {
+                            line,
+                            msg: format!("unknown alu op `{other}`"),
+                        })
+                    }
+                };
+                let (uop_begin, uop_end) = args.range("uop")?;
+                let (lp_out, lp_in) = args.lp()?;
+                let use_imm = args.get("imm").is_some();
+                Opcode::Alu {
+                    uop_begin,
+                    uop_end,
+                    lp_out,
+                    lp_in,
+                    dst_factor: args.pair("dst")?,
+                    src_factor: args.pair("src")?,
+                    op,
+                    use_imm,
+                    imm: args.num_or("imm", 0)?,
+                }
+            }
+            "finish" => Opcode::Finish,
+            other => {
+                return Err(AsmError {
+                    line,
+                    msg: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        };
+        insns.push(Insn { op, flags });
+    }
+    Ok(Program { insns })
+}
+
+fn flags_text(f: &DepFlags) -> String {
+    let mut parts = Vec::new();
+    if f.pop_prev {
+        parts.push("pp");
+    }
+    if f.pop_next {
+        parts.push("pn");
+    }
+    if f.push_prev {
+        parts.push("shp");
+    }
+    if f.push_next {
+        parts.push("shn");
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" flags={}", parts.join(","))
+    }
+}
+
+/// Disassembles a program into canonical assembly text.
+pub fn disassemble(prog: &Program) -> String {
+    let mut out = String::new();
+    for insn in &prog.insns {
+        let f = flags_text(&insn.flags);
+        let line = match &insn.op {
+            Opcode::Load {
+                buffer,
+                sram_base,
+                dram_base,
+                count,
+            } => {
+                let b = match buffer {
+                    MemBuffer::Uop => "uop",
+                    MemBuffer::Inp => "inp",
+                    MemBuffer::Wgt => "wgt",
+                    MemBuffer::Acc => "acc",
+                    MemBuffer::Out => "out",
+                };
+                format!("load.{b} sram={sram_base} dram={dram_base} count={count}{f}")
+            }
+            Opcode::Store {
+                sram_base,
+                dram_base,
+                count,
+            } => format!("store sram={sram_base} dram={dram_base} count={count}{f}"),
+            Opcode::Gemm {
+                uop_begin,
+                uop_end,
+                lp_out,
+                lp_in,
+                dst_factor,
+                src_factor,
+                wgt_factor,
+                reset,
+            } => format!(
+                "gemm{} uop={uop_begin}..{uop_end} lp={lp_out}x{lp_in} dst={},{} src={},{} wgt={},{}{f}",
+                if *reset { ".rst" } else { "" },
+                dst_factor.0,
+                dst_factor.1,
+                src_factor.0,
+                src_factor.1,
+                wgt_factor.0,
+                wgt_factor.1
+            ),
+            Opcode::Alu {
+                uop_begin,
+                uop_end,
+                lp_out,
+                lp_in,
+                dst_factor,
+                src_factor,
+                op,
+                use_imm,
+                imm,
+            } => {
+                let name = match op {
+                    AluOpcode::Add => "add",
+                    AluOpcode::Max => "max",
+                    AluOpcode::Min => "min",
+                    AluOpcode::Shr => "shr",
+                };
+                let imm_part = if *use_imm {
+                    format!(" imm={imm}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "alu.{name}{imm_part} uop={uop_begin}..{uop_end} lp={lp_out}x{lp_in} dst={},{} src={},{}{f}",
+                    dst_factor.0, dst_factor.1, src_factor.0, src_factor.1
+                )
+            }
+            Opcode::Finish => format!("finish{f}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ProgGen;
+
+    const SAMPLE: &str = "
+# a tiny kernel
+load.uop  sram=0 dram=16 count=8
+load.inp  sram=0 dram=1024 count=64
+load.wgt  sram=0 dram=2048 count=8 flags=shn
+gemm      uop=0..8 lp=14x3 dst=1,0 src=0,1 wgt=3,0 flags=pp,shp,shn
+alu.shr   imm=-3 uop=1..4 lp=7x2 dst=2,1 src=1,2
+store     sram=5 dram=4096 count=14 flags=pp,shp
+finish
+";
+
+    #[test]
+    fn assembles_sample() {
+        let p = assemble(SAMPLE).expect("assembles");
+        assert_eq!(p.len(), 7);
+        p.check_deps().expect("dependency-balanced");
+        assert_eq!(p.total_macs(), 8 * 14 * 3);
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let p1 = assemble(SAMPLE).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_generated_programs() {
+        let mut g = ProgGen::new(17);
+        for p in g.gen_many(40) {
+            let text = disassemble(&p);
+            let back = assemble(&text)
+                .unwrap_or_else(|e| panic!("disassembly must re-assemble: {e}\n{text}"));
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("finish\nbogus x=1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+        let e = assemble("load.inp sram=0 dram=0\n").unwrap_err();
+        assert!(e.msg.contains("count"));
+        let e = assemble("gemm uop=0..1 lp=2x2 dst=0,0 src=0,0 wgt=0,0 flags=zz\n").unwrap_err();
+        assert!(e.msg.contains("zz"));
+    }
+
+    #[test]
+    fn alu_without_imm_uses_register_operand() {
+        let p = assemble("alu.add uop=0..1 lp=1x1 dst=0,0 src=1,0\nfinish\n").unwrap();
+        let Opcode::Alu { use_imm, .. } = &p.insns[0].op else {
+            panic!("expected alu");
+        };
+        assert!(!use_imm);
+    }
+}

@@ -1,0 +1,602 @@
+//! The VTA functional model: real tensor math on scratchpads.
+//!
+//! Timing models alone cannot be tested for functional sanity, so this
+//! module executes programs for real: DMA loads copy data from a DRAM
+//! image into typed scratchpads, GEMM performs i8×i8→i32 vector MACs
+//! through the micro-op cache, the ALU transforms accumulators, and
+//! stores narrow results back to DRAM. A blocked matmul run through the
+//! ISA must equal the naive reference — that is the correctness anchor
+//! for everything else in this crate.
+
+use crate::isa::{AluOpcode, Insn, MemBuffer, Opcode, Program};
+
+/// A micro-op: indices into the accumulator, input and weight
+/// scratchpads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Uop {
+    /// Accumulator (destination) index.
+    pub dst: u16,
+    /// Input-vector index.
+    pub src: u16,
+    /// Weight-block index.
+    pub wgt: u16,
+}
+
+/// The external memory image a program operates on.
+#[derive(Clone, Debug, Default)]
+pub struct DramImage {
+    /// Micro-ops.
+    pub uop: Vec<Uop>,
+    /// Input vectors (16 × i8).
+    pub inp: Vec<[i8; 16]>,
+    /// Weight blocks (16 × 16 × i8), `wgt[i][j]` multiplies input lane
+    /// `j` into output lane `i`.
+    pub wgt: Vec<[[i8; 16]; 16]>,
+    /// Accumulator initial values (16 × i32).
+    pub acc: Vec<[i32; 16]>,
+    /// Output vectors written by stores.
+    pub out: Vec<[i8; 16]>,
+}
+
+/// Scratchpad sizes of the modeled configuration (entries).
+pub const UOP_DEPTH: usize = 4096;
+/// Input scratchpad entries.
+pub const INP_DEPTH: usize = 2048;
+/// Weight scratchpad entries.
+pub const WGT_DEPTH: usize = 1024;
+/// Accumulator entries.
+pub const ACC_DEPTH: usize = 2048;
+
+/// Functional execution error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuncError {
+    /// An index exceeded a scratchpad or DRAM region.
+    OutOfBounds(String),
+}
+
+impl core::fmt::Display for FuncError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FuncError::OutOfBounds(m) => write!(f, "out of bounds: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FuncError {}
+
+/// The functional machine state.
+pub struct FuncModel {
+    uop: Vec<Uop>,
+    inp: Vec<[i8; 16]>,
+    wgt: Vec<[[i8; 16]; 16]>,
+    acc: Vec<[i32; 16]>,
+}
+
+impl Default for FuncModel {
+    fn default() -> FuncModel {
+        FuncModel::new()
+    }
+}
+
+impl FuncModel {
+    /// Creates a machine with zeroed scratchpads.
+    pub fn new() -> FuncModel {
+        FuncModel {
+            uop: vec![Uop::default(); UOP_DEPTH],
+            inp: vec![[0; 16]; INP_DEPTH],
+            wgt: vec![[[0; 16]; 16]; WGT_DEPTH],
+            acc: vec![[0; 16]; ACC_DEPTH],
+        }
+    }
+
+    /// Reads an accumulator entry (for tests).
+    pub fn acc_entry(&self, i: usize) -> Option<&[i32; 16]> {
+        self.acc.get(i)
+    }
+
+    /// Executes a program against a DRAM image. Stores write back into
+    /// `dram.out`.
+    pub fn execute(&mut self, prog: &Program, dram: &mut DramImage) -> Result<(), FuncError> {
+        for insn in &prog.insns {
+            self.step(insn, dram)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, insn: &Insn, dram: &mut DramImage) -> Result<(), FuncError> {
+        match &insn.op {
+            Opcode::Load {
+                buffer,
+                sram_base,
+                dram_base,
+                count,
+            } => self.load(*buffer, *sram_base, *dram_base, *count, dram),
+            Opcode::Store {
+                sram_base,
+                dram_base,
+                count,
+            } => {
+                for k in 0..*count as usize {
+                    let src = self
+                        .acc
+                        .get(*sram_base as usize + k)
+                        .ok_or_else(|| FuncError::OutOfBounds(format!("store acc {k}")))?;
+                    let mut v = [0i8; 16];
+                    for (lane, x) in src.iter().enumerate() {
+                        v[lane] = (*x).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+                    }
+                    let dst = *dram_base as usize + k;
+                    if dram.out.len() <= dst {
+                        dram.out.resize(dst + 1, [0; 16]);
+                    }
+                    dram.out[dst] = v;
+                }
+                Ok(())
+            }
+            Opcode::Gemm {
+                uop_begin,
+                uop_end,
+                lp_out,
+                lp_in,
+                dst_factor,
+                src_factor,
+                wgt_factor,
+                reset,
+            } => {
+                for x in 0..*lp_out as usize {
+                    for y in 0..*lp_in as usize {
+                        for u in *uop_begin as usize..*uop_end as usize {
+                            let uop = *self
+                                .uop
+                                .get(u)
+                                .ok_or_else(|| FuncError::OutOfBounds(format!("uop {u}")))?;
+                            let d = uop.dst as usize
+                                + x * dst_factor.0 as usize
+                                + y * dst_factor.1 as usize;
+                            let s = uop.src as usize
+                                + x * src_factor.0 as usize
+                                + y * src_factor.1 as usize;
+                            let w = uop.wgt as usize
+                                + x * wgt_factor.0 as usize
+                                + y * wgt_factor.1 as usize;
+                            if d >= ACC_DEPTH || s >= INP_DEPTH || w >= WGT_DEPTH {
+                                return Err(FuncError::OutOfBounds(format!(
+                                    "gemm d={d} s={s} w={w}"
+                                )));
+                            }
+                            if *reset {
+                                self.acc[d] = [0; 16];
+                            } else {
+                                let inp = self.inp[s];
+                                let wgt = self.wgt[w];
+                                for (i, accum) in self.acc[d].iter_mut().enumerate() {
+                                    let mut dot = 0i32;
+                                    for j in 0..16 {
+                                        dot += wgt[i][j] as i32 * inp[j] as i32;
+                                    }
+                                    *accum = accum.wrapping_add(dot);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Opcode::Alu {
+                uop_begin,
+                uop_end,
+                lp_out,
+                lp_in,
+                dst_factor,
+                src_factor,
+                op,
+                use_imm,
+                imm,
+            } => {
+                for x in 0..*lp_out as usize {
+                    for y in 0..*lp_in as usize {
+                        for u in *uop_begin as usize..*uop_end as usize {
+                            let uop = *self
+                                .uop
+                                .get(u)
+                                .ok_or_else(|| FuncError::OutOfBounds(format!("uop {u}")))?;
+                            let d = uop.dst as usize
+                                + x * dst_factor.0 as usize
+                                + y * dst_factor.1 as usize;
+                            let s = uop.src as usize
+                                + x * src_factor.0 as usize
+                                + y * src_factor.1 as usize;
+                            if d >= ACC_DEPTH || s >= ACC_DEPTH {
+                                return Err(FuncError::OutOfBounds(format!("alu d={d} s={s}")));
+                            }
+                            let src_vec = self.acc[s];
+                            for lane in 0..16 {
+                                let a = self.acc[d][lane];
+                                let b = if *use_imm { *imm as i32 } else { src_vec[lane] };
+                                self.acc[d][lane] = match op {
+                                    AluOpcode::Add => a.wrapping_add(b),
+                                    AluOpcode::Max => a.max(b),
+                                    AluOpcode::Min => a.min(b),
+                                    AluOpcode::Shr => a >> (b & 31),
+                                };
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Opcode::Finish => Ok(()),
+        }
+    }
+
+    fn load(
+        &mut self,
+        buffer: MemBuffer,
+        sram_base: u16,
+        dram_base: u32,
+        count: u16,
+        dram: &DramImage,
+    ) -> Result<(), FuncError> {
+        let s = sram_base as usize;
+        let d = dram_base as usize;
+        let n = count as usize;
+        let oob = |what: &str| FuncError::OutOfBounds(what.to_string());
+        match buffer {
+            MemBuffer::Uop => {
+                if d + n > dram.uop.len() || s + n > self.uop.len() {
+                    return Err(oob("uop load"));
+                }
+                self.uop[s..s + n].copy_from_slice(&dram.uop[d..d + n]);
+            }
+            MemBuffer::Inp => {
+                if d + n > dram.inp.len() || s + n > self.inp.len() {
+                    return Err(oob("inp load"));
+                }
+                self.inp[s..s + n].copy_from_slice(&dram.inp[d..d + n]);
+            }
+            MemBuffer::Wgt => {
+                if d + n > dram.wgt.len() || s + n > self.wgt.len() {
+                    return Err(oob("wgt load"));
+                }
+                self.wgt[s..s + n].copy_from_slice(&dram.wgt[d..d + n]);
+            }
+            MemBuffer::Acc => {
+                if d + n > dram.acc.len() || s + n > self.acc.len() {
+                    return Err(oob("acc load"));
+                }
+                self.acc[s..s + n].copy_from_slice(&dram.acc[d..d + n]);
+            }
+            MemBuffer::Out => return Err(oob("cannot load into the out buffer")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::DepFlags;
+
+    /// Builds a program computing C = A × B for 16n × 16n matrices
+    /// blocked into 16×16 tiles, together with its DRAM image.
+    ///
+    /// Layout: A is stored row-of-tiles as input vectors (tile (bi,bk)
+    /// row r at index (bi*n + bk)*16 + r); B as weight blocks
+    /// transposed per tile; C accumulates one tile row per acc entry.
+    pub fn matmul_setup(n: usize, a: &[Vec<i32>], b: &[Vec<i32>]) -> (Program, DramImage) {
+        let mut dram = DramImage::default();
+        // Inputs: A tiles.
+        for bi in 0..n {
+            for bk in 0..n {
+                for r in 0..16 {
+                    let mut v = [0i8; 16];
+                    for c in 0..16 {
+                        v[c] = a[bi * 16 + r][bk * 16 + c] as i8;
+                    }
+                    dram.inp.push(v);
+                }
+            }
+        }
+        // Weights: B tiles, transposed so wgt[i][j] = B[j][i] within
+        // the tile (the GEMM computes acc[i] += sum_j wgt[i][j]*inp[j]).
+        for bk in 0..n {
+            for bj in 0..n {
+                let mut blk = [[0i8; 16]; 16];
+                for i in 0..16 {
+                    for j in 0..16 {
+                        blk[i][j] = b[bk * 16 + j][bj * 16 + i] as i8;
+                    }
+                }
+                dram.wgt.push(blk);
+            }
+        }
+        // One micro-op per tile row: dst = row, src = row, wgt = 0;
+        // lp_out iterates rows via factors instead, so a single uop
+        // with row strides suffices.
+        dram.uop.push(Uop {
+            dst: 0,
+            src: 0,
+            wgt: 0,
+        });
+        let mut insns = Vec::new();
+        insns.push(Insn::plain(Opcode::Load {
+            buffer: MemBuffer::Uop,
+            sram_base: 0,
+            dram_base: 0,
+            count: 1,
+        }));
+        // Load all of A and B (they fit for the test sizes).
+        insns.push(Insn::plain(Opcode::Load {
+            buffer: MemBuffer::Inp,
+            sram_base: 0,
+            dram_base: 0,
+            count: (n * n * 16) as u16,
+        }));
+        insns.push(Insn {
+            op: Opcode::Load {
+                buffer: MemBuffer::Wgt,
+                sram_base: 0,
+                dram_base: 0,
+                count: (n * n) as u16,
+            },
+            flags: DepFlags {
+                push_next: true,
+                ..DepFlags::NONE
+            },
+        });
+        // C tiles: acc entry (bi*n + bj)*16 + r.
+        let mut first_gemm = true;
+        for bi in 0..n {
+            for bj in 0..n {
+                for bk in 0..n {
+                    insns.push(Insn {
+                        op: Opcode::Gemm {
+                            uop_begin: 0,
+                            uop_end: 1,
+                            lp_out: 16, // rows
+                            lp_in: 1,
+                            dst_factor: (1, 0),
+                            src_factor: (1, 0),
+                            wgt_factor: (0, 0),
+                            reset: false,
+                        },
+                        flags: DepFlags {
+                            pop_prev: first_gemm,
+                            ..DepFlags::NONE
+                        },
+                    });
+                    first_gemm = false;
+                    // Patch the per-block bases by using distinct uops
+                    // would be cleaner; for the test we instead insert
+                    // per-block uop loads.
+                    let gemm_idx = insns.len() - 1;
+                    let acc_base = ((bi * n + bj) * 16) as u16;
+                    let inp_base = ((bi * n + bk) * 16) as u16;
+                    let wgt_idx = (bk * n + bj) as u16;
+                    dram.uop.push(Uop {
+                        dst: acc_base,
+                        src: inp_base,
+                        wgt: wgt_idx,
+                    });
+                    let uop_idx = (dram.uop.len() - 1) as u16;
+                    insns.insert(
+                        gemm_idx,
+                        Insn::plain(Opcode::Load {
+                            buffer: MemBuffer::Uop,
+                            sram_base: uop_idx,
+                            dram_base: uop_idx as u32,
+                            count: 1,
+                        }),
+                    );
+                    // Point the GEMM at its uop.
+                    if let Opcode::Gemm {
+                        uop_begin, uop_end, ..
+                    } = &mut insns[gemm_idx + 1].op
+                    {
+                        *uop_begin = uop_idx;
+                        *uop_end = uop_idx + 1;
+                    }
+                }
+                // Store tile row block of C.
+                insns.push(Insn {
+                    op: Opcode::Store {
+                        sram_base: ((bi * n + bj) * 16) as u16,
+                        dram_base: ((bi * n + bj) * 16) as u32,
+                        count: 16,
+                    },
+                    flags: DepFlags::NONE,
+                });
+            }
+        }
+        insns.push(Insn::plain(Opcode::Finish));
+        (Program { insns }, dram)
+    }
+
+    fn naive_matmul(a: &[Vec<i32>], b: &[Vec<i32>]) -> Vec<Vec<i32>> {
+        let n = a.len();
+        let mut c = vec![vec![0i32; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for (k, brow) in b.iter().enumerate() {
+                    c[i][j] += a[i][k] * brow[j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive() {
+        let n = 2; // 32x32 matrices in 16x16 tiles.
+        let dim = n * 16;
+        let a: Vec<Vec<i32>> = (0..dim)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * 7 + j * 3) % 11) as i32 - 5)
+                    .collect()
+            })
+            .collect();
+        let b: Vec<Vec<i32>> = (0..dim)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * 5 + j * 13) % 9) as i32 - 4)
+                    .collect()
+            })
+            .collect();
+        let (prog, mut dram) = matmul_setup(n, &a, &b);
+        prog.check_deps().expect("dep-balanced test program");
+        let mut m = FuncModel::new();
+        m.execute(&prog, &mut dram).expect("executes");
+        let c_ref = naive_matmul(&a, &b);
+        for bi in 0..n {
+            for bj in 0..n {
+                for r in 0..16 {
+                    let got = dram.out[(bi * n + bj) * 16 + r];
+                    for cl in 0..16 {
+                        assert_eq!(
+                            got[cl] as i32,
+                            c_ref[bi * 16 + r][bj * 16 + cl],
+                            "C[{},{}]",
+                            bi * 16 + r,
+                            bj * 16 + cl
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_ops_apply() {
+        let mut m = FuncModel::new();
+        let mut dram = DramImage::default();
+        dram.uop.push(Uop {
+            dst: 0,
+            src: 1,
+            wgt: 0,
+        });
+        dram.acc.push([10; 16]);
+        dram.acc.push([3; 16]);
+        let prog = Program {
+            insns: vec![
+                Insn::plain(Opcode::Load {
+                    buffer: MemBuffer::Uop,
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                }),
+                Insn::plain(Opcode::Load {
+                    buffer: MemBuffer::Acc,
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 2,
+                }),
+                Insn::plain(Opcode::Alu {
+                    uop_begin: 0,
+                    uop_end: 1,
+                    lp_out: 1,
+                    lp_in: 1,
+                    dst_factor: (0, 0),
+                    src_factor: (0, 0),
+                    op: AluOpcode::Add,
+                    use_imm: false,
+                    imm: 0,
+                }),
+                Insn::plain(Opcode::Alu {
+                    uop_begin: 0,
+                    uop_end: 1,
+                    lp_out: 1,
+                    lp_in: 1,
+                    dst_factor: (0, 0),
+                    src_factor: (0, 0),
+                    op: AluOpcode::Shr,
+                    use_imm: true,
+                    imm: 1,
+                }),
+                Insn::plain(Opcode::Store {
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                }),
+            ],
+        };
+        m.execute(&prog, &mut dram).unwrap();
+        // (10 + 3) >> 1 = 6.
+        assert_eq!(dram.out[0], [6i8; 16]);
+    }
+
+    #[test]
+    fn reset_gemm_zeroes_accumulators() {
+        let mut m = FuncModel::new();
+        let mut dram = DramImage::default();
+        dram.uop.push(Uop::default());
+        dram.acc.push([123; 16]);
+        let prog = Program {
+            insns: vec![
+                Insn::plain(Opcode::Load {
+                    buffer: MemBuffer::Uop,
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                }),
+                Insn::plain(Opcode::Load {
+                    buffer: MemBuffer::Acc,
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                }),
+                Insn::plain(Opcode::Gemm {
+                    uop_begin: 0,
+                    uop_end: 1,
+                    lp_out: 1,
+                    lp_in: 1,
+                    dst_factor: (0, 0),
+                    src_factor: (0, 0),
+                    wgt_factor: (0, 0),
+                    reset: true,
+                }),
+            ],
+        };
+        m.execute(&prog, &mut dram).unwrap();
+        assert_eq!(m.acc_entry(0), Some(&[0i32; 16]));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = FuncModel::new();
+        let mut dram = DramImage::default();
+        let prog = Program {
+            insns: vec![Insn::plain(Opcode::Load {
+                buffer: MemBuffer::Inp,
+                sram_base: 0,
+                dram_base: 0,
+                count: 4, // DRAM image is empty.
+            })],
+        };
+        assert!(m.execute(&prog, &mut dram).is_err());
+    }
+
+    #[test]
+    fn store_clamps_to_i8() {
+        let mut m = FuncModel::new();
+        let mut dram = DramImage::default();
+        dram.acc.push([300; 16]);
+        let prog = Program {
+            insns: vec![
+                Insn::plain(Opcode::Load {
+                    buffer: MemBuffer::Acc,
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                }),
+                Insn::plain(Opcode::Store {
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                }),
+            ],
+        };
+        m.execute(&prog, &mut dram).unwrap();
+        assert_eq!(dram.out[0], [127i8; 16]);
+    }
+}

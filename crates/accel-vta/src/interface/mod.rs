@@ -1,0 +1,34 @@
+//! VTA's performance-interface representations.
+
+pub mod nl;
+pub mod petri;
+pub mod program;
+
+use crate::isa::Program;
+use perf_core::InterfaceBundle;
+
+/// Builds VTA's vendor-shipped interface bundle (the full-fidelity
+/// Petri net; see [`petri::VtaPetriInterface::new_lite`] for the
+/// corner-cut ablation variant).
+pub fn bundle() -> InterfaceBundle<Program> {
+    InterfaceBundle::new("vta", nl::interface())
+        .with(Box::new(
+            program::VtaProgramInterface::new().expect("shipped .pi parses"),
+        ))
+        .with(Box::new(
+            petri::VtaPetriInterface::new_full().expect("shipped .pnet parses"),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::InterfaceKind;
+
+    #[test]
+    fn bundle_complete() {
+        let b = bundle();
+        assert!(b.get(InterfaceKind::Program).is_some());
+        assert!(b.get(InterfaceKind::PetriNet).is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! Natural-language interface for VTA.
+
+use perf_core::nl::{Claim, Direction, NlInterface, Quantity};
+
+/// The prose a VTA vendor would write, with checkable claims: latency
+/// grows monotonically with the GEMM loop extents (MAC count) and with
+/// the bytes moved by DMA.
+pub fn interface() -> NlInterface {
+    NlInterface::new(
+        "vta",
+        "Latency is set by the slowest of the load, compute and store engines: \
+         GEMM time grows with the micro-op count times both loop extents, DMA time \
+         with the bytes moved; dependency tokens serialize chained blocks.",
+    )
+    .with_claim(Claim::Monotone {
+        metric: Quantity::Latency,
+        axis: "total_macs".into(),
+        direction: Direction::Increasing,
+    })
+    .with_claim(Claim::Monotone {
+        metric: Quantity::Latency,
+        axis: "dma_bytes".into(),
+        direction: Direction::Increasing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::VtaCycleSim;
+    use crate::isa::{DepFlags, Insn, MemBuffer, Opcode, Program};
+    use perf_core::GroundTruth;
+
+    fn block_program(lp_out: u16, inp_count: u16) -> Program {
+        Program {
+            insns: vec![
+                Insn {
+                    op: Opcode::Load {
+                        buffer: MemBuffer::Inp,
+                        sram_base: 0,
+                        dram_base: 0,
+                        count: inp_count,
+                    },
+                    flags: DepFlags {
+                        push_next: true,
+                        ..DepFlags::NONE
+                    },
+                },
+                Insn {
+                    op: Opcode::Gemm {
+                        uop_begin: 0,
+                        uop_end: 8,
+                        lp_out,
+                        lp_in: 4,
+                        dst_factor: (1, 0),
+                        src_factor: (1, 0),
+                        wgt_factor: (0, 1),
+                        reset: false,
+                    },
+                    flags: DepFlags {
+                        pop_prev: true,
+                        push_next: true,
+                        ..DepFlags::NONE
+                    },
+                },
+                Insn {
+                    op: Opcode::Store {
+                        sram_base: 0,
+                        dram_base: 0,
+                        count: 8,
+                    },
+                    flags: DepFlags {
+                        pop_prev: true,
+                        ..DepFlags::NONE
+                    },
+                },
+                Insn::plain(Opcode::Finish),
+            ],
+        }
+    }
+
+    #[test]
+    fn latency_claims_hold_on_controlled_sweeps() {
+        let nl = interface();
+        let mut sim = VtaCycleSim::default();
+
+        // Sweep GEMM extent at fixed DMA size.
+        let macs_sweep: Vec<(f64, f64)> = [8u16, 32, 128, 512]
+            .iter()
+            .map(|&lp| {
+                let p = block_program(lp, 16);
+                let obs = sim.measure(&p).unwrap();
+                (p.total_macs() as f64, obs.latency.as_f64())
+            })
+            .collect();
+        assert!(nl.claims[0].check(&macs_sweep).unwrap().holds);
+
+        // Sweep DMA bytes at fixed GEMM extent.
+        let bytes_sweep: Vec<(f64, f64)> = [16u16, 256, 1024, 4096]
+            .iter()
+            .map(|&c| {
+                let p = block_program(512, c);
+                let obs = sim.measure(&p).unwrap();
+                (c as f64 * 16.0, obs.latency.as_f64())
+            })
+            .collect();
+        assert!(nl.claims[1].check(&bytes_sweep).unwrap().holds);
+    }
+}

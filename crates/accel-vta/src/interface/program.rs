@@ -1,0 +1,156 @@
+//! Program interface for VTA: the quick, coarse representation.
+
+use crate::isa::{Insn, Module, Opcode, Program};
+use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::{CoreError, Prediction};
+use perf_iface_lang::{Program as PilProgram, Value};
+
+/// The shipped interface program source.
+pub const VTA_PI_SRC: &str = include_str!("../../assets/vta.pi");
+
+/// Converts an instruction into the record shape the interface reads.
+fn insn_value(insn: &Insn) -> Value {
+    let m = match insn.module() {
+        Module::Load => 0u64,
+        Module::Compute => 1,
+        Module::Store => 2,
+    };
+    let (is_gemm, is_alu, is_mem, is_fin, bytes, macs, ops) = match &insn.op {
+        Opcode::Load { buffer, count, .. } => (
+            0u64,
+            0u64,
+            1u64,
+            0u64,
+            *count as u64 * buffer.elem_bytes(),
+            0,
+            0,
+        ),
+        Opcode::Store { count, .. } => (0, 0, 1, 0, *count as u64 * 16, 0, 0),
+        Opcode::Gemm { .. } => (1, 0, 0, 0, 0, insn.macs(), 0),
+        Opcode::Alu {
+            uop_begin,
+            uop_end,
+            lp_out,
+            lp_in,
+            ..
+        } => (
+            0,
+            1,
+            0,
+            0,
+            0,
+            0,
+            (*uop_end as u64 - *uop_begin as u64) * *lp_out as u64 * *lp_in as u64,
+        ),
+        Opcode::Finish => (0, 0, 0, 1, 0, 0, 0),
+    };
+    Value::record([
+        ("m", Value::from(m)),
+        ("is_gemm", Value::from(is_gemm)),
+        ("is_alu", Value::from(is_alu)),
+        ("is_mem", Value::from(is_mem)),
+        ("is_fin", Value::from(is_fin)),
+        ("bytes", Value::from(bytes)),
+        ("macs", Value::from(macs)),
+        ("ops", Value::from(ops)),
+    ])
+}
+
+/// Converts a program into the interface's input record.
+pub fn program_value(prog: &Program) -> Value {
+    Value::record([(
+        "insns",
+        Value::list(prog.insns.iter().map(insn_value).collect()),
+    )])
+}
+
+/// Executable program interface for VTA.
+pub struct VtaProgramInterface {
+    prog: PilProgram,
+}
+
+impl VtaProgramInterface {
+    /// Parses the shipped program.
+    pub fn new() -> Result<VtaProgramInterface, CoreError> {
+        Ok(VtaProgramInterface {
+            prog: PilProgram::parse(VTA_PI_SRC).map_err(|e| CoreError::Artifact(e.to_string()))?,
+        })
+    }
+
+    /// The interface source text.
+    pub fn source(&self) -> &str {
+        self.prog.source()
+    }
+}
+
+impl PerfInterface<Program> for VtaProgramInterface {
+    fn kind(&self) -> InterfaceKind {
+        InterfaceKind::Program
+    }
+
+    fn predict(&self, prog: &Program, metric: Metric) -> Result<Prediction, CoreError> {
+        let f = match metric {
+            Metric::Latency => "latency_vta",
+            Metric::Throughput => "tput_vta",
+        };
+        let v = self
+            .prog
+            .call(f, &[program_value(prog)])
+            .map_err(|e| CoreError::Artifact(e.to_string()))?;
+        v.as_num()
+            .map(Prediction::point)
+            .ok_or_else(|| CoreError::InvalidPrediction("non-numeric".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::VtaCycleSim;
+    use crate::gen::ProgGen;
+    use perf_core::validate::validate;
+
+    #[test]
+    fn parses_and_predicts() {
+        let iface = VtaProgramInterface::new().unwrap();
+        let p = ProgGen::new(1).gen_program();
+        let lat = iface.predict(&p, Metric::Latency).unwrap();
+        assert!(lat.midpoint() > 0.0);
+        let tput = iface.predict(&p, Metric::Throughput).unwrap();
+        assert!(tput.midpoint() > 0.0);
+    }
+
+    #[test]
+    fn coarse_but_bounded_error() {
+        let iface = VtaProgramInterface::new().unwrap();
+        let mut sim = VtaCycleSim::default();
+        let mut g = ProgGen::new(9);
+        let progs = g.gen_many(25);
+        let rep = validate(&mut sim, &iface, Metric::Latency, &progs).unwrap();
+        // The program interface ignores dependency serialization; it is
+        // allowed tens of percent, not orders of magnitude.
+        assert!(
+            rep.point.avg < 0.60,
+            "program interface avg error {:.3}",
+            rep.point.avg
+        );
+    }
+
+    #[test]
+    fn petri_beats_program_interface() {
+        // The paper's hierarchy: the IR is the precise representation.
+        let prog_iface = VtaProgramInterface::new().unwrap();
+        let petri = super::super::petri::VtaPetriInterface::new_full().unwrap();
+        let mut sim = VtaCycleSim::default();
+        let mut g = ProgGen::new(10);
+        let progs = g.gen_many(20);
+        let rp = validate(&mut sim, &prog_iface, Metric::Latency, &progs).unwrap();
+        let rn = validate(&mut sim, &petri, Metric::Latency, &progs).unwrap();
+        assert!(
+            rn.point.avg < rp.point.avg,
+            "petri {:.4} should beat program {:.4}",
+            rn.point.avg,
+            rp.point.avg
+        );
+    }
+}

@@ -1,0 +1,680 @@
+//! The VTA instruction set: task instructions with dependency-token
+//! flags, plus a 128-bit binary encoding.
+
+/// Which hardware module executes an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// DMA loads of inputs and weights.
+    Load,
+    /// GEMM core and vector ALU (also loads micro-ops and accumulators).
+    Compute,
+    /// DMA stores of outputs.
+    Store,
+}
+
+/// Dependency-token flags, as in the real VTA: each module synchronizes
+/// with its neighbors through token queues. `prev`/`next` are relative
+/// to the pipeline order load → compute → store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DepFlags {
+    /// Wait for a token from the previous module before starting.
+    pub pop_prev: bool,
+    /// Wait for a token from the next module before starting.
+    pub pop_next: bool,
+    /// Signal the previous module after finishing.
+    pub push_prev: bool,
+    /// Signal the next module after finishing.
+    pub push_next: bool,
+}
+
+impl DepFlags {
+    /// No synchronization.
+    pub const NONE: DepFlags = DepFlags {
+        pop_prev: false,
+        pop_next: false,
+        push_prev: false,
+        push_next: false,
+    };
+
+    /// Encodes the flags as 4 bits.
+    pub fn bits(&self) -> u8 {
+        (self.pop_prev as u8)
+            | (self.pop_next as u8) << 1
+            | (self.push_prev as u8) << 2
+            | (self.push_next as u8) << 3
+    }
+
+    /// Decodes 4 bits.
+    pub fn from_bits(b: u8) -> DepFlags {
+        DepFlags {
+            pop_prev: b & 1 != 0,
+            pop_next: b & 2 != 0,
+            push_prev: b & 4 != 0,
+            push_next: b & 8 != 0,
+        }
+    }
+}
+
+/// On-chip buffer targeted by a LOAD/STORE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemBuffer {
+    /// Micro-op cache (loaded by the compute module).
+    Uop,
+    /// Input activations scratchpad.
+    Inp,
+    /// Weight scratchpad.
+    Wgt,
+    /// Accumulator scratchpad (loaded by the compute module).
+    Acc,
+    /// Output buffer (written by stores).
+    Out,
+}
+
+impl MemBuffer {
+    /// Bytes per element of this buffer (one vector/block entry).
+    pub fn elem_bytes(&self) -> u64 {
+        match self {
+            MemBuffer::Uop => 4,
+            MemBuffer::Inp => 16,  // 16 x i8 vector
+            MemBuffer::Wgt => 256, // 16 x 16 x i8 block
+            MemBuffer::Acc => 64,  // 16 x i32 vector
+            MemBuffer::Out => 16,  // 16 x i8 vector
+        }
+    }
+
+    /// Which module executes a LOAD of this buffer.
+    pub fn load_module(&self) -> Module {
+        match self {
+            MemBuffer::Uop | MemBuffer::Acc => Module::Compute,
+            _ => Module::Load,
+        }
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            MemBuffer::Uop => 0,
+            MemBuffer::Inp => 1,
+            MemBuffer::Wgt => 2,
+            MemBuffer::Acc => 3,
+            MemBuffer::Out => 4,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<MemBuffer> {
+        Some(match c {
+            0 => MemBuffer::Uop,
+            1 => MemBuffer::Inp,
+            2 => MemBuffer::Wgt,
+            3 => MemBuffer::Acc,
+            4 => MemBuffer::Out,
+            _ => return None,
+        })
+    }
+}
+
+/// ALU micro-operation kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOpcode {
+    /// Elementwise add.
+    Add,
+    /// Elementwise max.
+    Max,
+    /// Elementwise min.
+    Min,
+    /// Arithmetic shift right.
+    Shr,
+}
+
+impl AluOpcode {
+    fn code(&self) -> u8 {
+        match self {
+            AluOpcode::Add => 0,
+            AluOpcode::Max => 1,
+            AluOpcode::Min => 2,
+            AluOpcode::Shr => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<AluOpcode> {
+        Some(match c {
+            0 => AluOpcode::Add,
+            1 => AluOpcode::Max,
+            2 => AluOpcode::Min,
+            3 => AluOpcode::Shr,
+            _ => return None,
+        })
+    }
+}
+
+/// Instruction operation payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Opcode {
+    /// DMA load into an on-chip buffer: `count` elements starting at
+    /// `sram_base` from DRAM address `dram_base`.
+    Load {
+        /// Destination buffer.
+        buffer: MemBuffer,
+        /// On-chip start element.
+        sram_base: u16,
+        /// DRAM start element index.
+        dram_base: u32,
+        /// Elements to transfer.
+        count: u16,
+    },
+    /// DMA store from the output buffer to DRAM.
+    Store {
+        /// On-chip start element.
+        sram_base: u16,
+        /// DRAM start element index.
+        dram_base: u32,
+        /// Elements to transfer.
+        count: u16,
+    },
+    /// Dense micro-coded matrix multiply over a 2-level loop nest.
+    Gemm {
+        /// First micro-op index.
+        uop_begin: u16,
+        /// One past the last micro-op index.
+        uop_end: u16,
+        /// Outer loop extent.
+        lp_out: u16,
+        /// Inner loop extent.
+        lp_in: u16,
+        /// Accumulator index stride per outer/inner iteration.
+        dst_factor: (u16, u16),
+        /// Input index stride per outer/inner iteration.
+        src_factor: (u16, u16),
+        /// Weight index stride per outer/inner iteration.
+        wgt_factor: (u16, u16),
+        /// Reset accumulators instead of multiply-accumulate.
+        reset: bool,
+    },
+    /// Micro-coded vector ALU over a 2-level loop nest.
+    Alu {
+        /// First micro-op index.
+        uop_begin: u16,
+        /// One past the last micro-op index.
+        uop_end: u16,
+        /// Outer loop extent.
+        lp_out: u16,
+        /// Inner loop extent.
+        lp_in: u16,
+        /// Destination stride per outer/inner iteration.
+        dst_factor: (u16, u16),
+        /// Source stride per outer/inner iteration.
+        src_factor: (u16, u16),
+        /// Operation.
+        op: AluOpcode,
+        /// Use the immediate instead of a second operand.
+        use_imm: bool,
+        /// Immediate operand.
+        imm: i16,
+    },
+    /// End of program: compute module raises the done flag.
+    Finish,
+}
+
+/// A complete instruction: operation + dependency flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Insn {
+    /// The operation.
+    pub op: Opcode,
+    /// Dependency-token flags.
+    pub flags: DepFlags,
+}
+
+impl Insn {
+    /// Creates an instruction with no synchronization.
+    pub fn plain(op: Opcode) -> Insn {
+        Insn {
+            op,
+            flags: DepFlags::NONE,
+        }
+    }
+
+    /// The module that executes this instruction.
+    pub fn module(&self) -> Module {
+        match &self.op {
+            Opcode::Load { buffer, .. } => buffer.load_module(),
+            Opcode::Store { .. } => Module::Store,
+            Opcode::Gemm { .. } | Opcode::Alu { .. } | Opcode::Finish => Module::Compute,
+        }
+    }
+
+    /// Total multiply-accumulate vector ops of a GEMM (0 otherwise).
+    pub fn macs(&self) -> u64 {
+        match &self.op {
+            Opcode::Gemm {
+                uop_begin,
+                uop_end,
+                lp_out,
+                lp_in,
+                ..
+            } => (*uop_end as u64 - *uop_begin as u64) * (*lp_out as u64) * (*lp_in as u64),
+            _ => 0,
+        }
+    }
+}
+
+/// A VTA program: a linear instruction stream dispatched by the fetch
+/// module.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// The instruction stream.
+    pub insns: Vec<Insn>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Checks dependency-token balance: every pop must be matched by a
+    /// push on the same queue, with no queue ever popped before a
+    /// token could have been pushed (conservative linear-order check).
+    /// Returns the first problem found.
+    pub fn check_deps(&self) -> Result<(), String> {
+        // Queues: (from, to) keyed by the popping module's view.
+        // l2c: load pushes next, compute pops prev.
+        // c2l: compute pushes prev, load pops next.
+        // c2s: compute pushes next, store pops prev.
+        // s2c: store pushes prev, compute pops next.
+        let mut bal = [0i64; 4]; // l2c, c2l, c2s, s2c
+        for (i, insn) in self.insns.iter().enumerate() {
+            let m = insn.module();
+            let f = insn.flags;
+            let pop = |q: usize, bal: &mut [i64; 4]| -> Result<(), String> {
+                bal[q] -= 1;
+                if bal[q] < 0 {
+                    return Err(format!("insn {i}: pops queue {q} before any matching push"));
+                }
+                Ok(())
+            };
+            match m {
+                Module::Load => {
+                    if f.pop_next {
+                        pop(1, &mut bal)?;
+                    }
+                    if f.push_next {
+                        bal[0] += 1;
+                    }
+                    if f.pop_prev || f.push_prev {
+                        return Err(format!("insn {i}: load has no previous module"));
+                    }
+                }
+                Module::Compute => {
+                    if f.pop_prev {
+                        pop(0, &mut bal)?;
+                    }
+                    if f.pop_next {
+                        pop(3, &mut bal)?;
+                    }
+                    if f.push_prev {
+                        bal[1] += 1;
+                    }
+                    if f.push_next {
+                        bal[2] += 1;
+                    }
+                }
+                Module::Store => {
+                    if f.pop_prev {
+                        pop(2, &mut bal)?;
+                    }
+                    if f.push_prev {
+                        bal[3] += 1;
+                    }
+                    if f.pop_next || f.push_next {
+                        return Err(format!("insn {i}: store has no next module"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total GEMM vector-MAC count of the program.
+    pub fn total_macs(&self) -> u64 {
+        self.insns.iter().map(Insn::macs).sum()
+    }
+}
+
+/// Encodes an instruction as a 128-bit word (two `u64`s).
+pub fn encode(insn: &Insn) -> [u64; 2] {
+    let f = insn.flags.bits() as u64;
+    match &insn.op {
+        Opcode::Load {
+            buffer,
+            sram_base,
+            dram_base,
+            count,
+        } => {
+            let lo = 0u64 // opcode 0 = load
+                | f << 3
+                | (buffer.code() as u64) << 7
+                | (*sram_base as u64) << 10
+                | (*count as u64) << 26;
+            let hi = *dram_base as u64;
+            [lo, hi]
+        }
+        Opcode::Store {
+            sram_base,
+            dram_base,
+            count,
+        } => {
+            let lo = 1u64 | f << 3 | (*sram_base as u64) << 10 | (*count as u64) << 26;
+            let hi = *dram_base as u64;
+            [lo, hi]
+        }
+        Opcode::Gemm {
+            uop_begin,
+            uop_end,
+            lp_out,
+            lp_in,
+            dst_factor,
+            src_factor,
+            wgt_factor,
+            reset,
+        } => {
+            let lo = 2u64
+                | f << 3
+                | (*reset as u64) << 7
+                | (*uop_begin as u64) << 8
+                | (*uop_end as u64) << 21
+                | (*lp_out as u64) << 34
+                | (*lp_in as u64) << 48;
+            let hi = (dst_factor.0 as u64)
+                | (dst_factor.1 as u64) << 10
+                | (src_factor.0 as u64) << 20
+                | (src_factor.1 as u64) << 30
+                | (wgt_factor.0 as u64) << 40
+                | (wgt_factor.1 as u64) << 50;
+            [lo, hi]
+        }
+        Opcode::Alu {
+            uop_begin,
+            uop_end,
+            lp_out,
+            lp_in,
+            dst_factor,
+            src_factor,
+            op,
+            use_imm,
+            imm,
+        } => {
+            let lo = 3u64
+                | f << 3
+                | (op.code() as u64) << 7
+                | (*use_imm as u64) << 9
+                | (*uop_begin as u64) << 10
+                | (*uop_end as u64) << 23
+                | (*lp_out as u64) << 36
+                | (*lp_in as u64) << 50;
+            let hi = (dst_factor.0 as u64)
+                | (dst_factor.1 as u64) << 10
+                | (src_factor.0 as u64) << 20
+                | (src_factor.1 as u64) << 30
+                | ((*imm as u16) as u64) << 40;
+            [lo, hi]
+        }
+        Opcode::Finish => [4u64 | f << 3, 0],
+    }
+}
+
+/// Decodes a 128-bit word back into an instruction.
+pub fn decode(word: [u64; 2]) -> Option<Insn> {
+    let lo = word[0];
+    let hi = word[1];
+    let flags = DepFlags::from_bits(((lo >> 3) & 0xf) as u8);
+    let op = match lo & 0x7 {
+        0 => Opcode::Load {
+            buffer: MemBuffer::from_code(((lo >> 7) & 0x7) as u8)?,
+            sram_base: ((lo >> 10) & 0xffff) as u16,
+            count: ((lo >> 26) & 0xffff) as u16,
+            dram_base: hi as u32,
+        },
+        1 => Opcode::Store {
+            sram_base: ((lo >> 10) & 0xffff) as u16,
+            count: ((lo >> 26) & 0xffff) as u16,
+            dram_base: hi as u32,
+        },
+        2 => Opcode::Gemm {
+            reset: (lo >> 7) & 1 != 0,
+            uop_begin: ((lo >> 8) & 0x1fff) as u16,
+            uop_end: ((lo >> 21) & 0x1fff) as u16,
+            lp_out: ((lo >> 34) & 0x3fff) as u16,
+            lp_in: ((lo >> 48) & 0x3fff) as u16,
+            dst_factor: (((hi) & 0x3ff) as u16, ((hi >> 10) & 0x3ff) as u16),
+            src_factor: (((hi >> 20) & 0x3ff) as u16, ((hi >> 30) & 0x3ff) as u16),
+            wgt_factor: (((hi >> 40) & 0x3ff) as u16, ((hi >> 50) & 0x3ff) as u16),
+        },
+        3 => Opcode::Alu {
+            op: AluOpcode::from_code(((lo >> 7) & 0x3) as u8)?,
+            use_imm: (lo >> 9) & 1 != 0,
+            uop_begin: ((lo >> 10) & 0x1fff) as u16,
+            uop_end: ((lo >> 23) & 0x1fff) as u16,
+            lp_out: ((lo >> 36) & 0x3fff) as u16,
+            lp_in: ((lo >> 50) & 0x3fff) as u16,
+            dst_factor: (((hi) & 0x3ff) as u16, ((hi >> 10) & 0x3ff) as u16),
+            src_factor: (((hi >> 20) & 0x3ff) as u16, ((hi >> 30) & 0x3ff) as u16),
+            imm: ((hi >> 40) & 0xffff) as u16 as i16,
+        },
+        4 => Opcode::Finish,
+        _ => return None,
+    };
+    Some(Insn { op, flags })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insns() -> Vec<Insn> {
+        vec![
+            Insn {
+                op: Opcode::Load {
+                    buffer: MemBuffer::Inp,
+                    sram_base: 12,
+                    dram_base: 0xabcd,
+                    count: 64,
+                },
+                flags: DepFlags {
+                    push_next: true,
+                    ..DepFlags::NONE
+                },
+            },
+            Insn {
+                op: Opcode::Gemm {
+                    uop_begin: 0,
+                    uop_end: 9,
+                    lp_out: 14,
+                    lp_in: 3,
+                    dst_factor: (1, 14),
+                    src_factor: (0, 1),
+                    wgt_factor: (3, 0),
+                    reset: false,
+                },
+                flags: DepFlags {
+                    pop_prev: true,
+                    push_next: true,
+                    ..DepFlags::NONE
+                },
+            },
+            Insn {
+                op: Opcode::Alu {
+                    uop_begin: 1,
+                    uop_end: 4,
+                    lp_out: 7,
+                    lp_in: 2,
+                    dst_factor: (2, 1),
+                    src_factor: (1, 2),
+                    op: AluOpcode::Shr,
+                    use_imm: true,
+                    imm: -3,
+                },
+                flags: DepFlags::NONE,
+            },
+            Insn {
+                op: Opcode::Store {
+                    sram_base: 5,
+                    dram_base: 0x1000,
+                    count: 14,
+                },
+                flags: DepFlags {
+                    pop_prev: true,
+                    push_prev: true,
+                    ..DepFlags::NONE
+                },
+            },
+            Insn::plain(Opcode::Finish),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for insn in sample_insns() {
+            let word = encode(&insn);
+            let back = decode(word).expect("decodes");
+            assert_eq!(back, insn);
+        }
+    }
+
+    #[test]
+    fn dep_flag_bits_roundtrip() {
+        for b in 0..16u8 {
+            assert_eq!(DepFlags::from_bits(b).bits(), b);
+        }
+    }
+
+    #[test]
+    fn module_routing() {
+        let insns = sample_insns();
+        assert_eq!(insns[0].module(), Module::Load);
+        assert_eq!(insns[1].module(), Module::Compute);
+        assert_eq!(insns[3].module(), Module::Store);
+        // Uop and Acc loads run on the compute module.
+        let uop_load = Insn::plain(Opcode::Load {
+            buffer: MemBuffer::Uop,
+            sram_base: 0,
+            dram_base: 0,
+            count: 4,
+        });
+        assert_eq!(uop_load.module(), Module::Compute);
+    }
+
+    #[test]
+    fn macs_counted() {
+        let insns = sample_insns();
+        assert_eq!(insns[1].macs(), 9 * 14 * 3);
+        assert_eq!(insns[0].macs(), 0);
+        let p = Program {
+            insns: insns.clone(),
+        };
+        assert_eq!(p.total_macs(), 9 * 14 * 3);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn dep_balance_accepts_valid_program() {
+        // load(push_next) ; gemm(pop_prev, push_next) ; store(pop_prev).
+        let p = Program {
+            insns: vec![
+                Insn {
+                    op: Opcode::Load {
+                        buffer: MemBuffer::Inp,
+                        sram_base: 0,
+                        dram_base: 0,
+                        count: 1,
+                    },
+                    flags: DepFlags {
+                        push_next: true,
+                        ..DepFlags::NONE
+                    },
+                },
+                Insn {
+                    op: Opcode::Gemm {
+                        uop_begin: 0,
+                        uop_end: 1,
+                        lp_out: 1,
+                        lp_in: 1,
+                        dst_factor: (0, 0),
+                        src_factor: (0, 0),
+                        wgt_factor: (0, 0),
+                        reset: false,
+                    },
+                    flags: DepFlags {
+                        pop_prev: true,
+                        push_next: true,
+                        ..DepFlags::NONE
+                    },
+                },
+                Insn {
+                    op: Opcode::Store {
+                        sram_base: 0,
+                        dram_base: 0,
+                        count: 1,
+                    },
+                    flags: DepFlags {
+                        pop_prev: true,
+                        ..DepFlags::NONE
+                    },
+                },
+            ],
+        };
+        p.check_deps().expect("balanced");
+    }
+
+    #[test]
+    fn dep_balance_rejects_unmatched_pop() {
+        let p = Program {
+            insns: vec![Insn {
+                op: Opcode::Gemm {
+                    uop_begin: 0,
+                    uop_end: 1,
+                    lp_out: 1,
+                    lp_in: 1,
+                    dst_factor: (0, 0),
+                    src_factor: (0, 0),
+                    wgt_factor: (0, 0),
+                    reset: false,
+                },
+                flags: DepFlags {
+                    pop_prev: true,
+                    ..DepFlags::NONE
+                },
+            }],
+        };
+        assert!(p.check_deps().is_err());
+    }
+
+    #[test]
+    fn dep_balance_rejects_nonsense_flags() {
+        let p = Program {
+            insns: vec![Insn {
+                op: Opcode::Load {
+                    buffer: MemBuffer::Inp,
+                    sram_base: 0,
+                    dram_base: 0,
+                    count: 1,
+                },
+                flags: DepFlags {
+                    pop_prev: true, // Load has no previous module.
+                    ..DepFlags::NONE
+                },
+            }],
+        };
+        assert!(p.check_deps().is_err());
+    }
+
+    #[test]
+    fn buffer_geometry() {
+        assert_eq!(MemBuffer::Wgt.elem_bytes(), 256);
+        assert_eq!(MemBuffer::Inp.elem_bytes(), 16);
+        assert_eq!(MemBuffer::Acc.elem_bytes(), 64);
+    }
+}

@@ -1,0 +1,44 @@
+//! A model of VTA (the Versatile Tensor Accelerator) and its
+//! performance interfaces.
+//!
+//! VTA (Moreau et al., IEEE Micro '19) is the deep-learning accelerator
+//! the paper uses for its hardest case: a design with internal queuing,
+//! task-level parallelism across four modules (fetch, load, compute,
+//! store) and explicit dependency tokens between them. The paper's
+//! Table 1 shows a hand-derived Petri net predicting its latency and
+//! throughput within ~1.5% on average, and §3 reports that using that
+//! net as a cost model inside TVM-style autotuning is 2.1–1312× faster
+//! than cycle-accurate simulation (our experiment E5).
+//!
+//! This crate contains:
+//!
+//! * [`isa`] — the instruction set: LOAD/GEMM/ALU/STORE with
+//!   dependency-token flags, a 128-bit binary encoding and a decoder,
+//! * [`func`] — the functional model: real i8×i8→i32 GEMM and ALU ops
+//!   on scratchpads, validated against a naive matmul,
+//! * [`cycle`] — the tick-accurate four-module simulator with
+//!   dependency queues and a DRAM model (the "RTL" stand-in),
+//! * [`gen`] — a generator of random, dependency-correct programs,
+//! * [`interface`] — natural-language, program, and Petri-net
+//!   interfaces, including the deliberately simplified `lite` net used
+//!   by the corner-cutting ablation (E9).
+
+pub mod asm;
+pub mod cycle;
+pub mod func;
+pub mod gen;
+pub mod interface;
+pub mod isa;
+
+pub use cycle::{VtaCycleSim, VtaHwConfig};
+pub use isa::{AluOpcode, DepFlags, Insn, MemBuffer, Opcode, Program};
+
+/// Source text of the accelerator implementation (ISA, functional and
+/// cycle-accurate models), for the Table 1 interface-complexity ratio.
+pub fn implementation_sources() -> Vec<&'static str> {
+    vec![
+        include_str!("isa.rs"),
+        include_str!("func.rs"),
+        include_str!("cycle.rs"),
+    ]
+}

@@ -1,0 +1,48 @@
+//! Calibration harness for the VTA interfaces.
+use accel_vta::cycle::VtaCycleSim;
+use accel_vta::gen::ProgGen;
+use accel_vta::interface::petri::VtaPetriInterface;
+use accel_vta::interface::program::VtaProgramInterface;
+use perf_core::iface::Metric;
+use perf_core::validate::validate;
+use std::time::Instant;
+
+#[test]
+fn calibration_report() {
+    let mut sim = VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
+    let full = VtaPetriInterface::new_full().unwrap();
+    let lite = VtaPetriInterface::new_lite().unwrap();
+    let prog_iface = VtaProgramInterface::new().unwrap();
+    let mut g = ProgGen::new(777);
+    let progs = g.gen_many(60);
+    let rl = validate(&mut sim, &full, Metric::Latency, &progs).unwrap();
+    let rt = validate(&mut sim, &full, Metric::Throughput, &progs).unwrap();
+    let ll = validate(&mut sim, &lite, Metric::Latency, &progs).unwrap();
+    let pl = validate(&mut sim, &prog_iface, Metric::Latency, &progs).unwrap();
+    println!("full  latency: {}", rl.point.paper_style());
+    println!("full  tput:    {}", rt.point.paper_style());
+    println!("lite  latency: {}", ll.point.paper_style());
+    println!("prog  latency: {}", pl.point.paper_style());
+
+    // Speedup probe: wall-clock of profiling via the RTL-fidelity sim
+    // vs the petri net, on a subset.
+    let progs = &progs[..20];
+    let mut sim = VtaCycleSim::default();
+    let t0 = Instant::now();
+    for p in progs {
+        use perf_core::GroundTruth;
+        sim.measure(p).unwrap();
+    }
+    let t_sim = t0.elapsed();
+    let t0 = Instant::now();
+    for p in progs {
+        full.run(p).unwrap();
+    }
+    let t_petri = t0.elapsed();
+    println!(
+        "profiling: sim {:?} petri {:?} speedup {:.1}x",
+        t_sim,
+        t_petri,
+        t_sim.as_secs_f64() / t_petri.as_secs_f64()
+    );
+}

@@ -1,0 +1,144 @@
+//! Property tests for the VTA ISA and program generator.
+
+use accel_vta::gen::ProgGen;
+use accel_vta::isa::{self, AluOpcode, DepFlags, Insn, MemBuffer, Opcode};
+use proptest::prelude::*;
+
+fn insn_strategy() -> impl Strategy<Value = Insn> {
+    let flags = (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(pop_prev, pop_next, push_prev, push_next)| DepFlags {
+            pop_prev,
+            pop_next,
+            push_prev,
+            push_next,
+        },
+    );
+    let buffer = prop_oneof![
+        Just(MemBuffer::Uop),
+        Just(MemBuffer::Inp),
+        Just(MemBuffer::Wgt),
+        Just(MemBuffer::Acc),
+        Just(MemBuffer::Out),
+    ];
+    let alu_op = prop_oneof![
+        Just(AluOpcode::Add),
+        Just(AluOpcode::Max),
+        Just(AluOpcode::Min),
+        Just(AluOpcode::Shr),
+    ];
+    let op = prop_oneof![
+        (buffer, any::<u16>(), any::<u32>(), any::<u16>()).prop_map(
+            |(buffer, sram_base, dram_base, count)| Opcode::Load {
+                buffer,
+                sram_base,
+                dram_base,
+                count,
+            }
+        ),
+        (any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(sram_base, dram_base, count)| {
+            Opcode::Store {
+                sram_base,
+                dram_base,
+                count,
+            }
+        }),
+        (
+            0u16..8192,
+            0u16..8192,
+            0u16..16384,
+            0u16..16384,
+            (0u16..1024, 0u16..1024),
+            (0u16..1024, 0u16..1024),
+            (0u16..1024, 0u16..1024),
+            any::<bool>()
+        )
+            .prop_map(
+                |(uop_begin, uop_end, lp_out, lp_in, dst_factor, src_factor, wgt_factor, reset)| {
+                    Opcode::Gemm {
+                        uop_begin,
+                        uop_end,
+                        lp_out,
+                        lp_in,
+                        dst_factor,
+                        src_factor,
+                        wgt_factor,
+                        reset,
+                    }
+                }
+            ),
+        (
+            alu_op,
+            any::<bool>(),
+            0u16..8192,
+            0u16..8192,
+            0u16..16384,
+            0u16..16384,
+            (0u16..1024, 0u16..1024),
+            (0u16..1024, 0u16..1024),
+            any::<i16>()
+        )
+            .prop_map(
+                |(op, use_imm, uop_begin, uop_end, lp_out, lp_in, dst_factor, src_factor, imm)| {
+                    Opcode::Alu {
+                        uop_begin,
+                        uop_end,
+                        lp_out,
+                        lp_in,
+                        dst_factor,
+                        src_factor,
+                        op,
+                        use_imm,
+                        imm,
+                    }
+                }
+            ),
+        Just(Opcode::Finish),
+    ];
+    (op, flags).prop_map(|(op, flags)| Insn { op, flags })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every instruction survives a 128-bit encode/decode round trip.
+    #[test]
+    fn encode_decode_roundtrip(insn in insn_strategy()) {
+        let word = isa::encode(&insn);
+        let back = isa::decode(word);
+        prop_assert_eq!(back, Some(insn));
+    }
+
+    /// Dependency flags pack into 4 bits losslessly.
+    #[test]
+    fn flags_roundtrip(b in 0u8..16) {
+        prop_assert_eq!(DepFlags::from_bits(b).bits(), b);
+    }
+
+    /// Every generated program is dependency-balanced and ends with
+    /// FINISH, for any seed.
+    #[test]
+    fn generator_always_valid(seed in any::<u64>()) {
+        let p = ProgGen::new(seed).gen_program();
+        prop_assert!(p.check_deps().is_ok());
+        prop_assert!(matches!(
+            p.insns.last().map(|i| &i.op),
+            Some(Opcode::Finish)
+        ));
+    }
+
+    /// MAC accounting is the product of the loop extents.
+    #[test]
+    fn macs_product(u in 0u16..100, lo in 0u16..100, li in 0u16..100) {
+        let insn = Insn::plain(Opcode::Gemm {
+            uop_begin: 0,
+            uop_end: u,
+            lp_out: lo,
+            lp_in: li,
+            dst_factor: (0, 0),
+            src_factor: (0, 0),
+            wgt_factor: (0, 0),
+            reset: false,
+        });
+        prop_assert_eq!(insn.macs(), u as u64 * lo as u64 * li as u64);
+    }
+}

@@ -1,0 +1,215 @@
+//! Pluggable cost backends for the tuner.
+//!
+//! The tuner asks "how many cycles would this program take?" thousands
+//! of times. The backend answering that question is what the paper's
+//! Example #3 is about: a cycle-accurate simulator answers slowly; the
+//! Petri-net IR answers the same question orders of magnitude faster.
+
+use accel_vta::cycle::VtaCycleSim;
+use accel_vta::interface::petri::VtaPetriInterface;
+use accel_vta::interface::program::VtaProgramInterface;
+use accel_vta::isa::Program;
+use perf_core::iface::{Metric, PerfInterface};
+use perf_core::{CoreError, GroundTruth};
+use std::time::{Duration, Instant};
+
+/// A cost oracle with profiling-time accounting.
+pub trait CostBackend {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Estimated cycles for `prog`.
+    fn cost(&mut self, prog: &Program) -> Result<f64, CoreError>;
+
+    /// Wall-clock time spent answering queries so far.
+    fn time_spent(&self) -> Duration;
+
+    /// Queries answered so far.
+    fn evaluations(&self) -> u64;
+}
+
+/// Ground truth: the cycle-accurate (RTL-fidelity) simulator.
+pub struct CycleCost {
+    sim: VtaCycleSim,
+    spent: Duration,
+    evals: u64,
+}
+
+impl CycleCost {
+    /// Creates the backend at timing-only fidelity (the timing model is
+    /// identical; the per-cycle datapath evaluation only matters when
+    /// measuring profiling cost).
+    pub fn new() -> CycleCost {
+        CycleCost {
+            sim: VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default()),
+            spent: Duration::ZERO,
+            evals: 0,
+        }
+    }
+
+    /// Creates the backend at RTL fidelity (pays Verilator-class cost
+    /// per simulated cycle; use when profiling time itself is the
+    /// quantity under study, as in experiment E5).
+    pub fn new_rtl() -> CycleCost {
+        CycleCost {
+            sim: VtaCycleSim::default(),
+            spent: Duration::ZERO,
+            evals: 0,
+        }
+    }
+}
+
+impl Default for CycleCost {
+    fn default() -> CycleCost {
+        CycleCost::new()
+    }
+}
+
+impl CostBackend for CycleCost {
+    fn name(&self) -> &'static str {
+        "cycle-accurate"
+    }
+
+    fn cost(&mut self, prog: &Program) -> Result<f64, CoreError> {
+        let t0 = Instant::now();
+        let obs = self.sim.measure(prog)?;
+        self.spent += t0.elapsed();
+        self.evals += 1;
+        Ok(obs.latency.as_f64())
+    }
+
+    fn time_spent(&self) -> Duration {
+        self.spent
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evals
+    }
+}
+
+/// The Petri-net performance IR.
+pub struct PetriCost {
+    iface: VtaPetriInterface,
+    spent: Duration,
+    evals: u64,
+}
+
+impl PetriCost {
+    /// Creates the backend over the full-fidelity net.
+    pub fn new() -> Result<PetriCost, CoreError> {
+        Ok(PetriCost {
+            iface: VtaPetriInterface::new_full()?,
+            spent: Duration::ZERO,
+            evals: 0,
+        })
+    }
+
+    /// Creates the backend over the corner-cut net (E9).
+    pub fn new_lite() -> Result<PetriCost, CoreError> {
+        Ok(PetriCost {
+            iface: VtaPetriInterface::new_lite()?,
+            spent: Duration::ZERO,
+            evals: 0,
+        })
+    }
+}
+
+impl CostBackend for PetriCost {
+    fn name(&self) -> &'static str {
+        "petri-net"
+    }
+
+    fn cost(&mut self, prog: &Program) -> Result<f64, CoreError> {
+        let t0 = Instant::now();
+        let p = self.iface.predict(prog, Metric::Latency)?;
+        self.spent += t0.elapsed();
+        self.evals += 1;
+        Ok(p.midpoint())
+    }
+
+    fn time_spent(&self) -> Duration {
+        self.spent
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evals
+    }
+}
+
+/// The coarse program interface (fastest, least accurate).
+pub struct ProgramCost {
+    iface: VtaProgramInterface,
+    spent: Duration,
+    evals: u64,
+}
+
+impl ProgramCost {
+    /// Creates the backend.
+    pub fn new() -> Result<ProgramCost, CoreError> {
+        Ok(ProgramCost {
+            iface: VtaProgramInterface::new()?,
+            spent: Duration::ZERO,
+            evals: 0,
+        })
+    }
+}
+
+impl CostBackend for ProgramCost {
+    fn name(&self) -> &'static str {
+        "program-interface"
+    }
+
+    fn cost(&mut self, prog: &Program) -> Result<f64, CoreError> {
+        let t0 = Instant::now();
+        let p = self.iface.predict(prog, Metric::Latency)?;
+        self.spent += t0.elapsed();
+        self.evals += 1;
+        Ok(p.midpoint())
+    }
+
+    fn time_spent(&self) -> Duration {
+        self.spent
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::workload::GemmWorkload;
+
+    #[test]
+    fn backends_agree_on_ordering_of_extremes() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let tiny = Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        }
+        .lower(&w);
+        let chunky = Schedule {
+            tm: 4,
+            tn: 4,
+            tk: 2,
+        }
+        .lower(&w);
+        let mut cyc = CycleCost::new();
+        let mut pet = PetriCost::new().unwrap();
+        // The tiny tiling pays DMA setup per block: it must be slower
+        // under both oracles.
+        let (ct, cc) = (cyc.cost(&tiny).unwrap(), cyc.cost(&chunky).unwrap());
+        let (pt, pc) = (pet.cost(&tiny).unwrap(), pet.cost(&chunky).unwrap());
+        assert!(ct > cc, "cycle: tiny {ct} chunky {cc}");
+        assert!(pt > pc, "petri: tiny {pt} chunky {pc}");
+        assert_eq!(cyc.evaluations(), 2);
+        // At RTL fidelity the cycle oracle is far costlier than the net.
+        let mut rtl = CycleCost::new_rtl();
+        rtl.cost(&tiny).unwrap();
+        rtl.cost(&chunky).unwrap();
+        assert!(rtl.time_spent() > pet.time_spent());
+    }
+}

@@ -1,0 +1,28 @@
+//! A TVM-style autotuner for VTA with pluggable cost backends.
+//!
+//! §2 Example #3 of the paper: TVM auto-tunes tensor programs by
+//! profiling many candidate schedules on the accelerator, and that
+//! profiling step — cycle-accurate simulation or on-device runs — is
+//! the bottleneck. §3 shows that swapping the profiler for the Petri-
+//! net performance IR speeds profiling up by 2.1–1312× while preserving
+//! tuning quality.
+//!
+//! This crate reproduces that loop end to end:
+//!
+//! * [`workload`] — GEMM and conv2d tuning problems,
+//! * [`schedule`] — tiling schedules and their lowering to VTA
+//!   programs (the schedule space TVM would search),
+//! * [`cost`] — pluggable cost backends: the cycle-accurate simulator,
+//!   the Petri-net IR, and the coarse program interface,
+//! * [`search`] — random search and simulated annealing over the
+//!   schedule space, with profiling-cost accounting.
+
+pub mod cost;
+pub mod schedule;
+pub mod search;
+pub mod workload;
+
+pub use cost::{CostBackend, CycleCost, PetriCost, ProgramCost};
+pub use schedule::Schedule;
+pub use search::{SearchResult, Tuner};
+pub use workload::GemmWorkload;

@@ -1,0 +1,210 @@
+//! Tiling schedules and their lowering to VTA programs.
+//!
+//! A schedule partitions the GEMM into `tm×tn×tk`-block macro-tiles
+//! (TVM's tiling knobs). Lowering produces the same double-buffered
+//! load/GEMM/store structure a TVM backend emits, so the cost of a
+//! schedule reflects the real trade-offs: large tiles amortize DMA
+//! setup but must fit the scratchpads; small tiles pipeline better but
+//! pay more per-transfer overhead.
+
+use crate::workload::GemmWorkload;
+use accel_vta::func::{ACC_DEPTH, INP_DEPTH, WGT_DEPTH};
+use accel_vta::isa::{DepFlags, Insn, MemBuffer, Opcode, Program};
+
+/// A tiling schedule, in 16-element blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// Macro-tile height (blocks of M).
+    pub tm: usize,
+    /// Macro-tile width (blocks of N).
+    pub tn: usize,
+    /// Macro-tile depth (blocks of K).
+    pub tk: usize,
+}
+
+impl Schedule {
+    /// Whether this schedule tiles `w` exactly and fits the
+    /// scratchpads.
+    pub fn is_valid(&self, w: &GemmWorkload) -> bool {
+        let (mb, nb, kb) = w.blocks();
+        if self.tm == 0 || self.tn == 0 || self.tk == 0 {
+            return false;
+        }
+        if mb % self.tm != 0 || nb % self.tn != 0 || kb % self.tk != 0 {
+            return false;
+        }
+        // Scratchpad budgets (double buffered: half capacity usable).
+        let inp_vecs = self.tm * self.tk * 16;
+        let wgt_blocks = self.tk * self.tn;
+        let acc_vecs = self.tm * self.tn * 16;
+        inp_vecs <= INP_DEPTH / 2 && wgt_blocks <= WGT_DEPTH / 2 && acc_vecs <= ACC_DEPTH / 2
+    }
+
+    /// Enumerates all valid schedules for a workload.
+    pub fn enumerate(w: &GemmWorkload) -> Vec<Schedule> {
+        let (mb, nb, kb) = w.blocks();
+        let divisors = |x: usize| -> Vec<usize> { (1..=x).filter(|d| x % d == 0).collect() };
+        let mut out = Vec::new();
+        for &tm in &divisors(mb) {
+            for &tn in &divisors(nb) {
+                for &tk in &divisors(kb) {
+                    let s = Schedule { tm, tn, tk };
+                    if s.is_valid(w) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Lowers the schedule to a VTA program.
+    pub fn lower(&self, w: &GemmWorkload) -> Program {
+        let (mb, nb, kb) = w.blocks();
+        let (mo, no, ko) = (mb / self.tm, nb / self.tn, kb / self.tk);
+        let mut insns = Vec::new();
+        // Micro-op table for one macro-tile: tm*tn destination rows.
+        insns.push(Insn::plain(Opcode::Load {
+            buffer: MemBuffer::Uop,
+            sram_base: 0,
+            dram_base: 0,
+            count: (self.tm * self.tn).min(4096) as u16,
+        }));
+        let mut first_block = true;
+        for i in 0..mo {
+            for j in 0..no {
+                for l in 0..ko {
+                    let wait = !first_block;
+                    // Load the A and B macro-tiles.
+                    insns.push(Insn::plain(Opcode::Load {
+                        buffer: MemBuffer::Inp,
+                        sram_base: 0,
+                        dram_base: ((i * ko + l) * 1024) as u32,
+                        count: (self.tm * self.tk * 16) as u16,
+                    }));
+                    insns.push(Insn {
+                        op: Opcode::Load {
+                            buffer: MemBuffer::Wgt,
+                            sram_base: 0,
+                            dram_base: ((l * no + j) * 512) as u32,
+                            count: (self.tk * self.tn) as u16,
+                        },
+                        flags: DepFlags {
+                            pop_next: wait,
+                            push_next: true,
+                            ..DepFlags::NONE
+                        },
+                    });
+                    // One GEMM per macro-tile: uops cover the tm*tn
+                    // destination blocks, loops walk tk and the 16
+                    // rows within a block.
+                    insns.push(Insn {
+                        op: Opcode::Gemm {
+                            uop_begin: 0,
+                            uop_end: (self.tm * self.tn).min(4096) as u16,
+                            lp_out: self.tk as u16,
+                            lp_in: 16,
+                            dst_factor: (0, 1),
+                            src_factor: (1, 1),
+                            wgt_factor: (1, 0),
+                            reset: false,
+                        },
+                        flags: DepFlags {
+                            pop_prev: true,
+                            pop_next: wait,
+                            push_prev: true,
+                            push_next: true,
+                        },
+                    });
+                    // Store the C macro-tile after the last k slice.
+                    insns.push(Insn {
+                        op: Opcode::Store {
+                            sram_base: 0,
+                            dram_base: ((i * no + j) * 1024) as u32,
+                            count: if l == ko - 1 {
+                                (self.tm * self.tn * 16).min(65535) as u16
+                            } else {
+                                1 // Dependency bookkeeping only.
+                            },
+                        },
+                        flags: DepFlags {
+                            pop_prev: true,
+                            push_prev: true,
+                            ..DepFlags::NONE
+                        },
+                    });
+                    first_block = false;
+                }
+            }
+        }
+        insns.push(Insn::plain(Opcode::Finish));
+        Program { insns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> GemmWorkload {
+        GemmWorkload::new(256, 256, 256) // 16x16x16 blocks.
+    }
+
+    #[test]
+    fn enumeration_yields_valid_schedules_only() {
+        let w = wl();
+        let all = Schedule::enumerate(&w);
+        assert!(!all.is_empty());
+        for s in &all {
+            assert!(s.is_valid(&w), "{s:?}");
+        }
+        // The oversized tile must be excluded (inp = 16*16*16 = 4096 >
+        // INP_DEPTH/2).
+        assert!(!all.contains(&Schedule {
+            tm: 16,
+            tn: 16,
+            tk: 16
+        }));
+    }
+
+    #[test]
+    fn lowered_programs_are_dependency_correct() {
+        let w = wl();
+        for s in Schedule::enumerate(&w).into_iter().take(12) {
+            let p = s.lower(&w);
+            p.check_deps().unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            assert!(p.len() > 4);
+        }
+    }
+
+    #[test]
+    fn total_macs_independent_of_schedule() {
+        let w = wl();
+        let schedules = Schedule::enumerate(&w);
+        let expect = {
+            let (mb, nb, kb) = w.blocks();
+            (mb * nb * kb * 16) as u64
+        };
+        for s in schedules.into_iter().take(8) {
+            let p = s.lower(&w);
+            assert_eq!(p.total_macs(), expect, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_schedules_detected() {
+        let w = wl();
+        assert!(!Schedule {
+            tm: 3,
+            tn: 1,
+            tk: 1
+        }
+        .is_valid(&w)); // Does not divide 16.
+        assert!(!Schedule {
+            tm: 0,
+            tn: 1,
+            tk: 1
+        }
+        .is_valid(&w));
+    }
+}

@@ -1,0 +1,130 @@
+//! Tuning problems: GEMM and convolution workloads.
+
+/// A dense matrix-multiply workload `C[m×n] = A[m×k] × B[k×n]`, with
+/// dimensions in elements (multiples of the 16-element VTA block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GemmWorkload {
+    /// Rows of A/C.
+    pub m: usize,
+    /// Columns of B/C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+}
+
+impl GemmWorkload {
+    /// Creates a workload; dimensions are rounded up to multiples of
+    /// 16.
+    pub fn new(m: usize, n: usize, k: usize) -> GemmWorkload {
+        let r = |x: usize| x.div_ceil(16) * 16;
+        GemmWorkload {
+            m: r(m.max(16)),
+            n: r(n.max(16)),
+            k: r(k.max(16)),
+        }
+    }
+
+    /// Dimensions in 16-element blocks `(M, N, K)`.
+    pub fn blocks(&self) -> (usize, usize, usize) {
+        (self.m / 16, self.n / 16, self.k / 16)
+    }
+
+    /// Total scalar multiply-accumulates.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// A 2-D convolution workload, lowered to GEMM via im2col (how VTA
+/// executes convolutions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dWorkload {
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+}
+
+impl Conv2dWorkload {
+    /// The equivalent GEMM after im2col: `m = h·w` output positions,
+    /// `k = c_in·kernel²` patch elements, `n = c_out` filters.
+    pub fn to_gemm(&self) -> GemmWorkload {
+        GemmWorkload::new(
+            self.h * self.w,
+            self.c_out,
+            self.c_in * self.kernel * self.kernel,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_rounded_to_blocks() {
+        let g = GemmWorkload::new(100, 30, 17);
+        assert_eq!((g.m, g.n, g.k), (112, 32, 32));
+        assert_eq!(g.blocks(), (7, 2, 2));
+        assert_eq!(g.flops(), 2 * 112 * 32 * 32);
+    }
+
+    #[test]
+    fn conv_lowering() {
+        let c = Conv2dWorkload {
+            h: 14,
+            w: 14,
+            c_in: 64,
+            c_out: 128,
+            kernel: 3,
+        };
+        let g = c.to_gemm();
+        assert_eq!(g.m, 196_usize.div_ceil(16) * 16);
+        assert_eq!(g.n, 128);
+        assert_eq!(g.k, 576);
+    }
+}
+
+#[cfg(test)]
+mod conv_tuning_tests {
+    use super::*;
+    use crate::cost::{CostBackend, PetriCost};
+    use crate::search::Tuner;
+
+    #[test]
+    fn conv2d_tunes_end_to_end() {
+        // A ResNet-style layer lowered via im2col and tuned with the
+        // Petri-net oracle.
+        let conv = Conv2dWorkload {
+            h: 14,
+            w: 14,
+            c_in: 64,
+            c_out: 64,
+            kernel: 3,
+        };
+        let gemm = conv.to_gemm();
+        let mut tuner = Tuner::new(gemm, 7).expect("schedules exist");
+        let mut backend = PetriCost::new().expect("net parses");
+        let res = tuner.random_search(&mut backend, 10).expect("search runs");
+        assert!(res.best_cost > 0.0);
+        // The tuned schedule must beat the degenerate 1x1x1 tiling.
+        let naive = crate::schedule::Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        };
+        assert!(naive.is_valid(&gemm));
+        let naive_cost = backend.cost(&naive.lower(&gemm)).expect("costs");
+        assert!(
+            res.best_cost < naive_cost,
+            "tuned {:.0} should beat naive {naive_cost:.0}",
+            res.best_cost
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Raw engine benchmarks: the substrates' own throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perf_iface_lang::{Program, Value};
+use perf_petri::engine::{Engine, Options};
+use perf_petri::net::NetBuilder;
+use perf_petri::token::Token;
+
+fn bench_petri_engine(c: &mut Criterion) {
+    // A three-stage pipeline pushing 1000 tokens.
+    let mut b = NetBuilder::new("pipe");
+    let src = b.place("src", None);
+    let q1 = b.place("q1", Some(4));
+    let q2 = b.place("q2", Some(4));
+    let done = b.sink("done");
+    b.transition("s1", &[src], &[q1], |_| 3, |ts| vec![ts[0].data.clone()]);
+    b.transition("s2", &[q1], &[q2], |_| 5, |ts| vec![ts[0].data.clone()]);
+    b.transition("s3", &[q2], &[done], |_| 2, |ts| vec![ts[0].data.clone()]);
+    let net = b.build().expect("valid net");
+    let mut group = c.benchmark_group("petri_engine");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("native_pipeline_1000_tokens", |bch| {
+        bch.iter(|| {
+            let mut e = Engine::new(&net, Options::default());
+            for _ in 0..1000 {
+                e.inject(src, Token::at(Value::num(0.0), 0));
+            }
+            e.run().expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_pil_interpreter(c: &mut Criterion) {
+    let prog = Program::parse(accel_jpeg::interface::program::JPEG_PI_SRC).expect("parses");
+    let img = Value::record([
+        ("orig_size", Value::num(65536.0)),
+        ("compress_rate", Value::num(8.0)),
+    ]);
+    c.bench_function("pil_jpeg_latency_call", |b| {
+        b.iter(|| {
+            prog.call("latency_jpeg_decode", &[img.clone()])
+                .expect("evals")
+        })
+    });
+}
+
+fn bench_jpeg_cycle_sim(c: &mut Criterion) {
+    let mut g = accel_jpeg::ImageGen::new(1);
+    let img = g.gen_sized(128, 128, 60);
+    c.bench_function("jpeg_cycle_sim_128x128", |b| {
+        let mut sim = accel_jpeg::JpegCycleSim::default();
+        b.iter(|| sim.decode(&img))
+    });
+}
+
+fn bench_protoacc_sim(c: &mut Criterion) {
+    let desc = &accel_protoacc::suite::formats()[19]; // nest4.
+    let w = accel_protoacc::simx::ProtoWorkload::of_format(desc, 10, 1);
+    c.bench_function("protoacc_sim_nest4_x10", |b| {
+        let mut sim = accel_protoacc::simx::ProtoaccSim::default();
+        b.iter(|| {
+            sim.reset();
+            sim.serialize_stream(&w.messages)
+        })
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("4k_message", |b| {
+        b.iter(|| accel_bitcoin::sha256::sha256(&data))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = engines;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_petri_engine,
+        bench_pil_interpreter,
+        bench_jpeg_cycle_sim,
+        bench_protoacc_sim,
+        bench_sha256
+}
+criterion_main!(engines);

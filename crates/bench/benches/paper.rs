@@ -1,0 +1,113 @@
+//! Criterion benches, one group per paper table/figure (E1–E10).
+//!
+//! These measure the computational kernels behind each experiment at
+//! reduced scale; the `repro` binary regenerates the full tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perf_bench::experiments;
+
+fn bench_fig1_nl_laws(c: &mut Criterion) {
+    c.bench_function("e1_fig1_nl_claim_checking", |b| {
+        b.iter(|| experiments::e1_nl_interfaces().expect("e1"))
+    });
+}
+
+fn bench_fig2_jpeg_program_iface(c: &mut Criterion) {
+    c.bench_function("e2_fig2_jpeg_program_iface_30imgs", |b| {
+        b.iter(|| experiments::e2_jpeg_program(30).expect("e2"))
+    });
+}
+
+fn bench_fig3_protoacc_program_iface(c: &mut Criterion) {
+    c.bench_function("e3_fig3_protoacc_program_iface", |b| {
+        b.iter(|| experiments::e3_protoacc_program(6).expect("e3"))
+    });
+}
+
+fn bench_table1_petri_accuracy(c: &mut Criterion) {
+    c.bench_function("e4_table1_petri_accuracy_small", |b| {
+        b.iter(|| experiments::e4_table1(6, 15).expect("e4"))
+    });
+}
+
+fn bench_e5_autotune_speedup(c: &mut Criterion) {
+    // The speedup itself is a measured quantity; benching the two cost
+    // oracles side by side is the underlying kernel.
+    use accel_vta::gen::ProgGen;
+    use perf_core::GroundTruth;
+    let prog = ProgGen::new(5).gen_program();
+    let petri = accel_vta::interface::petri::VtaPetriInterface::new_full().expect("net");
+    let mut group = c.benchmark_group("e5_profiling_oracles");
+    group.bench_function("cycle_accurate_sim", |b| {
+        let mut sim = accel_vta::VtaCycleSim::default();
+        b.iter(|| sim.measure(&prog).expect("runs"))
+    });
+    group.bench_function("petri_net_eval", |b| {
+        b.iter(|| petri.run(&prog).expect("runs"))
+    });
+    group.bench_function("program_iface_eval", |b| {
+        use perf_core::iface::{Metric, PerfInterface};
+        let iface = accel_vta::interface::program::VtaProgramInterface::new().expect("pi");
+        b.iter(|| iface.predict(&prog, Metric::Latency).expect("predicts"))
+    });
+    group.finish();
+}
+
+fn bench_e6_serializer_crossover(c: &mut Criterion) {
+    c.bench_function("e6_crossover_point", |b| {
+        b.iter(|| perf_workloads::rpc::measure_size(1024, 1))
+    });
+}
+
+fn bench_e7_soc_design(c: &mut Criterion) {
+    c.bench_function("e7_soc_design_space", |b| {
+        b.iter(|| perf_workloads::soc::design_space().expect("space"))
+    });
+}
+
+fn bench_e8_offload_replay(c: &mut Criterion) {
+    let trace = perf_workloads::offload::record_trace(10, 11);
+    c.bench_function("e8_offload_replay_10req", |b| {
+        b.iter(|| perf_workloads::offload::run_study(&trace).expect("study"))
+    });
+}
+
+fn bench_e9_petri_ablation(c: &mut Criterion) {
+    use accel_vta::gen::ProgGen;
+    let prog = ProgGen::new(9).gen_program();
+    let full = accel_vta::interface::petri::VtaPetriInterface::new_full().expect("net");
+    let lite = accel_vta::interface::petri::VtaPetriInterface::new_lite().expect("net");
+    let mut group = c.benchmark_group("e9_net_variants");
+    group.bench_function("full_net", |b| b.iter(|| full.run(&prog).expect("runs")));
+    group.bench_function("lite_net", |b| b.iter(|| lite.run(&prog).expect("runs")));
+    group.finish();
+}
+
+fn bench_e10_autotune_quality(c: &mut Criterion) {
+    use perf_autotune::cost::PetriCost;
+    use perf_autotune::{GemmWorkload, Tuner};
+    c.bench_function("e10_random_search_8_petri", |b| {
+        b.iter(|| {
+            let mut tuner = Tuner::new(GemmWorkload::new(128, 128, 128), 1).expect("tuner");
+            let mut backend = PetriCost::new().expect("backend");
+            tuner.random_search(&mut backend, 8).expect("search")
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_nl_laws,
+        bench_fig2_jpeg_program_iface,
+        bench_fig3_protoacc_program_iface,
+        bench_table1_petri_accuracy,
+        bench_e5_autotune_speedup,
+        bench_e6_serializer_crossover,
+        bench_e7_soc_design,
+        bench_e8_offload_replay,
+        bench_e9_petri_ablation,
+        bench_e10_autotune_quality
+}
+criterion_main!(paper);

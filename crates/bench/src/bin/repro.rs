@@ -1,0 +1,85 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro                 # run everything at paper-scale sample sizes
+//! repro --quick         # smaller samples (seconds instead of minutes)
+//! repro --exp e4        # a single experiment
+//! repro --markdown OUT  # also write a measured-values report
+//! ```
+
+use perf_bench::experiments::{self, ExperimentOutput};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--exp eN] [--markdown PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut only: Option<String> = None;
+    let mut markdown: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--exp" => only = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
+            "--markdown" => markdown = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let run_one = |id: &str| -> Result<ExperimentOutput, perf_core::CoreError> {
+        match id {
+            "e1" => experiments::e1_nl_interfaces(),
+            "e2" => experiments::e2_jpeg_program(if quick { 120 } else { 1500 }),
+            "e3" => experiments::e3_protoacc_program(if quick { 12 } else { 40 }),
+            "e4" => {
+                experiments::e4_table1(if quick { 25 } else { 50 }, if quick { 80 } else { 1500 })
+            }
+            "e5" => experiments::e5_profiling_speedup(if quick { 40 } else { 1500 }),
+            "e6" => experiments::e6_crossover(),
+            "e7" => experiments::e7_soc_design(),
+            "e8" => experiments::e8_offload(if quick { 40 } else { 200 }),
+            "e9" => experiments::e9_petri_ablation(if quick { 60 } else { 300 }),
+            "e10" => experiments::e10_autotune_quality(),
+            "e11" => experiments::e11_noc_composition(),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let outputs: Vec<ExperimentOutput> = match only {
+        Some(id) => vec![run_one(&id).unwrap_or_else(|e| {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        })],
+        None => experiments::run_all(quick).unwrap_or_else(|e| {
+            eprintln!("experiments failed: {e}");
+            std::process::exit(1);
+        }),
+    };
+
+    for out in &outputs {
+        println!("{}", out.render());
+    }
+
+    if let Some(path) = markdown {
+        let mut f = std::fs::File::create(&path).expect("create markdown report");
+        writeln!(f, "# Measured values\n").unwrap();
+        for out in &outputs {
+            writeln!(f, "## {} — {}\n", out.id, out.title).unwrap();
+            writeln!(f, "{}", out.table.to_markdown()).unwrap();
+            for n in &out.notes {
+                writeln!(f, "> {n}\n").unwrap();
+            }
+            for (k, v) in &out.values {
+                writeln!(f, "- `{k}` = {v:.6}").unwrap();
+            }
+            writeln!(f).unwrap();
+        }
+        eprintln!("wrote {path}");
+    }
+}

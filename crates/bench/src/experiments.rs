@@ -1,0 +1,708 @@
+//! Experiment runners E1–E11 (see DESIGN.md for the index).
+
+use perf_core::complexity::{CommentStyle, Complexity};
+use perf_core::iface::Metric;
+use perf_core::report::{pct, speedup, Table};
+use perf_core::stats;
+use perf_core::validate::validate;
+use perf_core::{CoreError, GroundTruth};
+use std::time::Instant;
+
+/// One experiment's rendered output plus machine-readable numbers.
+pub struct ExperimentOutput {
+    /// Experiment id (`"E1"` ...).
+    pub id: &'static str,
+    /// Paper artifact it regenerates.
+    pub title: &'static str,
+    /// The rendered table.
+    pub table: Table,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+    /// Named measured values for EXPERIMENTS.md.
+    pub values: Vec<(String, f64)>,
+}
+
+impl ExperimentOutput {
+    /// Renders the experiment as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table);
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// E1 — Fig. 1: natural-language interfaces, printed and checked.
+pub fn e1_nl_interfaces() -> Result<ExperimentOutput, CoreError> {
+    let mut table = Table::new(vec!["Accelerator", "Interface text", "Claims", "Hold?"]);
+    let mut values = Vec::new();
+
+    // JPEG decoder: check claims on a quality sweep and a size sweep.
+    {
+        let nl = accel_jpeg::interface::nl::interface();
+        let mut sim = accel_jpeg::JpegCycleSim::default();
+        let mut g = accel_jpeg::ImageGen::new(1001);
+        let rate_sweep = g.gen_quality_sweep(128, 128, &[20, 35, 50, 65, 80, 92]);
+        let mut samples = Vec::new();
+        for img in &rate_sweep {
+            let obs = sim.measure(img)?;
+            samples.push((img.compress_rate(), Metric::Latency.of(&obs)));
+        }
+        let v0 = nl.claims[0].check(&samples)?;
+        let size_sweep: Vec<_> = [64u32, 128, 192, 256, 384]
+            .iter()
+            .map(|&d| g.gen_sized(d, d, 60))
+            .collect();
+        let mut s2 = Vec::new();
+        for img in &size_sweep {
+            let obs = sim.measure(img)?;
+            s2.push((img.orig_size() as f64, Metric::Latency.of(&obs)));
+        }
+        let v1 = nl.claims[1].check(&s2)?;
+        let holds = v0.holds && v1.holds;
+        table.row(vec![
+            "jpeg-decoder".into(),
+            nl.text.chars().take(60).collect::<String>() + "…",
+            format!("{}", nl.claims.len()),
+            format!("{holds}"),
+        ]);
+        values.push(("e1_jpeg_claims_hold".into(), f64::from(u8::from(holds))));
+    }
+    // Bitcoin miner: latency == Loop, area ~ 1/Loop.
+    {
+        let nl = accel_bitcoin::interface::nl::interface();
+        let cfgs: Vec<_> = [1u64, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&l| accel_bitcoin::miner::MinerConfig::with_loop(l).unwrap())
+            .collect();
+        let lat: Vec<(f64, f64)> = cfgs
+            .iter()
+            .map(|c| (c.loop_ as f64, c.hash_latency() as f64))
+            .collect();
+        let area: Vec<(f64, f64)> = cfgs
+            .iter()
+            .map(|c| (c.loop_ as f64, c.area_kge() - 48.0))
+            .collect();
+        let holds = nl.claims[0].check(&lat)?.holds && nl.claims[2].check(&area)?.holds;
+        table.row(vec![
+            "bitcoin-miner".into(),
+            nl.text.chars().take(60).collect::<String>() + "…",
+            format!("{}", nl.claims.len()),
+            format!("{holds}"),
+        ]);
+        values.push(("e1_bitcoin_claims_hold".into(), f64::from(u8::from(holds))));
+    }
+    // Protoacc: throughput decreasing in nesting.
+    {
+        let nl = accel_protoacc::interface::nl::interface();
+        let mut samples = Vec::new();
+        for depth in [0usize, 1, 2, 4, 6] {
+            let mut d = accel_protoacc::suite::formats()[0].clone();
+            for _ in 0..depth {
+                d = accel_protoacc::descriptor::MessageDesc::new(
+                    "wrap",
+                    vec![
+                        accel_protoacc::descriptor::FieldDesc::single(
+                            1,
+                            accel_protoacc::descriptor::FieldKind::Uint64,
+                        ),
+                        accel_protoacc::descriptor::FieldDesc::single(
+                            2,
+                            accel_protoacc::descriptor::FieldKind::Message(Box::new(d)),
+                        ),
+                    ],
+                );
+            }
+            let mut sim = accel_protoacc::simx::ProtoaccSim::default();
+            let w = accel_protoacc::simx::ProtoWorkload::of_format(&d, 30, 5);
+            let obs = sim.measure(&w)?;
+            samples.push((depth as f64, Metric::Throughput.of(&obs)));
+        }
+        let holds = nl.claims[0].check(&samples)?.holds;
+        table.row(vec![
+            "protoacc".into(),
+            nl.text.chars().take(60).collect::<String>() + "…",
+            format!("{}", nl.claims.len()),
+            format!("{holds}"),
+        ]);
+        values.push(("e1_protoacc_claims_hold".into(), f64::from(u8::from(holds))));
+    }
+    Ok(ExperimentOutput {
+        id: "E1",
+        title: "Fig. 1 — natural-language interfaces (checked against the models)",
+        table,
+        notes: vec![
+            "The paper ships these as prose; here each statement also carries \
+             machine-checkable claims validated against the cycle models."
+                .into(),
+        ],
+        values,
+    })
+}
+
+/// E2 — §3 in-text: JPEG program-interface accuracy over random images.
+pub fn e2_jpeg_program(n_images: usize) -> Result<ExperimentOutput, CoreError> {
+    let mut sim = accel_jpeg::JpegCycleSim::default();
+    let iface = accel_jpeg::interface::program::JpegProgramInterface::new()?;
+    let mut g = accel_jpeg::ImageGen::new(20230622);
+    let imgs = g.gen_many(n_images);
+    let lat = validate(&mut sim, &iface, Metric::Latency, &imgs)?;
+    let tput = validate(&mut sim, &iface, Metric::Throughput, &imgs)?;
+    let mut table = Table::new(vec!["Metric", "Paper avg (max)", "Measured avg (max)", "n"]);
+    table.row(vec![
+        "latency".into(),
+        "2.1% (10.3%)".into(),
+        lat.point.paper_style(),
+        format!("{n_images}"),
+    ]);
+    table.row(vec![
+        "throughput".into(),
+        "2.2% (11.2%)".into(),
+        tput.point.paper_style(),
+        format!("{n_images}"),
+    ]);
+    Ok(ExperimentOutput {
+        id: "E2",
+        title: "Fig. 2 / §3 — JPEG program-interface prediction error",
+        table,
+        notes: vec!["Shape target: low-single-digit average, low-teens maximum.".into()],
+        values: vec![
+            ("e2_lat_avg".into(), lat.point.avg),
+            ("e2_lat_max".into(), lat.point.max),
+            ("e2_tput_avg".into(), tput.point.avg),
+            ("e2_tput_max".into(), tput.point.max),
+        ],
+    })
+}
+
+/// E3 — §3 in-text: Protoacc program interface over the 32-format
+/// suite.
+pub fn e3_protoacc_program(instances: usize) -> Result<ExperimentOutput, CoreError> {
+    let mut sim = accel_protoacc::simx::ProtoaccSim::default();
+    let iface = accel_protoacc::interface::program::ProtoaccProgramInterface::new()?;
+    let tput_workloads: Vec<_> = accel_protoacc::suite::formats()
+        .iter()
+        .map(|d| accel_protoacc::simx::ProtoWorkload::of_format(d, instances, 42))
+        .collect();
+    let tput = validate(&mut sim, &iface, Metric::Throughput, &tput_workloads)?;
+    let lat_workloads: Vec<_> = accel_protoacc::suite::formats()
+        .iter()
+        .map(|d| accel_protoacc::simx::ProtoWorkload::of_format(d, 1, 42))
+        .collect();
+    let lat = validate(&mut sim, &iface, Metric::Latency, &lat_workloads)?;
+    let mut table = Table::new(vec!["Metric", "Paper", "Measured"]);
+    table.row(vec![
+        "throughput avg (max) err".into(),
+        "5.9% (13.3%)".into(),
+        tput.point.paper_style(),
+    ]);
+    table.row(vec![
+        "latency within bounds".into(),
+        "always".into(),
+        format!("{}/32", lat.bounds.within),
+    ]);
+    Ok(ExperimentOutput {
+        id: "E3",
+        title: "Fig. 3 / §3 — Protoacc program-interface accuracy (32 formats)",
+        table,
+        notes: vec![format!(
+            "bounds coverage {} with mean relative width {:.1}",
+            pct(lat.bounds.coverage()),
+            lat.bounds.avg_rel_width
+        )],
+        values: vec![
+            ("e3_tput_avg".into(), tput.point.avg),
+            ("e3_tput_max".into(), tput.point.max),
+            ("e3_bounds_coverage".into(), lat.bounds.coverage()),
+        ],
+    })
+}
+
+/// E4 — Table 1: Petri-net accuracy and complexity for JPEG and VTA.
+pub fn e4_table1(n_jpeg: usize, n_vta: usize) -> Result<ExperimentOutput, CoreError> {
+    let mut table = Table::new(vec![
+        "Accel",
+        "Latency err paper",
+        "Latency err ours",
+        "Tput err paper",
+        "Tput err ours",
+        "Complexity paper",
+        "Complexity ours",
+    ]);
+    let mut values = Vec::new();
+
+    // JPEG row.
+    {
+        let mut sim = accel_jpeg::JpegCycleSim::default();
+        let iface = accel_jpeg::interface::petri::JpegPetriInterface::new()?;
+        let mut g = accel_jpeg::ImageGen::new(50);
+        let imgs = g.gen_many(n_jpeg);
+        let lat = validate(&mut sim, &iface, Metric::Latency, &imgs)?;
+        let tput = validate(&mut sim, &iface, Metric::Throughput, &imgs)?;
+        let impl_src = accel_jpeg::implementation_sources().join("\n");
+        let cx = Complexity::measure(
+            iface.source(),
+            CommentStyle::Hash,
+            &impl_src,
+            CommentStyle::Slashes,
+        );
+        table.row(vec![
+            "JPEG".into(),
+            "0.09% (0.50%)".into(),
+            lat.point.paper_style(),
+            "0.09% (0.51%)".into(),
+            tput.point.paper_style(),
+            "2.5%".into(),
+            cx.paper_style(),
+        ]);
+        values.push(("e4_jpeg_lat_avg".into(), lat.point.avg));
+        values.push(("e4_jpeg_lat_max".into(), lat.point.max));
+        values.push(("e4_jpeg_complexity".into(), cx.ratio()));
+    }
+    // VTA row.
+    {
+        let mut sim = accel_vta::VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
+        let iface = accel_vta::interface::petri::VtaPetriInterface::new_full()?;
+        let mut g = accel_vta::gen::ProgGen::new(1500);
+        let progs = g.gen_many(n_vta);
+        let lat = validate(&mut sim, &iface, Metric::Latency, &progs)?;
+        let tput = validate(&mut sim, &iface, Metric::Throughput, &progs)?;
+        let impl_src = accel_vta::implementation_sources().join("\n");
+        let cx = Complexity::measure(
+            iface.source(),
+            CommentStyle::Hash,
+            &impl_src,
+            CommentStyle::Slashes,
+        );
+        table.row(vec![
+            "VTA".into(),
+            "1.49% (9.3%)".into(),
+            lat.point.paper_style(),
+            "1.44% (8.55%)".into(),
+            tput.point.paper_style(),
+            "2.6%".into(),
+            cx.paper_style(),
+        ]);
+        values.push(("e4_vta_lat_avg".into(), lat.point.avg));
+        values.push(("e4_vta_lat_max".into(), lat.point.max));
+        values.push(("e4_vta_complexity".into(), cx.ratio()));
+    }
+    Ok(ExperimentOutput {
+        id: "E4",
+        title: "Table 1 — Petri-net prediction accuracy and complexity",
+        table,
+        notes: vec![
+            "Complexity = LoC(.pnet) / LoC(cycle-accurate implementation); our \
+             implementation is Rust rather than Verilog, so the ratio's scale differs \
+             while staying in the low single-digit percent."
+                .into(),
+        ],
+        values,
+    })
+}
+
+/// E5 — §3 in-text: autotuner profiling speedup, Petri net vs
+/// cycle-accurate simulation, over random instruction sequences.
+pub fn e5_profiling_speedup(n_progs: usize) -> Result<ExperimentOutput, CoreError> {
+    let mut sim = accel_vta::VtaCycleSim::default(); // RTL fidelity.
+    let petri = accel_vta::interface::petri::VtaPetriInterface::new_full()?;
+    let mut g = accel_vta::gen::ProgGen::new(7777);
+    // The paper's 1500 sequences include long kernels: widen the block
+    // range so sequence lengths span two orders of magnitude.
+    g.cfg.blocks = (1, 96);
+    let progs = g.gen_many(n_progs);
+    let mut speedups = Vec::with_capacity(n_progs);
+    let mut total_sim = 0.0;
+    let mut total_petri = 0.0;
+    for p in &progs {
+        let t0 = Instant::now();
+        let _ = sim.measure(p)?;
+        let t_sim = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let _ = petri.run(p)?;
+        let t_petri = t0.elapsed().as_secs_f64();
+        total_sim += t_sim;
+        total_petri += t_petri;
+        speedups.push(t_sim / t_petri.max(1e-9));
+    }
+    let max = stats::max(&speedups);
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = stats::mean(&speedups);
+    let mut table = Table::new(vec!["Quantity", "Paper", "Measured"]);
+    table.row(vec!["max speedup".into(), "1312x".into(), speedup(max)]);
+    table.row(vec!["min speedup".into(), "2.1x".into(), speedup(min)]);
+    table.row(vec!["mean speedup".into(), "—".into(), speedup(mean)]);
+    table.row(vec![
+        "total profiling time".into(),
+        "minutes–hours vs seconds".into(),
+        format!("{total_sim:.2}s vs {total_petri:.2}s"),
+    ]);
+    Ok(ExperimentOutput {
+        id: "E5",
+        title: "§3 — TVM-style profiling: Petri net vs cycle-accurate simulation",
+        table,
+        notes: vec![
+            "Our cycle model evaluates the datapath every cycle (Verilator-class \
+             cost) but remains lighter than true RTL simulation, so absolute \
+             speedups sit below the paper's 1312x while preserving the shape: \
+             always > 1x and growing with sequence length."
+                .into(),
+        ],
+        values: vec![
+            ("e5_max_speedup".into(), max),
+            ("e5_min_speedup".into(), min),
+            ("e5_mean_speedup".into(), mean),
+        ],
+    })
+}
+
+/// E6 — §2 Example #2 / §4: serializer crossover study.
+pub fn e6_crossover() -> Result<ExperimentOutput, CoreError> {
+    let sweep = perf_workloads::rpc::crossover_sweep(42);
+    let mut table = Table::new(vec!["Wire bytes", "CPU", "Optimus", "Protoacc", "Winner"]);
+    for c in &sweep {
+        table.row(vec![
+            format!("{}", c.bytes),
+            format!("{:.0}", c.cpu),
+            format!("{:.0}", c.optimus),
+            format!("{:.0}", c.protoacc),
+            c.winner().into(),
+        ]);
+    }
+    let (peak, eff) = perf_workloads::rpc::peak_vs_realistic(3, 400);
+    let small = sweep.iter().find(|c| c.bytes >= 100).expect("covered");
+    let large = sweep.iter().find(|c| c.bytes >= 8192).expect("covered");
+    Ok(ExperimentOutput {
+        id: "E6",
+        title: "§2 Ex.2 / §4 — serialization backend crossover",
+        table,
+        notes: vec![
+            format!(
+                "small objects (~{} B): winner {}; large objects (~{} B): winner {}",
+                small.bytes,
+                small.winner(),
+                large.bytes,
+                large.winner()
+            ),
+            format!(
+                "datasheet peak vs realistic mix: {:.2} vs {:.2} B/cycle ({:.1}x gap; paper: 33 vs 14 Gb/s = 2.4x)",
+                peak,
+                eff,
+                peak / eff
+            ),
+        ],
+        values: vec![
+            ("e6_peak_over_eff".into(), peak / eff),
+            (
+                "e6_small_pa_loses_to_cpu".into(),
+                f64::from(u8::from(small.protoacc > small.cpu)),
+            ),
+        ],
+    })
+}
+
+/// E7 — §2 Example #1: SoC design from interfaces.
+pub fn e7_soc_design() -> Result<ExperimentOutput, CoreError> {
+    let space = perf_workloads::soc::design_space()?;
+    let mut table = Table::new(vec![
+        "Loop",
+        "Area (kGE)",
+        "Latency (cyc/hash)",
+        "Tput (hash/cyc)",
+        "Validated latency",
+    ]);
+    let mut worst_rel = 0.0f64;
+    for p in &space {
+        let (claimed, measured) = perf_workloads::soc::validate_point(p)?;
+        worst_rel = worst_rel.max((claimed - measured).abs() / measured);
+        table.row(vec![
+            format!("{}", p.loop_),
+            format!("{:.0}", p.area_kge),
+            format!("{:.0}", p.latency),
+            format!("{:.4}", p.throughput),
+            format!("{measured:.2}"),
+        ]);
+    }
+    let pick = perf_workloads::soc::pick_within_area(300.0)?.expect("budget feasible");
+    Ok(ExperimentOutput {
+        id: "E7",
+        title: "§2 Ex.1 — SoC sizing of the Bitcoin miner from its interface",
+        table,
+        notes: vec![
+            format!(
+                "under a 300 kGE budget the interface picks Loop = {} ({:.0} kGE, {} cyc/hash)",
+                pick.loop_, pick.area_kge, pick.latency
+            ),
+            format!(
+                "interface-claimed latencies validated within {} of the cycle model",
+                pct(worst_rel)
+            ),
+        ],
+        values: vec![
+            ("e7_pick_loop".into(), pick.loop_ as f64),
+            ("e7_worst_validation_err".into(), worst_rel),
+        ],
+    })
+}
+
+/// E8 — §5 strawman: end-to-end offload prediction.
+pub fn e8_offload(n_requests: usize) -> Result<ExperimentOutput, CoreError> {
+    let trace = perf_workloads::offload::record_trace(n_requests, 11);
+    let s = perf_workloads::offload::run_study(&trace)?;
+    let (pred_sp, actual_sp) = s.speedups();
+    let mut table = Table::new(vec!["Run", "End-to-end cycles"]);
+    table.row(vec![
+        "software serializer".into(),
+        format!("{}", s.software),
+    ]);
+    table.row(vec![
+        "offload (interface-predicted)".into(),
+        format!("{:.0}", s.predicted_offload),
+    ]);
+    table.row(vec![
+        "offload (accelerator model)".into(),
+        format!("{}", s.actual_offload),
+    ]);
+    Ok(ExperimentOutput {
+        id: "E8",
+        title: "§5 — record/replay end-to-end offload prediction",
+        table,
+        notes: vec![format!(
+            "prediction error {}; speedup predicted {:.2}x vs measured {:.2}x",
+            pct(s.prediction_error()),
+            pred_sp,
+            actual_sp
+        )],
+        values: vec![
+            ("e8_prediction_error".into(), s.prediction_error()),
+            ("e8_actual_speedup".into(), actual_sp),
+        ],
+    })
+}
+
+/// E9 — ablation: full vs corner-cut VTA Petri net.
+pub fn e9_petri_ablation(n_progs: usize) -> Result<ExperimentOutput, CoreError> {
+    let mut sim = accel_vta::VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
+    let full = accel_vta::interface::petri::VtaPetriInterface::new_full()?;
+    let lite = accel_vta::interface::petri::VtaPetriInterface::new_lite()?;
+    let mut g = accel_vta::gen::ProgGen::new(99);
+    let progs = g.gen_many(n_progs);
+    let rf = validate(&mut sim, &full, Metric::Latency, &progs)?;
+    let rl = validate(&mut sim, &lite, Metric::Latency, &progs)?;
+    // Evaluation cost: events processed per program.
+    let mut full_events = 0.0;
+    let mut lite_events = 0.0;
+    for p in &progs {
+        full_events += full.run(p)?.events as f64;
+        lite_events += lite.run(p)?.events as f64;
+    }
+    let mut table = Table::new(vec![
+        "Net",
+        "Avg (max) latency err",
+        "Events/program",
+        "Transitions",
+    ]);
+    table.row(vec![
+        "full (dep tokens)".into(),
+        rf.point.paper_style(),
+        format!("{:.0}", full_events / n_progs as f64),
+        format!("{}", full.net().transitions().len()),
+    ]);
+    table.row(vec![
+        "lite (corner-cut)".into(),
+        rl.point.paper_style(),
+        format!("{:.0}", lite_events / n_progs as f64),
+        format!("{}", lite.net().transitions().len()),
+    ]);
+    Ok(ExperimentOutput {
+        id: "E9",
+        title: "Ablation — corner-cutting the VTA Petri net (§3/§5)",
+        table,
+        notes: vec![
+            "Dropping the dependency-token places makes the net smaller and \
+             cheaper but blind to cross-module stalls — the error the paper \
+             attributes to 'deliberately cutting corners', magnified."
+                .into(),
+        ],
+        values: vec![
+            ("e9_full_avg".into(), rf.point.avg),
+            ("e9_lite_avg".into(), rl.point.avg),
+        ],
+    })
+}
+
+/// E10 — autotuner quality: does Petri-net costing pick the same
+/// schedules as cycle-accurate costing?
+pub fn e10_autotune_quality() -> Result<ExperimentOutput, CoreError> {
+    use perf_autotune::cost::{CostBackend, CycleCost, PetriCost};
+    use perf_autotune::{GemmWorkload, Tuner};
+    let w = GemmWorkload::new(256, 256, 256);
+    let mut tuner = Tuner::new(w, 5)?;
+    let mut cyc = CycleCost::new();
+    let mut pet = PetriCost::new()?;
+    let truth = tuner.exhaustive(&mut cyc)?;
+    let approx = tuner.exhaustive(&mut pet)?;
+    let xs: Vec<f64> = truth.iter().map(|(_, c)| *c).collect();
+    let ys: Vec<f64> = approx.iter().map(|(_, c)| *c).collect();
+    let rho = stats::spearman(&xs, &ys);
+    let best_true = truth
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("nonempty");
+    let best_petri = approx
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("nonempty");
+    // Cost (under ground truth) of the schedule the petri backend picks.
+    let petri_choice_true_cost = truth
+        .iter()
+        .find(|(s, _)| *s == best_petri.0)
+        .expect("same space")
+        .1;
+    let regret = petri_choice_true_cost / best_true.1 - 1.0;
+    let mut table = Table::new(vec!["Quantity", "Value"]);
+    table.row(vec![
+        "schedule space".into(),
+        format!("{} tilings of 256^3 GEMM", tuner.space.len()),
+    ]);
+    table.row(vec![
+        "rank correlation (Spearman)".into(),
+        format!("{rho:.3}"),
+    ]);
+    table.row(vec![
+        "best schedule (cycle-accurate)".into(),
+        format!("{:?} @ {:.0} cyc", best_true.0, best_true.1),
+    ]);
+    table.row(vec![
+        "best schedule (petri)".into(),
+        format!("{:?} @ {:.0} cyc", best_petri.0, best_petri.1),
+    ]);
+    table.row(vec!["tuning regret".into(), pct(regret)]);
+    table.row(vec![
+        "profiling time".into(),
+        format!("{:?} vs {:?}", cyc.time_spent(), pet.time_spent()),
+    ]);
+    Ok(ExperimentOutput {
+        id: "E10",
+        title: "Autotuner quality — Petri-net costing matches cycle-accurate tuning",
+        table,
+        notes: vec![
+            "The IR is useful for tuning if it ranks candidates like the ground \
+             truth; regret is the end-to-end cost of trusting it."
+                .into(),
+        ],
+        values: vec![("e10_spearman".into(), rho), ("e10_regret".into(), regret)],
+    })
+}
+
+/// E11 — §5: composing an accelerator net with the reusable
+/// interconnect component (the SmartNIC case).
+pub fn e11_noc_composition() -> Result<ExperimentOutput, CoreError> {
+    let rows = perf_workloads::smartnic::sweep(40)?;
+    let mut table = Table::new(vec![
+        "Msg bytes",
+        "Engine-only cyc/msg",
+        "Composed cyc/msg",
+        "Engine optimism",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{}", r.bytes),
+            format!("{:.1}", r.engine_only),
+            format!("{:.1}", r.composed),
+            format!("{:.2}x", r.optimism()),
+        ]);
+    }
+    let small = rows.first().expect("sweep nonempty").optimism();
+    let large = rows.last().expect("sweep nonempty").optimism();
+    Ok(ExperimentOutput {
+        id: "E11",
+        title: "§5 — accelerator net composed with a reusable interconnect component",
+        table,
+        notes: vec![format!(
+            "engine-only and composed nets agree for small messages ({small:.2}x) and              diverge once the shared channel saturates ({large:.2}x at 4 KB) — the              component-reuse answer to §5's SmartNIC question"
+        )],
+        values: vec![
+            ("e11_small_optimism".into(), small),
+            ("e11_large_optimism".into(), large),
+        ],
+    })
+}
+
+/// Runs every experiment. `quick` trims sample counts for CI-scale
+/// runs; the full configuration matches the paper's sample sizes.
+pub fn run_all(quick: bool) -> Result<Vec<ExperimentOutput>, CoreError> {
+    let (n_jpeg_e2, n_jpeg_e4, n_vta_e4, n_e5, n_e8, n_e9) = if quick {
+        (120, 25, 80, 40, 40, 60)
+    } else {
+        (1500, 50, 1500, 1500, 200, 300)
+    };
+    Ok(vec![
+        e1_nl_interfaces()?,
+        e2_jpeg_program(n_jpeg_e2)?,
+        e3_protoacc_program(if quick { 12 } else { 40 })?,
+        e4_table1(n_jpeg_e4, n_vta_e4)?,
+        e5_profiling_speedup(n_e5)?,
+        e6_crossover()?,
+        e7_soc_design()?,
+        e8_offload(n_e8)?,
+        e9_petri_ablation(n_e9)?,
+        e10_autotune_quality()?,
+        e11_noc_composition()?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_all_claims_hold() {
+        let out = e1_nl_interfaces().unwrap();
+        for (k, v) in &out.values {
+            assert_eq!(*v, 1.0, "{k} should hold");
+        }
+    }
+
+    #[test]
+    fn e2_shape_matches_paper() {
+        let out = e2_jpeg_program(80).unwrap();
+        let get = |k: &str| out.values.iter().find(|(n, _)| n == k).unwrap().1;
+        assert!(get("e2_lat_avg") < 0.06, "avg {:.4}", get("e2_lat_avg"));
+        assert!(get("e2_lat_max") < 0.30);
+    }
+
+    #[test]
+    fn e4_shape_matches_paper() {
+        let out = e4_table1(15, 40).unwrap();
+        let get = |k: &str| out.values.iter().find(|(n, _)| n == k).unwrap().1;
+        assert!(get("e4_jpeg_lat_avg") < 0.01);
+        assert!(get("e4_vta_lat_avg") < 0.05);
+        assert!(get("e4_jpeg_complexity") < 0.10);
+        assert!(get("e4_vta_complexity") < 0.12);
+    }
+
+    #[test]
+    fn e5_speedup_always_above_one() {
+        let out = e5_profiling_speedup(10).unwrap();
+        let get = |k: &str| out.values.iter().find(|(n, _)| n == k).unwrap().1;
+        assert!(get("e5_min_speedup") > 1.0);
+        assert!(get("e5_max_speedup") > get("e5_min_speedup"));
+    }
+
+    #[test]
+    fn e9_lite_errs_more_than_full() {
+        let out = e9_petri_ablation(25).unwrap();
+        let get = |k: &str| out.values.iter().find(|(n, _)| n == k).unwrap().1;
+        assert!(get("e9_lite_avg") > get("e9_full_avg") * 3.0);
+    }
+
+    #[test]
+    fn outputs_render() {
+        let out = e7_soc_design().unwrap();
+        let text = out.render();
+        assert!(text.contains("E7"));
+        assert!(text.contains("Loop"));
+    }
+}

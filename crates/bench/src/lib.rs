@@ -1,0 +1,11 @@
+//! The benchmark harness: one runner per paper table/figure.
+//!
+//! Every artifact in the paper's evaluation maps to a function here
+//! (see `DESIGN.md`'s experiment index). The `repro` binary prints them
+//! all; the Criterion benches under `benches/` exercise the same
+//! runners at reduced scale; integration tests assert the headline
+//! shapes.
+
+pub mod experiments;
+
+pub use experiments::{run_all, ExperimentOutput};

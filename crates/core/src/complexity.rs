@@ -1,0 +1,126 @@
+//! Interface-complexity metric.
+//!
+//! Table 1 of the paper reports interface complexity as the ratio of
+//! lines of code in the Petri net to lines of code in the accelerator's
+//! implementation (2.5% for the JPEG decoder, 2.6% for VTA). This module
+//! measures lines of code on source text: non-blank lines that are not
+//! pure comments, for either Rust-style (`//`) or script-style (`#`)
+//! comment syntax.
+
+/// Comment syntax to strip when counting lines of code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommentStyle {
+    /// `//` line comments (Rust, Verilog).
+    Slashes,
+    /// `#` line comments (the `.pnet`/`.pi` text formats, Python).
+    Hash,
+}
+
+/// Counts lines of code in `src`: non-blank lines whose first non-space
+/// characters are not a comment marker.
+///
+/// # Examples
+///
+/// ```
+/// use perf_core::complexity::{loc, CommentStyle};
+///
+/// let src = "# a comment\n\nplace q cap=4\ntrans t delay=1  # trailing ok\n";
+/// assert_eq!(loc(src, CommentStyle::Hash), 2);
+/// ```
+pub fn loc(src: &str, style: CommentStyle) -> usize {
+    src.lines()
+        .map(str::trim_start)
+        .filter(|l| !l.is_empty())
+        .filter(|l| match style {
+            CommentStyle::Slashes => !l.starts_with("//"),
+            CommentStyle::Hash => !l.starts_with('#'),
+        })
+        .count()
+}
+
+/// The complexity of an interface relative to the implementation it
+/// summarizes: `loc(interface) / loc(implementation)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Complexity {
+    /// Lines of code in the interface artifact.
+    pub interface_loc: usize,
+    /// Lines of code in the implementation.
+    pub implementation_loc: usize,
+}
+
+impl Complexity {
+    /// Measures complexity from two source texts.
+    pub fn measure(
+        interface_src: &str,
+        interface_style: CommentStyle,
+        implementation_src: &str,
+        implementation_style: CommentStyle,
+    ) -> Complexity {
+        Complexity {
+            interface_loc: loc(interface_src, interface_style),
+            implementation_loc: loc(implementation_src, implementation_style),
+        }
+    }
+
+    /// The ratio reported in Table 1; 0 when the implementation is
+    /// empty.
+    pub fn ratio(&self) -> f64 {
+        if self.implementation_loc == 0 {
+            0.0
+        } else {
+            self.interface_loc as f64 / self.implementation_loc as f64
+        }
+    }
+
+    /// Renders as the paper's percentage form (e.g. `"2.5%"`).
+    pub fn paper_style(&self) -> String {
+        format!("{:.1}%", self.ratio() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_skips_blanks_and_comments() {
+        let rust = "// header\n\nfn f() {}\n   // indented comment\nlet x = 1; // trailing\n";
+        assert_eq!(loc(rust, CommentStyle::Slashes), 2);
+        let script = "# h\nplace p\n\n# c\ntrans t\n";
+        assert_eq!(loc(script, CommentStyle::Hash), 2);
+    }
+
+    #[test]
+    fn loc_empty() {
+        assert_eq!(loc("", CommentStyle::Hash), 0);
+        assert_eq!(loc("\n\n  \n", CommentStyle::Slashes), 0);
+    }
+
+    #[test]
+    fn ratio_and_paper_style() {
+        let c = Complexity {
+            interface_loc: 25,
+            implementation_loc: 1000,
+        };
+        assert!((c.ratio() - 0.025).abs() < 1e-12);
+        assert_eq!(c.paper_style(), "2.5%");
+        let z = Complexity {
+            interface_loc: 5,
+            implementation_loc: 0,
+        };
+        assert_eq!(z.ratio(), 0.0);
+    }
+
+    #[test]
+    fn measure_from_sources() {
+        let c = Complexity::measure(
+            "a\nb\n",
+            CommentStyle::Hash,
+            "x\ny\nz\nw\n",
+            CommentStyle::Slashes,
+        );
+        assert_eq!(c.interface_loc, 2);
+        assert_eq!(c.implementation_loc, 4);
+        assert_eq!(c.ratio(), 0.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared by the core validation and reporting machinery.
+
+use core::fmt;
+
+/// Errors produced by the core crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A validation run was given no workloads.
+    EmptyWorkloadSet,
+    /// An interface produced a prediction that cannot be scored (e.g. a
+    /// non-finite value).
+    InvalidPrediction(String),
+    /// A ground-truth measurement was unusable (e.g. zero latency for a
+    /// relative-error computation).
+    InvalidObservation(String),
+    /// A natural-language claim could not be checked on the provided
+    /// samples (e.g. fewer than two points on the claimed axis).
+    UncheckableClaim(String),
+    /// An interface artifact (program text, Petri-net text) failed to
+    /// load or evaluate; carries the lower layer's message.
+    Artifact(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyWorkloadSet => write!(f, "validation requires at least one workload"),
+            CoreError::InvalidPrediction(m) => write!(f, "invalid prediction: {m}"),
+            CoreError::InvalidObservation(m) => write!(f, "invalid observation: {m}"),
+            CoreError::UncheckableClaim(m) => write!(f, "claim cannot be checked: {m}"),
+            CoreError::Artifact(m) => write!(f, "interface artifact error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::EmptyWorkloadSet.to_string(),
+            "validation requires at least one workload"
+        );
+        assert!(CoreError::InvalidPrediction("NaN".into())
+            .to_string()
+            .contains("NaN"));
+        assert!(CoreError::Artifact("parse".into())
+            .to_string()
+            .contains("parse"));
+    }
+}

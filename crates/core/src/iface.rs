@@ -1,0 +1,172 @@
+//! The performance-interface and ground-truth traits, and the bundle of
+//! all three interface representations an accelerator ships with.
+
+use crate::nl::NlInterface;
+use crate::predict::{Observation, Prediction};
+use crate::CoreError;
+
+/// The metric an interface predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// End-to-end latency, in cycles.
+    Latency,
+    /// Sustained throughput, in items per cycle.
+    Throughput,
+}
+
+impl Metric {
+    /// Extracts this metric's value from an observation, as `f64`.
+    pub fn of(self, obs: &Observation) -> f64 {
+        match self {
+            Metric::Latency => obs.latency.as_f64(),
+            Metric::Throughput => obs.throughput.items_per_cycle(),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Latency => "latency",
+            Metric::Throughput => "throughput",
+        }
+    }
+}
+
+/// The representation kind of a performance interface, in increasing
+/// order of precision and decreasing order of human readability (§3 of
+/// the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InterfaceKind {
+    /// One-line qualitative laws (paper Fig. 1).
+    NaturalLanguage,
+    /// An executable interface program (paper Figs. 2–3).
+    Program,
+    /// A timed Petri net, the "performance IR" (paper Table 1).
+    PetriNet,
+}
+
+impl InterfaceKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterfaceKind::NaturalLanguage => "natural language",
+            InterfaceKind::Program => "program",
+            InterfaceKind::PetriNet => "petri net",
+        }
+    }
+}
+
+/// A ground-truth performance model: the cycle-accurate simulator that
+/// stands in for the accelerator's RTL.
+///
+/// `W` is the accelerator-specific workload type (an image, a message, a
+/// mining job, a VTA program).
+pub trait GroundTruth<W> {
+    /// Runs `workload` to completion and reports its measured latency
+    /// and throughput.
+    fn measure(&mut self, workload: &W) -> Result<Observation, CoreError>;
+}
+
+/// A quantitative performance interface: predicts a metric for a
+/// workload without running the accelerator.
+pub trait PerfInterface<W> {
+    /// Which representation this interface is.
+    fn kind(&self) -> InterfaceKind;
+
+    /// Predicts `metric` for `workload`.
+    fn predict(&self, workload: &W, metric: Metric) -> Result<Prediction, CoreError>;
+}
+
+/// The full set of interface artifacts an accelerator vendor ships, per
+/// the paper's proposal: one natural-language interface plus any number
+/// of executable representations.
+pub struct InterfaceBundle<W> {
+    /// Accelerator name (e.g. `"jpeg-decoder"`).
+    pub accelerator: String,
+    /// The natural-language interface with machine-checkable claims.
+    pub natural_language: NlInterface,
+    /// Executable interfaces (program and/or Petri net), most precise
+    /// last by convention.
+    pub executable: Vec<Box<dyn PerfInterface<W>>>,
+}
+
+impl<W> InterfaceBundle<W> {
+    /// Creates a bundle with no executable interfaces yet.
+    pub fn new(accelerator: impl Into<String>, nl: NlInterface) -> InterfaceBundle<W> {
+        InterfaceBundle {
+            accelerator: accelerator.into(),
+            natural_language: nl,
+            executable: Vec::new(),
+        }
+    }
+
+    /// Adds an executable interface and returns the bundle for chaining.
+    pub fn with(mut self, iface: Box<dyn PerfInterface<W>>) -> InterfaceBundle<W> {
+        self.executable.push(iface);
+        self
+    }
+
+    /// Returns the first executable interface of the given kind.
+    pub fn get(&self, kind: InterfaceKind) -> Option<&dyn PerfInterface<W>> {
+        self.executable
+            .iter()
+            .map(|b| b.as_ref())
+            .find(|i| i.kind() == kind)
+    }
+
+    /// The most precise executable interface available (Petri net if
+    /// present, otherwise a program interface).
+    pub fn most_precise(&self) -> Option<&dyn PerfInterface<W>> {
+        self.executable
+            .iter()
+            .map(|b| b.as_ref())
+            .max_by_key(|i| i.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nl::NlInterface;
+    use crate::units::Cycles;
+
+    struct Fixed(InterfaceKind, f64);
+
+    impl PerfInterface<u64> for Fixed {
+        fn kind(&self) -> InterfaceKind {
+            self.0
+        }
+        fn predict(&self, w: &u64, _m: Metric) -> Result<Prediction, CoreError> {
+            Ok(Prediction::point(self.1 * *w as f64))
+        }
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let o = Observation::single_item(Cycles(50));
+        assert_eq!(Metric::Latency.of(&o), 50.0);
+        assert!((Metric::Throughput.of(&o) - 0.02).abs() < 1e-12);
+        assert_eq!(Metric::Latency.name(), "latency");
+    }
+
+    #[test]
+    fn bundle_lookup_and_precision_order() {
+        let bundle: InterfaceBundle<u64> =
+            InterfaceBundle::new("toy", NlInterface::new("toy", "Latency is linear in size."))
+                .with(Box::new(Fixed(InterfaceKind::Program, 2.0)))
+                .with(Box::new(Fixed(InterfaceKind::PetriNet, 1.0)));
+        assert!(bundle.get(InterfaceKind::Program).is_some());
+        assert!(bundle.get(InterfaceKind::NaturalLanguage).is_none());
+        let best = bundle.most_precise().unwrap();
+        assert_eq!(best.kind(), InterfaceKind::PetriNet);
+        let p = best.predict(&3, Metric::Latency).unwrap();
+        assert_eq!(p, Prediction::point(3.0));
+    }
+
+    #[test]
+    fn interface_kind_ordering_matches_precision() {
+        assert!(InterfaceKind::NaturalLanguage < InterfaceKind::Program);
+        assert!(InterfaceKind::Program < InterfaceKind::PetriNet);
+        assert_eq!(InterfaceKind::PetriNet.name(), "petri net");
+    }
+}

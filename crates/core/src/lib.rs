@@ -1,0 +1,32 @@
+//! Core traits and types for accelerator performance interfaces.
+//!
+//! This crate defines the vocabulary of the whole workspace: physical
+//! units ([`units`]), the prediction and observation types
+//! ([`predict`]), the traits implemented by ground-truth models and by
+//! interfaces ([`iface`]), machine-checkable natural-language claims
+//! ([`nl`]), the validation harness that scores an interface against a
+//! ground truth ([`validate`]), the interface-complexity metric
+//! ([`complexity`]), small statistics helpers ([`stats`]) and plain-text
+//! report rendering ([`report`]).
+//!
+//! The design follows the HotOS '23 paper "The Case for Performance
+//! Interfaces for Hardware Accelerators": an accelerator ships with an
+//! [`iface::InterfaceBundle`] holding three representations of its
+//! performance behavior — natural-language text, an executable program,
+//! and a Petri-net IR — each trading readability for precision.
+
+pub mod complexity;
+pub mod error;
+pub mod iface;
+pub mod nl;
+pub mod predict;
+pub mod report;
+pub mod stats;
+pub mod units;
+pub mod validate;
+
+pub use error::CoreError;
+pub use iface::{GroundTruth, InterfaceBundle, InterfaceKind, PerfInterface};
+pub use predict::{Observation, Prediction};
+pub use units::{Cycles, Freq, Throughput};
+pub use validate::{ErrorStats, ValidationReport};

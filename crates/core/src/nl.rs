@@ -1,0 +1,377 @@
+//! Natural-language performance interfaces with machine-checkable
+//! claims.
+//!
+//! The paper's Fig. 1 interfaces are one-line English statements such as
+//! "Latency is inversely proportional to the input image's compression
+//! rate". Plain prose cannot be validated, so this module pairs the
+//! prose with a structured [`Claim`] that a harness can check against
+//! samples from the ground-truth model: the text is what a human reads,
+//! the claim is what the machine verifies.
+
+use crate::stats;
+use crate::CoreError;
+
+/// The quantity a natural-language claim constrains. Unlike
+/// [`crate::iface::Metric`], this includes design-time quantities such
+/// as silicon area (the Bitcoin miner's Fig. 1 interface trades area
+/// against latency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantity {
+    /// End-to-end latency.
+    Latency,
+    /// Sustained throughput.
+    Throughput,
+    /// Silicon area.
+    Area,
+}
+
+impl Quantity {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Quantity::Latency => "latency",
+            Quantity::Throughput => "throughput",
+            Quantity::Area => "area",
+        }
+    }
+}
+
+/// The direction of a monotone relationship.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// The metric grows as the axis grows.
+    Increasing,
+    /// The metric shrinks as the axis grows.
+    Decreasing,
+}
+
+/// A machine-checkable qualitative law about one metric along one
+/// workload axis (an axis is a named scalar property of the workload,
+/// e.g. `compress_rate` or `nesting_depth`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Claim {
+    /// The metric varies monotonically with the axis.
+    Monotone {
+        /// The quantity the law constrains.
+        metric: Quantity,
+        /// The workload axis the law is about.
+        axis: String,
+        /// Direction of the relationship.
+        direction: Direction,
+    },
+    /// `metric ≈ k · axis` for some k: proportionality up to
+    /// `tolerance` relative deviation from the best linear fit through
+    /// the origin.
+    Proportional {
+        /// The quantity the law constrains.
+        metric: Quantity,
+        /// The workload axis the law is about.
+        axis: String,
+        /// Allowed relative deviation from `k·axis`.
+        tolerance: f64,
+    },
+    /// `metric ≈ k / axis`: inverse proportionality up to `tolerance`.
+    InverselyProportional {
+        /// The quantity the law constrains.
+        metric: Quantity,
+        /// The workload axis the law is about.
+        axis: String,
+        /// Allowed relative deviation from `k/axis`.
+        tolerance: f64,
+    },
+    /// `metric == axis` exactly (e.g. the Bitcoin miner: latency in
+    /// cycles equals the `Loop` parameter).
+    Equals {
+        /// The quantity the law constrains.
+        metric: Quantity,
+        /// The workload axis whose value the metric equals.
+        axis: String,
+    },
+}
+
+impl Claim {
+    /// The axis this claim constrains.
+    pub fn axis(&self) -> &str {
+        match self {
+            Claim::Monotone { axis, .. }
+            | Claim::Proportional { axis, .. }
+            | Claim::InverselyProportional { axis, .. }
+            | Claim::Equals { axis, .. } => axis,
+        }
+    }
+
+    /// The metric this claim constrains.
+    pub fn metric(&self) -> Quantity {
+        match self {
+            Claim::Monotone { metric, .. }
+            | Claim::Proportional { metric, .. }
+            | Claim::InverselyProportional { metric, .. }
+            | Claim::Equals { metric, .. } => *metric,
+        }
+    }
+
+    /// Checks the claim against paired samples `(axis value, metric
+    /// value)`. Samples need not be sorted. At least two samples with
+    /// distinct axis values are required.
+    pub fn check(&self, samples: &[(f64, f64)]) -> Result<ClaimVerdict, CoreError> {
+        let mut pts: Vec<(f64, f64)> = samples.to_vec();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(core::cmp::Ordering::Equal));
+        pts.dedup_by(|a, b| a.0 == b.0);
+        if pts.len() < 2 {
+            return Err(CoreError::UncheckableClaim(format!(
+                "claim on axis `{}` needs >= 2 distinct axis values, got {}",
+                self.axis(),
+                pts.len()
+            )));
+        }
+        match self {
+            Claim::Monotone { direction, .. } => Ok(check_monotone(&pts, *direction)),
+            Claim::Proportional { tolerance, .. } => Ok(check_fit(&pts, *tolerance, |x| x)),
+            Claim::InverselyProportional { tolerance, .. } => {
+                if pts.iter().any(|&(x, _)| x == 0.0) {
+                    return Err(CoreError::UncheckableClaim(
+                        "inverse proportionality undefined at axis value 0".into(),
+                    ));
+                }
+                Ok(check_fit(&pts, *tolerance, |x| 1.0 / x))
+            }
+            Claim::Equals { .. } => {
+                let worst = pts
+                    .iter()
+                    .filter_map(|&(x, y)| stats::rel_error(y, x))
+                    .fold(0.0, f64::max);
+                Ok(ClaimVerdict {
+                    holds: pts.iter().all(|&(x, y)| x == y),
+                    worst_violation: worst,
+                })
+            }
+        }
+    }
+}
+
+/// Result of checking one claim.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClaimVerdict {
+    /// Whether the claim held on all samples.
+    pub holds: bool,
+    /// Largest observed violation (claim-specific units: relative
+    /// deviation for fits, magnitude of the wrong-direction step for
+    /// monotonicity).
+    pub worst_violation: f64,
+}
+
+fn check_monotone(pts: &[(f64, f64)], dir: Direction) -> ClaimVerdict {
+    let mut holds = true;
+    let mut worst = 0.0f64;
+    for w in pts.windows(2) {
+        let dy = w[1].1 - w[0].1;
+        let bad = match dir {
+            Direction::Increasing => dy < 0.0,
+            Direction::Decreasing => dy > 0.0,
+        };
+        if bad {
+            holds = false;
+            worst = worst.max(dy.abs());
+        }
+    }
+    ClaimVerdict {
+        holds,
+        worst_violation: worst,
+    }
+}
+
+/// Fits `y = k·f(x)` by least squares through the origin and reports the
+/// worst relative deviation.
+fn check_fit(pts: &[(f64, f64)], tolerance: f64, f: impl Fn(f64) -> f64) -> ClaimVerdict {
+    let num: f64 = pts.iter().map(|&(x, y)| f(x) * y).sum();
+    let den: f64 = pts.iter().map(|&(x, _)| f(x) * f(x)).sum();
+    if den == 0.0 {
+        return ClaimVerdict {
+            holds: false,
+            worst_violation: f64::INFINITY,
+        };
+    }
+    let k = num / den;
+    let worst = pts
+        .iter()
+        .filter_map(|&(x, y)| stats::rel_error(k * f(x), y))
+        .fold(0.0, f64::max);
+    ClaimVerdict {
+        holds: worst <= tolerance,
+        worst_violation: worst,
+    }
+}
+
+/// A natural-language performance interface: prose plus checkable
+/// claims.
+///
+/// # Examples
+///
+/// ```
+/// use perf_core::nl::{Claim, Direction, NlInterface};
+/// use perf_core::nl::Quantity;
+///
+/// let nl = NlInterface::new(
+///     "jpeg-decoder",
+///     "Latency is inversely proportional to the input image's compression rate.",
+/// )
+/// .with_claim(Claim::Monotone {
+///     metric: Quantity::Latency,
+///     axis: "compress_rate".into(),
+///     direction: Direction::Decreasing,
+/// });
+/// // Latency falls as compression rate rises: the claim holds.
+/// let verdict = nl.claims[0]
+///     .check(&[(2.0, 100.0), (4.0, 60.0), (8.0, 35.0)])
+///     .unwrap();
+/// assert!(verdict.holds);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NlInterface {
+    /// Accelerator this interface describes.
+    pub accelerator: String,
+    /// The human-readable one-liner(s), Fig. 1 style.
+    pub text: String,
+    /// Machine-checkable versions of the statements in `text`.
+    pub claims: Vec<Claim>,
+}
+
+impl NlInterface {
+    /// Creates an interface with the given prose and no claims yet.
+    pub fn new(accelerator: impl Into<String>, text: impl Into<String>) -> NlInterface {
+        NlInterface {
+            accelerator: accelerator.into(),
+            text: text.into(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// Attaches a checkable claim; returns `self` for chaining.
+    pub fn with_claim(mut self, claim: Claim) -> NlInterface {
+        self.claims.push(claim);
+        self
+    }
+
+    /// Checks all claims against per-claim sample sets. `samples[i]`
+    /// must correspond to `claims[i]`.
+    pub fn check_all(&self, samples: &[Vec<(f64, f64)>]) -> Result<Vec<ClaimVerdict>, CoreError> {
+        if samples.len() != self.claims.len() {
+            return Err(CoreError::UncheckableClaim(format!(
+                "{} claims but {} sample sets",
+                self.claims.len(),
+                samples.len()
+            )));
+        }
+        self.claims
+            .iter()
+            .zip(samples)
+            .map(|(c, s)| c.check(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mono_dec() -> Claim {
+        Claim::Monotone {
+            metric: Quantity::Latency,
+            axis: "x".into(),
+            direction: Direction::Decreasing,
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_holds_and_fails() {
+        let c = mono_dec();
+        assert!(
+            c.check(&[(1.0, 9.0), (2.0, 5.0), (3.0, 1.0)])
+                .unwrap()
+                .holds
+        );
+        let v = c.check(&[(1.0, 9.0), (2.0, 12.0), (3.0, 1.0)]).unwrap();
+        assert!(!v.holds);
+        assert_eq!(v.worst_violation, 3.0);
+    }
+
+    #[test]
+    fn monotone_unsorted_input_is_sorted_first() {
+        let c = mono_dec();
+        assert!(
+            c.check(&[(3.0, 1.0), (1.0, 9.0), (2.0, 5.0)])
+                .unwrap()
+                .holds
+        );
+    }
+
+    #[test]
+    fn too_few_samples_is_uncheckable() {
+        let c = mono_dec();
+        assert!(matches!(
+            c.check(&[(1.0, 2.0)]),
+            Err(CoreError::UncheckableClaim(_))
+        ));
+        // Duplicated axis values collapse to one point.
+        assert!(matches!(
+            c.check(&[(1.0, 2.0), (1.0, 3.0)]),
+            Err(CoreError::UncheckableClaim(_))
+        ));
+    }
+
+    #[test]
+    fn proportional_claim() {
+        let c = Claim::Proportional {
+            metric: Quantity::Latency,
+            axis: "size".into(),
+            tolerance: 0.05,
+        };
+        // y = 3x exactly.
+        assert!(
+            c.check(&[(1.0, 3.0), (2.0, 6.0), (10.0, 30.0)])
+                .unwrap()
+                .holds
+        );
+        // 20% off on one point.
+        let v = c.check(&[(1.0, 3.0), (2.0, 6.0), (10.0, 36.0)]).unwrap();
+        assert!(!v.holds);
+    }
+
+    #[test]
+    fn inverse_proportional_claim() {
+        let c = Claim::InverselyProportional {
+            metric: Quantity::Latency,
+            axis: "rate".into(),
+            tolerance: 0.02,
+        };
+        assert!(
+            c.check(&[(1.0, 12.0), (2.0, 6.0), (4.0, 3.0)])
+                .unwrap()
+                .holds
+        );
+        assert!(matches!(
+            c.check(&[(0.0, 1.0), (1.0, 2.0)]),
+            Err(CoreError::UncheckableClaim(_))
+        ));
+    }
+
+    #[test]
+    fn equals_claim() {
+        let c = Claim::Equals {
+            metric: Quantity::Latency,
+            axis: "loop".into(),
+        };
+        assert!(c.check(&[(4.0, 4.0), (8.0, 8.0)]).unwrap().holds);
+        let v = c.check(&[(4.0, 4.0), (8.0, 9.0)]).unwrap();
+        assert!(!v.holds);
+        assert!((v.worst_violation - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_all_requires_matching_lengths() {
+        let nl = NlInterface::new("a", "t").with_claim(mono_dec());
+        assert!(nl.check_all(&[]).is_err());
+        let ok = nl.check_all(&[vec![(1.0, 2.0), (2.0, 1.0)]]).unwrap();
+        assert!(ok[0].holds);
+    }
+}

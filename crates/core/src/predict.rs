@@ -1,0 +1,143 @@
+//! Predictions made by interfaces and observations made on ground truth.
+
+use crate::units::{Cycles, Throughput};
+use core::fmt;
+
+/// A performance prediction for one workload.
+///
+/// Interfaces may predict a point value or, when a closed form is out of
+/// reach (Protoacc's latency in the paper's Fig. 3), an interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Prediction {
+    /// A single predicted value.
+    Point(f64),
+    /// An interval `[min, max]` guaranteed to contain the true value.
+    Bounds {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+}
+
+impl Prediction {
+    /// Builds a point prediction.
+    pub fn point(v: f64) -> Prediction {
+        Prediction::Point(v)
+    }
+
+    /// Builds an interval prediction, normalizing order.
+    pub fn bounds(a: f64, b: f64) -> Prediction {
+        Prediction::Bounds {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Returns `true` if every carried value is finite.
+    pub fn is_finite(&self) -> bool {
+        match *self {
+            Prediction::Point(v) => v.is_finite(),
+            Prediction::Bounds { min, max } => min.is_finite() && max.is_finite(),
+        }
+    }
+
+    /// The representative value used for error computations: the point
+    /// itself, or the interval midpoint.
+    pub fn midpoint(&self) -> f64 {
+        match *self {
+            Prediction::Point(v) => v,
+            Prediction::Bounds { min, max } => 0.5 * (min + max),
+        }
+    }
+
+    /// Whether `value` is consistent with the prediction: equal-ish for
+    /// a point (caller applies its own tolerance via error stats), or
+    /// inside the interval for bounds.
+    pub fn contains(&self, value: f64) -> bool {
+        match *self {
+            Prediction::Point(_) => true,
+            Prediction::Bounds { min, max } => value >= min && value <= max,
+        }
+    }
+}
+
+impl fmt::Display for Prediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Prediction::Point(v) => write!(f, "{v:.3}"),
+            Prediction::Bounds { min, max } => write!(f, "[{min:.3}, {max:.3}]"),
+        }
+    }
+}
+
+/// A ground-truth measurement of one workload on a cycle-accurate model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// End-to-end latency of the workload.
+    pub latency: Cycles,
+    /// Sustained throughput while processing the workload.
+    pub throughput: Throughput,
+}
+
+impl Observation {
+    /// Creates an observation.
+    pub fn new(latency: Cycles, throughput: Throughput) -> Observation {
+        Observation {
+            latency,
+            throughput,
+        }
+    }
+
+    /// An observation for a single item whose throughput is the inverse
+    /// of its latency (the paper's JPEG decoder processes images
+    /// one-by-one, so `tput = 1 / latency`).
+    pub fn single_item(latency: Cycles) -> Observation {
+        Observation {
+            latency,
+            throughput: Throughput::per(latency),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_normalized() {
+        let p = Prediction::bounds(10.0, 2.0);
+        assert_eq!(
+            p,
+            Prediction::Bounds {
+                min: 2.0,
+                max: 10.0
+            }
+        );
+        assert!(p.contains(5.0));
+        assert!(!p.contains(11.0));
+        assert_eq!(p.midpoint(), 6.0);
+    }
+
+    #[test]
+    fn point_prediction() {
+        let p = Prediction::point(3.5);
+        assert_eq!(p.midpoint(), 3.5);
+        assert!(p.is_finite());
+        assert!(p.contains(1e9));
+        assert_eq!(p.to_string(), "3.500");
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        assert!(!Prediction::point(f64::NAN).is_finite());
+        assert!(!Prediction::bounds(1.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn single_item_observation() {
+        let o = Observation::single_item(Cycles(200));
+        assert_eq!(o.latency, Cycles(200));
+        assert!((o.throughput.items_per_cycle() - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text table rendering for the benchmark harness.
+//!
+//! The `repro` binary prints each of the paper's tables and figures as
+//! an aligned ASCII table; this module is the shared renderer.
+
+use core::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use perf_core::report::Table;
+///
+/// let mut t = Table::new(vec!["Accel", "Avg err", "Max err"]);
+/// t.row(vec!["JPEG".into(), "0.09%".into(), "0.50%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("JPEG"));
+/// assert!(s.starts_with("Accel"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Table {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(core::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders as GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| {
+            let mut line = String::from("|");
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {cell:<width$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &w));
+        let mut sep = String::from("|");
+        for width in &w {
+            sep.push_str(&format!("{:-<1$}|", "", width + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &w));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+        writeln!(f, "{:-<total$}", "")?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a speedup factor (e.g. `1312.4x`).
+pub fn speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "a      bbbb");
+        assert_eq!(lines[2], "xxxxx  y   ");
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec![]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| x"));
+        assert!(md.lines().nth(1).unwrap().starts_with("|--"));
+        assert!(md.contains("| 1"));
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(pct(0.021), "2.10%");
+        assert_eq!(speedup(1312.04), "1312.0x");
+    }
+}

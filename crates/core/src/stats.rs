@@ -1,0 +1,214 @@
+//! Small statistics helpers used by the validation harness and the
+//! natural-language claim checker.
+
+/// Arithmetic mean; returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum; returns 0 for an empty slice, ignores NaNs.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(0.0, f64::max)
+}
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation; returns 0 for
+/// an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Least-squares fit `y = a + b·x`; returns `(a, b)`. Requires at least
+/// two points with distinct x; otherwise returns `(mean(y), 0)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return (mean(ys), 0.0);
+    }
+    let mx = mean(&xs[..n]);
+    let my = mean(&ys[..n]);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+    }
+    if sxx == 0.0 {
+        return (my, 0.0);
+    }
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Pearson correlation coefficient of paired samples; 0 when undefined.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(&xs[..n]);
+    let my = mean(&ys[..n]);
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Spearman rank correlation of paired samples; 0 when undefined.
+///
+/// Used by the autotuner-quality experiment: an interface is useful for
+/// tuning if it *ranks* candidate schedules like the ground truth does,
+/// even if absolute predictions are off.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let rx = ranks(&xs[..n]);
+    let ry = ranks(&ys[..n]);
+    pearson(&rx, &ry)
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Relative error `|pred - truth| / |truth|`; returns `None` when the
+/// truth is zero or either value is non-finite.
+pub fn rel_error(pred: f64, truth: f64) -> Option<f64> {
+    if !pred.is_finite() || !truth.is_finite() || truth == 0.0 {
+        None
+    } else {
+        Some((pred - truth).abs() / truth.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max_stddev() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(max(&xs), 4.0);
+        assert!((stddev(&xs) - 1.118033988).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 7.0, 9.0, 11.0];
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 5.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        let (a, b) = linear_fit(&[1.0, 1.0], &[2.0, 4.0]);
+        assert_eq!(b, 0.0);
+        assert_eq!(a, 3.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear: Spearman 1, Pearson < 1.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error_cases() {
+        assert_eq!(rel_error(110.0, 100.0), Some(0.1));
+        assert_eq!(rel_error(1.0, 0.0), None);
+        assert_eq!(rel_error(f64::NAN, 1.0), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Physical units used throughout the workspace.
+//!
+//! Accelerator models report time in clock cycles ([`Cycles`]) and rates
+//! in items (or bytes) per cycle ([`Throughput`]). A clock frequency
+//! ([`Freq`]) converts cycle-denominated quantities into wall-clock or
+//! bits-per-second figures when a benchmark wants paper-style units
+//! (e.g. Gb/s for serializers).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration measured in clock cycles of the accelerator's clock.
+///
+/// # Examples
+///
+/// ```
+/// use perf_core::units::Cycles;
+///
+/// let a = Cycles(100);
+/// let b = Cycles(36);
+/// assert_eq!(a + b, Cycles(136));
+/// assert_eq!((a - b).get(), 64);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cycle count as a floating-point number, for error
+    /// computations.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A rate in items per cycle.
+///
+/// "Item" is workload-defined: images for the JPEG decoder, messages for
+/// Protoacc, hashes for the Bitcoin miner, instructions for VTA. Bytes
+/// per cycle are represented the same way with the item being one byte.
+///
+/// # Examples
+///
+/// ```
+/// use perf_core::units::{Cycles, Throughput};
+///
+/// // One image finished every 1365 cycles.
+/// let t = Throughput::per(Cycles(1365));
+/// assert!((t.items_per_cycle() - 1.0 / 1365.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Throughput(f64);
+
+impl Throughput {
+    /// Creates a throughput of `items_per_cycle`.
+    ///
+    /// Negative and non-finite rates are invalid inputs and are clamped
+    /// to zero so downstream error math stays well defined.
+    #[inline]
+    pub fn new(items_per_cycle: f64) -> Throughput {
+        if items_per_cycle.is_finite() && items_per_cycle > 0.0 {
+            Throughput(items_per_cycle)
+        } else {
+            Throughput(0.0)
+        }
+    }
+
+    /// One item per `period`.
+    #[inline]
+    pub fn per(period: Cycles) -> Throughput {
+        if period.0 == 0 {
+            Throughput(0.0)
+        } else {
+            Throughput(1.0 / period.as_f64())
+        }
+    }
+
+    /// `items` completed over `elapsed` cycles.
+    #[inline]
+    pub fn of(items: u64, elapsed: Cycles) -> Throughput {
+        if elapsed.0 == 0 {
+            Throughput(0.0)
+        } else {
+            Throughput(items as f64 / elapsed.as_f64())
+        }
+    }
+
+    /// The rate in items per cycle.
+    #[inline]
+    pub fn items_per_cycle(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a byte-denominated throughput to bits per second at
+    /// clock frequency `freq`.
+    #[inline]
+    pub fn to_bits_per_sec(self, freq: Freq) -> f64 {
+        self.0 * 8.0 * freq.hz()
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} items/cyc", self.0)
+    }
+}
+
+/// A clock frequency.
+///
+/// # Examples
+///
+/// ```
+/// use perf_core::units::Freq;
+///
+/// let f = Freq::mhz(700.0);
+/// assert_eq!(f.hz(), 700.0e6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Freq(f64);
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    #[inline]
+    pub fn hz_new(hz: f64) -> Freq {
+        Freq(hz.max(0.0))
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn mhz(mhz: f64) -> Freq {
+        Freq::hz_new(mhz * 1.0e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn ghz(ghz: f64) -> Freq {
+        Freq::hz_new(ghz * 1.0e9)
+    }
+
+    /// The frequency in hertz.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a cycle count at this frequency into seconds.
+    #[inline]
+    pub fn cycles_to_secs(self, c: Cycles) -> f64 {
+        if self.0 == 0.0 {
+            0.0
+        } else {
+            c.as_f64() / self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles(10) + Cycles(5);
+        assert_eq!(a, Cycles(15));
+        assert_eq!(a * 2, Cycles(30));
+        assert_eq!(a / 3, Cycles(5));
+        assert_eq!(Cycles(3).saturating_sub(Cycles(10)), Cycles::ZERO);
+        assert_eq!(Cycles(3).max(Cycles(10)), Cycles(10));
+        assert_eq!(Cycles(3).min(Cycles(10)), Cycles(3));
+    }
+
+    #[test]
+    fn cycles_sum_and_display() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+        assert_eq!(total.to_string(), "6 cyc");
+    }
+
+    #[test]
+    fn throughput_construction() {
+        assert_eq!(Throughput::per(Cycles(0)).items_per_cycle(), 0.0);
+        assert_eq!(Throughput::new(-1.0).items_per_cycle(), 0.0);
+        assert_eq!(Throughput::new(f64::NAN).items_per_cycle(), 0.0);
+        let t = Throughput::of(10, Cycles(100));
+        assert!((t.items_per_cycle() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_to_bits_per_sec() {
+        // 1 byte/cycle at 1 GHz = 8 Gb/s.
+        let t = Throughput::new(1.0);
+        let bps = t.to_bits_per_sec(Freq::ghz(1.0));
+        assert!((bps - 8.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn freq_conversions() {
+        assert_eq!(Freq::mhz(1.0).hz(), 1.0e6);
+        assert_eq!(Freq::ghz(2.5).hz(), 2.5e9);
+        let secs = Freq::ghz(1.0).cycles_to_secs(Cycles(1_000_000_000));
+        assert!((secs - 1.0).abs() < 1e-9);
+        assert_eq!(Freq::hz_new(0.0).cycles_to_secs(Cycles(5)), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The validation harness: scores an interface's predictions against a
+//! ground-truth model over a workload set.
+//!
+//! This is the machinery behind every accuracy number in the paper:
+//! "average (maximum) prediction error of 2.1% (10.3%)" is an
+//! [`ErrorStats`] computed over 1500 random images.
+
+use crate::iface::{GroundTruth, Metric, PerfInterface};
+use crate::predict::Prediction;
+use crate::stats;
+use crate::CoreError;
+
+/// Error statistics of point predictions over a workload set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorStats {
+    /// Number of scored workloads.
+    pub n: usize,
+    /// Mean relative error.
+    pub avg: f64,
+    /// Maximum relative error.
+    pub max: f64,
+    /// 99th-percentile relative error.
+    pub p99: f64,
+}
+
+impl ErrorStats {
+    /// Computes statistics from raw relative errors.
+    pub fn from_errors(errs: &[f64]) -> ErrorStats {
+        ErrorStats {
+            n: errs.len(),
+            avg: stats::mean(errs),
+            max: stats::max(errs),
+            p99: stats::percentile(errs, 99.0),
+        }
+    }
+
+    /// Renders as the paper's "avg% (max%)" form.
+    pub fn paper_style(&self) -> String {
+        format!("{:.2}% ({:.2}%)", self.avg * 100.0, self.max * 100.0)
+    }
+}
+
+/// Statistics for interval (bounds) predictions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BoundsStats {
+    /// Number of scored workloads.
+    pub n: usize,
+    /// How many measurements fell inside their predicted interval.
+    pub within: usize,
+    /// Mean relative interval width (`(max-min)/truth`), a measure of
+    /// how informative the bounds are.
+    pub avg_rel_width: f64,
+}
+
+impl BoundsStats {
+    /// Fraction of measurements inside their interval.
+    pub fn coverage(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.within as f64 / self.n as f64
+        }
+    }
+}
+
+/// Outcome of validating one interface on one metric.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// Point-prediction error statistics (workloads whose prediction was
+    /// a point).
+    pub point: ErrorStats,
+    /// Bounds statistics (workloads whose prediction was an interval).
+    pub bounds: BoundsStats,
+    /// The raw per-workload relative errors, for histograms.
+    pub errors: Vec<f64>,
+}
+
+/// Validates `iface` against `truth` on `metric` over `workloads`.
+///
+/// Point predictions contribute relative errors; bounds predictions
+/// contribute coverage. Mixed interfaces (Protoacc latency is bounds,
+/// its throughput a point) are handled per-prediction.
+pub fn validate<W>(
+    truth: &mut dyn GroundTruth<W>,
+    iface: &dyn PerfInterface<W>,
+    metric: Metric,
+    workloads: &[W],
+) -> Result<ValidationReport, CoreError> {
+    if workloads.is_empty() {
+        return Err(CoreError::EmptyWorkloadSet);
+    }
+    let mut errors = Vec::with_capacity(workloads.len());
+    let mut bounds = BoundsStats::default();
+    let mut widths = Vec::new();
+    for w in workloads {
+        let obs = truth.measure(w)?;
+        let measured = metric.of(&obs);
+        let pred = iface.predict(w, metric)?;
+        if !pred.is_finite() {
+            return Err(CoreError::InvalidPrediction(format!(
+                "non-finite {} prediction",
+                metric.name()
+            )));
+        }
+        match pred {
+            Prediction::Point(v) => {
+                let e = stats::rel_error(v, measured).ok_or_else(|| {
+                    CoreError::InvalidObservation(format!(
+                        "measured {} is zero or non-finite",
+                        metric.name()
+                    ))
+                })?;
+                errors.push(e);
+            }
+            Prediction::Bounds { min, max } => {
+                bounds.n += 1;
+                if pred.contains(measured) {
+                    bounds.within += 1;
+                }
+                if measured != 0.0 {
+                    widths.push((max - min).abs() / measured.abs());
+                }
+            }
+        }
+    }
+    bounds.avg_rel_width = stats::mean(&widths);
+    Ok(ValidationReport {
+        point: ErrorStats::from_errors(&errors),
+        bounds,
+        errors,
+    })
+}
+
+/// Collects `(axis, metric)` samples from a ground truth for checking a
+/// natural-language claim: `axis_of` extracts the claimed axis value
+/// from each workload.
+pub fn collect_axis_samples<W>(
+    truth: &mut dyn GroundTruth<W>,
+    metric: Metric,
+    workloads: &[W],
+    axis_of: impl Fn(&W) -> f64,
+) -> Result<Vec<(f64, f64)>, CoreError> {
+    workloads
+        .iter()
+        .map(|w| {
+            let obs = truth.measure(w)?;
+            Ok((axis_of(w), metric.of(&obs)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::InterfaceKind;
+    use crate::predict::Observation;
+    use crate::units::Cycles;
+
+    /// Toy accelerator: latency = 10 * w.
+    struct Toy;
+
+    impl GroundTruth<u64> for Toy {
+        fn measure(&mut self, w: &u64) -> Result<Observation, CoreError> {
+            Ok(Observation::single_item(Cycles(10 * *w)))
+        }
+    }
+
+    /// Interface that over-predicts latency by 10%.
+    struct Off10;
+
+    impl PerfInterface<u64> for Off10 {
+        fn kind(&self) -> InterfaceKind {
+            InterfaceKind::Program
+        }
+        fn predict(&self, w: &u64, m: Metric) -> Result<Prediction, CoreError> {
+            let lat = 10.0 * *w as f64 * 1.1;
+            Ok(match m {
+                Metric::Latency => Prediction::point(lat),
+                Metric::Throughput => Prediction::point(1.0 / lat),
+            })
+        }
+    }
+
+    /// Interface that predicts bounds [0.5x, 2x] around the truth.
+    struct Wide;
+
+    impl PerfInterface<u64> for Wide {
+        fn kind(&self) -> InterfaceKind {
+            InterfaceKind::Program
+        }
+        fn predict(&self, w: &u64, _m: Metric) -> Result<Prediction, CoreError> {
+            let lat = 10.0 * *w as f64;
+            Ok(Prediction::bounds(lat * 0.5, lat * 2.0))
+        }
+    }
+
+    #[test]
+    fn empty_workloads_rejected() {
+        let r = validate(&mut Toy, &Off10, Metric::Latency, &[]);
+        assert!(matches!(r, Err(CoreError::EmptyWorkloadSet)));
+    }
+
+    #[test]
+    fn point_errors_scored() {
+        let ws = [1u64, 2, 5, 9];
+        let r = validate(&mut Toy, &Off10, Metric::Latency, &ws).unwrap();
+        assert_eq!(r.point.n, 4);
+        assert!((r.point.avg - 0.1).abs() < 1e-9);
+        assert!((r.point.max - 0.1).abs() < 1e-9);
+        assert_eq!(r.bounds.n, 0);
+    }
+
+    #[test]
+    fn throughput_errors_scored() {
+        let ws = [3u64, 4];
+        let r = validate(&mut Toy, &Off10, Metric::Throughput, &ws).unwrap();
+        // Throughput under-predicted by factor 1/1.1 => error ~ 0.0909.
+        assert!((r.point.avg - (1.0 - 1.0 / 1.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_coverage() {
+        let ws = [1u64, 2, 3];
+        let r = validate(&mut Toy, &Wide, Metric::Latency, &ws).unwrap();
+        assert_eq!(r.bounds.n, 3);
+        assert_eq!(r.bounds.within, 3);
+        assert_eq!(r.bounds.coverage(), 1.0);
+        assert!((r.bounds.avg_rel_width - 1.5).abs() < 1e-9);
+        assert_eq!(r.point.n, 0);
+    }
+
+    #[test]
+    fn paper_style_string() {
+        let e = ErrorStats {
+            n: 10,
+            avg: 0.021,
+            max: 0.103,
+            p99: 0.1,
+        };
+        assert_eq!(e.paper_style(), "2.10% (10.30%)");
+    }
+
+    #[test]
+    fn axis_sample_collection() {
+        let ws = [2u64, 4, 8];
+        let samples = collect_axis_samples(&mut Toy, Metric::Latency, &ws, |w| *w as f64).unwrap();
+        assert_eq!(samples, vec![(2.0, 20.0), (4.0, 40.0), (8.0, 80.0)]);
+    }
+}

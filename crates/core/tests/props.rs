@@ -1,0 +1,105 @@
+//! Property tests for the core statistics and claim machinery.
+
+use perf_core::nl::{Claim, Direction, Quantity};
+use perf_core::stats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Percentiles stay within the sample range and are monotone in p.
+    #[test]
+    fn percentile_bounds(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let v1 = stats::percentile(&xs, p1);
+        prop_assert!(v1 >= lo - 1e-9 && v1 <= hi + 1e-9);
+        let (a, b) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(stats::percentile(&xs, a) <= stats::percentile(&xs, b) + 1e-9);
+    }
+
+    /// Correlations live in [-1, 1]; a series correlates perfectly with
+    /// itself.
+    #[test]
+    fn correlation_range(xs in prop::collection::vec(-1e3f64..1e3, 2..40)) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = stats::pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let s = stats::spearman(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        // Distinct values => strictly monotone map => rho = 1.
+        let mut distinct = xs.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.dedup();
+        if distinct.len() == xs.len() {
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The linear fit reproduces exact lines.
+    #[test]
+    fn linear_fit_exact(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        xs in prop::collection::vec(-1e3f64..1e3, 2..30),
+    ) {
+        let mut dedup = xs.clone();
+        dedup.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        dedup.dedup();
+        prop_assume!(dedup.len() >= 2);
+        let ys: Vec<f64> = dedup.iter().map(|x| a + b * x).collect();
+        let (fa, fb) = stats::linear_fit(&dedup, &ys);
+        prop_assert!((fa - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((fb - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// A monotone-increasing claim accepts every sorted increasing
+    /// series and rejects any series with a strict decrease.
+    #[test]
+    fn monotone_claim_consistent(
+        mut ys in prop::collection::vec(0.0f64..1e6, 2..30),
+    ) {
+        let claim = Claim::Monotone {
+            metric: Quantity::Latency,
+            axis: "x".into(),
+            direction: Direction::Increasing,
+        };
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let samples: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64, y))
+            .collect();
+        prop_assert!(claim.check(&samples).expect("checkable").holds);
+        // Introduce a violation.
+        let mut bad = samples.clone();
+        let last = bad.len() - 1;
+        bad[last].1 = -1.0;
+        if bad.len() >= 2 && bad[last - 1].1 > -1.0 {
+            prop_assert!(!claim.check(&bad).expect("checkable").holds);
+        }
+    }
+
+    /// Proportionality accepts exact proportional data for any k > 0.
+    #[test]
+    fn proportional_claim_accepts_exact(
+        k in 0.001f64..1e4,
+        xs in prop::collection::vec(0.1f64..1e4, 2..20),
+    ) {
+        let mut dedup = xs.clone();
+        dedup.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        dedup.dedup();
+        prop_assume!(dedup.len() >= 2);
+        let claim = Claim::Proportional {
+            metric: Quantity::Latency,
+            axis: "x".into(),
+            tolerance: 1e-6,
+        };
+        let samples: Vec<(f64, f64)> = dedup.iter().map(|&x| (x, k * x)).collect();
+        prop_assert!(claim.check(&samples).expect("checkable").holds);
+    }
+}

@@ -1,0 +1,179 @@
+//! Abstract syntax tree of the interface language.
+
+use crate::error::Span;
+
+/// Binary operators, grouped by precedence in the parser.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuiting)
+    And,
+    /// `||` (short-circuiting)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// `[a, b, c]` list literal.
+    List(Vec<Expr>, Span),
+    /// `{ k: v, ... }` record literal.
+    Record(Vec<(String, Expr)>, Span),
+    /// Field access `e.field`.
+    Field(Box<Expr>, String, Span),
+    /// Indexing `e[i]`.
+    Index(Box<Expr>, Box<Expr>, Span),
+    /// Function or builtin call `f(a, b)`.
+    Call(String, Vec<Expr>, Span),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The source position of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s)
+            | Expr::Str(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Var(_, s)
+            | Expr::List(_, s)
+            | Expr::Record(_, s)
+            | Expr::Field(_, _, s)
+            | Expr::Index(_, _, s)
+            | Expr::Call(_, _, s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s) => *s,
+        }
+    }
+}
+
+/// A statement node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;` — introduces a new local binding.
+    Let(String, Expr, Span),
+    /// `name = expr;` — assigns to an existing binding.
+    Assign(String, Expr, Span),
+    /// `return expr;`
+    Return(Expr, Span),
+    /// `if cond { .. } else { .. }` (else optional).
+    If(Expr, Vec<Stmt>, Vec<Stmt>, Span),
+    /// `for x in expr { .. }` — iterates a list.
+    For(String, Expr, Vec<Stmt>, Span),
+    /// `while cond { .. }`.
+    While(Expr, Vec<Stmt>, Span),
+    /// A bare expression statement (evaluated for effect/errors).
+    Expr(Expr, Span),
+}
+
+/// A function declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position of the `fn` keyword.
+    pub span: Span,
+}
+
+/// A `const NAME = expr;` declaration at the top level. Constants are
+/// evaluated once before any call, in declaration order; later constants
+/// may reference earlier ones.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstDecl {
+    /// Constant name.
+    pub name: String,
+    /// Initializer expression.
+    pub init: Expr,
+    /// Position of the `const` keyword.
+    pub span: Span,
+}
+
+/// A complete interface program: constants plus functions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Top-level constants.
+    pub consts: Vec<ConstDecl>,
+    /// Function declarations.
+    pub functions: Vec<FnDecl>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accessors() {
+        let s = Span::at(2, 5);
+        let e = Expr::Num(1.0, s);
+        assert_eq!(e.span(), s);
+        let e2 = Expr::Binary(BinOp::Add, Box::new(e.clone()), Box::new(e), s);
+        assert_eq!(e2.span(), s);
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let p = Program {
+            consts: vec![],
+            functions: vec![FnDecl {
+                name: "f".into(),
+                params: vec![],
+                body: vec![],
+                span: Span::default(),
+            }],
+        };
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+    }
+}

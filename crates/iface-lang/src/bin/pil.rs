@@ -1,0 +1,84 @@
+//! `pil` — command-line tooling for interface programs.
+//!
+//! ```text
+//! pil check FILE                # parse + static checks
+//! pil fmt FILE                  # canonical formatting to stdout
+//! pil run FILE FUNC [ARG...]    # evaluate a function
+//! ```
+//!
+//! Arguments are numbers (`42`, `3.5`) or records
+//! (`orig_size=65536,compress_rate=8`).
+
+use perf_iface_lang::{printer, Program, Value};
+
+fn usage() -> ! {
+    eprintln!("usage: pil check FILE | pil fmt FILE | pil run FILE FUNC [ARG...]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Program {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("pil: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Program::parse(&src).unwrap_or_else(|e| {
+        eprintln!("pil: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn parse_arg(raw: &str) -> Value {
+    if let Ok(n) = raw.parse::<f64>() {
+        return Value::num(n);
+    }
+    if raw == "true" || raw == "false" {
+        return Value::bool(raw == "true");
+    }
+    // Record syntax: k=v,k=v with numeric values.
+    let mut fields = Vec::new();
+    for pair in raw.split(',') {
+        let Some((k, v)) = pair.split_once('=') else {
+            eprintln!("pil: cannot parse argument `{raw}` (want NUMBER or k=v,k=v)");
+            std::process::exit(2);
+        };
+        let Ok(n) = v.parse::<f64>() else {
+            eprintln!("pil: field `{k}` has non-numeric value `{v}`");
+            std::process::exit(2);
+        };
+        fields.push((k.to_string(), Value::num(n)));
+    }
+    Value::record_owned(fields)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => {
+            let p = load(&args[1]);
+            let fns: Vec<&str> = p.ast().functions.iter().map(|f| f.name.as_str()).collect();
+            println!(
+                "{}: ok ({} consts, {} functions: {})",
+                args[1],
+                p.ast().consts.len(),
+                fns.len(),
+                fns.join(", ")
+            );
+        }
+        Some("fmt") if args.len() == 2 => {
+            let p = load(&args[1]);
+            print!("{}", printer::print_program(p.ast()));
+        }
+        Some("run") if args.len() >= 3 => {
+            let p = load(&args[1]);
+            let vals: Vec<Value> = args[3..].iter().map(|a| parse_arg(a)).collect();
+            match p.call(&args[2], &vals) {
+                Ok(v) => println!("{v}"),
+                Err(e) => {
+                    eprintln!("pil: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

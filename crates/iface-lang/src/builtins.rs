@@ -1,0 +1,212 @@
+//! Built-in functions available to every interface program.
+
+use crate::error::{LangError, Span};
+use crate::value::Value;
+
+/// Returns `true` if `name` is a builtin.
+pub fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "ceil"
+            | "floor"
+            | "round"
+            | "abs"
+            | "min"
+            | "max"
+            | "sqrt"
+            | "pow"
+            | "log2"
+            | "len"
+            | "sum"
+            | "num"
+    )
+}
+
+/// Calls builtin `name` with `args`.
+pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, LangError> {
+    let nargs = |n: usize| -> Result<(), LangError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(LangError::runtime(
+                span,
+                format!("`{name}` expects {n} argument(s), got {}", args.len()),
+            ))
+        }
+    };
+    let num = |i: usize| -> Result<f64, LangError> {
+        args[i].as_num().ok_or_else(|| {
+            LangError::runtime(
+                span,
+                format!(
+                    "`{name}` argument {} must be a number, got {}",
+                    i + 1,
+                    args[i].type_name()
+                ),
+            )
+        })
+    };
+    match name {
+        "ceil" => {
+            nargs(1)?;
+            Ok(Value::num(num(0)?.ceil()))
+        }
+        "floor" => {
+            nargs(1)?;
+            Ok(Value::num(num(0)?.floor()))
+        }
+        "round" => {
+            nargs(1)?;
+            Ok(Value::num(num(0)?.round()))
+        }
+        "abs" => {
+            nargs(1)?;
+            Ok(Value::num(num(0)?.abs()))
+        }
+        "sqrt" => {
+            nargs(1)?;
+            Ok(Value::num(num(0)?.sqrt()))
+        }
+        "log2" => {
+            nargs(1)?;
+            Ok(Value::num(num(0)?.log2()))
+        }
+        "pow" => {
+            nargs(2)?;
+            Ok(Value::num(num(0)?.powf(num(1)?)))
+        }
+        "min" | "max" => {
+            if args.len() < 2 {
+                return Err(LangError::runtime(
+                    span,
+                    format!("`{name}` expects at least 2 arguments"),
+                ));
+            }
+            let mut acc = num(0)?;
+            for i in 1..args.len() {
+                let v = num(i)?;
+                acc = if name == "min" {
+                    acc.min(v)
+                } else {
+                    acc.max(v)
+                };
+            }
+            Ok(Value::num(acc))
+        }
+        "len" => {
+            nargs(1)?;
+            match &args[0] {
+                Value::List(v) => Ok(Value::num(v.len() as f64)),
+                Value::Str(s) => Ok(Value::num(s.len() as f64)),
+                other => Err(LangError::runtime(
+                    span,
+                    format!("`len` expects a list or string, got {}", other.type_name()),
+                )),
+            }
+        }
+        "sum" => {
+            nargs(1)?;
+            let list = args[0].as_list().ok_or_else(|| {
+                LangError::runtime(
+                    span,
+                    format!("`sum` expects a list, got {}", args[0].type_name()),
+                )
+            })?;
+            let mut acc = 0.0;
+            for (i, v) in list.iter().enumerate() {
+                acc += v.as_num().ok_or_else(|| {
+                    LangError::runtime(
+                        span,
+                        format!("`sum` element {i} is {}, not a number", v.type_name()),
+                    )
+                })?;
+            }
+            Ok(Value::num(acc))
+        }
+        "num" => {
+            nargs(1)?;
+            match &args[0] {
+                Value::Num(n) => Ok(Value::num(*n)),
+                Value::Bool(b) => Ok(Value::num(if *b { 1.0 } else { 0.0 })),
+                other => Err(LangError::runtime(
+                    span,
+                    format!("cannot convert {} to number", other.type_name()),
+                )),
+            }
+        }
+        _ => Err(LangError::runtime(
+            span,
+            format!("unknown builtin `{name}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call1(name: &str, v: f64) -> f64 {
+        call(name, &[Value::num(v)], Span::default())
+            .unwrap()
+            .as_num()
+            .unwrap()
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert_eq!(call1("ceil", 1.2), 2.0);
+        assert_eq!(call1("floor", 1.8), 1.0);
+        assert_eq!(call1("round", 1.5), 2.0);
+        assert_eq!(call1("abs", -3.0), 3.0);
+        assert_eq!(call1("sqrt", 9.0), 3.0);
+        assert_eq!(call1("log2", 8.0), 3.0);
+    }
+
+    #[test]
+    fn min_max_variadic() {
+        let v = call(
+            "max",
+            &[Value::num(1.0), Value::num(5.0), Value::num(3.0)],
+            Span::default(),
+        )
+        .unwrap();
+        assert_eq!(v.as_num(), Some(5.0));
+        let v = call("min", &[Value::num(2.0), Value::num(-1.0)], Span::default()).unwrap();
+        assert_eq!(v.as_num(), Some(-1.0));
+        assert!(call("min", &[Value::num(1.0)], Span::default()).is_err());
+    }
+
+    #[test]
+    fn len_and_sum() {
+        let l = Value::list(vec![Value::num(1.0), Value::num(2.0), Value::num(4.0)]);
+        assert_eq!(
+            call("len", &[l.clone()], Span::default()).unwrap().as_num(),
+            Some(3.0)
+        );
+        assert_eq!(
+            call("sum", &[l], Span::default()).unwrap().as_num(),
+            Some(7.0)
+        );
+        assert!(call("sum", &[Value::num(1.0)], Span::default()).is_err());
+        assert!(call(
+            "sum",
+            &[Value::list(vec![Value::bool(true)])],
+            Span::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        assert!(call("ceil", &[Value::str("x")], Span::default()).is_err());
+        assert!(call("ceil", &[], Span::default()).is_err());
+        assert!(call("nope", &[], Span::default()).is_err());
+    }
+
+    #[test]
+    fn builtin_registry() {
+        assert!(is_builtin("ceil"));
+        assert!(is_builtin("sum"));
+        assert!(!is_builtin("read_cost"));
+    }
+}

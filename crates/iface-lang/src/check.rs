@@ -1,0 +1,265 @@
+//! Static checks run after parsing and before execution.
+//!
+//! PIL is dynamically typed, so the checker focuses on name errors a
+//! vendor would want caught before shipping an interface: duplicate
+//! functions/constants, calls to undefined functions, references to
+//! undefined variables, wrong arity for user functions, and assignment
+//! to names that were never bound.
+
+use crate::ast::{Expr, FnDecl, Program, Stmt};
+use crate::builtins;
+use crate::error::{LangError, Span};
+use std::collections::{HashMap, HashSet};
+
+/// Checks `prog`, returning the first error found.
+pub fn check(prog: &Program) -> Result<(), LangError> {
+    let mut fn_arity: HashMap<&str, usize> = HashMap::new();
+    for f in &prog.functions {
+        if fn_arity.insert(&f.name, f.params.len()).is_some() {
+            return Err(LangError::Check {
+                span: f.span,
+                msg: format!("duplicate function `{}`", f.name),
+            });
+        }
+        if builtins::is_builtin(&f.name) {
+            return Err(LangError::Check {
+                span: f.span,
+                msg: format!("function `{}` shadows a builtin", f.name),
+            });
+        }
+        let mut seen = HashSet::new();
+        for p in &f.params {
+            if !seen.insert(p.as_str()) {
+                return Err(LangError::Check {
+                    span: f.span,
+                    msg: format!("duplicate parameter `{p}` in `{}`", f.name),
+                });
+            }
+        }
+    }
+
+    let mut consts: HashSet<&str> = HashSet::new();
+    for c in &prog.consts {
+        // Constants may reference earlier constants only.
+        let scope = Scope {
+            fn_arity: &fn_arity,
+            consts: &consts,
+            locals: Vec::new(),
+        };
+        scope.check_expr(&c.init)?;
+        if !consts.insert(&c.name) {
+            return Err(LangError::Check {
+                span: c.span,
+                msg: format!("duplicate constant `{}`", c.name),
+            });
+        }
+    }
+
+    for f in &prog.functions {
+        check_fn(f, &fn_arity, &consts)?;
+    }
+    Ok(())
+}
+
+struct Scope<'a> {
+    fn_arity: &'a HashMap<&'a str, usize>,
+    consts: &'a HashSet<&'a str>,
+    locals: Vec<HashSet<String>>,
+}
+
+fn check_fn(
+    f: &FnDecl,
+    fn_arity: &HashMap<&str, usize>,
+    consts: &HashSet<&str>,
+) -> Result<(), LangError> {
+    let mut scope = Scope {
+        fn_arity,
+        consts,
+        locals: vec![f.params.iter().cloned().collect()],
+    };
+    scope.check_block(&f.body)
+}
+
+impl<'a> Scope<'a> {
+    fn is_bound(&self, name: &str) -> bool {
+        self.locals.iter().any(|s| s.contains(name)) || self.consts.contains(name)
+    }
+
+    fn check_block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        self.locals.push(HashSet::new());
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        self.locals.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::Let(name, init, _) => {
+                self.check_expr(init)?;
+                self.locals
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone());
+                Ok(())
+            }
+            Stmt::Assign(name, e, span) => {
+                if !self.locals.iter().any(|s| s.contains(name)) {
+                    return Err(LangError::Check {
+                        span: *span,
+                        msg: format!("assignment to unbound variable `{name}` (use `let`)"),
+                    });
+                }
+                self.check_expr(e)
+            }
+            Stmt::Return(e, _) => self.check_expr(e),
+            Stmt::If(cond, then, els, _) => {
+                self.check_expr(cond)?;
+                self.check_block(then)?;
+                self.check_block(els)
+            }
+            Stmt::For(var, iter, body, _) => {
+                self.check_expr(iter)?;
+                self.locals.push(HashSet::from([var.clone()]));
+                for s in body {
+                    self.check_stmt(s)?;
+                }
+                self.locals.pop();
+                Ok(())
+            }
+            Stmt::While(cond, body, _) => {
+                self.check_expr(cond)?;
+                self.check_block(body)
+            }
+            Stmt::Expr(e, _) => self.check_expr(e),
+        }
+    }
+
+    fn check_expr(&self, e: &Expr) -> Result<(), LangError> {
+        match e {
+            Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => Ok(()),
+            Expr::Var(name, span) => {
+                if self.is_bound(name) {
+                    Ok(())
+                } else {
+                    Err(self.undefined(name, *span))
+                }
+            }
+            Expr::List(items, _) => items.iter().try_for_each(|i| self.check_expr(i)),
+            Expr::Record(fields, _) => fields.iter().try_for_each(|(_, v)| self.check_expr(v)),
+            Expr::Field(base, _, _) => self.check_expr(base),
+            Expr::Index(base, idx, _) => {
+                self.check_expr(base)?;
+                self.check_expr(idx)
+            }
+            Expr::Call(name, args, span) => {
+                if let Some(&arity) = self.fn_arity.get(name.as_str()) {
+                    if args.len() != arity {
+                        return Err(LangError::Check {
+                            span: *span,
+                            msg: format!(
+                                "`{name}` expects {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                        });
+                    }
+                } else if !builtins::is_builtin(name) {
+                    return Err(LangError::Check {
+                        span: *span,
+                        msg: format!("call to undefined function `{name}`"),
+                    });
+                }
+                args.iter().try_for_each(|a| self.check_expr(a))
+            }
+            Expr::Unary(_, inner, _) => self.check_expr(inner),
+            Expr::Binary(_, l, r, _) => {
+                self.check_expr(l)?;
+                self.check_expr(r)
+            }
+        }
+    }
+
+    fn undefined(&self, name: &str, span: Span) -> LangError {
+        LangError::Check {
+            span,
+            msg: format!("undefined variable `{name}`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), LangError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check_src(
+            "const M = 2; fn g(x) { return x * M; } fn f(a) { let s = 0; for v in a { s = s + g(v); } return s; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        assert!(check_src("fn f() { return 1; } fn f() { return 2; }").is_err());
+    }
+
+    #[test]
+    fn rejects_builtin_shadowing() {
+        assert!(check_src("fn ceil(x) { return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_params_and_consts() {
+        assert!(check_src("fn f(a, a) { return a; }").is_err());
+        assert!(check_src("const C = 1; const C = 2;").is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        assert!(check_src("fn f() { return y; }").is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_const_decl() {
+        assert!(check_src("const A = B; const B = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_function_and_bad_arity() {
+        assert!(check_src("fn f() { return g(); }").is_err());
+        assert!(check_src("fn g(x) { return x; } fn f() { return g(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_assignment_without_let() {
+        assert!(check_src("fn f() { x = 1; return x; }").is_err());
+        // Assigning to a const is also an error: consts are not locals.
+        assert!(check_src("const C = 1; fn f() { C = 2; return C; }").is_err());
+    }
+
+    #[test]
+    fn block_scoping_confines_let() {
+        // `let` inside `if` is not visible after the block.
+        assert!(check_src("fn f(c) { if c { let x = 1; } return x; }").is_err());
+    }
+
+    #[test]
+    fn loop_variable_scoped_to_body() {
+        assert!(check_src("fn f(xs) { for x in xs { let y = x; } return x; }").is_err());
+        check_src("fn f(xs) { let s = 0; for x in xs { s = s + x; } return s; }").unwrap();
+    }
+
+    #[test]
+    fn recursion_allowed() {
+        check_src("fn rc(m) { let c = 0; for s in m.subs { c = c + rc(s); } return c + 1; }")
+            .unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! Errors and source positions for the interface language.
+
+use core::fmt;
+
+/// A half-open byte range in the source, with line/column of its start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn at(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error raised while lexing, parsing, checking or running a PIL
+/// program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// Lexical error: unexpected character or malformed literal.
+    Lex {
+        /// Where the error occurred.
+        span: Span,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where the error occurred.
+        span: Span,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Static check failure (duplicate function, undefined name, ...).
+    Check {
+        /// Where the error occurred.
+        span: Span,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Runtime error (type mismatch, missing field, division by zero is
+    /// permitted and yields `inf`, but calling a number is not).
+    Runtime {
+        /// Where the error occurred.
+        span: Span,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The interpreter hit its step or recursion limit.
+    LimitExceeded(String),
+}
+
+impl LangError {
+    /// Convenience constructor for runtime errors.
+    pub fn runtime(span: Span, msg: impl Into<String>) -> LangError {
+        LangError::Runtime {
+            span,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { span, msg } => write!(f, "lex error at {span}: {msg}"),
+            LangError::Parse { span, msg } => write!(f, "parse error at {span}: {msg}"),
+            LangError::Check { span, msg } => write!(f, "check error at {span}: {msg}"),
+            LangError::Runtime { span, msg } => write!(f, "runtime error at {span}: {msg}"),
+            LangError::LimitExceeded(msg) => write!(f, "limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::Parse {
+            span: Span::at(3, 14),
+            msg: "expected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `)`");
+    }
+
+    #[test]
+    fn runtime_constructor() {
+        let e = LangError::runtime(Span::at(1, 1), "boom");
+        assert!(matches!(e, LangError::Runtime { .. }));
+    }
+}

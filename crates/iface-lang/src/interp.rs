@@ -1,0 +1,604 @@
+//! Tree-walking interpreter for the interface language.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::error::{LangError, Span};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Execution limits protecting callers from runaway interfaces.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum number of evaluated expressions/statements.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_steps: 10_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// An interpreter instance bound to a program's AST.
+pub struct Interp<'a> {
+    prog: &'a Program,
+    limits: Limits,
+    steps: u64,
+    depth: u32,
+    consts: Rc<HashMap<String, Value>>,
+}
+
+/// Result of executing a statement list: either fall-through or an early
+/// `return`.
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// A lexical scope stack for one function activation. Scopes are
+/// association vectors: interface functions have a handful of locals,
+/// where linear probing beats hashing.
+struct Frame {
+    scopes: Vec<Vec<(String, Value)>>,
+}
+
+impl Frame {
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    fn assign(&mut self, name: &str, v: Value) -> bool {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some((_, slot)) = s.iter_mut().rev().find(|(k, _)| k == name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.scopes
+            .last_mut()
+            .expect("frame has at least one scope")
+            .push((name.to_string(), v));
+    }
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter and evaluates top-level constants.
+    pub fn new(prog: &'a Program, limits: Limits) -> Interp<'a> {
+        Interp {
+            prog,
+            limits,
+            steps: 0,
+            depth: 0,
+            consts: Rc::new(HashMap::new()),
+        }
+    }
+
+    /// Creates an interpreter with pre-evaluated constants (callers
+    /// that invoke the same program many times cache the result of
+    /// [`eval_consts`] and skip re-evaluating initializers).
+    pub fn with_consts(
+        prog: &'a Program,
+        limits: Limits,
+        consts: Rc<HashMap<String, Value>>,
+    ) -> Interp<'a> {
+        Interp {
+            prog,
+            limits,
+            steps: 0,
+            depth: 0,
+            consts,
+        }
+    }
+
+    /// Calls function `name` with `args`.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, LangError> {
+        self.eval_consts()?;
+        self.call_fn(name, args.to_vec(), Span::default())
+    }
+
+    fn eval_consts(&mut self) -> Result<(), LangError> {
+        if !self.consts.is_empty() || self.prog.consts.is_empty() {
+            return Ok(());
+        }
+        self.consts = Rc::new(eval_consts(self.prog, self.limits)?);
+        Ok(())
+    }
+
+    fn tick(&mut self, span: Span) -> Result<(), LangError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            Err(LangError::LimitExceeded(format!(
+                "step limit {} exceeded at {span}",
+                self.limits.max_steps
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn call_fn(&mut self, name: &str, args: Vec<Value>, span: Span) -> Result<Value, LangError> {
+        let f = self.prog.function(name).ok_or_else(|| {
+            LangError::runtime(span, format!("call to undefined function `{name}`"))
+        })?;
+        if args.len() != f.params.len() {
+            return Err(LangError::runtime(
+                span,
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    f.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            self.depth -= 1;
+            return Err(LangError::LimitExceeded(format!(
+                "call depth {} exceeded in `{name}`",
+                self.limits.max_depth
+            )));
+        }
+        let mut frame = Frame {
+            scopes: vec![f.params.iter().cloned().zip(args).collect()],
+        };
+        let flow = self.exec_block(&f.body, &mut frame)?;
+        self.depth -= 1;
+        match flow {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Err(LangError::runtime(
+                f.span,
+                format!("function `{name}` finished without `return`"),
+            )),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], frame: &mut Frame) -> Result<Flow, LangError> {
+        frame.scopes.push(Vec::new());
+        let mut flow = Flow::Normal;
+        for s in stmts {
+            flow = self.exec_stmt(s, frame)?;
+            if matches!(flow, Flow::Return(_)) {
+                break;
+            }
+        }
+        frame.scopes.pop();
+        Ok(flow)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<Flow, LangError> {
+        match stmt {
+            Stmt::Let(name, init, span) => {
+                self.tick(*span)?;
+                let v = self.eval(init, frame)?;
+                frame.declare(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(name, e, span) => {
+                self.tick(*span)?;
+                let v = self.eval(e, frame)?;
+                if frame.assign(name, v) {
+                    Ok(Flow::Normal)
+                } else {
+                    Err(LangError::runtime(
+                        *span,
+                        format!("assignment to unbound variable `{name}`"),
+                    ))
+                }
+            }
+            Stmt::Return(e, span) => {
+                self.tick(*span)?;
+                Ok(Flow::Return(self.eval(e, frame)?))
+            }
+            Stmt::If(cond, then, els, span) => {
+                self.tick(*span)?;
+                let c = self.eval_bool(cond, frame)?;
+                if c {
+                    self.exec_block(then, frame)
+                } else {
+                    self.exec_block(els, frame)
+                }
+            }
+            Stmt::For(var, iter, body, span) => {
+                self.tick(*span)?;
+                let list = self.eval(iter, frame)?;
+                let items = list
+                    .as_list()
+                    .ok_or_else(|| {
+                        LangError::runtime(
+                            *span,
+                            format!("`for` needs a list, got {}", list.type_name()),
+                        )
+                    })?
+                    .to_vec();
+                for item in items {
+                    frame.scopes.push(Vec::new());
+                    frame.declare(var, item);
+                    let mut returned = None;
+                    for s in body {
+                        match self.exec_stmt(s, frame)? {
+                            Flow::Normal => {}
+                            Flow::Return(v) => {
+                                returned = Some(v);
+                                break;
+                            }
+                        }
+                    }
+                    frame.scopes.pop();
+                    if let Some(v) = returned {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While(cond, body, span) => loop {
+                self.tick(*span)?;
+                if !self.eval_bool(cond, frame)? {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec_block(body, frame)? {
+                    Flow::Normal => {}
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+            },
+            Stmt::Expr(e, span) => {
+                self.tick(*span)?;
+                self.eval(e, frame)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval_bool(&mut self, e: &Expr, frame: &mut Frame) -> Result<bool, LangError> {
+        let v = self.eval(e, frame)?;
+        v.truthy().ok_or_else(|| {
+            LangError::runtime(
+                e.span(),
+                format!("condition must be a bool, got {}", v.type_name()),
+            )
+        })
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut Frame) -> Result<Value, LangError> {
+        self.tick(e.span())?;
+        match e {
+            Expr::Num(n, _) => Ok(Value::num(*n)),
+            Expr::Str(s, _) => Ok(Value::str(s.clone())),
+            Expr::Bool(b, _) => Ok(Value::bool(*b)),
+            Expr::Var(name, span) => frame
+                .lookup(name)
+                .or_else(|| self.consts.get(name))
+                .cloned()
+                .ok_or_else(|| LangError::runtime(*span, format!("undefined variable `{name}`"))),
+            Expr::List(items, _) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, frame)?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Record(fields, _) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (k, v) in fields {
+                    out.push((k.clone(), self.eval(v, frame)?));
+                }
+                Ok(Value::record_owned(out))
+            }
+            Expr::Field(base, field, span) => {
+                let b = self.eval(base, frame)?;
+                b.field(field).cloned().ok_or_else(|| {
+                    LangError::runtime(*span, format!("{} has no field `{field}`", b.type_name()))
+                })
+            }
+            Expr::Index(base, idx, span) => {
+                let b = self.eval(base, frame)?;
+                let i = self.eval(idx, frame)?;
+                let list = b.as_list().ok_or_else(|| {
+                    LangError::runtime(*span, format!("cannot index into {}", b.type_name()))
+                })?;
+                let n = i.as_num().ok_or_else(|| {
+                    LangError::runtime(
+                        *span,
+                        format!("index must be a number, got {}", i.type_name()),
+                    )
+                })?;
+                if n < 0.0 || n.fract() != 0.0 || (n as usize) >= list.len() {
+                    return Err(LangError::runtime(
+                        *span,
+                        format!("index {n} out of bounds for list of length {}", list.len()),
+                    ));
+                }
+                Ok(list[n as usize].clone())
+            }
+            Expr::Call(name, args, span) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                if self.prog.function(name).is_some() {
+                    self.call_fn(name, vals, *span)
+                } else {
+                    builtins::call(name, &vals, *span)
+                }
+            }
+            Expr::Unary(op, inner, span) => {
+                let v = self.eval(inner, frame)?;
+                match op {
+                    UnOp::Neg => v.as_num().map(|n| Value::num(-n)).ok_or_else(|| {
+                        LangError::runtime(*span, format!("cannot negate {}", v.type_name()))
+                    }),
+                    UnOp::Not => v.as_bool().map(|b| Value::bool(!b)).ok_or_else(|| {
+                        LangError::runtime(*span, format!("cannot apply `!` to {}", v.type_name()))
+                    }),
+                }
+            }
+            Expr::Binary(op, l, r, span) => self.eval_binary(*op, l, r, *span, frame),
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        span: Span,
+        frame: &mut Frame,
+    ) -> Result<Value, LangError> {
+        // Short-circuit logical operators first.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let lv = self.eval_bool(l, frame)?;
+            return match (op, lv) {
+                (BinOp::And, false) => Ok(Value::bool(false)),
+                (BinOp::Or, true) => Ok(Value::bool(true)),
+                _ => Ok(Value::bool(self.eval_bool(r, frame)?)),
+            };
+        }
+        let lv = self.eval(l, frame)?;
+        let rv = self.eval(r, frame)?;
+        // Equality works on any pair of same-typed values.
+        if matches!(op, BinOp::Eq | BinOp::Ne) {
+            let eq = lv == rv;
+            return Ok(Value::bool(if op == BinOp::Eq { eq } else { !eq }));
+        }
+        let (a, b) = match (lv.as_num(), rv.as_num()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(LangError::runtime(
+                    span,
+                    format!(
+                        "numeric operator on {} and {}",
+                        lv.type_name(),
+                        rv.type_name()
+                    ),
+                ))
+            }
+        };
+        Ok(match op {
+            BinOp::Add => Value::num(a + b),
+            BinOp::Sub => Value::num(a - b),
+            BinOp::Mul => Value::num(a * b),
+            BinOp::Div => Value::num(a / b),
+            BinOp::Rem => Value::num(a % b),
+            BinOp::Lt => Value::bool(a < b),
+            BinOp::Le => Value::bool(a <= b),
+            BinOp::Gt => Value::bool(a > b),
+            BinOp::Ge => Value::bool(a >= b),
+            BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!("handled above"),
+        })
+    }
+}
+
+/// Evaluates a program's top-level constants once, for caching by
+/// repeat callers (e.g. the Petri engine's expression behaviors).
+pub fn eval_consts(prog: &Program, limits: Limits) -> Result<HashMap<String, Value>, LangError> {
+    let mut interp = Interp {
+        prog,
+        limits,
+        steps: 0,
+        depth: 0,
+        consts: Rc::new(HashMap::new()),
+    };
+    let mut frame = Frame {
+        scopes: vec![Vec::new()],
+    };
+    let mut out = HashMap::new();
+    for c in &prog.consts {
+        let v = interp.eval(&c.init, &mut frame)?;
+        out.insert(c.name.clone(), v.clone());
+        // Make earlier constants visible to later initializers.
+        frame.declare(&c.name, v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program as Checked;
+
+    fn run(src: &str, f: &str, args: &[Value]) -> Result<Value, LangError> {
+        Checked::parse(src)?.call(f, args)
+    }
+
+    fn run_num(src: &str, f: &str, args: &[Value]) -> f64 {
+        run(src, f, args).unwrap().as_num().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run_num("fn f() { return 2 + 3 * 4; }", "f", &[]), 14.0);
+        assert_eq!(run_num("fn f() { return (2 + 3) * 4; }", "f", &[]), 20.0);
+        assert_eq!(run_num("fn f() { return 7 % 4; }", "f", &[]), 3.0);
+        assert_eq!(run_num("fn f() { return -3 + 1; }", "f", &[]), -2.0);
+    }
+
+    #[test]
+    fn division_by_zero_yields_infinity() {
+        // Like the paper's Python programs, 1/0 is inf, not a crash; the
+        // validation layer rejects non-finite predictions.
+        assert_eq!(run_num("fn f() { return 1 / 0; }", "f", &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn let_assign_and_scoping() {
+        let src = "fn f() { let x = 1; if true { x = x + 10; } return x; }";
+        assert_eq!(run_num(src, "f", &[]), 11.0);
+    }
+
+    #[test]
+    fn for_loop_accumulates() {
+        let src = "fn f(xs) { let s = 0; for x in xs { s = s + x; } return s; }";
+        let xs = Value::list(vec![Value::num(1.0), Value::num(2.0), Value::num(3.0)]);
+        assert_eq!(run_num(src, "f", &[xs]), 6.0);
+    }
+
+    #[test]
+    fn for_loop_early_return() {
+        let src = "fn f(xs) { for x in xs { if x > 1 { return x; } } return 0; }";
+        let xs = Value::list(vec![Value::num(1.0), Value::num(5.0), Value::num(9.0)]);
+        assert_eq!(run_num(src, "f", &[xs]), 5.0);
+    }
+
+    #[test]
+    fn while_loop() {
+        let src =
+            "fn f(n) { let i = 0; let s = 0; while i < n { s = s + i; i = i + 1; } return s; }";
+        assert_eq!(run_num(src, "f", &[Value::num(5.0)]), 10.0);
+    }
+
+    #[test]
+    fn recursion_with_records() {
+        // The Protoacc read_cost shape from the paper's Fig. 3.
+        let src = "fn rc(m) { let c = 0; for s in m.subs { c = c + rc(s); } return c + ceil(m.nf / 32); }";
+        let leaf = Value::record([("subs", Value::list(vec![])), ("nf", Value::num(40.0))]);
+        let root = Value::record([
+            ("subs", Value::list(vec![leaf.clone(), leaf])),
+            ("nf", Value::num(10.0)),
+        ]);
+        assert_eq!(run_num(src, "rc", &[root]), 2.0 + 2.0 + 1.0);
+    }
+
+    #[test]
+    fn consts_evaluated_in_order() {
+        let src = "const A = 2; const B = A * 3; fn f() { return B; }";
+        assert_eq!(run_num(src, "f", &[]), 6.0);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // The right operand would error (1/0 is inf but `inf > 0` is a
+        // valid bool, so use a type error instead: `!1` is invalid).
+        let src = "fn f() { return false && !1; }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::bool(false));
+        let src = "fn g() { return true || !1; }";
+        assert_eq!(run(src, "g", &[]).unwrap(), Value::bool(true));
+    }
+
+    #[test]
+    fn equality_on_structures() {
+        let src = "fn f(a, b) { return a == b; }";
+        let l1 = Value::list(vec![Value::num(1.0)]);
+        let l2 = Value::list(vec![Value::num(1.0)]);
+        assert_eq!(run(src, "f", &[l1, l2]).unwrap(), Value::bool(true));
+    }
+
+    #[test]
+    fn index_and_bounds() {
+        let src = "fn f(xs) { return xs[1]; }";
+        let xs = Value::list(vec![Value::num(10.0), Value::num(20.0)]);
+        assert_eq!(run_num(src, "f", &[xs.clone()]), 20.0);
+        let bad = "fn f(xs) { return xs[5]; }";
+        assert!(run(bad, "f", &[xs]).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_runtime_error() {
+        let src = "fn f(m) { return m.nope; }";
+        let m = Value::record([("a", Value::num(1.0))]);
+        assert!(matches!(
+            run(src, "f", &[m]),
+            Err(LangError::Runtime { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_return_is_error() {
+        let src = "fn f() { let x = 1; }";
+        assert!(run(src, "f", &[]).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_at_call_time() {
+        let src = "fn f(x) { return x; }";
+        assert!(run(src, "f", &[]).is_err());
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let src = "fn f() { while true { let x = 1; } return 0; }";
+        let p = Checked::parse(src).unwrap();
+        let r = p.call_with_limits(
+            "f",
+            &[],
+            Limits {
+                max_steps: 10_000,
+                max_depth: 16,
+            },
+        );
+        assert!(matches!(r, Err(LangError::LimitExceeded(_))));
+    }
+
+    #[test]
+    fn depth_limit_stops_runaway_recursion() {
+        let src = "fn f(x) { return f(x); }";
+        let p = Checked::parse(src).unwrap();
+        let r = p.call_with_limits(
+            "f",
+            &[Value::num(0.0)],
+            Limits {
+                max_steps: 1_000_000,
+                max_depth: 32,
+            },
+        );
+        assert!(matches!(r, Err(LangError::LimitExceeded(_))));
+    }
+
+    #[test]
+    fn record_and_list_literals() {
+        let src = "fn f() { let r = { a: 1, b: [2, 3] }; return r.a + r.b[1]; }";
+        assert_eq!(run_num(src, "f", &[]), 4.0);
+    }
+
+    #[test]
+    fn paper_fig2_jpeg_formula() {
+        // The exact Fig. 2 formula, transliterated.
+        let src = "fn latency_jpeg_decode(img) {
+            let size = img.orig_size / 64;
+            return max(size * 136.5, size / 64 * ((5 / img.compress_rate) * 3 + 6) * 1.5);
+        }
+        fn tput_jpeg_decode(img) { return 1 / latency_jpeg_decode(img); }";
+        let img = Value::record([
+            ("orig_size", Value::num(64000.0)),
+            ("compress_rate", Value::num(10.0)),
+        ]);
+        let lat = run_num(src, "latency_jpeg_decode", &[img.clone()]);
+        assert_eq!(
+            lat,
+            (1000.0f64 * 136.5).max(1000.0 / 64.0 * ((5.0 / 10.0) * 3.0 + 6.0) * 1.5)
+        );
+        let tput = run_num(src, "tput_jpeg_decode", &[img]);
+        assert!((tput - 1.0 / lat).abs() < 1e-15);
+    }
+}

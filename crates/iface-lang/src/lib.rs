@@ -1,0 +1,122 @@
+//! The executable performance-interface language (PIL).
+//!
+//! The HotOS '23 paper represents program-style performance interfaces
+//! as small Python functions (its Figs. 2–3). This crate provides an
+//! equivalent purpose-built language so interfaces remain what the paper
+//! wants them to be: *programs shipped as data* — text a vendor can
+//! publish, a human can eyeball, and a tool can execute — rather than
+//! compiled-in host-language closures.
+//!
+//! PIL is a tiny dynamically-typed expression language with functions,
+//! `let`/assignment, `if`/`else`, `for`-over-lists, recursion, numeric
+//! and record/list values, and a handful of math builtins. A JPEG
+//! latency interface looks like:
+//!
+//! ```text
+//! # Latency interface for the JPEG decoder (paper Fig. 2).
+//! fn latency_jpeg_decode(img) {
+//!     let size = img.orig_size / 64;
+//!     return max(size * 136.5,
+//!                size / 64 * ((5 / img.compress_rate) * 3 + 6) * 1.5);
+//! }
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use perf_iface_lang::{Program, Value};
+//!
+//! let src = "fn double(x) { return x * 2; }";
+//! let prog = Program::parse(src).unwrap();
+//! let out = prog.call("double", &[Value::num(21.0)]).unwrap();
+//! assert_eq!(out.as_num().unwrap(), 42.0);
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod check;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod value;
+
+pub use error::{LangError, Span};
+pub use interp::{Interp, Limits};
+pub use value::Value;
+
+/// A parsed, checked, ready-to-run interface program.
+pub struct Program {
+    ast: ast::Program,
+    src: String,
+}
+
+impl Program {
+    /// Parses and statically checks PIL source text.
+    pub fn parse(src: &str) -> Result<Program, LangError> {
+        let tokens = lexer::lex(src)?;
+        let ast = parser::parse(&tokens)?;
+        check::check(&ast)?;
+        Ok(Program {
+            ast,
+            src: src.to_string(),
+        })
+    }
+
+    /// The original source text (used for the complexity metric).
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The underlying AST.
+    pub fn ast(&self) -> &ast::Program {
+        &self.ast
+    }
+
+    /// Returns `true` if the program defines function `name`.
+    pub fn defines(&self, name: &str) -> bool {
+        self.ast.functions.iter().any(|f| f.name == name)
+    }
+
+    /// Calls function `name` with `args` under default execution limits.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, LangError> {
+        Interp::new(&self.ast, Limits::default()).call(name, args)
+    }
+
+    /// Calls function `name` with `args` under custom limits.
+    pub fn call_with_limits(
+        &self,
+        name: &str,
+        args: &[Value],
+        limits: Limits,
+    ) -> Result<Value, LangError> {
+        Interp::new(&self.ast, limits).call(name, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_call_roundtrip() {
+        let p = Program::parse("fn id(x) { return x; }").unwrap();
+        assert!(p.defines("id"));
+        assert!(!p.defines("nope"));
+        let v = p.call("id", &[Value::num(7.0)]).unwrap();
+        assert_eq!(v.as_num().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn source_preserved() {
+        let src = "# c\nfn f() { return 1; }\n";
+        let p = Program::parse(src).unwrap();
+        assert_eq!(p.source(), src);
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        assert!(Program::parse("fn f( { }").is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Pretty-printer: AST back to canonical PIL source.
+//!
+//! Interfaces are artifacts that get diffed, reviewed and versioned;
+//! a canonical printer lets tools normalize them. `parse(print(ast))`
+//! is the identity on ASTs (checked by property tests).
+
+use crate::ast::{BinOp, ConstDecl, Expr, FnDecl, Program, Stmt, UnOp};
+
+/// Renders a program as canonical source text.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for c in &p.consts {
+        out.push_str(&print_const(c));
+        out.push('\n');
+    }
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 || !p.consts.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&print_fn(f));
+    }
+    out
+}
+
+fn print_const(c: &ConstDecl) -> String {
+    format!("const {} = {};", c.name, print_expr(&c.init))
+}
+
+fn print_fn(f: &FnDecl) -> String {
+    let mut out = format!("fn {}({}) {{\n", f.name, f.params.join(", "));
+    for s in &f.body {
+        print_stmt(s, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match s {
+        Stmt::Let(name, e, _) => {
+            out.push_str(&format!("let {name} = {};\n", print_expr(e)));
+        }
+        Stmt::Assign(name, e, _) => {
+            out.push_str(&format!("{name} = {};\n", print_expr(e)));
+        }
+        Stmt::Return(e, _) => {
+            out.push_str(&format!("return {};\n", print_expr(e)));
+        }
+        Stmt::Expr(e, _) => {
+            out.push_str(&format!("{};\n", print_expr(e)));
+        }
+        Stmt::If(c, then, els, _) => {
+            out.push_str(&format!("if {} {{\n", print_expr(c)));
+            for t in then {
+                print_stmt(t, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push('}');
+            if !els.is_empty() {
+                out.push_str(" else {\n");
+                for e in els {
+                    print_stmt(e, depth + 1, out);
+                }
+                indent(depth, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::For(v, iter, body, _) => {
+            out.push_str(&format!("for {v} in {} {{\n", print_expr(iter)));
+            for b in body {
+                print_stmt(b, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::While(c, body, _) => {
+            out.push_str(&format!("while {} {{\n", print_expr(c)));
+            for b in body {
+                print_stmt(b, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesized where nesting occurs so
+/// the output re-parses to the identical AST regardless of precedence.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n, _) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 && *n >= 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n:?}")
+            }
+        }
+        Expr::Str(s, _) => format!("{s:?}"),
+        Expr::Bool(b, _) => format!("{b}"),
+        Expr::Var(v, _) => v.clone(),
+        Expr::List(items, _) => {
+            let inner: Vec<String> = items.iter().map(print_expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::Record(fields, _) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", print_expr(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+        Expr::Field(base, f, _) => format!("{}.{f}", print_postfix_base(base)),
+        Expr::Index(base, i, _) => {
+            format!("{}[{}]", print_postfix_base(base), print_expr(i))
+        }
+        Expr::Call(name, args, _) => {
+            let inner: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+        Expr::Unary(op, inner, _) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("({sym}{})", print_expr(inner))
+        }
+        Expr::Binary(op, l, r, _) => {
+            format!("({} {} {})", print_expr(l), bin_sym(*op), print_expr(r))
+        }
+    }
+}
+
+/// Postfix bases (field/index) need parentheses unless they are already
+/// primary expressions.
+fn print_postfix_base(e: &Expr) -> String {
+    match e {
+        Expr::Var(..)
+        | Expr::Field(..)
+        | Expr::Index(..)
+        | Expr::Call(..)
+        | Expr::List(..)
+        | Expr::Record(..) => print_expr(e),
+        other => format!("({})", print_expr(other)),
+    }
+}
+
+fn bin_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn strip_spans_prog(p: &Program) -> String {
+        // Compare via re-printing: two ASTs equal iff their canonical
+        // prints are equal (spans are not printed).
+        print_program(p)
+    }
+
+    fn roundtrip(src: &str) {
+        let ast1 = parser::parse(&lexer::lex(src).expect("lexes")).expect("parses");
+        let printed = print_program(&ast1);
+        let ast2 = parser::parse(&lexer::lex(&printed).expect("re-lexes"))
+            .unwrap_or_else(|e| panic!("printed source must re-parse: {e}\n{printed}"));
+        assert_eq!(
+            strip_spans_prog(&ast1),
+            strip_spans_prog(&ast2),
+            "print->parse->print must be stable"
+        );
+    }
+
+    #[test]
+    fn roundtrips_shipped_interfaces() {
+        // Every .pi artifact in the workspace must round-trip.
+        roundtrip(include_str!("../../accel-jpeg/assets/jpeg.pi"));
+        roundtrip(include_str!("../../accel-bitcoin/assets/bitcoin.pi"));
+        roundtrip(include_str!("../../accel-protoacc/assets/protoacc.pi"));
+        roundtrip(include_str!("../../accel-vta/assets/vta.pi"));
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "const A = 2;\nfn f(xs, y) { let s = 0; for x in xs { if x > y { s = s + x; } \
+             else if x == y { s = s + 1; } else { s = s - 1; } } while s > 100 { s = s / 2; } \
+             return s; }",
+        );
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        let src = "fn f() { return 1 + 2 * 3 - 4 / 5; }";
+        let ast = parser::parse(&lexer::lex(src).unwrap()).unwrap();
+        let printed = print_program(&ast);
+        let ast2 = parser::parse(&lexer::lex(&printed).unwrap()).unwrap();
+        // Evaluate both to check semantic equality.
+        let p1 = crate::Program::parse(src).unwrap();
+        let p2 = crate::Program::parse(&printed).unwrap();
+        assert_eq!(p1.call("f", &[]).unwrap(), p2.call("f", &[]).unwrap());
+        assert_eq!(print_program(&ast), print_program(&ast2));
+    }
+
+    #[test]
+    fn literals_printed_canonically() {
+        roundtrip("fn f() { return [1, 2.5, true, \"a\\nb\"]; }");
+        roundtrip("fn f() { return { a: 1, b: [2], c: { d: 3 } }; }");
+        roundtrip("fn f(t) { return (-t.x)[0]; }");
+    }
+}

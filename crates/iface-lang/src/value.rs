@@ -1,0 +1,205 @@
+//! Runtime values of the interface language.
+
+use core::fmt;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A runtime value.
+///
+/// Numbers are `f64`; workload descriptions are passed to interface
+/// programs as records and lists (e.g. a protobuf message becomes a
+/// record with `num_fields`, `num_writes` and a `subs` list).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string.
+    Str(Rc<str>),
+    /// An immutable list.
+    List(Rc<Vec<Value>>),
+    /// An immutable record.
+    Record(Rc<BTreeMap<String, Value>>),
+}
+
+impl Value {
+    /// Creates a number value.
+    pub fn num(n: f64) -> Value {
+        Value::Num(n)
+    }
+
+    /// Creates a boolean value.
+    pub fn bool(b: bool) -> Value {
+        Value::Bool(b)
+    }
+
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::from(s.into()))
+    }
+
+    /// Creates a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
+    }
+
+    /// Creates a record value from key/value pairs.
+    pub fn record(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Record(Rc::new(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ))
+    }
+
+    /// Creates a record value from owned keys.
+    pub fn record_owned(fields: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Record(Rc::new(fields.into_iter().collect()))
+    }
+
+    /// Extracts a number, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a list, if this is one.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a record field.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// The type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Truthiness: only booleans have it; everything else is a type
+    /// error at the call site (handled by the interpreter).
+    pub fn truthy(&self) -> Option<bool> {
+        self.as_bool()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::num(2.0).as_num(), Some(2.0));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::num(1.0).as_bool(), None);
+        let l = Value::list(vec![Value::num(1.0), Value::num(2.0)]);
+        assert_eq!(l.as_list().unwrap().len(), 2);
+        let r = Value::record([("a", Value::num(3.0))]);
+        assert_eq!(r.field("a").unwrap().as_num(), Some(3.0));
+        assert!(r.field("b").is_none());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::num(0.0).type_name(), "number");
+        assert_eq!(Value::str("x").type_name(), "string");
+        assert_eq!(Value::list(vec![]).type_name(), "list");
+        assert_eq!(Value::record([]).type_name(), "record");
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::record([
+            ("n", Value::num(1.0)),
+            ("xs", Value::list(vec![Value::bool(false)])),
+        ]);
+        assert_eq!(v.to_string(), "{n: 1, xs: [false]}");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(3u64), Value::Num(3.0));
+        assert_eq!(Value::from(4usize), Value::Num(4.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

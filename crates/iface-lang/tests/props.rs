@@ -1,0 +1,123 @@
+//! Property tests for the interface language: random arithmetic
+//! expressions must evaluate exactly like their direct Rust
+//! counterparts, and the front end must never panic on junk input.
+
+use perf_iface_lang::{Program, Value};
+use proptest::prelude::*;
+
+/// A random arithmetic expression, as source text and expected value.
+#[derive(Clone, Debug)]
+enum Ast {
+    Num(f64),
+    Add(Box<Ast>, Box<Ast>),
+    Sub(Box<Ast>, Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+    Min(Box<Ast>, Box<Ast>),
+    Max(Box<Ast>, Box<Ast>),
+    Neg(Box<Ast>),
+}
+
+impl Ast {
+    fn source(&self) -> String {
+        match self {
+            Ast::Num(n) => format!("{n:?}"),
+            Ast::Add(a, b) => format!("({} + {})", a.source(), b.source()),
+            Ast::Sub(a, b) => format!("({} - {})", a.source(), b.source()),
+            Ast::Mul(a, b) => format!("({} * {})", a.source(), b.source()),
+            Ast::Min(a, b) => format!("min({}, {})", a.source(), b.source()),
+            Ast::Max(a, b) => format!("max({}, {})", a.source(), b.source()),
+            Ast::Neg(a) => format!("(-{})", a.source()),
+        }
+    }
+
+    fn value(&self) -> f64 {
+        match self {
+            Ast::Num(n) => *n,
+            Ast::Add(a, b) => a.value() + b.value(),
+            Ast::Sub(a, b) => a.value() - b.value(),
+            Ast::Mul(a, b) => a.value() * b.value(),
+            Ast::Min(a, b) => a.value().min(b.value()),
+            Ast::Max(a, b) => a.value().max(b.value()),
+            Ast::Neg(a) => -a.value(),
+        }
+    }
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = (0.0f64..1000.0).prop_map(Ast::Num);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Max(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Ast::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interpreting an expression equals computing it directly.
+    #[test]
+    fn interpreter_matches_direct_evaluation(ast in ast_strategy()) {
+        let src = format!("fn f() {{ return {}; }}", ast.source());
+        let prog = Program::parse(&src).expect("generated source parses");
+        let got = prog.call("f", &[]).expect("evaluates").as_num().expect("number");
+        let want = ast.value();
+        prop_assert!(
+            (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+            "got {got}, want {want} for {}",
+            ast.source()
+        );
+    }
+
+    /// Evaluation through a function parameter behaves identically.
+    #[test]
+    fn parameter_passing_is_transparent(ast in ast_strategy(), x in -100.0f64..100.0) {
+        let src = format!("fn f(x) {{ return x + {}; }}", ast.source());
+        let prog = Program::parse(&src).expect("parses");
+        let got = prog
+            .call("f", &[Value::num(x)])
+            .expect("evaluates")
+            .as_num()
+            .expect("number");
+        prop_assert!((got - (x + ast.value())).abs() <= 1e-9 * (1.0 + got.abs()));
+    }
+
+    /// The lexer+parser never panic, whatever bytes arrive.
+    #[test]
+    fn frontend_never_panics(src in "\\PC*") {
+        let _ = Program::parse(&src);
+    }
+
+    /// Structured junk that looks like PIL also never panics.
+    #[test]
+    fn almost_pil_never_panics(
+        head in "(fn|let|const|return|if) ?",
+        body in "[a-z(){};=+*/ 0-9\\.\"]{0,60}",
+    ) {
+        let _ = Program::parse(&format!("{head}{body}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing and re-parsing preserves both the canonical form and
+    /// the evaluated value.
+    #[test]
+    fn printer_roundtrip(ast in ast_strategy()) {
+        use perf_iface_lang::printer::print_program;
+        let src = format!("fn f() {{ return {}; }}", ast.source());
+        let p1 = Program::parse(&src).expect("parses");
+        let printed = print_program(p1.ast());
+        let p2 = Program::parse(&printed).expect("printed source parses");
+        prop_assert_eq!(print_program(p1.ast()), print_program(p2.ast()));
+        let v1 = p1.call("f", &[]).expect("evals").as_num().expect("num");
+        let v2 = p2.call("f", &[]).expect("evals").as_num().expect("num");
+        prop_assert!((v1 - v2).abs() <= 1e-12 * (1.0 + v1.abs()));
+    }
+}

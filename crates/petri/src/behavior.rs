@@ -1,0 +1,346 @@
+//! Transition behaviors: delays, guards and output transforms.
+//!
+//! A behavior answers, for a set of consumed tokens: *may the transition
+//! fire?* (guard), *how long does processing take?* (delay) and *what
+//! tokens appear downstream?* (emit). Behaviors come in two flavors:
+//! native Rust closures (fast, used when a net is built
+//! programmatically) and PIL expressions (used by `.pnet` text nets, so
+//! a net remains a shippable artifact).
+
+use crate::compile::{compile_fn, CExpr};
+use crate::token::Token;
+use crate::PetriError;
+use perf_iface_lang::interp::eval_consts;
+use perf_iface_lang::{Interp, Limits, Program, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The outcome of firing a transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Firing {
+    /// Processing delay in cycles.
+    pub delay: u64,
+    /// One payload per output arc (the engine replicates per arc
+    /// weight).
+    pub outputs: Vec<Value>,
+}
+
+/// A transition's behavior.
+pub enum Behavior {
+    /// Native closures.
+    Native {
+        /// Optional guard; `None` means always enabled.
+        guard: Option<Box<dyn Fn(&[Token]) -> bool>>,
+        /// Delay as a function of the consumed tokens.
+        delay: Box<dyn Fn(&[Token]) -> u64>,
+        /// Output payloads, one per output arc.
+        transform: Box<dyn Fn(&[Token]) -> Vec<Value>>,
+    },
+    /// PIL expressions compiled from `.pnet` text.
+    Expr(ExprBehavior),
+}
+
+impl Behavior {
+    /// Evaluates the guard for candidate input tokens.
+    pub fn guard(&self, inputs: &[Token]) -> Result<bool, PetriError> {
+        match self {
+            Behavior::Native { guard, .. } => Ok(guard.as_ref().map_or(true, |g| g(inputs))),
+            Behavior::Expr(e) => e.guard(inputs),
+        }
+    }
+
+    /// Computes the firing (delay and outputs) for consumed tokens.
+    pub fn fire(&self, inputs: &[Token], n_outputs: usize) -> Result<Firing, PetriError> {
+        match self {
+            Behavior::Native {
+                delay, transform, ..
+            } => {
+                let outs = transform(inputs);
+                if outs.len() != n_outputs {
+                    return Err(PetriError::Expr(format!(
+                        "transform produced {} payloads for {} output arcs",
+                        outs.len(),
+                        n_outputs
+                    )));
+                }
+                Ok(Firing {
+                    delay: delay(inputs),
+                    outputs: outs,
+                })
+            }
+            Behavior::Expr(e) => e.fire(inputs, n_outputs),
+        }
+    }
+}
+
+/// PIL-expression behavior.
+///
+/// Expressions see two bindings: `t`, the payload of the first consumed
+/// token, and `ts`, the list of all consumed payloads (so a join
+/// transition can write `ts[1].bytes`). Net-level constants are visible
+/// too.
+pub struct ExprBehavior {
+    prog: Program,
+    emits: Vec<bool>,
+    has_guard: bool,
+    /// Lazily evaluated constants, shared across calls.
+    consts: RefCell<Option<Rc<HashMap<String, Value>>>>,
+    /// Compiled fast paths (delay, guard, per-arc emits); `None` falls
+    /// back to the interpreter.
+    c_delay: Option<CExpr>,
+    c_guard: Option<CExpr>,
+    c_emits: Vec<Option<CExpr>>,
+}
+
+impl ExprBehavior {
+    /// Compiles a behavior from expression sources.
+    ///
+    /// * `consts_src` — zero or more `const NAME = ...;` declarations.
+    /// * `delay_src` — expression for the delay (cycles).
+    /// * `guard_src` — optional boolean expression.
+    /// * `emit_srcs` — one optional expression per output arc; `None`
+    ///   passes the first input payload through unchanged.
+    pub fn compile(
+        consts_src: &str,
+        delay_src: &str,
+        guard_src: Option<&str>,
+        emit_srcs: &[Option<String>],
+    ) -> Result<ExprBehavior, PetriError> {
+        let mut src = String::new();
+        src.push_str(consts_src);
+        src.push('\n');
+        src.push_str(&format!("fn __delay(t, ts) {{ return ({delay_src}); }}\n"));
+        if let Some(g) = guard_src {
+            src.push_str(&format!("fn __guard(t, ts) {{ return ({g}); }}\n"));
+        }
+        for (i, e) in emit_srcs.iter().enumerate() {
+            if let Some(e) = e {
+                src.push_str(&format!("fn __emit{i}(t, ts) {{ return ({e}); }}\n"));
+            }
+        }
+        let prog = Program::parse(&src).map_err(|e| PetriError::Expr(e.to_string()))?;
+        // Evaluate constants eagerly and compile the single-expression
+        // fast paths.
+        let consts = Rc::new(
+            eval_consts(prog.ast(), Limits::default())
+                .map_err(|e| PetriError::Expr(e.to_string()))?,
+        );
+        let find = |name: String| prog.ast().functions.iter().find(move |f| f.name == name);
+        let c_delay = find("__delay".into()).and_then(|f| compile_fn(f, &consts));
+        let c_guard = find("__guard".into()).and_then(|f| compile_fn(f, &consts));
+        let c_emits = (0..emit_srcs.len())
+            .map(|i| find(format!("__emit{i}")).and_then(|f| compile_fn(f, &consts)))
+            .collect();
+        Ok(ExprBehavior {
+            prog,
+            emits: emit_srcs.iter().map(Option::is_some).collect(),
+            has_guard: guard_src.is_some(),
+            consts: RefCell::new(Some(consts)),
+            c_delay,
+            c_guard,
+            c_emits,
+        })
+    }
+
+    /// Returns the cached constant environment, evaluating it once.
+    fn cached_consts(&self) -> Result<Rc<HashMap<String, Value>>, PetriError> {
+        let mut slot = self.consts.borrow_mut();
+        if let Some(c) = slot.as_ref() {
+            return Ok(Rc::clone(c));
+        }
+        let consts = Rc::new(
+            eval_consts(self.prog.ast(), Limits::default())
+                .map_err(|e| PetriError::Expr(e.to_string()))?,
+        );
+        *slot = Some(Rc::clone(&consts));
+        Ok(consts)
+    }
+
+    /// Invokes a compiled function with cached constants.
+    fn invoke(&self, name: &str, args: &[Value]) -> Result<Value, PetriError> {
+        let consts = self.cached_consts()?;
+        Interp::with_consts(self.prog.ast(), Limits::default(), consts)
+            .call(name, args)
+            .map_err(|e| PetriError::Expr(e.to_string()))
+    }
+
+    fn args(inputs: &[Token]) -> [Value; 2] {
+        let first = inputs
+            .first()
+            .map(|t| t.data.clone())
+            .unwrap_or(Value::num(0.0));
+        let all = Value::list(inputs.iter().map(|t| t.data.clone()).collect());
+        [first, all]
+    }
+
+    /// Payloads of the input tokens, without building PIL values.
+    fn payloads(inputs: &[Token]) -> Vec<Value> {
+        inputs.iter().map(|t| t.data.clone()).collect()
+    }
+
+    fn call_num(&self, name: &str, inputs: &[Token]) -> Result<f64, PetriError> {
+        let args = Self::args(inputs);
+        let v = self.invoke(name, &args)?;
+        v.as_num()
+            .ok_or_else(|| PetriError::Expr(format!("`{name}` must return a number")))
+    }
+
+    fn guard(&self, inputs: &[Token]) -> Result<bool, PetriError> {
+        if !self.has_guard {
+            return Ok(true);
+        }
+        if let Some(c) = &self.c_guard {
+            let ts = Self::payloads(inputs);
+            let t = ts.first().cloned().unwrap_or(Value::num(0.0));
+            return c
+                .eval(&t, &ts)?
+                .as_bool()
+                .ok_or_else(|| PetriError::Expr("guard must return a bool".into()));
+        }
+        let args = Self::args(inputs);
+        let v = self.invoke("__guard", &args)?;
+        v.as_bool()
+            .ok_or_else(|| PetriError::Expr("guard must return a bool".into()))
+    }
+
+    fn fire(&self, inputs: &[Token], n_outputs: usize) -> Result<Firing, PetriError> {
+        if self.emits.len() != n_outputs {
+            return Err(PetriError::Expr(format!(
+                "behavior has {} emit slots for {} output arcs",
+                self.emits.len(),
+                n_outputs
+            )));
+        }
+        let ts = Self::payloads(inputs);
+        let t = ts.first().cloned().unwrap_or(Value::num(0.0));
+        let d = match &self.c_delay {
+            Some(c) => c.eval_num(&t, &ts)?,
+            None => self.call_num("__delay", inputs)?,
+        };
+        if !d.is_finite() || d < 0.0 {
+            return Err(PetriError::Expr(format!(
+                "delay must be finite and >= 0, got {d}"
+            )));
+        }
+        let mut outputs = Vec::with_capacity(n_outputs);
+        for (i, has) in self.emits.iter().enumerate() {
+            if *has {
+                let v = match &self.c_emits[i] {
+                    Some(c) => c.eval(&t, &ts)?,
+                    None => {
+                        let args = Self::args(inputs);
+                        self.invoke(&format!("__emit{i}"), &args)?
+                    }
+                };
+                outputs.push(v);
+            } else {
+                outputs.push(t.clone());
+            }
+        }
+        Ok(Firing {
+            delay: d.round() as u64,
+            outputs,
+        })
+    }
+}
+
+/// A convenience constructor: fixed delay, pass-through payloads.
+pub fn fixed_delay(delay: u64, n_outputs: usize) -> Behavior {
+    Behavior::Native {
+        guard: None,
+        delay: Box::new(move |_| delay),
+        transform: Box::new(move |toks: &[Token]| {
+            let v = toks
+                .first()
+                .map(|t| t.data.clone())
+                .unwrap_or(Value::num(0.0));
+            vec![v; n_outputs]
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(n: f64) -> Token {
+        Token::at(Value::num(n), 0)
+    }
+
+    #[test]
+    fn native_behavior_fires() {
+        let b = Behavior::Native {
+            guard: Some(Box::new(|ts: &[Token]| ts[0].data.as_num().unwrap() > 0.0)),
+            delay: Box::new(|ts: &[Token]| ts[0].data.as_num().unwrap() as u64 * 2),
+            transform: Box::new(|ts: &[Token]| vec![ts[0].data.clone()]),
+        };
+        assert!(b.guard(&[tok(1.0)]).unwrap());
+        assert!(!b.guard(&[tok(-1.0)]).unwrap());
+        let f = b.fire(&[tok(3.0)], 1).unwrap();
+        assert_eq!(f.delay, 6);
+        assert_eq!(f.outputs, vec![Value::num(3.0)]);
+    }
+
+    #[test]
+    fn native_transform_arity_checked() {
+        let b = fixed_delay(1, 2);
+        assert!(b.fire(&[tok(0.0)], 3).is_err());
+        assert_eq!(b.fire(&[tok(0.0)], 2).unwrap().outputs.len(), 2);
+    }
+
+    #[test]
+    fn expr_behavior_with_token_fields() {
+        let e = ExprBehavior::compile("", "6 + ceil(t.bits / 32)", None, &[None]).unwrap();
+        let b = Behavior::Expr(e);
+        let t = Token::at(Value::record([("bits", Value::num(100.0))]), 0);
+        let f = b.fire(&[t.clone()], 1).unwrap();
+        assert_eq!(f.delay, 6 + 4);
+        assert_eq!(f.outputs[0], t.data);
+    }
+
+    #[test]
+    fn expr_guard_and_consts() {
+        let e = ExprBehavior::compile("const LIMIT = 10;", "1", Some("t.size < LIMIT"), &[None])
+            .unwrap();
+        let b = Behavior::Expr(e);
+        let small = Token::at(Value::record([("size", Value::num(5.0))]), 0);
+        let big = Token::at(Value::record([("size", Value::num(50.0))]), 0);
+        assert!(b.guard(&[small]).unwrap());
+        assert!(!b.guard(&[big]).unwrap());
+    }
+
+    #[test]
+    fn expr_emit_rewrites_payload() {
+        let e = ExprBehavior::compile("", "1", None, &[Some("{ half: t.size / 2 }".to_string())])
+            .unwrap();
+        let b = Behavior::Expr(e);
+        let t = Token::at(Value::record([("size", Value::num(8.0))]), 0);
+        let f = b.fire(&[t], 1).unwrap();
+        assert_eq!(f.outputs[0].field("half").unwrap().as_num(), Some(4.0));
+    }
+
+    #[test]
+    fn expr_multi_input_binding() {
+        let e = ExprBehavior::compile("", "ts[0].a + ts[1].a", None, &[None]).unwrap();
+        let b = Behavior::Expr(e);
+        let t0 = Token::at(Value::record([("a", Value::num(3.0))]), 0);
+        let t1 = Token::at(Value::record([("a", Value::num(4.0))]), 0);
+        let f = b.fire(&[t0, t1], 1).unwrap();
+        assert_eq!(f.delay, 7);
+    }
+
+    #[test]
+    fn expr_negative_or_nan_delay_rejected() {
+        let e = ExprBehavior::compile("", "0 - 5", None, &[None]).unwrap();
+        assert!(Behavior::Expr(e).fire(&[tok(0.0)], 1).is_err());
+        let e = ExprBehavior::compile("", "1 / 0", None, &[None]).unwrap();
+        assert!(Behavior::Expr(e).fire(&[tok(0.0)], 1).is_err());
+    }
+
+    #[test]
+    fn expr_compile_errors_surface() {
+        assert!(ExprBehavior::compile("", "1 +", None, &[None]).is_err());
+        assert!(ExprBehavior::compile("", "nope(1)", None, &[None]).is_err());
+    }
+}

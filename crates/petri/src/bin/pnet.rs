@@ -1,0 +1,112 @@
+//! `pnet` — command-line tooling for Petri-net performance IRs.
+//!
+//! ```text
+//! pnet check FILE                       # parse + structural report
+//! pnet dot FILE                         # Graphviz to stdout
+//! pnet run FILE PLACE N [field=VAL...]  # inject N tokens, simulate
+//! ```
+
+use perf_iface_lang::Value;
+use perf_petri::engine::{Engine, Options};
+use perf_petri::token::Token;
+use perf_petri::{analysis, dot, text};
+
+fn usage() -> ! {
+    eprintln!("usage: pnet check FILE | pnet dot FILE | pnet run FILE PLACE N [field=VAL...]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> perf_petri::net::Net {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("pnet: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    text::parse(&src).unwrap_or_else(|e| {
+        eprintln!("pnet: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => {
+            let net = load(&args[1]);
+            let s = analysis::structure(&net);
+            println!(
+                "{}: net `{}` with {} places, {} transitions",
+                args[1],
+                net.name,
+                net.places().len(),
+                net.transitions().len()
+            );
+            println!("  sources: {}", s.sources.join(", "));
+            println!("  sinks:   {}", s.sinks.join(", "));
+            println!("  conservative: {}", s.conservative);
+            if s.dead_ends.is_empty() {
+                println!("  dead ends: none");
+            } else {
+                println!(
+                    "  dead ends: {} <- TOKENS CAN STRAND HERE",
+                    s.dead_ends.join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
+        Some("dot") if args.len() == 2 => {
+            print!("{}", dot::to_dot(&load(&args[1])));
+        }
+        Some("run") if args.len() >= 4 => {
+            let net = load(&args[1]);
+            let place = net.place_id(&args[2]).unwrap_or_else(|| {
+                eprintln!("pnet: no place `{}`", args[2]);
+                std::process::exit(1);
+            });
+            let n: usize = args[3].parse().unwrap_or_else(|_| {
+                eprintln!("pnet: bad count `{}`", args[3]);
+                std::process::exit(2);
+            });
+            let mut fields = Vec::new();
+            for pair in &args[4..] {
+                let Some((k, v)) = pair.split_once('=') else {
+                    eprintln!("pnet: expected field=VALUE, got `{pair}`");
+                    std::process::exit(2);
+                };
+                let Ok(num) = v.parse::<f64>() else {
+                    eprintln!("pnet: non-numeric value in `{pair}`");
+                    std::process::exit(2);
+                };
+                fields.push((k.to_string(), Value::num(num)));
+            }
+            let mut eng = Engine::new(&net, Options::default());
+            for _ in 0..n {
+                eng.inject(place, Token::at(Value::record_owned(fields.clone()), 0));
+            }
+            let res = eng.run().unwrap_or_else(|e| {
+                eprintln!("pnet: simulation failed: {e}");
+                std::process::exit(1);
+            });
+            println!("makespan:    {} cycles", res.makespan);
+            println!("completions: {}", res.completions.len());
+            println!("throughput:  {:.6} tokens/cycle", res.throughput());
+            let lats = res.latencies();
+            if !lats.is_empty() {
+                let avg: f64 = lats.iter().sum::<u64>() as f64 / lats.len() as f64;
+                println!(
+                    "latency:     avg {:.1}, min {}, max {}",
+                    avg,
+                    lats.iter().min().expect("nonempty"),
+                    lats.iter().max().expect("nonempty")
+                );
+            }
+            let util = analysis::utilization(&net, &res);
+            if let Some(b) = util.bottleneck {
+                println!("bottleneck:  {b}");
+            }
+            if !res.stranded.is_empty() {
+                println!("stranded:    {:?}", res.stranded);
+            }
+        }
+        _ => usage(),
+    }
+}

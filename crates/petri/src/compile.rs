@@ -1,0 +1,316 @@
+//! A compiler from single-expression PIL behaviors to a closed form
+//! that evaluates without interpreter frames.
+//!
+//! Almost every delay/guard/emit in a `.pnet` file is one arithmetic
+//! expression over the token's fields and the net's constants. The
+//! engine evaluates these millions of times in experiment-scale runs,
+//! so `ExprBehavior` compiles them: constants are folded at compile
+//! time, variables resolve to direct slots, and evaluation is a single
+//! enum-tree walk with no allocation on the numeric path. Expressions
+//! that use features outside this subset (user-function calls, loops)
+//! fall back to the full interpreter transparently.
+
+use crate::PetriError;
+use perf_iface_lang::ast::{BinOp, Expr, FnDecl, Stmt, UnOp};
+use perf_iface_lang::Value;
+use std::collections::HashMap;
+
+/// A compiled expression.
+#[derive(Clone, Debug)]
+pub enum CExpr {
+    /// Literal value (numbers, folded constants, record templates are
+    /// not folded — see `Record`).
+    Lit(Value),
+    /// The first input token's payload (`t`).
+    T,
+    /// The list of all input payloads (`ts`).
+    Ts,
+    /// Field access.
+    Field(Box<CExpr>, String),
+    /// List indexing.
+    Index(Box<CExpr>, Box<CExpr>),
+    /// Record construction (for emits).
+    Record(Vec<(String, CExpr)>),
+    /// Binary operation.
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Unary operation.
+    Un(UnOp, Box<CExpr>),
+    /// Builtin call.
+    Builtin(&'static str, Vec<CExpr>),
+}
+
+/// Compiles the body of a generated single-return function
+/// (`fn __x(t, ts) { return EXPR; }`). Returns `None` when the body
+/// uses features outside the compilable subset.
+pub fn compile_fn(f: &FnDecl, consts: &HashMap<String, Value>) -> Option<CExpr> {
+    if f.params != ["t", "ts"] || f.body.len() != 1 {
+        return None;
+    }
+    let Stmt::Return(expr, _) = &f.body[0] else {
+        return None;
+    };
+    compile_expr(expr, consts)
+}
+
+fn compile_expr(e: &Expr, consts: &HashMap<String, Value>) -> Option<CExpr> {
+    Some(match e {
+        Expr::Num(n, _) => CExpr::Lit(Value::num(*n)),
+        Expr::Bool(b, _) => CExpr::Lit(Value::bool(*b)),
+        Expr::Str(s, _) => CExpr::Lit(Value::str(s.clone())),
+        Expr::Var(name, _) => match name.as_str() {
+            "t" => CExpr::T,
+            "ts" => CExpr::Ts,
+            other => CExpr::Lit(consts.get(other)?.clone()),
+        },
+        Expr::Field(base, field, _) => {
+            CExpr::Field(Box::new(compile_expr(base, consts)?), field.clone())
+        }
+        Expr::Index(base, idx, _) => CExpr::Index(
+            Box::new(compile_expr(base, consts)?),
+            Box::new(compile_expr(idx, consts)?),
+        ),
+        Expr::Record(fields, _) => CExpr::Record(
+            fields
+                .iter()
+                .map(|(k, v)| Some((k.clone(), compile_expr(v, consts)?)))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Expr::List(..) => return None,
+        Expr::Call(name, args, _) => {
+            let builtin: &'static str = match name.as_str() {
+                "ceil" => "ceil",
+                "floor" => "floor",
+                "round" => "round",
+                "abs" => "abs",
+                "min" => "min",
+                "max" => "max",
+                "sqrt" => "sqrt",
+                "pow" => "pow",
+                "log2" => "log2",
+                "len" => "len",
+                "sum" => "sum",
+                "num" => "num",
+                _ => return None,
+            };
+            CExpr::Builtin(
+                builtin,
+                args.iter()
+                    .map(|a| compile_expr(a, consts))
+                    .collect::<Option<Vec<_>>>()?,
+            )
+        }
+        Expr::Unary(op, inner, _) => CExpr::Un(*op, Box::new(compile_expr(inner, consts)?)),
+        Expr::Binary(op, l, r, _) => CExpr::Bin(
+            *op,
+            Box::new(compile_expr(l, consts)?),
+            Box::new(compile_expr(r, consts)?),
+        ),
+    })
+}
+
+impl CExpr {
+    /// Evaluates against the input payloads.
+    pub fn eval(&self, t: &Value, ts: &[Value]) -> Result<Value, PetriError> {
+        match self {
+            CExpr::Lit(v) => Ok(v.clone()),
+            CExpr::T => Ok(t.clone()),
+            CExpr::Ts => Ok(Value::list(ts.to_vec())),
+            CExpr::Field(base, field) => {
+                let b = base.eval(t, ts)?;
+                b.field(field).cloned().ok_or_else(|| {
+                    PetriError::Expr(format!("{} has no field `{field}`", b.type_name()))
+                })
+            }
+            CExpr::Index(base, idx) => {
+                let b = base.eval(t, ts)?;
+                let i = idx.eval(t, ts)?;
+                let (list, n) = match (b.as_list(), i.as_num()) {
+                    (Some(l), Some(n)) => (l, n),
+                    _ => return Err(PetriError::Expr("bad index operation".into())),
+                };
+                if n < 0.0 || n.fract() != 0.0 || n as usize >= list.len() {
+                    return Err(PetriError::Expr(format!("index {n} out of bounds")));
+                }
+                Ok(list[n as usize].clone())
+            }
+            CExpr::Record(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (k, v) in fields {
+                    out.push((k.clone(), v.eval(t, ts)?));
+                }
+                Ok(Value::record_owned(out))
+            }
+            CExpr::Un(op, inner) => {
+                let v = inner.eval(t, ts)?;
+                match op {
+                    UnOp::Neg => v
+                        .as_num()
+                        .map(|n| Value::num(-n))
+                        .ok_or_else(|| PetriError::Expr("cannot negate".into())),
+                    UnOp::Not => v
+                        .as_bool()
+                        .map(|b| Value::bool(!b))
+                        .ok_or_else(|| PetriError::Expr("cannot `!`".into())),
+                }
+            }
+            CExpr::Bin(op, l, r) => self.eval_bin(*op, l, r, t, ts),
+            CExpr::Builtin(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(t, ts)?);
+                }
+                perf_iface_lang::builtins::call(name, &vals, Default::default())
+                    .map_err(|e| PetriError::Expr(e.to_string()))
+            }
+        }
+    }
+
+    /// Evaluates expecting a number (the hot path for delays).
+    pub fn eval_num(&self, t: &Value, ts: &[Value]) -> Result<f64, PetriError> {
+        self.eval(t, ts)?
+            .as_num()
+            .ok_or_else(|| PetriError::Expr("expected a number".into()))
+    }
+
+    fn eval_bin(
+        &self,
+        op: BinOp,
+        l: &CExpr,
+        r: &CExpr,
+        t: &Value,
+        ts: &[Value],
+    ) -> Result<Value, PetriError> {
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let lb = l
+                .eval(t, ts)?
+                .as_bool()
+                .ok_or_else(|| PetriError::Expr("non-bool operand".into()))?;
+            return match (op, lb) {
+                (BinOp::And, false) => Ok(Value::bool(false)),
+                (BinOp::Or, true) => Ok(Value::bool(true)),
+                _ => {
+                    let rb = r
+                        .eval(t, ts)?
+                        .as_bool()
+                        .ok_or_else(|| PetriError::Expr("non-bool operand".into()))?;
+                    Ok(Value::bool(rb))
+                }
+            };
+        }
+        let lv = l.eval(t, ts)?;
+        let rv = r.eval(t, ts)?;
+        if matches!(op, BinOp::Eq | BinOp::Ne) {
+            let eq = lv == rv;
+            return Ok(Value::bool(if op == BinOp::Eq { eq } else { !eq }));
+        }
+        let (a, b) = match (lv.as_num(), rv.as_num()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(PetriError::Expr("numeric operator on non-numbers".into())),
+        };
+        Ok(match op {
+            BinOp::Add => Value::num(a + b),
+            BinOp::Sub => Value::num(a - b),
+            BinOp::Mul => Value::num(a * b),
+            BinOp::Div => Value::num(a / b),
+            BinOp::Rem => Value::num(a % b),
+            BinOp::Lt => Value::bool(a < b),
+            BinOp::Le => Value::bool(a <= b),
+            BinOp::Gt => Value::bool(a > b),
+            BinOp::Ge => Value::bool(a >= b),
+            BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!("handled above"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_iface_lang::Program;
+
+    fn compile_one(src: &str, consts: &HashMap<String, Value>) -> Option<CExpr> {
+        // Declare every const the test provides so the program parses.
+        let mut decls = String::new();
+        for (k, v) in consts {
+            decls.push_str(&format!(
+                "const {k} = {v};
+"
+            ));
+        }
+        let full = format!("{decls}fn __f(t, ts) {{ return ({src}); }}");
+        let prog = Program::parse(&full).unwrap();
+        compile_fn(&prog.ast().functions[0], consts)
+    }
+
+    fn tok(fields: Vec<(&'static str, f64)>) -> Value {
+        Value::record(fields.into_iter().map(|(k, v)| (k, Value::num(v))))
+    }
+
+    #[test]
+    fn compiles_arithmetic_over_fields() {
+        let consts = HashMap::new();
+        let c = compile_one("6 + ceil(t.bits / 4)", &consts).expect("compilable");
+        let t = tok(vec![("bits", 10.0)]);
+        assert_eq!(c.eval_num(&t, &[]).unwrap(), 6.0 + 3.0);
+    }
+
+    #[test]
+    fn resolves_constants_at_compile_time() {
+        let mut consts = HashMap::new();
+        consts.insert("MEM".to_string(), Value::num(120.0));
+        let c = compile_one("MEM * 2 + t.x", &consts).unwrap();
+        assert_eq!(c.eval_num(&tok(vec![("x", 1.0)]), &[]).unwrap(), 241.0);
+    }
+
+    #[test]
+    fn unknown_names_fall_back() {
+        // The name exists in the program but not in the compile-time
+        // constant environment: the compiler declines.
+        let full = "const UNKNOWN = 1; fn __f(t, ts) { return (UNKNOWN + 1); }";
+        let prog = Program::parse(full).unwrap();
+        assert!(compile_fn(&prog.ast().functions[0], &HashMap::new()).is_none());
+    }
+
+    #[test]
+    fn user_function_calls_fall_back() {
+        // A call to a non-builtin cannot compile.
+        let consts = HashMap::new();
+        let full = "fn helper(t, ts) { return 1; } fn __f(t, ts) { return helper(t, ts); }";
+        let prog = Program::parse(full).unwrap();
+        assert!(compile_fn(&prog.ast().functions[1], &consts).is_none());
+    }
+
+    #[test]
+    fn guards_and_short_circuit() {
+        let consts = HashMap::new();
+        let c = compile_one("t.pp == 1 && t.pn == 0", &consts).unwrap();
+        let yes = tok(vec![("pp", 1.0), ("pn", 0.0)]);
+        let no = tok(vec![("pp", 0.0), ("pn", 0.0)]);
+        assert_eq!(c.eval(&yes, &[]).unwrap(), Value::bool(true));
+        assert_eq!(c.eval(&no, &[]).unwrap(), Value::bool(false));
+    }
+
+    #[test]
+    fn record_emit_compiles() {
+        let consts = HashMap::new();
+        let c = compile_one("{ u: 0, half: t.size / 2 }", &consts).unwrap();
+        let out = c.eval(&tok(vec![("size", 8.0)]), &[]).unwrap();
+        assert_eq!(out.field("half").unwrap().as_num(), Some(4.0));
+    }
+
+    #[test]
+    fn ts_indexing() {
+        let consts = HashMap::new();
+        let c = compile_one("ts[1].a + t.a", &consts).unwrap();
+        let t0 = tok(vec![("a", 1.0)]);
+        let t1 = tok(vec![("a", 2.0)]);
+        assert_eq!(c.eval_num(&t0, &[t0.clone(), t1]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn matches_interpreter_semantics() {
+        // Division by zero yields infinity, like the interpreter.
+        let consts = HashMap::new();
+        let c = compile_one("1 / 0", &consts).unwrap();
+        assert_eq!(c.eval_num(&Value::num(0.0), &[]).unwrap(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,269 @@
+//! Net composition: gluing component nets together.
+//!
+//! §5 of the paper proposes building Petri nets for shared structures
+//! (TLBs, interconnects, memory systems) *once* and reusing them across
+//! accelerators. That requires composition: merging two nets by
+//! identifying boundary places — tokens leaving one component's output
+//! place flow into the other's input place.
+//!
+//! `compose(a, b, glue)` produces a net containing both components'
+//! places and transitions, with each `(a_place, b_place)` pair in
+//! `glue` fused into a single place. Ungled names from `b` are
+//! prefixed with `"{b.name}."` to avoid collisions.
+
+use crate::net::{Net, PlaceId};
+use crate::PetriError;
+
+/// Composes two nets by fusing the given boundary places.
+///
+/// For each `(in_a, in_b)` pair, the place named `in_a` in `a` and the
+/// place named `in_b` in `b` become one place, keeping `a`'s capacity.
+/// The fused place keeps `a`'s sink flag only if both agree; gluing a
+/// sink of `a` to a fed place of `b` clears the sink flag (tokens now
+/// flow onward instead of completing).
+pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net, PetriError> {
+    // Resolve glue pairs up front.
+    let mut b_to_a: Vec<Option<PlaceId>> = vec![None; b.places().len()];
+    for (an, bn) in glue {
+        let pa = a.place_id(an).ok_or_else(|| {
+            PetriError::Structure(format!("glue place `{an}` not in `{}`", a.name))
+        })?;
+        let pb = b.place_id(bn).ok_or_else(|| {
+            PetriError::Structure(format!("glue place `{bn}` not in `{}`", b.name))
+        })?;
+        if b_to_a[pb.index()].is_some() {
+            return Err(PetriError::Structure(format!(
+                "place `{bn}` glued more than once"
+            )));
+        }
+        b_to_a[pb.index()] = Some(pa);
+    }
+
+    let Net {
+        mut places,
+        mut transitions,
+        ..
+    } = a;
+
+    // A glued place stops being a sink if the other component consumes
+    // from or feeds it (it is now interior).
+    for target in b_to_a.iter().flatten() {
+        places[target.index()].is_sink = false;
+    }
+
+    // Import b's places, remapping ids.
+    let b_prefix = format!("{}.", b.name);
+    let Net {
+        places: b_places,
+        transitions: b_transitions,
+        ..
+    } = b;
+    let mut b_map: Vec<PlaceId> = Vec::with_capacity(b_places.len());
+    for (i, mut p) in b_places.into_iter().enumerate() {
+        if let Some(target) = b_to_a[i] {
+            b_map.push(target);
+        } else {
+            p.name = format!("{b_prefix}{}", p.name);
+            places.push(p);
+            b_map.push(PlaceId(places.len() - 1));
+        }
+    }
+
+    for mut t in b_transitions {
+        t.name = format!("{b_prefix}{}", t.name);
+        for (p, _) in t.inputs.iter_mut().chain(t.outputs.iter_mut()) {
+            *p = b_map[p.index()];
+        }
+        transitions.push(t);
+    }
+
+    let composed = Net {
+        name: name.to_string(),
+        places,
+        transitions,
+    };
+    // Re-validate the merged structure (e.g. a glued sink must not be
+    // consumed from).
+    revalidate(&composed)?;
+    Ok(composed)
+}
+
+fn revalidate(net: &Net) -> Result<(), PetriError> {
+    for t in net.transitions() {
+        for &(p, _) in &t.inputs {
+            if net.places()[p.index()].is_sink {
+                return Err(PetriError::Structure(format!(
+                    "transition `{}` consumes from sink `{}` after composition",
+                    t.name,
+                    net.places()[p.index()].name
+                )));
+            }
+        }
+    }
+    let mut names = std::collections::HashSet::new();
+    for p in net.places() {
+        if !names.insert(&p.name) {
+            return Err(PetriError::Structure(format!(
+                "duplicate place `{}` after composition",
+                p.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: validates that `t` is exported unchanged (used by
+/// tests poking at composition internals).
+pub fn transition_names(net: &Net) -> Vec<String> {
+    net.transitions().iter().map(|t| t.name.clone()).collect()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Options};
+    use crate::net::NetBuilder;
+    use crate::token::Token;
+    use perf_iface_lang::Value;
+
+    /// Front component: a 3-cycle stage ending in a boundary place.
+    fn front() -> Net {
+        let mut b = NetBuilder::new("front");
+        let src = b.place("src", None);
+        let out = b.sink("boundary_out");
+        b.transition(
+            "stage_a",
+            &[src],
+            &[out],
+            |_| 3,
+            |ts| vec![ts[0].data.clone()],
+        );
+        b.build().expect("valid")
+    }
+
+    /// Back component: consumes from a boundary place, 5-cycle stage.
+    fn back() -> Net {
+        let mut b = NetBuilder::new("back");
+        let inp = b.place("boundary_in", Some(2));
+        let done = b.sink("done");
+        b.transition(
+            "stage_b",
+            &[inp],
+            &[done],
+            |_| 5,
+            |ts| vec![ts[0].data.clone()],
+        );
+        b.build().expect("valid")
+    }
+
+    /// The monolithic equivalent of front ∘ back.
+    fn monolithic() -> Net {
+        let mut b = NetBuilder::new("mono");
+        let src = b.place("src", None);
+        let mid = b.place("mid", None);
+        let done = b.sink("done");
+        b.transition(
+            "stage_a",
+            &[src],
+            &[mid],
+            |_| 3,
+            |ts| vec![ts[0].data.clone()],
+        );
+        b.transition(
+            "stage_b",
+            &[mid],
+            &[done],
+            |_| 5,
+            |ts| vec![ts[0].data.clone()],
+        );
+        b.build().expect("valid")
+    }
+
+    fn run(net: &Net, n: usize) -> crate::engine::SimResult {
+        let src = net.place_id("src").expect("src");
+        let mut e = Engine::new(net, Options::default());
+        for i in 0..n {
+            e.inject(src, Token::at(Value::num(i as f64), 0));
+        }
+        e.run().expect("runs")
+    }
+
+    #[test]
+    fn composition_equals_monolithic() {
+        let composed =
+            compose(front(), back(), &[("boundary_out", "boundary_in")], "pipe").expect("composes");
+        let rc = run(&composed, 20);
+        let rm = run(&monolithic(), 20);
+        assert_eq!(rc.completions.len(), 20);
+        assert_eq!(rc.makespan, rm.makespan);
+        assert_eq!(rc.latencies(), rm.latencies());
+    }
+
+    #[test]
+    fn glued_sink_becomes_interior() {
+        let composed =
+            compose(front(), back(), &[("boundary_out", "boundary_in")], "pipe").expect("composes");
+        let pid = composed.place_id("boundary_out").expect("kept a's name");
+        assert!(!composed.places()[pid.index()].is_sink);
+        // The back component's remaining places got prefixed.
+        assert!(composed.place_id("back.done").is_some());
+        assert!(transition_names(&composed).contains(&"back.stage_b".to_string()));
+    }
+
+    #[test]
+    fn unknown_glue_place_rejected() {
+        assert!(compose(front(), back(), &[("nope", "boundary_in")], "x").is_err());
+        assert!(compose(front(), back(), &[("boundary_out", "nope")], "x").is_err());
+    }
+
+    #[test]
+    fn double_glue_rejected() {
+        let mut b = NetBuilder::new("two_outs");
+        let src = b.place("src", None);
+        let o1 = b.sink("o1");
+        let o2 = b.sink("o2");
+        b.transition(
+            "t",
+            &[src],
+            &[o1, o2],
+            |_| 1,
+            |ts| vec![ts[0].data.clone(), ts[0].data.clone()],
+        );
+        let a = b.build().expect("valid");
+        assert!(compose(
+            a,
+            back(),
+            &[("o1", "boundary_in"), ("o2", "boundary_in")],
+            "x"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn composed_expr_nets_work() {
+        // Compose two nets parsed from `.pnet` text — the shipped-
+        // artifact path of §5's reuse story.
+        let producer = crate::text::parse(
+            "net producer\nplace src\nsink out\ntrans p\n  in src\n  out out\n  delay t.cost\n",
+        )
+        .expect("parses");
+        let memsys = crate::text::parse(
+            "net memsys\nplace req cap 8\nsink served\ntrans serve\n  in req\n  out served\n  delay 40 + t.cost / 2\n",
+        )
+        .expect("parses");
+        let composed = compose(producer, memsys, &[("out", "req")], "pipeline").expect("composes");
+        let src = composed.place_id("src").expect("src");
+        let mut e = Engine::new(&composed, Options::default());
+        for _ in 0..4 {
+            e.inject(
+                src,
+                Token::at(Value::record([("cost", Value::num(10.0))]), 0),
+            );
+        }
+        let res = e.run().expect("runs");
+        assert_eq!(res.completions.len(), 4);
+        // Serial: producer 10/token (bottleneck is memsys at 45).
+        assert_eq!(res.makespan, 10 + 4 * 45);
+    }
+}

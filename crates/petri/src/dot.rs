@@ -1,0 +1,64 @@
+//! Graphviz (DOT) export for visual inspection of nets.
+
+use crate::net::Net;
+
+/// Renders `net` as a Graphviz digraph: places are circles, transitions
+/// are boxes, arc weights label edges.
+pub fn to_dot(net: &Net) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", net.name));
+    out.push_str("  rankdir=LR;\n");
+    for (i, p) in net.places().iter().enumerate() {
+        let shape = if p.is_sink { "doublecircle" } else { "circle" };
+        let cap = match p.capacity {
+            Some(c) => format!("\\ncap {c}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  p{i} [label=\"{}{}\" shape={shape}];\n",
+            p.name, cap
+        ));
+    }
+    for (i, t) in net.transitions().iter().enumerate() {
+        out.push_str(&format!("  t{i} [label=\"{}\" shape=box];\n", t.name));
+        for &(p, w) in &t.inputs {
+            let lbl = if w > 1 {
+                format!(" [label=\"{w}\"]")
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("  p{} -> t{i}{lbl};\n", p.index()));
+        }
+        for &(p, w) in &t.outputs {
+            let lbl = if w > 1 {
+                format!(" [label=\"{w}\"]")
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("  t{i} -> p{}{lbl};\n", p.index()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = NetBuilder::new("demo");
+        let a = b.place("a", Some(4));
+        let z = b.sink("z");
+        b.transition("work", &[a], &[z], |_| 1, |ts| vec![ts[0].data.clone()]);
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("label=\"a\\ncap 4\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("p0 -> t0"));
+        assert!(dot.contains("t0 -> p1"));
+    }
+}

@@ -1,0 +1,628 @@
+//! Event-driven simulation engine for timed Petri nets.
+//!
+//! Unlike the tick-accurate simulators in `perf-sim`, the engine only
+//! does work when something *happens*: a token arrives or a transition
+//! completes. Between events no cycles are simulated — this is why a
+//! Petri-net interface can be evaluated orders of magnitude faster than
+//! a cycle-accurate model of the same accelerator (the paper's 1312×
+//! TVM-profiling speedup, our experiment E5).
+
+use crate::net::{Net, PlaceId};
+use crate::token::Token;
+use crate::PetriError;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Abort after this many processed events (runaway-net protection).
+    pub max_events: u64,
+    /// Treat stranded tokens at quiescence as an error.
+    pub fail_on_deadlock: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_events: 200_000_000,
+            fail_on_deadlock: false,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Time of the last event (cycles).
+    pub makespan: u64,
+    /// Tokens that reached sink places, in arrival order.
+    pub completions: Vec<Token>,
+    /// Events processed.
+    pub events: u64,
+    /// Firings per transition (indexed by `TransId`).
+    pub firings: Vec<u64>,
+    /// Sum of firing delays per transition ("busy cycles").
+    pub busy: Vec<u64>,
+    /// Peak occupancy per place.
+    pub high_water: Vec<usize>,
+    /// Tokens stranded in non-sink places at quiescence.
+    pub stranded: Vec<(String, usize)>,
+}
+
+impl SimResult {
+    /// Per-completion latencies (arrival − birth).
+    pub fn latencies(&self) -> Vec<u64> {
+        self.completions
+            .iter()
+            .map(|t| t.arrived.saturating_sub(t.born))
+            .collect()
+    }
+
+    /// Completions per cycle over the whole run.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.completions.len() as f64 / self.makespan as f64
+        }
+    }
+
+    /// Whether the run ended with stranded tokens.
+    pub fn deadlocked(&self) -> bool {
+        !self.stranded.is_empty()
+    }
+}
+
+/// A scheduled event, ordered by (time, sequence) ascending.
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> core::cmp::Ordering {
+        // Reversed for the max-heap: earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// External token arrival.
+    Inject { place: PlaceId, token: Token },
+    /// A firing completes: deliver outputs, free the server.
+    Deliver {
+        trans: usize,
+        outputs: Vec<(PlaceId, Token)>,
+    },
+}
+
+/// An engine bound to a net. Inject tokens, then [`Engine::run`].
+pub struct Engine<'n> {
+    net: &'n Net,
+    opts: Options,
+    marking: Vec<VecDeque<Token>>,
+    /// Output capacity reserved by in-flight firings, per place.
+    reserved: Vec<usize>,
+    busy_servers: Vec<usize>,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    order: Vec<usize>,
+    completions: Vec<Token>,
+    firings: Vec<u64>,
+    busy: Vec<u64>,
+    high_water: Vec<usize>,
+}
+
+impl<'n> Engine<'n> {
+    /// Creates an engine over `net`.
+    pub fn new(net: &'n Net, opts: Options) -> Engine<'n> {
+        Engine {
+            opts,
+            marking: net.places().iter().map(|_| VecDeque::new()).collect(),
+            reserved: vec![0; net.places().len()],
+            busy_servers: vec![0; net.transitions().len()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            order: {
+                let mut order: Vec<usize> = (0..net.transitions().len()).collect();
+                order.sort_by_key(|&i| (-net.transitions()[i].priority, i));
+                order
+            },
+            completions: Vec::new(),
+            firings: vec![0; net.transitions().len()],
+            busy: vec![0; net.transitions().len()],
+            high_water: vec![0; net.places().len()],
+            net,
+        }
+    }
+
+    /// Schedules an external token arrival at `token.arrived`.
+    pub fn inject(&mut self, place: PlaceId, token: Token) {
+        self.push_event(token.arrived, Ev::Inject { place, token });
+    }
+
+    fn push_event(&mut self, time: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, ev });
+    }
+
+    fn deposit(&mut self, place: PlaceId, token: Token) {
+        let q = &mut self.marking[place.0];
+        q.push_back(token);
+        self.high_water[place.0] = self.high_water[place.0].max(q.len());
+    }
+
+    /// Attempts to fire every enabled transition at time `now` until a
+    /// fixpoint. Returns an error if a behavior fails.
+    fn fire_enabled(&mut self, now: u64) -> Result<(), PetriError> {
+        loop {
+            let mut fired_any = false;
+            // Deterministic order: priority descending, then
+            // declaration order (precomputed at engine construction).
+            for i in 0..self.order.len() {
+                let ti = self.order[i];
+                while self.try_fire(ti, now)? {
+                    fired_any = true;
+                }
+            }
+            if !fired_any {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Attempts a single firing of transition `ti` at time `now`.
+    fn try_fire(&mut self, ti: usize, now: u64) -> Result<bool, PetriError> {
+        let t = &self.net.transitions()[ti];
+        if t.servers != 0 && self.busy_servers[ti] >= t.servers {
+            return Ok(false);
+        }
+        // Check token availability.
+        for &(p, w) in &t.inputs {
+            if self.marking[p.0].len() < w {
+                return Ok(false);
+            }
+        }
+        // Check output capacity (current occupancy + reservations).
+        for &(p, w) in &t.outputs {
+            if let Some(cap) = self.net.places()[p.0].capacity {
+                if self.marking[p.0].len() + self.reserved[p.0] + w > cap {
+                    return Ok(false);
+                }
+            }
+        }
+        // Select tokens FIFO (without consuming yet, for the guard).
+        let mut selected = Vec::new();
+        for &(p, w) in &t.inputs {
+            for k in 0..w {
+                selected.push(self.marking[p.0][k].clone());
+            }
+        }
+        if !t.behavior.guard(&selected)? {
+            return Ok(false);
+        }
+        // Consume.
+        for &(p, w) in &t.inputs {
+            for _ in 0..w {
+                self.marking[p.0].pop_front();
+            }
+        }
+        let firing = t.behavior.fire(&selected, t.outputs.len())?;
+        // Latency lineage: outputs inherit the earliest birth among the
+        // consumed tokens.
+        let born = selected.iter().map(|t| t.born).min().unwrap_or(now);
+        let done = now + firing.delay;
+        let mut outs = Vec::new();
+        for (arc_idx, &(p, w)) in t.outputs.iter().enumerate() {
+            if let Some(cap) = self.net.places()[p.0].capacity {
+                debug_assert!(self.marking[p.0].len() + self.reserved[p.0] + w <= cap);
+            }
+            self.reserved[p.0] += w;
+            for _ in 0..w {
+                outs.push((
+                    p,
+                    Token {
+                        data: firing.outputs[arc_idx].clone(),
+                        born,
+                        arrived: done,
+                    },
+                ));
+            }
+        }
+        self.busy_servers[ti] += 1;
+        self.firings[ti] += 1;
+        self.busy[ti] += firing.delay;
+        self.push_event(
+            done,
+            Ev::Deliver {
+                trans: ti,
+                outputs: outs,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Runs until quiescence and returns the result.
+    pub fn run(mut self) -> Result<SimResult, PetriError> {
+        let mut now = 0u64;
+        let mut events = 0u64;
+        self.fire_enabled(now)?;
+        while let Some(Scheduled { time, ev, .. }) = self.heap.pop() {
+            events += 1;
+            if events > self.opts.max_events {
+                return Err(PetriError::EventBudgetExceeded(self.opts.max_events));
+            }
+            now = time;
+            match ev {
+                Ev::Inject { place, token } => {
+                    if self.net.places()[place.0].is_sink {
+                        self.completions.push(token);
+                    } else {
+                        self.deposit(place, token);
+                    }
+                }
+                Ev::Deliver { trans, outputs } => {
+                    self.busy_servers[trans] -= 1;
+                    for (p, tok) in outputs {
+                        self.reserved[p.0] -= {
+                            // One reservation unit per emitted token.
+                            1
+                        };
+                        if self.net.places()[p.0].is_sink {
+                            self.completions.push(tok);
+                        } else {
+                            self.deposit(p, tok);
+                        }
+                    }
+                }
+            }
+            self.fire_enabled(now)?;
+        }
+        let stranded: Vec<(String, usize)> = self
+            .net
+            .places()
+            .iter()
+            .zip(&self.marking)
+            .filter(|(p, q)| !p.is_sink && !q.is_empty())
+            .map(|(p, q)| (p.name.clone(), q.len()))
+            .collect();
+        if self.opts.fail_on_deadlock && !stranded.is_empty() {
+            return Err(PetriError::Deadlock { at: now, stranded });
+        }
+        Ok(SimResult {
+            makespan: now,
+            completions: self.completions,
+            events,
+            firings: self.firings,
+            busy: self.busy,
+            high_water: self.high_water,
+            stranded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{fixed_delay, Behavior};
+    use crate::net::{NetBuilder, Transition};
+    use perf_iface_lang::Value;
+
+    fn passthrough(n: usize) -> impl Fn(&[Token]) -> Vec<Value> {
+        move |ts: &[Token]| vec![ts[0].data.clone(); n]
+    }
+
+    #[test]
+    fn single_transition_latency() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.transition("t", &[a], &[z], |_| 7, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        e.inject(a, Token::at(Value::num(1.0), 0));
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 1);
+        assert_eq!(r.latencies(), vec![7]);
+        assert_eq!(r.makespan, 7);
+        assert!(!r.deadlocked());
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        // 10 tokens through a 5-cycle single-server transition: the
+        // last completes at 50.
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.transition("t", &[a], &[z], |_| 5, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        for _ in 0..10 {
+            e.inject(a, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 10);
+        assert_eq!(r.makespan, 50);
+        assert!((r.throughput() - 0.2).abs() < 1e-12);
+        assert_eq!(r.firings[0], 10);
+        assert_eq!(r.busy[0], 50);
+    }
+
+    #[test]
+    fn infinite_server_runs_in_parallel() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.add_transition(Transition {
+            name: "t".into(),
+            inputs: vec![(a, 1)],
+            outputs: vec![(z, 1)],
+            behavior: fixed_delay(5, 1),
+            servers: 0,
+            priority: 0,
+        });
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        for _ in 0..10 {
+            e.inject(a, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        assert_eq!(r.makespan, 5); // All ten fire concurrently.
+    }
+
+    #[test]
+    fn pipeline_throughput_set_by_bottleneck() {
+        let mut b = NetBuilder::new("pipe");
+        let src = b.place("src", None);
+        let mid = b.place("mid", Some(2));
+        let z = b.sink("z");
+        b.transition("fast", &[src], &[mid], |_| 1, passthrough(1));
+        b.transition("slow", &[mid], &[z], |_| 4, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        let n = 100;
+        for _ in 0..n {
+            e.inject(src, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), n);
+        // Steady state: one completion per 4 cycles.
+        let per_item = r.makespan as f64 / n as f64;
+        assert!(per_item >= 4.0 && per_item < 4.2, "per_item = {per_item}");
+        // The bounded mid place forces backpressure on `fast`: its
+        // firings track the slow stage rather than racing ahead.
+        assert_eq!(r.high_water[mid.index()], 2);
+    }
+
+    #[test]
+    fn capacity_reservation_prevents_overflow() {
+        // Transition with delay writes into a cap-1 place; a second
+        // firing must wait until the in-flight token is consumed.
+        let mut b = NetBuilder::new("n");
+        let src = b.place("src", None);
+        let tiny = b.place("tiny", Some(1));
+        let z = b.sink("z");
+        b.transition("prod", &[src], &[tiny], |_| 1, passthrough(1));
+        b.transition("cons", &[tiny], &[z], |_| 10, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        for _ in 0..3 {
+            e.inject(src, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 3);
+        assert_eq!(r.high_water[tiny.index()], 1);
+        // Serialized by the consumer: ~30 cycles.
+        assert!(r.makespan >= 30);
+    }
+
+    #[test]
+    fn join_waits_for_both_inputs() {
+        let mut b = NetBuilder::new("n");
+        let l = b.place("l", None);
+        let rp = b.place("r", None);
+        let z = b.sink("z");
+        b.transition("join", &[l, rp], &[z], |_| 2, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        e.inject(l, Token::at(Value::num(1.0), 0));
+        e.inject(rp, Token::at(Value::num(2.0), 40)); // Late arrival.
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 1);
+        assert_eq!(r.makespan, 42);
+        // Latency measured from the earliest ancestor.
+        assert_eq!(r.latencies(), vec![42]);
+    }
+
+    #[test]
+    fn fork_duplicates_tokens() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z1 = b.sink("z1");
+        let z2 = b.sink("z2");
+        b.transition("fork", &[a], &[z1, z2], |_| 1, passthrough(2));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        e.inject(a, Token::at(Value::num(0.0), 0));
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 2);
+    }
+
+    #[test]
+    fn weighted_arcs_batch_tokens() {
+        // Consume 4 tokens per firing (e.g. a 4-wide SIMD unit).
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.add_transition(Transition {
+            name: "batch".into(),
+            inputs: vec![(a, 4)],
+            outputs: vec![(z, 1)],
+            behavior: fixed_delay(3, 1),
+            servers: 1,
+            priority: 0,
+        });
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        for _ in 0..8 {
+            e.inject(a, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 2);
+        assert_eq!(r.makespan, 6);
+    }
+
+    #[test]
+    fn leftover_tokens_reported_as_stranded() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.add_transition(Transition {
+            name: "batch".into(),
+            inputs: vec![(a, 2)],
+            outputs: vec![(z, 1)],
+            behavior: fixed_delay(1, 1),
+            servers: 1,
+            priority: 0,
+        });
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        for _ in 0..3 {
+            e.inject(a, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 1);
+        assert_eq!(r.stranded, vec![("a".to_string(), 1)]);
+        assert!(r.deadlocked());
+    }
+
+    #[test]
+    fn fail_on_deadlock_option() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.add_transition(Transition {
+            name: "two".into(),
+            inputs: vec![(a, 2)],
+            outputs: vec![(z, 1)],
+            behavior: fixed_delay(1, 1),
+            servers: 1,
+            priority: 0,
+        });
+        let net = b.build().unwrap();
+        let mut e = Engine::new(
+            &net,
+            Options {
+                fail_on_deadlock: true,
+                ..Options::default()
+            },
+        );
+        e.inject(a, Token::at(Value::num(0.0), 0));
+        assert!(matches!(e.run(), Err(PetriError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn guard_selects_path_by_priority() {
+        // Two transitions compete for the same place; the guarded
+        // high-priority one takes small tokens, the fallback the rest.
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let small = b.sink("small");
+        let big = b.sink("big");
+        b.add_transition(Transition {
+            name: "small_path".into(),
+            inputs: vec![(a, 1)],
+            outputs: vec![(small, 1)],
+            behavior: Behavior::Native {
+                guard: Some(Box::new(|ts: &[Token]| ts[0].data.as_num().unwrap() < 10.0)),
+                delay: Box::new(|_| 1),
+                transform: Box::new(|ts: &[Token]| vec![ts[0].data.clone()]),
+            },
+            servers: 1,
+            priority: 1,
+        });
+        b.transition("big_path", &[a], &[big], |_| 1, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        e.inject(a, Token::at(Value::num(5.0), 0));
+        e.inject(a, Token::at(Value::num(50.0), 1));
+        let r = e.run().unwrap();
+        assert_eq!(r.completions.len(), 2);
+        let small_fired = r.firings[net.trans_id("small_path").unwrap().index()];
+        let big_fired = r.firings[net.trans_id("big_path").unwrap().index()];
+        assert_eq!(small_fired, 1);
+        assert_eq!(big_fired, 1);
+    }
+
+    #[test]
+    fn event_budget_enforced() {
+        // Self-loop keeps regenerating a token forever.
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        b.transition("spin", &[a], &[a], |_| 1, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(
+            &net,
+            Options {
+                max_events: 100,
+                fail_on_deadlock: false,
+            },
+        );
+        e.inject(a, Token::at(Value::num(0.0), 0));
+        assert!(matches!(e.run(), Err(PetriError::EventBudgetExceeded(100))));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut b = NetBuilder::new("n");
+            let src = b.place("src", None);
+            let mid = b.place("mid", Some(3));
+            let z = b.sink("z");
+            b.transition(
+                "s1",
+                &[src],
+                &[mid],
+                |ts| ts[0].data.as_num().unwrap() as u64 % 7 + 1,
+                |ts| vec![ts[0].data.clone()],
+            );
+            b.transition("s2", &[mid], &[z], |_| 3, |ts| vec![ts[0].data.clone()]);
+            b.build().unwrap()
+        };
+        let run = |net: &Net| {
+            let mut e = Engine::new(net, Options::default());
+            for i in 0..50 {
+                e.inject(
+                    net.place_id("src").unwrap(),
+                    Token::at(Value::num(i as f64), i),
+                );
+            }
+            e.run().unwrap()
+        };
+        let n1 = build();
+        let n2 = build();
+        let r1 = run(&n1);
+        let r2 = run(&n2);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.latencies(), r2.latencies());
+        assert_eq!(r1.events, r2.events);
+    }
+}

@@ -1,0 +1,124 @@
+//! Timed Petri-net performance IR.
+//!
+//! The paper's most precise interface representation is a timed Petri
+//! net that is "performance-equivalent" to the accelerator's circuit:
+//! places model hardware queues, tokens model data units, transitions
+//! model processing elements with data-dependent delays, and arcs model
+//! dependencies between elements. Because multiple transitions fire
+//! concurrently, the net captures pipelining, internal queuing and
+//! backpressure — the behaviors a closed-form program interface has to
+//! approximate.
+//!
+//! This crate provides:
+//!
+//! * the net structure and a builder API ([`net`]),
+//! * token and behavior types — delays and output-token transforms can
+//!   be native Rust closures or expressions in the PIL interface
+//!   language ([`token`], [`behavior`]),
+//! * an event-driven simulation engine with single-server transition
+//!   semantics, capacity reservation (backpressure) and deterministic
+//!   conflict resolution ([`engine`]),
+//! * structural and dynamic analyses ([`analysis`]),
+//! * a textual `.pnet` interchange format so nets can ship as vendor
+//!   artifacts ([`text`]) and Graphviz export ([`dot`]).
+//!
+//! # Examples
+//!
+//! A two-stage pipeline processing five work items:
+//!
+//! ```
+//! use perf_petri::net::NetBuilder;
+//! use perf_petri::engine::{Engine, Options};
+//! use perf_petri::token::Token;
+//! use perf_iface_lang::Value;
+//!
+//! let mut b = NetBuilder::new("pipe");
+//! let src = b.place("src", None);
+//! let mid = b.place("mid", Some(2));
+//! let done = b.sink("done");
+//! b.transition("stage1", &[src], &[mid], |_| 3, |toks| vec![toks[0].data.clone()]);
+//! b.transition("stage2", &[mid], &[done], |_| 5, |toks| vec![toks[0].data.clone()]);
+//! let net = b.build().unwrap();
+//!
+//! let mut eng = Engine::new(&net, Options::default());
+//! for i in 0..5 {
+//!     eng.inject(src, Token::at(Value::num(i as f64), 0));
+//! }
+//! let res = eng.run().unwrap();
+//! assert_eq!(res.completions.len(), 5);
+//! // Throughput is set by the 5-cycle bottleneck stage.
+//! assert!(res.makespan >= 25);
+//! ```
+
+pub mod analysis;
+pub mod behavior;
+pub mod compile;
+pub mod components;
+pub mod compose;
+pub mod dot;
+pub mod engine;
+pub mod net;
+pub mod text;
+pub mod token;
+
+pub use engine::{Engine, Options, SimResult};
+pub use net::{Net, NetBuilder, PlaceId, TransId};
+pub use token::Token;
+
+use perf_core::CoreError;
+
+/// Errors produced while building, parsing or simulating a net.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PetriError {
+    /// The net structure is invalid (dangling arc, empty net, ...).
+    Structure(String),
+    /// `.pnet` text failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A delay/guard/emit expression failed at runtime.
+    Expr(String),
+    /// The simulation hit its event budget.
+    EventBudgetExceeded(u64),
+    /// The net deadlocked: tokens remain but nothing can fire.
+    Deadlock {
+        /// Simulation time at which progress stopped.
+        at: u64,
+        /// Tokens stranded per place name.
+        stranded: Vec<(String, usize)>,
+    },
+}
+
+impl core::fmt::Display for PetriError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PetriError::Structure(m) => write!(f, "net structure error: {m}"),
+            PetriError::Parse { line, msg } => write!(f, "pnet parse error at line {line}: {msg}"),
+            PetriError::Expr(m) => write!(f, "expression error: {m}"),
+            PetriError::EventBudgetExceeded(n) => {
+                write!(f, "simulation exceeded event budget of {n}")
+            }
+            PetriError::Deadlock { at, stranded } => {
+                write!(f, "deadlock at cycle {at}: stranded tokens in ")?;
+                for (i, (p, n)) in stranded.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}({n})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PetriError {}
+
+impl From<PetriError> for CoreError {
+    fn from(e: PetriError) -> CoreError {
+        CoreError::Artifact(e.to_string())
+    }
+}

@@ -1,0 +1,316 @@
+//! Net structure and builder.
+
+use crate::behavior::Behavior;
+use crate::token::Token;
+use crate::PetriError;
+use perf_iface_lang::Value;
+
+/// Identifier of a place within its net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) usize);
+
+impl PlaceId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a transition within its net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransId(pub(crate) usize);
+
+impl TransId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A place: a token queue modeling a hardware buffer.
+#[derive(Clone, Debug)]
+pub struct Place {
+    /// Name, unique within the net.
+    pub name: String,
+    /// Maximum tokens the place can hold; `None` = unbounded (used for
+    /// workload sources and sinks).
+    pub capacity: Option<usize>,
+    /// Sink places collect completed tokens; they must not feed any
+    /// transition.
+    pub is_sink: bool,
+}
+
+/// A transition: a processing element with a timed, data-dependent
+/// behavior.
+pub struct Transition {
+    /// Name, unique within the net.
+    pub name: String,
+    /// Input arcs `(place, weight)`; `weight` tokens are consumed.
+    pub inputs: Vec<(PlaceId, usize)>,
+    /// Output arcs `(place, weight)`; `weight` copies are produced.
+    pub outputs: Vec<(PlaceId, usize)>,
+    /// Delay/guard/transform behavior.
+    pub behavior: Behavior,
+    /// Number of concurrent firings allowed; 0 means unlimited
+    /// (infinite-server semantics). A pipelined unit that accepts one
+    /// item per completion is `servers: 1` (the default).
+    pub servers: usize,
+    /// Conflict-resolution priority; higher fires first.
+    pub priority: i32,
+}
+
+/// A complete timed Petri net.
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    pub(crate) places: Vec<Place>,
+    pub(crate) transitions: Vec<Transition>,
+}
+
+impl core::fmt::Debug for Net {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Net")
+            .field("name", &self.name)
+            .field("places", &self.places.len())
+            .field("transitions", &self.transitions.len())
+            .finish()
+    }
+}
+
+impl Net {
+    /// The places of the net.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// The transitions of the net.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Looks up a place id by name.
+    pub fn place_id(&self, name: &str) -> Option<PlaceId> {
+        self.places.iter().position(|p| p.name == name).map(PlaceId)
+    }
+
+    /// Looks up a transition id by name.
+    pub fn trans_id(&self, name: &str) -> Option<TransId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransId)
+    }
+}
+
+/// Builder for [`Net`].
+pub struct NetBuilder {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+}
+
+impl NetBuilder {
+    /// Starts a net named `name`.
+    pub fn new(name: impl Into<String>) -> NetBuilder {
+        NetBuilder {
+            name: name.into(),
+            places: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a place with optional capacity.
+    pub fn place(&mut self, name: impl Into<String>, capacity: Option<usize>) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            capacity,
+            is_sink: false,
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Adds an unbounded sink place that records completions.
+    pub fn sink(&mut self, name: impl Into<String>) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            capacity: None,
+            is_sink: true,
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Adds a single-server transition with weight-1 arcs, a delay
+    /// closure and a transform closure (one payload per output arc).
+    pub fn transition(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[PlaceId],
+        outputs: &[PlaceId],
+        delay: impl Fn(&[Token]) -> u64 + 'static,
+        transform: impl Fn(&[Token]) -> Vec<Value> + 'static,
+    ) -> TransId {
+        self.add_transition(Transition {
+            name: name.into(),
+            inputs: inputs.iter().map(|&p| (p, 1)).collect(),
+            outputs: outputs.iter().map(|&p| (p, 1)).collect(),
+            behavior: Behavior::Native {
+                guard: None,
+                delay: Box::new(delay),
+                transform: Box::new(transform),
+            },
+            servers: 1,
+            priority: 0,
+        })
+    }
+
+    /// Adds a fully-specified transition.
+    pub fn add_transition(&mut self, t: Transition) -> TransId {
+        self.transitions.push(t);
+        TransId(self.transitions.len() - 1)
+    }
+
+    /// Validates and finishes the net.
+    pub fn build(self) -> Result<Net, PetriError> {
+        let net = Net {
+            name: self.name,
+            places: self.places,
+            transitions: self.transitions,
+        };
+        validate(&net)?;
+        Ok(net)
+    }
+}
+
+fn validate(net: &Net) -> Result<(), PetriError> {
+    if net.places.is_empty() {
+        return Err(PetriError::Structure("net has no places".into()));
+    }
+    let mut names = std::collections::HashSet::new();
+    for p in &net.places {
+        if !names.insert(&p.name) {
+            return Err(PetriError::Structure(format!(
+                "duplicate place name `{}`",
+                p.name
+            )));
+        }
+        if p.capacity == Some(0) {
+            return Err(PetriError::Structure(format!(
+                "place `{}` has zero capacity",
+                p.name
+            )));
+        }
+    }
+    let mut tnames = std::collections::HashSet::new();
+    for t in &net.transitions {
+        if !tnames.insert(&t.name) {
+            return Err(PetriError::Structure(format!(
+                "duplicate transition name `{}`",
+                t.name
+            )));
+        }
+        if t.inputs.is_empty() {
+            return Err(PetriError::Structure(format!(
+                "transition `{}` has no input arcs",
+                t.name
+            )));
+        }
+        for &(p, w) in t.inputs.iter().chain(&t.outputs) {
+            if p.0 >= net.places.len() {
+                return Err(PetriError::Structure(format!(
+                    "transition `{}` references unknown place #{}",
+                    t.name, p.0
+                )));
+            }
+            if w == 0 {
+                return Err(PetriError::Structure(format!(
+                    "transition `{}` has a zero-weight arc",
+                    t.name
+                )));
+            }
+        }
+        for &(p, _) in &t.inputs {
+            if net.places[p.0].is_sink {
+                return Err(PetriError::Structure(format!(
+                    "transition `{}` consumes from sink place `{}`",
+                    t.name, net.places[p.0].name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::fixed_delay;
+
+    #[test]
+    fn build_minimal_net() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", Some(4));
+        let z = b.sink("z");
+        b.transition("t", &[a], &[z], |_| 1, |ts| vec![ts[0].data.clone()]);
+        let net = b.build().unwrap();
+        assert_eq!(net.places().len(), 2);
+        assert_eq!(net.place_id("a"), Some(a));
+        assert_eq!(net.place_id("z"), Some(z));
+        assert!(net.trans_id("t").is_some());
+        assert!(net.trans_id("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetBuilder::new("n");
+        b.place("a", None);
+        b.place("a", None);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut b = NetBuilder::new("n");
+        b.place("a", Some(0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn transition_needs_inputs() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        b.add_transition(Transition {
+            name: "t".into(),
+            inputs: vec![],
+            outputs: vec![(a, 1)],
+            behavior: fixed_delay(1, 1),
+            servers: 1,
+            priority: 0,
+        });
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn sink_cannot_feed_transitions() {
+        let mut b = NetBuilder::new("n");
+        let s = b.sink("s");
+        let a = b.place("a", None);
+        b.transition("t", &[s], &[a], |_| 1, |ts| vec![ts[0].data.clone()]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn zero_weight_arc_rejected() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.add_transition(Transition {
+            name: "t".into(),
+            inputs: vec![(a, 0)],
+            outputs: vec![(z, 1)],
+            behavior: fixed_delay(1, 1),
+            servers: 1,
+            priority: 0,
+        });
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Tokens: the data units flowing through a performance net.
+
+use perf_iface_lang::Value;
+
+/// A token carries a data payload (used by delay and transform
+/// expressions) and remembers when it entered the net, so end-to-end
+/// latency can be measured at sink places.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Payload visible to transition behaviors.
+    pub data: Value,
+    /// Cycle at which the token was first injected into the net.
+    pub born: u64,
+    /// Cycle at which the token arrived in its current place.
+    pub arrived: u64,
+}
+
+impl Token {
+    /// Creates a token injected at cycle `at`.
+    pub fn at(data: Value, at: u64) -> Token {
+        Token {
+            data,
+            born: at,
+            arrived: at,
+        }
+    }
+
+    /// Creates a descendant token that inherits this token's birth time
+    /// (latency is measured from the ancestor's injection).
+    pub fn descend(&self, data: Value, arrived: u64) -> Token {
+        Token {
+            data,
+            born: self.born,
+            arrived,
+        }
+    }
+
+    /// A unit token (no payload) injected at cycle `at`.
+    pub fn unit(at: u64) -> Token {
+        Token::at(Value::num(0.0), at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn birth_time_preserved_through_descent() {
+        let t = Token::at(Value::num(1.0), 10);
+        let d = t.descend(Value::num(2.0), 25);
+        assert_eq!(d.born, 10);
+        assert_eq!(d.arrived, 25);
+        assert_eq!(d.data.as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn unit_token() {
+        let t = Token::unit(5);
+        assert_eq!(t.born, 5);
+        assert_eq!(t.data.as_num(), Some(0.0));
+    }
+}

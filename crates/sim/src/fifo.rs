@@ -1,0 +1,203 @@
+//! Bounded FIFO queues with occupancy statistics.
+//!
+//! Hardware queues are the mechanism behind backpressure and internal
+//! queuing — the phenomena the paper says make accelerator performance
+//! hard to reason about. Every inter-stage buffer in the accelerator
+//! models is a [`Fifo`].
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO.
+///
+/// `push` fails (returning the item back) when the queue is full; the
+/// producer then stalls — that is backpressure.
+///
+/// # Examples
+///
+/// ```
+/// use perf_sim::Fifo;
+///
+/// let mut q: Fifo<u32> = Fifo::new("q", 2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.push(3), Err(3)); // Full: backpressure.
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    name: String,
+    cap: usize,
+    items: VecDeque<T>,
+    pushes: u64,
+    pops: u64,
+    rejected: u64,
+    high_water: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with capacity `cap` (must be at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero; a zero-capacity hardware queue cannot
+    /// exist and would deadlock every producer.
+    pub fn new(name: impl Into<String>, cap: usize) -> Fifo<T> {
+        assert!(cap >= 1, "FIFO capacity must be >= 1");
+        Fifo {
+            name: name.into(),
+            cap,
+            items: VecDeque::with_capacity(cap),
+            pushes: 0,
+            pops: 0,
+            rejected: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The queue's name (for traces and stats).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.cap
+    }
+
+    /// Remaining free entries.
+    pub fn space(&self) -> usize {
+        self.cap - self.items.len()
+    }
+
+    /// Attempts to enqueue; on a full queue the item is handed back so
+    /// the producer can retry next cycle.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Total successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Total rejected pushes (backpressure events).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Empties the queue and resets statistics.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.pushes = 0;
+        self.pops = 0;
+        self.rejected = 0;
+        self.high_water = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = Fifo::new("q", 4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_counts_rejections() {
+        let mut q = Fifo::new("q", 1);
+        q.push('a').unwrap();
+        assert_eq!(q.push('b'), Err('b'));
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.rejected(), 2);
+        assert!(q.is_full());
+        assert_eq!(q.space(), 0);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut q = Fifo::new("q", 3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.high_water(), 2);
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.pushes(), 3);
+        assert_eq!(q.pops(), 1);
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.front(), Some(&2));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = Fifo::new("q", 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let _ = q.push(3);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.pushes(), 0);
+        assert_eq!(q.rejected(), 0);
+        assert_eq!(q.high_water(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new("bad", 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Cycle-accurate simulation substrate.
+//!
+//! The accelerator models in this workspace (`accel-jpeg`,
+//! `accel-bitcoin`, `accel-protoacc`, `accel-vta`) are cycle-level
+//! simulators standing in for the RTL the paper measured. This crate is
+//! their shared substrate: bounded FIFOs with backpressure ([`fifo`]),
+//! an in-order multi-stage pipeline model ([`pipeline`]), DRAM and TLB
+//! models ([`mem`]), statistics counters ([`stats`]) and a bounded event
+//! trace ([`trace`]).
+//!
+//! All of these are *tick-accurate*: state advances one clock cycle at a
+//! time, which is deliberately detailed and deliberately slow — the
+//! paper's point (and our E5 experiment) is that an event-driven Petri
+//! net evaluates the same performance behavior orders of magnitude
+//! faster.
+
+pub mod fifo;
+pub mod mem;
+pub mod pipeline;
+pub mod stats;
+pub mod trace;
+
+pub use fifo::Fifo;
+pub use mem::{DramModel, Tlb};
+pub use pipeline::{Pipeline, StageSpec};
+pub use stats::Counter;
+pub use trace::{Trace, TraceEvent};

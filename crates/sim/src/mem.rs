@@ -1,0 +1,328 @@
+//! Memory-system models: DRAM and TLB.
+//!
+//! §5 of the paper notes that the hard part of accelerator performance
+//! is often not the datapath but its interaction with memory structures
+//! — Protoacc accesses memory through a TLB, and pointer chasing over
+//! nested messages is its dominant cost. These models supply that
+//! behavior to the accelerator simulators.
+
+use std::collections::VecDeque;
+
+/// A single-channel DRAM model with a row buffer and finite bandwidth.
+///
+/// An access costs the row-hit or row-miss latency plus transfer time at
+/// the channel's bandwidth; the channel serializes transfers, so
+/// back-to-back accesses queue behind each other.
+///
+/// # Examples
+///
+/// ```
+/// use perf_sim::DramModel;
+///
+/// let mut dram = DramModel::new(100, 40, 64, 4096, 16);
+/// let done = dram.access(0, 0x1000, 64);
+/// // Cold access: row miss (100) + 64/16 transfer cycles.
+/// assert_eq!(done, 104);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DramModel {
+    row_miss_latency: u64,
+    row_hit_latency: u64,
+    /// Minimum transfer granule in bytes (a burst).
+    burst_bytes: u64,
+    row_bytes: u64,
+    bytes_per_cycle: u64,
+    /// Open row per bank (bank = row index modulo bank count).
+    open_rows: Vec<Option<u64>>,
+    channel_free_at: u64,
+    accesses: u64,
+    row_hits: u64,
+    total_latency: u64,
+}
+
+impl DramModel {
+    /// Creates a DRAM model.
+    ///
+    /// * `row_miss_latency` — cycles to activate a new row.
+    /// * `row_hit_latency` — cycles when the open row is reused.
+    /// * `burst_bytes` — minimum transfer size.
+    /// * `row_bytes` — row-buffer size.
+    /// * `bytes_per_cycle` — channel bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(
+        row_miss_latency: u64,
+        row_hit_latency: u64,
+        burst_bytes: u64,
+        row_bytes: u64,
+        bytes_per_cycle: u64,
+    ) -> DramModel {
+        assert!(burst_bytes > 0 && row_bytes > 0 && bytes_per_cycle > 0);
+        DramModel {
+            row_miss_latency,
+            row_hit_latency,
+            burst_bytes,
+            row_bytes,
+            bytes_per_cycle,
+            open_rows: vec![None],
+            channel_free_at: 0,
+            accesses: 0,
+            row_hits: 0,
+            total_latency: 0,
+        }
+    }
+
+    /// A configuration resembling a 2022-era DDR4 channel as seen from a
+    /// ~1 GHz accelerator clock.
+    pub fn typical() -> DramModel {
+        DramModel::new(120, 45, 64, 4096, 16)
+    }
+
+    /// Splits the device into `banks` independent banks: streams in
+    /// different regions keep their rows open instead of thrashing one
+    /// row buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn with_banks(mut self, banks: usize) -> DramModel {
+        assert!(banks > 0);
+        self.open_rows = vec![None; banks];
+        self
+    }
+
+    /// Issues an access of `bytes` at `addr` starting no earlier than
+    /// `now`; returns the cycle at which the data is fully transferred.
+    ///
+    /// The channel is pipelined: consecutive row hits occupy it only
+    /// for their transfer time (so they stream at full bandwidth even
+    /// though each completes `row_hit_latency` later), while a row miss
+    /// blocks the bank for the activation as well.
+    pub fn access(&mut self, now: u64, addr: u64, bytes: u64) -> u64 {
+        let row = addr / self.row_bytes;
+        let bank = (row % self.open_rows.len() as u64) as usize;
+        let hit = self.open_rows[bank] == Some(row);
+        self.open_rows[bank] = Some(row);
+        let lat = if hit {
+            self.row_hits += 1;
+            self.row_hit_latency
+        } else {
+            self.row_miss_latency
+        };
+        let eff_bytes = bytes.max(self.burst_bytes);
+        let xfer = eff_bytes.div_ceil(self.bytes_per_cycle);
+        let start = now.max(self.channel_free_at);
+        let done = start + lat + xfer;
+        // With multiple banks an activation proceeds inside its bank
+        // while the channel stays available (only a short rank-to-rank
+        // gap is charged); a single-bank device blocks outright.
+        let occupancy = if hit {
+            xfer
+        } else if self.open_rows.len() > 1 {
+            xfer + 4
+        } else {
+            lat + xfer
+        };
+        self.channel_free_at = start + occupancy;
+        self.accesses += 1;
+        self.total_latency += done - now;
+        done
+    }
+
+    /// Total accesses issued.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Row-hit fraction of all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Mean access latency (request to data) in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses as f64
+        }
+    }
+
+    /// Forgets open-row and channel state (new measurement window).
+    pub fn reset(&mut self) {
+        self.open_rows.iter_mut().for_each(|r| *r = None);
+        self.channel_free_at = 0;
+        self.accesses = 0;
+        self.row_hits = 0;
+        self.total_latency = 0;
+    }
+}
+
+/// A fully-associative LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use perf_sim::Tlb;
+///
+/// let mut tlb = Tlb::new(2, 4096, 30);
+/// assert_eq!(tlb.translate(0x0000), 30); // Cold miss: page walk.
+/// assert_eq!(tlb.translate(0x0008), 0);  // Same page: hit.
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: usize,
+    page_size: u64,
+    miss_penalty: u64,
+    /// Most-recently-used page last.
+    lru: VecDeque<u64>,
+    lookups: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots over `page_size`-byte pages
+    /// and a `miss_penalty` page-walk cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `page_size` is zero.
+    pub fn new(entries: usize, page_size: u64, miss_penalty: u64) -> Tlb {
+        assert!(entries > 0 && page_size > 0);
+        Tlb {
+            entries,
+            page_size,
+            miss_penalty,
+            lru: VecDeque::new(),
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `addr`; returns the extra cycles incurred (0 on hit,
+    /// the miss penalty on a miss).
+    pub fn translate(&mut self, addr: u64) -> u64 {
+        self.lookups += 1;
+        let page = addr / self.page_size;
+        if let Some(pos) = self.lru.iter().position(|&p| p == page) {
+            // Hit: move to MRU position.
+            self.lru.remove(pos);
+            self.lru.push_back(page);
+            0
+        } else {
+            self.misses += 1;
+            if self.lru.len() == self.entries {
+                self.lru.pop_front();
+            }
+            self.lru.push_back(page);
+            self.miss_penalty
+        }
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Miss fraction of all lookups.
+    pub fn miss_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+
+    /// Flushes all entries and statistics.
+    pub fn reset(&mut self) {
+        self.lru.clear();
+        self.lookups = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_row_hit_cheaper_than_miss() {
+        let mut d = DramModel::new(100, 40, 64, 4096, 16);
+        let t1 = d.access(0, 0, 64); // Miss.
+        let t2 = d.access(t1, 64, 64); // Same row: hit.
+        assert_eq!(t1, 104);
+        assert_eq!(t2 - t1, 44);
+        assert_eq!(d.accesses(), 2);
+        assert!((d.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_misses_serialize_on_the_bank() {
+        let mut d = DramModel::new(100, 40, 64, 4096, 16);
+        let t1 = d.access(0, 0, 64);
+        // A second miss issued at cycle 0 waits for the first row
+        // activation to finish occupying the bank.
+        let t2 = d.access(0, 8192, 64);
+        assert_eq!(t1, 104);
+        assert_eq!(t2, 104 + 100 + 4);
+    }
+
+    #[test]
+    fn dram_row_hits_stream_at_bandwidth() {
+        let mut d = DramModel::new(100, 40, 64, 1 << 20, 16);
+        let mut last = 0;
+        for i in 0..10u64 {
+            last = d.access(0, i * 64, 64);
+        }
+        // First access: miss occupying 104 cycles; the nine following
+        // hits each add only 4 transfer cycles to channel occupancy,
+        // completing 44 cycles after their start.
+        assert_eq!(last, 104 + 8 * 4 + 44);
+    }
+
+    #[test]
+    fn dram_small_access_pays_full_burst() {
+        let mut d = DramModel::new(100, 40, 64, 4096, 16);
+        let t = d.access(0, 0, 4);
+        assert_eq!(t, 104); // 4 bytes still costs one 64-byte burst.
+    }
+
+    #[test]
+    fn dram_bandwidth_bound_transfer() {
+        let mut d = DramModel::new(100, 40, 64, 1 << 20, 16);
+        let t = d.access(0, 0, 4096);
+        assert_eq!(t, 100 + 4096 / 16);
+        assert!(d.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn tlb_lru_eviction() {
+        let mut t = Tlb::new(2, 4096, 25);
+        assert_eq!(t.translate(0), 25); // Page 0: miss.
+        assert_eq!(t.translate(4096), 25); // Page 1: miss.
+        assert_eq!(t.translate(0), 0); // Hit; page 0 now MRU.
+        assert_eq!(t.translate(8192), 25); // Page 2 evicts page 1.
+        assert_eq!(t.translate(4096), 25); // Page 1 was evicted: miss.
+        assert_eq!(t.lookups(), 5);
+        assert!((t.miss_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resets_clear_state() {
+        let mut d = DramModel::typical();
+        d.access(0, 0, 64);
+        d.reset();
+        assert_eq!(d.accesses(), 0);
+        let mut t = Tlb::new(4, 4096, 10);
+        t.translate(0);
+        t.reset();
+        assert_eq!(t.lookups(), 0);
+        assert_eq!(t.translate(0), 10); // Cold again after reset.
+    }
+}

@@ -1,0 +1,143 @@
+//! Statistics counters and histograms for simulators.
+
+/// A named monotonic counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter.
+    pub fn new(name: impl Into<String>) -> Counter {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A fixed-bucket histogram of cycle counts (power-of-two buckets).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))`; bucket 0 also
+    /// holds zero.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering values up to `2^levels`.
+    pub fn new(levels: usize) -> Histogram {
+        Histogram {
+            buckets: vec![0; levels.max(1)],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records a sample. Values beyond the last bucket saturate into it.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            (63 - v.leading_zeros() as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("ops");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.name(), "ops");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(8);
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1000); // Saturates into the last bucket (2^7..).
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(h.buckets()[0], 2); // 0 and 1.
+        assert_eq!(h.buckets()[1], 2); // 2 and 3.
+        assert_eq!(h.buckets()[7], 1); // 1000 saturated.
+    }
+
+    #[test]
+    fn histogram_min_one_level() {
+        let mut h = Histogram::new(0);
+        h.record(7);
+        assert_eq!(h.buckets().len(), 1);
+        assert_eq!(h.count(), 1);
+    }
+}

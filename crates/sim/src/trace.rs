@@ -1,0 +1,116 @@
+//! A bounded event trace for debugging simulators.
+
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurred.
+    pub cycle: u64,
+    /// Component that emitted it.
+    pub source: String,
+    /// Free-form description.
+    pub what: String,
+}
+
+/// A ring buffer of the most recent `capacity` events.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: all emits are no-ops (zero overhead runs).
+    pub fn disabled() -> Trace {
+        let mut t = Trace::new(1);
+        t.enabled = false;
+        t
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event.
+    pub fn emit(&mut self, cycle: u64, source: &str, what: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            cycle,
+            source: source.to_string(),
+            what: what.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("[{:>8}] {}: {}\n", e.cycle, e.source, e.what));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.emit(1, "a", "one");
+        t.emit(2, "a", "two");
+        t.emit(3, "a", "three");
+        let ev: Vec<_> = t.events().collect();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].what, "two");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.emit(1, "x", "y");
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn render_format() {
+        let mut t = Trace::new(4);
+        t.emit(42, "huff", "block done");
+        let s = t.render();
+        assert!(s.contains("42"));
+        assert!(s.contains("huff: block done"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Cross-accelerator workload scenarios.
+//!
+//! The paper motivates performance interfaces with three developer
+//! stories; this crate turns each into a runnable study:
+//!
+//! * [`rpc`] — Example #2: choosing a serialization backend. Sweeps
+//!   RPC object sizes across the CPU baseline, the Optimus-Prime-style
+//!   engine and Protoacc, locating the crossover points and the
+//!   datasheet-peak vs realistic-throughput gap (§4).
+//! * [`soc`] — Example #1: an SoC designer sizing a Bitcoin-miner IP
+//!   block purely from its interface (area/latency trade), validated
+//!   against the cycle model.
+//! * [`offload`] — the §5 strawman: predicting end-to-end application
+//!   performance by replaying recorded responses with
+//!   interface-predicted latencies.
+//! * [`smartnic`] — §5's composition case: an accelerator net fused
+//!   with a reusable interconnect component, exposing the
+//!   bandwidth-bound regime the engine-only net cannot see.
+
+pub mod offload;
+pub mod rpc;
+pub mod smartnic;
+pub mod soc;

@@ -1,0 +1,339 @@
+//! Example #1: SoC design from interfaces alone.
+//!
+//! The SoC designer has an area budget and a latency (or throughput)
+//! requirement for a Bitcoin-miner IP block. With only the vendor's
+//! performance interface — no RTL, no simulation — she can enumerate
+//! `Loop` configurations, read off area and latency, and pick the
+//! smallest block meeting the requirement. The study then *validates*
+//! that choice against the cycle-accurate model: the interface's
+//! claims are exact, so the design decision is safe.
+
+use accel_bitcoin::interface::program::BitcoinProgramInterface;
+use accel_bitcoin::miner::{MineJob, MinerConfig, MinerCycleSim};
+use perf_core::CoreError;
+use perf_core::GroundTruth;
+
+/// One candidate design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// The `Loop` configuration parameter.
+    pub loop_: u64,
+    /// Area from the interface (kGE).
+    pub area_kge: f64,
+    /// Per-hash latency from the interface (cycles).
+    pub latency: f64,
+    /// Hash throughput from the interface (hashes/cycle).
+    pub throughput: f64,
+}
+
+/// Enumerates all design points via the program interface.
+pub fn design_space() -> Result<Vec<DesignPoint>, CoreError> {
+    let mut out = Vec::new();
+    for l in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+        let cfg = MinerConfig::with_loop(l)?;
+        let iface = BitcoinProgramInterface::new(cfg)?;
+        out.push(DesignPoint {
+            loop_: l,
+            area_kge: iface.area_kge()?,
+            latency: iface.hash_latency()?,
+            throughput: 1.0 / iface.hash_latency()?,
+        });
+    }
+    Ok(out)
+}
+
+/// Picks the highest-throughput configuration within an area budget,
+/// using interface information only.
+pub fn pick_within_area(budget_kge: f64) -> Result<Option<DesignPoint>, CoreError> {
+    Ok(design_space()?
+        .into_iter()
+        .filter(|d| d.area_kge <= budget_kge)
+        .max_by(|a, b| {
+            a.throughput
+                .partial_cmp(&b.throughput)
+                .unwrap_or(core::cmp::Ordering::Equal)
+        }))
+}
+
+/// Validates a design point against the cycle-accurate model: returns
+/// `(interface_latency, measured_latency)` per hash.
+pub fn validate_point(point: &DesignPoint) -> Result<(f64, f64), CoreError> {
+    let cfg = MinerConfig::with_loop(point.loop_)?;
+    let mut sim = MinerCycleSim::new(cfg);
+    // Exhaustive scan of n nonces: per-hash latency = cycles / n.
+    let n = 512u32;
+    let job = MineJob::random(9, n, 256);
+    let obs = sim.measure(&job)?;
+    Ok((point.latency, obs.latency.as_f64() / n as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_space_is_a_pareto_curve() {
+        let space = design_space().unwrap();
+        assert_eq!(space.len(), 8);
+        for w in space.windows(2) {
+            // Larger Loop: less area, more latency.
+            assert!(w[1].area_kge < w[0].area_kge);
+            assert!(w[1].latency > w[0].latency);
+        }
+    }
+
+    #[test]
+    fn budget_selection_picks_fastest_fitting_block() {
+        // Tight budget: only high-Loop (small) blocks fit.
+        let small = pick_within_area(120.0).unwrap().expect("some block fits");
+        assert!(small.area_kge <= 120.0);
+        // Everything fits under a huge budget: pick Loop = 1.
+        let big = pick_within_area(1e9).unwrap().unwrap();
+        assert_eq!(big.loop_, 1);
+        // Impossible budget.
+        assert!(pick_within_area(10.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn interface_claims_validated_by_cycle_model() {
+        for point in design_space().unwrap().iter().take(4) {
+            let (claimed, measured) = validate_point(point).unwrap();
+            // The exhaustive scan amortizes the constant report cost.
+            let rel = (claimed - measured).abs() / measured;
+            assert!(
+                rel < 0.02,
+                "Loop {}: claimed {claimed} vs measured {measured}",
+                point.loop_
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-IP SoC configuration (the full Example #1 question: "which
+// accelerator implementations should my SoC include and how big must
+// each be?").
+// ---------------------------------------------------------------------
+
+/// A candidate IP block: a named implementation with an area cost and
+/// an interface-predicted throughput for the SoC's reference workload
+/// (jobs per kilocycle; a job is one hash / one image / one message).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IpBlock {
+    /// Implementation name (e.g. `"miner(loop=8)"`).
+    pub name: String,
+    /// Silicon area in kGE.
+    pub area_kge: f64,
+    /// Interface-predicted throughput on the reference workload, in
+    /// jobs per 1000 cycles.
+    pub jobs_per_kcycle: f64,
+}
+
+/// The workload mix the SoC must serve: relative demand per function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SocMix {
+    /// Share of hashing work.
+    pub hash: f64,
+    /// Share of image-decode work.
+    pub decode: f64,
+    /// Share of serialization work.
+    pub serialize: f64,
+}
+
+/// Candidate implementations per function, all sized from interfaces
+/// alone. Lane-scaled variants model "how big must each be": doubling
+/// the lanes doubles area and throughput.
+pub fn ip_menu() -> Result<[Vec<IpBlock>; 3], CoreError> {
+    // Miners: one block per Loop configuration.
+    let miners = design_space()?
+        .into_iter()
+        .map(|d| IpBlock {
+            name: format!("miner(loop={})", d.loop_),
+            area_kge: d.area_kge,
+            jobs_per_kcycle: d.throughput * 1000.0,
+        })
+        .collect::<Vec<_>>();
+
+    // JPEG decoders: 1/2/4-lane variants; throughput for a reference
+    // 128x128 q60 image read off the *program interface*.
+    let iface = accel_jpeg::interface::program::JpegProgramInterface::new()?;
+    let mut gen = accel_jpeg::ImageGen::new(515);
+    let img = gen.gen_sized(128, 128, 60);
+    let tput = match perf_core::iface::PerfInterface::predict(
+        &iface,
+        &img,
+        perf_core::iface::Metric::Throughput,
+    )? {
+        perf_core::Prediction::Point(v) => v,
+        perf_core::Prediction::Bounds { min, max } => 0.5 * (min + max),
+    };
+    let jpeg_blocks = [1u32, 2, 4]
+        .iter()
+        .map(|&lanes| IpBlock {
+            name: format!("jpeg(lanes={lanes})"),
+            area_kge: 180.0 * lanes as f64,
+            jobs_per_kcycle: tput * 1000.0 * lanes as f64,
+        })
+        .collect::<Vec<_>>();
+
+    // Serializers: Protoacc-style 1/2-lane variants; throughput for a
+    // reference RPC message from its program interface.
+    let piface = accel_protoacc::interface::program::ProtoaccProgramInterface::new()?;
+    let desc = &accel_protoacc::suite::formats()[26]; // rpc_small.
+    let w = accel_protoacc::simx::ProtoWorkload::of_format(desc, 4, 3);
+    let ptput = match perf_core::iface::PerfInterface::predict(
+        &piface,
+        &w,
+        perf_core::iface::Metric::Throughput,
+    )? {
+        perf_core::Prediction::Point(v) => v,
+        perf_core::Prediction::Bounds { min, max } => 0.5 * (min + max),
+    };
+    let ser_blocks = [1u32, 2]
+        .iter()
+        .map(|&lanes| IpBlock {
+            name: format!("protoacc(lanes={lanes})"),
+            area_kge: 320.0 * lanes as f64,
+            jobs_per_kcycle: ptput * 1000.0 * lanes as f64,
+        })
+        .collect::<Vec<_>>();
+
+    Ok([miners, jpeg_blocks, ser_blocks])
+}
+
+/// A chosen SoC configuration: one block per function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SocConfig {
+    /// Selected blocks `(miner, jpeg, serializer)`.
+    pub blocks: [IpBlock; 3],
+}
+
+impl SocConfig {
+    /// Total silicon area.
+    pub fn area_kge(&self) -> f64 {
+        self.blocks.iter().map(|b| b.area_kge).sum()
+    }
+
+    /// The mix-weighted service score: the workload's bottleneck
+    /// function dominates (a SoC is only as good as its most
+    /// oversubscribed block).
+    pub fn score(&self, mix: &SocMix) -> f64 {
+        let shares = [mix.hash, mix.decode, mix.serialize];
+        self.blocks
+            .iter()
+            .zip(shares)
+            .map(|(b, s)| {
+                if s == 0.0 {
+                    f64::INFINITY
+                } else {
+                    b.jobs_per_kcycle / s
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Exhaustively picks the best SoC configuration under an area budget,
+/// using interface information only.
+pub fn configure_soc(budget_kge: f64, mix: &SocMix) -> Result<Option<SocConfig>, CoreError> {
+    let [miners, jpegs, sers] = ip_menu()?;
+    let mut best: Option<SocConfig> = None;
+    for m in &miners {
+        for j in &jpegs {
+            for s in &sers {
+                let cfg = SocConfig {
+                    blocks: [m.clone(), j.clone(), s.clone()],
+                };
+                if cfg.area_kge() > budget_kge {
+                    continue;
+                }
+                if best
+                    .as_ref()
+                    .map_or(true, |b| cfg.score(mix) > b.score(mix))
+                {
+                    best = Some(cfg);
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod soc_config_tests {
+    use super::*;
+
+    fn mix() -> SocMix {
+        SocMix {
+            hash: 0.2,
+            decode: 0.5,
+            serialize: 0.3,
+        }
+    }
+
+    #[test]
+    fn menu_built_from_interfaces() {
+        let [miners, jpegs, sers] = ip_menu().unwrap();
+        assert_eq!(miners.len(), 8);
+        assert_eq!(jpegs.len(), 3);
+        assert_eq!(sers.len(), 2);
+        // Lane scaling: double area, double throughput.
+        assert!((jpegs[1].area_kge / jpegs[0].area_kge - 2.0).abs() < 1e-9);
+        assert!(
+            (jpegs[1].jobs_per_kcycle / jpegs[0].jobs_per_kcycle - 2.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn bigger_budgets_never_score_worse() {
+        let mut last = 0.0;
+        for budget in [700.0, 1000.0, 1500.0, 3000.0] {
+            let cfg = configure_soc(budget, &mix())
+                .unwrap()
+                .unwrap_or_else(|| panic!("budget {budget} should be feasible"));
+            assert!(cfg.area_kge() <= budget);
+            let score = cfg.score(&mix());
+            assert!(
+                score >= last,
+                "budget {budget}: score {score} regressed below {last}"
+            );
+            last = score;
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_reports_none() {
+        assert!(configure_soc(100.0, &mix()).unwrap().is_none());
+    }
+
+    #[test]
+    fn mix_shifts_the_allocation() {
+        // A hash-heavy mix should spend more area on the miner than a
+        // decode-heavy mix does, under the same budget.
+        let hash_heavy = SocMix {
+            hash: 0.8,
+            decode: 0.1,
+            serialize: 0.1,
+        };
+        let decode_heavy = SocMix {
+            hash: 0.05,
+            decode: 0.9,
+            serialize: 0.05,
+        };
+        let budget = 1500.0;
+        let a = configure_soc(budget, &hash_heavy).unwrap().unwrap();
+        let b = configure_soc(budget, &decode_heavy).unwrap().unwrap();
+        assert!(
+            a.blocks[0].area_kge >= b.blocks[0].area_kge,
+            "hash-heavy miner {} vs decode-heavy miner {}",
+            a.blocks[0].name,
+            b.blocks[0].name
+        );
+        assert!(
+            a.blocks[1].area_kge <= b.blocks[1].area_kge,
+            "hash-heavy jpeg {} vs decode-heavy jpeg {}",
+            a.blocks[1].name,
+            b.blocks[1].name
+        );
+    }
+}

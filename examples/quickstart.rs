@@ -1,0 +1,54 @@
+//! Quickstart: ask an accelerator's performance interfaces the three
+//! questions the paper opens with, without running the accelerator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use perf_interfaces::core::iface::{InterfaceKind, Metric};
+use perf_interfaces::core::GroundTruth;
+use perf_interfaces::jpeg;
+
+fn main() {
+    // The vendor ships this bundle with the JPEG decoder: prose, an
+    // executable program, and a Petri-net IR.
+    let bundle = jpeg::interface::bundle();
+
+    println!("=== {} performance interface ===\n", bundle.accelerator);
+    println!("Natural language:\n  {}\n", bundle.natural_language.text);
+
+    // "What latency can I expect for my workload?" — answered from the
+    // interfaces alone.
+    let mut gen = jpeg::ImageGen::new(7);
+    let img = gen.gen_sized(256, 192, 80);
+    println!(
+        "workload: {}x{} image, quality {}, compression rate {:.2}\n",
+        img.width,
+        img.height,
+        img.quality,
+        img.compress_rate()
+    );
+
+    for kind in [InterfaceKind::Program, InterfaceKind::PetriNet] {
+        let iface = bundle.get(kind).expect("bundle ships this kind");
+        let lat = iface.predict(&img, Metric::Latency).expect("predicts");
+        println!(
+            "{:>12} interface predicts latency: {lat} cycles",
+            kind.name()
+        );
+    }
+
+    // The developer who *does* have the hardware can check: the
+    // cycle-accurate model stands in for the RTL.
+    let mut hw = jpeg::JpegCycleSim::default();
+    let obs = hw.measure(&img).expect("decodes");
+    println!(
+        "{:>12} measures  latency: {} cycles\n",
+        "hardware", obs.latency
+    );
+
+    let petri = bundle.get(InterfaceKind::PetriNet).expect("shipped");
+    let pred = petri.predict(&img, Metric::Latency).expect("predicts");
+    let err = (pred.midpoint() - obs.latency.as_f64()).abs() / obs.latency.as_f64();
+    println!("Petri-net prediction error: {:.3}%", err * 100.0);
+}

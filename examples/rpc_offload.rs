@@ -1,0 +1,56 @@
+//! Example #2 from the paper: an infrastructure engineer chooses a
+//! serialization backend for an RPC stack, then predicts the end-to-end
+//! effect of offloading with the §5 record/replay strawman.
+//!
+//! ```text
+//! cargo run --release --example rpc_offload
+//! ```
+
+use perf_interfaces::workloads::{offload, rpc};
+
+fn main() {
+    println!("=== Choosing a serialization backend (paper Example #2) ===\n");
+    println!(
+        "{:>10} {:>9} {:>9} {:>9}   winner",
+        "wire bytes", "CPU", "Optimus", "Protoacc"
+    );
+    for c in rpc::crossover_sweep(42) {
+        println!(
+            "{:>10} {:>9.0} {:>9.0} {:>9.0}   {}",
+            c.bytes,
+            c.cpu,
+            c.optimus,
+            c.protoacc,
+            c.winner()
+        );
+    }
+    let (peak, eff) = rpc::peak_vs_realistic(3, 400);
+    println!(
+        "\nDatasheet peak vs realistic mix: {:.2} vs {:.2} B/cycle ({:.1}x gap)",
+        peak,
+        eff,
+        peak / eff
+    );
+    println!("-> exactly why upper bounds make poor interfaces (paper §4).\n");
+
+    println!("=== Predicting the end-to-end offload (paper §5 strawman) ===\n");
+    let trace = offload::record_trace(120, 11);
+    let study = offload::run_study(&trace).expect("study runs");
+    let (pred, actual) = study.speedups();
+    println!(
+        "software serializer total:      {:>12} cycles",
+        study.software
+    );
+    println!(
+        "offload, interface-predicted:   {:>12.0} cycles",
+        study.predicted_offload
+    );
+    println!(
+        "offload, accelerator-simulated: {:>12} cycles",
+        study.actual_offload
+    );
+    println!(
+        "\npredicted speedup {pred:.2}x vs measured {actual:.2}x (error {:.2}%)",
+        study.prediction_error() * 100.0
+    );
+}

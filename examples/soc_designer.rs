@@ -1,0 +1,40 @@
+//! Example #1 from the paper: an SoC designer sizes a Bitcoin-miner IP
+//! block using nothing but its performance interface — no RTL, no
+//! simulator — and then validates the choice against the cycle model.
+//!
+//! ```text
+//! cargo run --release --example soc_designer
+//! ```
+
+use perf_interfaces::workloads::soc;
+
+fn main() {
+    println!("=== SoC design from interfaces alone (paper Example #1) ===\n");
+    println!("The miner's interface: latency (cycles) equals Loop; area grows");
+    println!("inversely with Loop. The whole design space, read off the interface:\n");
+    println!(
+        "{:>6} {:>12} {:>18} {:>16}",
+        "Loop", "area (kGE)", "latency (cyc/hash)", "tput (hash/cyc)"
+    );
+    let space = soc::design_space().expect("interface enumerates");
+    for p in &space {
+        println!(
+            "{:>6} {:>12.0} {:>18.0} {:>16.4}",
+            p.loop_, p.area_kge, p.latency, p.throughput
+        );
+    }
+
+    for budget in [100.0, 300.0, 1000.0] {
+        match soc::pick_within_area(budget).expect("selection runs") {
+            Some(p) => {
+                let (claimed, measured) = soc::validate_point(&p).expect("validates");
+                println!(
+                    "\nbudget {budget:>6.0} kGE -> Loop {} ({:.0} kGE); interface says {:.0} cyc/hash, cycle model measures {:.2}",
+                    p.loop_, p.area_kge, claimed, measured
+                );
+            }
+            None => println!("\nbudget {budget:>6.0} kGE -> no configuration fits"),
+        }
+    }
+    println!("\nEvery claim checked out: the design decision was safe to make from the interface.");
+}

@@ -1,0 +1,56 @@
+//! Performance interfaces for hardware accelerators.
+//!
+//! A Rust implementation of the vision in *"The Case for Performance
+//! Interfaces for Hardware Accelerators"* (HotOS '23): accelerators
+//! should ship with artifacts that summarize their performance behavior
+//! the way semantic interfaces summarize functionality. Three
+//! representations trade readability for precision:
+//!
+//! 1. **Natural language** with machine-checkable claims
+//!    ([`core::nl`]),
+//! 2. **Executable interface programs** in the PIL language
+//!    ([`lang`]),
+//! 3. **Timed Petri nets** — the performance IR ([`petri`]).
+//!
+//! Four accelerator models act as the "hardware": a JPEG decoder
+//! ([`jpeg`]), a Bitcoin miner ([`bitcoin`]), the Protoacc serializer
+//! ([`protoacc`]) and the VTA deep-learning accelerator ([`vta`]), each
+//! built on the cycle-accurate substrate in [`sim`]. An autotuner
+//! ([`autotune`]) demonstrates tools consuming the IR, and
+//! [`workloads`] packages the paper's developer-story studies.
+//!
+//! # Quick start
+//!
+//! ```
+//! use perf_interfaces::core::iface::Metric;
+//! use perf_interfaces::core::GroundTruth;
+//!
+//! // The vendor ships an interface bundle with the accelerator.
+//! let bundle = perf_interfaces::jpeg::interface::bundle();
+//!
+//! // A developer asks: what latency for my image?
+//! let mut gen = perf_interfaces::jpeg::ImageGen::new(1);
+//! let img = gen.gen_sized(64, 64, 75);
+//! let predicted = bundle
+//!     .most_precise()
+//!     .expect("bundle has executable interfaces")
+//!     .predict(&img, Metric::Latency)
+//!     .expect("prediction succeeds");
+//!
+//! // ... and the cycle-accurate model agrees closely.
+//! let mut hw = perf_interfaces::jpeg::JpegCycleSim::default();
+//! let measured = hw.measure(&img).expect("runs").latency.as_f64();
+//! let err = (predicted.midpoint() - measured).abs() / measured;
+//! assert!(err < 0.02, "Petri-net error {err:.4}");
+//! ```
+
+pub use accel_bitcoin as bitcoin;
+pub use accel_jpeg as jpeg;
+pub use accel_protoacc as protoacc;
+pub use accel_vta as vta;
+pub use perf_autotune as autotune;
+pub use perf_core as core;
+pub use perf_iface_lang as lang;
+pub use perf_petri as petri;
+pub use perf_sim as sim;
+pub use perf_workloads as workloads;

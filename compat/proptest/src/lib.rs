@@ -1,0 +1,249 @@
+//! Offline drop-in subset of the `proptest` property-testing framework.
+//!
+//! The build environment has no crates.io access, so this local crate
+//! implements the slice of proptest the workspace tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, argument
+//!   binding (`x in strategy`) and `prop_assert*`/`prop_assume!`,
+//! * strategies: numeric ranges, tuples, [`strategy::Just`],
+//!   [`strategy::any`], `prop_oneof!`, `prop_map`, `prop_recursive`,
+//!   [`collection::vec`], and regex-like `&str` string strategies,
+//! * deterministic seeding (override with `PROPTEST_SEED`, case count
+//!   with `PROPTEST_CASES`).
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case
+//! reports its seed and case number instead of a minimized input.
+
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: `proptest! { #![proptest_config(cfg)]
+/// #[test] fn prop(x in strat, ...) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let __cases = $crate::test_runner::effective_cases(&__cfg);
+                let __seed =
+                    $crate::test_runner::default_seed(concat!(module_path!(), "::", stringify!($name)));
+                let mut __rng = $crate::test_runner::new_rng(__seed);
+                let __strategy = ( $( $strat, )+ );
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __cases {
+                    __attempts += 1;
+                    if __attempts > __cases.saturating_mul(10) + 100 {
+                        panic!(
+                            "proptest `{}`: too many rejected cases ({} attempts)",
+                            stringify!($name),
+                            __attempts
+                        );
+                    }
+                    let ( $($arg,)+ ) =
+                        $crate::strategy::Strategy::gen_value(&__strategy, &mut __rng);
+                    let mut __case = move || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    match __case() {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            continue
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            __msg,
+                        )) => {
+                            panic!(
+                                "proptest `{}` failed (seed {}, case #{}): {}",
+                                stringify!($name),
+                                __seed,
+                                __accepted,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                )
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => $crate::prop_assert!(*__l == *__r, $($fmt)+)
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `left != right`\n  both: `{:?}`",
+                    __l
+                )
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn assume_rejects(mut n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            n += 2;
+            prop_assert!(n % 2 == 0, "n = {n}");
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), (5u8..8)]) {
+            prop_assert!(v == 1 || v == 2 || (5..8).contains(&v));
+        }
+
+        #[test]
+        fn string_pattern_class(s in "[a-z]{0,10}") {
+            prop_assert!(s.len() <= 10);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn string_pattern_alternation(s in "(ab|cd) ?") {
+            prop_assert!(s.starts_with("ab") || s.starts_with("cd"));
+            prop_assert!(s.len() <= 3);
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u16..50, 0u16..50).prop_map(|(a, b)| (a, b, a as u32 + b as u32))) {
+            prop_assert_eq!(p.2, p.0 as u32 + p.1 as u32);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategy_bounded(t in (0u8..10).prop_map(Tree::Leaf).prop_recursive(
+            4, 32, 2,
+            |inner| (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+        )) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supported subset (what the workspace tests use):
+//!
+//! * literal characters,
+//! * escapes: `\\` `\.` `\"` `\n` `\t` `\-` `\[` `\]` `\(` `\)`,
+//! * `\PC` — any printable (non-control) character,
+//! * character classes `[...]` with `a-z` ranges and escapes,
+//! * groups with alternation: `(ab|cd)`,
+//! * quantifiers `*` (0..=32), `+` (1..=32), `?`, `{m}`, `{m,n}`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Unbounded repetition is capped at this many copies.
+const STAR_MAX: usize = 32;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// A fixed character.
+    Lit(char),
+    /// Any printable char (`\PC`): ASCII graphic or space, mostly.
+    Printable,
+    /// One char drawn uniformly from the listed options.
+    Class(Vec<char>),
+    /// One alternative, each a sequence.
+    Alt(Vec<Vec<Node>>),
+    /// Inclusive repetition range of the inner node.
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_seq(&chars, &mut pos, pattern);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at {pos}"
+    );
+    let mut out = String::new();
+    for node in &seq {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Printable => {
+            // Bias toward ASCII so generated sources stay readable.
+            let c = if rng.gen_bool(0.95) {
+                rng.gen_range(0x20u32..0x7f) as u8 as char
+            } else {
+                char::from_u32(rng.gen_range(0xa0u32..0x2000)).unwrap_or(' ')
+            };
+            out.push(c);
+        }
+        Node::Class(opts) => out.push(opts[rng.gen_range(0..opts.len())]),
+        Node::Alt(arms) => {
+            let arm = &arms[rng.gen_range(0..arms.len())];
+            for n in arm {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Parses a sequence until end of input, `)` or `|`.
+fn parse_seq(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Node> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' && chars[*pos] != '|' {
+        let atom = parse_atom(chars, pos, pat);
+        seq.push(parse_quantifier(atom, chars, pos, pat));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+    match chars[*pos] {
+        '\\' => {
+            *pos += 1;
+            parse_escape(chars, pos, pat)
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos, pat)
+        }
+        '(' => {
+            *pos += 1;
+            let mut arms = vec![parse_seq(chars, pos, pat)];
+            while *pos < chars.len() && chars[*pos] == '|' {
+                *pos += 1;
+                arms.push(parse_seq(chars, pos, pat));
+            }
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unsupported regex pattern {pat:?}: unclosed group"
+            );
+            *pos += 1;
+            Node::Alt(arms)
+        }
+        c => {
+            assert!(
+                !matches!(c, '*' | '+' | '?' | '{' | '}' | ']'),
+                "unsupported regex pattern {pat:?}: dangling {c:?}"
+            );
+            *pos += 1;
+            if c == '.' {
+                Node::Printable
+            } else {
+                Node::Lit(c)
+            }
+        }
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+    assert!(
+        *pos < chars.len(),
+        "unsupported regex pattern {pat:?}: trailing backslash"
+    );
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        'P' | 'p' => {
+            // `\PC` / `\pC`-style unicode property; modeled as
+            // "printable char" which is what the tests rely on.
+            assert!(
+                *pos < chars.len(),
+                "unsupported regex pattern {pat:?}: bare \\P"
+            );
+            *pos += 1;
+            Node::Printable
+        }
+        'n' => Node::Lit('\n'),
+        't' => Node::Lit('\t'),
+        'r' => Node::Lit('\r'),
+        _ => Node::Lit(c),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+    let mut opts = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let mut c = chars[*pos];
+        *pos += 1;
+        if c == '\\' {
+            assert!(
+                *pos < chars.len(),
+                "unsupported regex pattern {pat:?}: trailing backslash in class"
+            );
+            c = match chars[*pos] {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            };
+            *pos += 1;
+        }
+        // `a-z` range (a trailing `-` is a literal).
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            assert!(c <= hi, "unsupported regex pattern {pat:?}: bad class range");
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    opts.push(ch);
+                }
+            }
+        } else {
+            opts.push(c);
+        }
+    }
+    assert!(
+        *pos < chars.len(),
+        "unsupported regex pattern {pat:?}: unclosed class"
+    );
+    *pos += 1;
+    assert!(!opts.is_empty(), "unsupported regex pattern {pat:?}: empty class");
+    Node::Class(opts)
+}
+
+fn parse_quantifier(atom: Node, chars: &[char], pos: &mut usize, pat: &str) -> Node {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, STAR_MAX)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, STAR_MAX)
+        }
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let mut lo = String::new();
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                lo.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: usize = lo.parse().unwrap_or_else(|_| {
+                panic!("unsupported regex pattern {pat:?}: bad {{m}} bound")
+            });
+            let hi = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    hi.push(chars[*pos]);
+                    *pos += 1;
+                }
+                hi.parse().unwrap_or_else(|_| {
+                    panic!("unsupported regex pattern {pat:?}: bad {{m,n}} bound")
+                })
+            } else {
+                lo
+            };
+            assert!(
+                *pos < chars.len() && chars[*pos] == '}',
+                "unsupported regex pattern {pat:?}: unclosed quantifier"
+            );
+            *pos += 1;
+            assert!(lo <= hi, "unsupported regex pattern {pat:?}: {{m,n}} with m > n");
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn class_with_range_and_count() {
+        let mut rng = new_rng(7);
+        for _ in 0..200 {
+            let s = generate("[a-z]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_specials() {
+        let mut rng = new_rng(8);
+        for _ in 0..200 {
+            let s = generate("[a-z(){};=+*/ 0-9\\.\"]{0,60}", &mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || "(){};=+*/ .\"".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = new_rng(9);
+        for _ in 0..200 {
+            let s = generate("\\PC*", &mut rng);
+            assert!(s.chars().count() <= 32);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn group_alternation_optional_space() {
+        let mut rng = new_rng(10);
+        let mut saw_space = false;
+        for _ in 0..200 {
+            let s = generate("(fn|let|const|return|if) ?", &mut rng);
+            let kw = s.trim_end_matches(' ');
+            assert!(["fn", "let", "const", "return", "if"].contains(&kw), "{s:?}");
+            saw_space |= s.ends_with(' ');
+        }
+        assert!(saw_space);
+    }
+
+    #[test]
+    fn exact_repeat_and_plus() {
+        let mut rng = new_rng(11);
+        let s = generate("a{3}", &mut rng);
+        assert_eq!(s, "aaa");
+        for _ in 0..50 {
+            let s = generate("b+", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 32);
+            assert!(s.chars().all(|c| c == 'b'));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleUniform};
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no value tree: strategies generate
+/// final values directly, and failing cases are not shrunk.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a handle that
+    /// yields either a leaf (this strategy) or a shallower recursive
+    /// value; nesting is capped at `depth` levels.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// A clonable, type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Map<S, F> {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Regex-like string strategy (see [`crate::pattern`] for the
+/// supported subset).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::pattern::generate(self, rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, occasionally beyond, always a valid scalar.
+        if rng.gen_bool(0.9) {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0xa0u32..0xd800)).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+/// Strategy over a type's full domain: `any::<u32>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ( $( self.$idx.gen_value(rng), )+ )
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9, S10.10);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9, S10.10, S11.11);

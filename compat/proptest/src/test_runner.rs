@@ -1,0 +1,67 @@
+//! Test harness plumbing: configuration, RNG seeding and case errors.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Creates the per-test RNG.
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Resolves the case count, honoring the `PROPTEST_CASES` override.
+pub fn effective_cases(cfg: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(cfg.cases),
+        Err(_) => cfg.cases,
+    }
+}
+
+/// Deterministic per-test seed (FNV-1a of the test path), overridable
+/// with `PROPTEST_SEED` for replaying a different universe.
+pub fn default_seed(test_path: &str) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = v.parse() {
+            return seed;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed; the message is reported to the user.
+    Fail(String),
+    /// The case violated a `prop_assume!`; it is regenerated.
+    Reject,
+}
+
+/// Convenience alias mirroring proptest.
+pub type TestCaseResult = Result<(), TestCaseError>;

@@ -35,7 +35,7 @@ impl MinerConfig {
     ///
     /// Fails if `Loop` does not divide 128.
     pub fn with_loop(loop_: u64) -> Result<MinerConfig, CoreError> {
-        if loop_ == 0 || TOTAL_ROUNDS % loop_ != 0 {
+        if loop_ == 0 || !TOTAL_ROUNDS.is_multiple_of(loop_) {
             return Err(CoreError::InvalidObservation(format!(
                 "Loop must divide {TOTAL_ROUNDS}, got {loop_}"
             )));

@@ -74,7 +74,7 @@ impl JpegHwConfig {
 
     /// Writer delay for the block at scan index `idx`.
     pub fn write_delay(&self, idx: u64) -> u64 {
-        if idx % self.blocks_per_page == 0 {
+        if idx.is_multiple_of(self.blocks_per_page) {
             self.write_cycles + self.write_page_penalty
         } else {
             self.write_cycles

@@ -144,7 +144,7 @@ impl ImageGen {
     /// time).
     pub fn gen_sized(&mut self, width: u32, height: u32, quality: u8) -> Image {
         assert!(
-            width % 8 == 0 && height % 8 == 0,
+            width.is_multiple_of(8) && height.is_multiple_of(8),
             "dimensions must be multiples of 8"
         );
         let nblocks = (width as usize / 8) * (height as usize / 8);
@@ -186,7 +186,7 @@ impl ImageGen {
     /// spectral activity (chroma is smooth in natural images).
     pub fn gen_color(&mut self, width: u32, height: u32, quality: u8) -> Image {
         assert!(
-            width % 16 == 0 && height % 16 == 0,
+            width.is_multiple_of(16) && height.is_multiple_of(16),
             "4:2:0 dimensions must be multiples of 16"
         );
         let luma = self.gen_sized(width, height, quality);
@@ -228,7 +228,7 @@ impl ImageGen {
     /// isolates the compression-rate axis, which is how the Fig. 1
     /// claims are checked.
     pub fn gen_quality_sweep(&mut self, width: u32, height: u32, qualities: &[u8]) -> Vec<Image> {
-        assert!(width % 8 == 0 && height % 8 == 0);
+        assert!(width.is_multiple_of(8) && height.is_multiple_of(8));
         let nblocks = (width as usize / 8) * (height as usize / 8);
         let busyness = self.rng.gen_range(0.5..2.0);
         const REGION_ACTIVITY: [f64; 3] = [0.15, 1.0, 3.0];

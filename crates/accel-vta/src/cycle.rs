@@ -243,10 +243,10 @@ impl VtaCycleSim {
             }
             // Modules: retire then issue, so a queue slot freed this
             // cycle is usable next cycle (registered hardware).
-            for mi in 0..3 {
+            for (mi, m) in mods.iter_mut().enumerate() {
                 // Retire phase: push dependency tokens.
-                if mods[mi].busy_until <= now {
-                    if let Some(insn) = mods[mi].pending.take() {
+                if m.busy_until <= now {
+                    if let Some(insn) = m.pending.take() {
                         let f = insn.flags;
                         let (push_a, push_b) = match mi {
                             0 => (f.push_next.then_some(L2C), None),
@@ -254,7 +254,7 @@ impl VtaCycleSim {
                             _ => (f.push_prev.then_some(S2C), None),
                         };
                         let room = |q: Option<usize>, dep: &[VecDeque<()>; 4]| {
-                            q.map_or(true, |q| dep[q].len() < self.hw.dep_q_cap)
+                            q.is_none_or(|q| dep[q].len() < self.hw.dep_q_cap)
                         };
                         if room(push_a, &dep) && room(push_b, &dep) {
                             if let Some(q) = push_a {
@@ -263,18 +263,18 @@ impl VtaCycleSim {
                             if let Some(q) = push_b {
                                 dep[q].push_back(());
                             }
-                            mods[mi].retired += 1;
+                            m.retired += 1;
                             retired_total += 1;
                             progress = true;
                         } else {
                             // Stalled on a full dependency queue.
-                            mods[mi].pending = Some(insn);
+                            m.pending = Some(insn);
                         }
                     }
                 }
                 // Issue phase.
-                if mods[mi].busy_until <= now && mods[mi].pending.is_none() {
-                    if let Some(head) = mods[mi].queue.front() {
+                if m.busy_until <= now && m.pending.is_none() {
+                    if let Some(head) = m.queue.front() {
                         let f = head.flags;
                         let (pop_a, pop_b) = match mi {
                             0 => (f.pop_next.then_some(C2L), None),
@@ -282,7 +282,7 @@ impl VtaCycleSim {
                             _ => (f.pop_prev.then_some(C2S), None),
                         };
                         let avail = |q: Option<usize>, dep: &[VecDeque<()>; 4]| {
-                            q.map_or(true, |q| !dep[q].is_empty())
+                            q.is_none_or(|q| !dep[q].is_empty())
                         };
                         if avail(pop_a, &dep) && avail(pop_b, &dep) {
                             if let Some(q) = pop_a {
@@ -291,11 +291,11 @@ impl VtaCycleSim {
                             if let Some(q) = pop_b {
                                 dep[q].pop_front();
                             }
-                            let insn = mods[mi].queue.pop_front().expect("peeked");
+                            let insn = m.queue.pop_front().expect("peeked");
                             let d = self.delay(&insn, now).max(1);
-                            mods[mi].busy_until = now + d;
-                            mods[mi].busy_cycles += d;
-                            mods[mi].pending = Some(insn);
+                            m.busy_until = now + d;
+                            m.busy_cycles += d;
+                            m.pending = Some(insn);
                             progress = true;
                         }
                     }

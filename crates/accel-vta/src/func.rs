@@ -210,10 +210,10 @@ impl FuncModel {
                                 return Err(FuncError::OutOfBounds(format!("alu d={d} s={s}")));
                             }
                             let src_vec = self.acc[s];
-                            for lane in 0..16 {
-                                let a = self.acc[d][lane];
-                                let b = if *use_imm { *imm as i32 } else { src_vec[lane] };
-                                self.acc[d][lane] = match op {
+                            for (dst, &src) in self.acc[d].iter_mut().zip(&src_vec) {
+                                let a = *dst;
+                                let b = if *use_imm { *imm as i32 } else { src };
+                                *dst = match op {
                                     AluOpcode::Add => a.wrapping_add(b),
                                     AluOpcode::Max => a.max(b),
                                     AluOpcode::Min => a.min(b),

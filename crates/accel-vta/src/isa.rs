@@ -275,6 +275,23 @@ impl Program {
         self.insns.is_empty()
     }
 
+    /// A 64-bit structural fingerprint: FNV-1a over the canonical
+    /// 128-bit instruction encodings. Programs with equal instruction
+    /// streams fingerprint identically, so the value serves as a memo
+    /// key for cost oracles (`perf-autotune`'s `CachedCost`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for insn in &self.insns {
+            for word in encode(insn) {
+                for byte in word.to_le_bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
     /// Checks dependency-token balance: every pop must be matched by a
     /// push on the same queue, with no queue ever popped before a
     /// token could have been pushed (conservative linear-order check).
@@ -354,8 +371,7 @@ pub fn encode(insn: &Insn) -> [u64; 2] {
             dram_base,
             count,
         } => {
-            let lo = 0u64 // opcode 0 = load
-                | f << 3
+            let lo = (f << 3)
                 | (buffer.code() as u64) << 7
                 | (*sram_base as u64) << 10
                 | (*count as u64) << 26;

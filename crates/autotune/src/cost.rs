@@ -176,6 +176,77 @@ impl CostBackend for ProgramCost {
     }
 }
 
+/// A memoizing decorator over any backend: repeated queries for the
+/// same program (by [`Program::fingerprint`]) are answered from a
+/// cache instead of re-simulating.
+///
+/// Searches revisit schedules constantly — annealing walks back and
+/// forth over neighbors, random search resamples — so wrapping an
+/// expensive oracle here removes redundant simulation entirely.
+/// [`CostBackend::evaluations`] reports only *misses* (real inner
+/// evaluations); cache traffic is visible via [`CachedCost::hits`].
+pub struct CachedCost<B> {
+    inner: B,
+    memo: std::collections::HashMap<u64, f64>,
+    hits: u64,
+}
+
+impl<B: CostBackend> CachedCost<B> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: B) -> CachedCost<B> {
+        CachedCost {
+            inner,
+            memo: std::collections::HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Queries that reached the inner backend.
+    pub fn misses(&self) -> u64 {
+        self.inner.evaluations()
+    }
+
+    /// Distinct programs cached.
+    pub fn cached(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Unwraps the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: CostBackend> CostBackend for CachedCost<B> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn cost(&mut self, prog: &Program) -> Result<f64, CoreError> {
+        let key = prog.fingerprint();
+        if let Some(&c) = self.memo.get(&key) {
+            self.hits += 1;
+            return Ok(c);
+        }
+        let c = self.inner.cost(prog)?;
+        self.memo.insert(key, c);
+        Ok(c)
+    }
+
+    fn time_spent(&self) -> Duration {
+        self.inner.time_spent()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +282,68 @@ mod tests {
         rtl.cost(&tiny).unwrap();
         rtl.cost(&chunky).unwrap();
         assert!(rtl.time_spent() > pet.time_spent());
+    }
+
+    #[test]
+    fn cached_cost_hits_return_identical_costs() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
+        let b = Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w);
+        let mut cached = CachedCost::new(PetriCost::new().unwrap());
+        let ca1 = cached.cost(&a).unwrap();
+        let cb1 = cached.cost(&b).unwrap();
+        let ca2 = cached.cost(&a).unwrap();
+        let cb2 = cached.cost(&b).unwrap();
+        let ca3 = cached.cost(&a).unwrap();
+        assert_eq!(ca1.to_bits(), ca2.to_bits());
+        assert_eq!(ca1.to_bits(), ca3.to_bits());
+        assert_eq!(cb1.to_bits(), cb2.to_bits());
+        assert_ne!(ca1.to_bits(), cb1.to_bits());
+    }
+
+    #[test]
+    fn cached_cost_counts_only_misses() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
+        let b = Schedule { tm: 2, tn: 2, tk: 2 }.lower(&w);
+        let mut cached = CachedCost::new(PetriCost::new().unwrap());
+        for _ in 0..3 {
+            cached.cost(&a).unwrap();
+            cached.cost(&b).unwrap();
+        }
+        // Six queries: two misses (first sight of each program), four
+        // hits. `evaluations` reports real inner work only.
+        assert_eq!(cached.evaluations(), 2);
+        assert_eq!(cached.misses(), 2);
+        assert_eq!(cached.hits(), 4);
+        assert_eq!(cached.cached(), 2);
+        assert_eq!(cached.into_inner().evaluations(), 2);
+    }
+
+    #[test]
+    fn cached_cost_matches_uncached_backend() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let mut plain = PetriCost::new().unwrap();
+        let mut cached = CachedCost::new(PetriCost::new().unwrap());
+        for s in [
+            Schedule { tm: 1, tn: 1, tk: 1 },
+            Schedule { tm: 4, tn: 4, tk: 2 },
+            Schedule { tm: 1, tn: 1, tk: 1 },
+        ] {
+            let p = s.lower(&w);
+            assert_eq!(
+                plain.cost(&p).unwrap().to_bits(),
+                cached.cost(&p).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_programs() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
+        let b = Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

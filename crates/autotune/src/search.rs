@@ -26,6 +26,11 @@ pub struct Tuner {
     rng: StdRng,
     /// Candidate pool (all valid schedules).
     pub space: Vec<Schedule>,
+    /// One-knob neighbors per space index (ascending space order),
+    /// precomputed once so annealing does not rescan the space per
+    /// step. Kept consistent with `space` at construction; truncating
+    /// `space` afterwards (tests do) only orphans table entries.
+    neighbors: Vec<Vec<usize>>,
     workload: GemmWorkload,
 }
 
@@ -42,9 +47,11 @@ impl Tuner {
                 "workload has no valid schedules".into(),
             ));
         }
+        let neighbors = one_knob_neighbors(&space);
         Ok(Tuner {
             rng: StdRng::seed_from_u64(seed),
             space,
+            neighbors,
             workload,
         })
     }
@@ -77,7 +84,7 @@ impl Tuner {
         for _ in 0..budget {
             let s = self.space[self.rng.gen_range(0..self.space.len())];
             let c = self.eval(backend, s, &mut history)?;
-            if best.map_or(true, |(_, bc)| c < bc) {
+            if best.is_none_or(|(_, bc)| c < bc) {
                 best = Some((s, c));
             }
         }
@@ -99,20 +106,21 @@ impl Tuner {
     ) -> Result<SearchResult, CoreError> {
         let t0 = backend.time_spent();
         let mut history = Vec::new();
-        let mut cur = self.space[self.rng.gen_range(0..self.space.len())];
-        let mut cur_cost = self.eval(backend, cur, &mut history)?;
-        let mut best = cur;
+        let mut cur_idx = self.rng.gen_range(0..self.space.len());
+        let mut cur_cost = self.eval(backend, self.space[cur_idx], &mut history)?;
+        let mut best = self.space[cur_idx];
         let mut best_cost = cur_cost;
         for i in 0..iters {
             let temp = 0.3 * (1.0 - i as f64 / iters.max(1) as f64) + 0.01;
-            let cand = self.neighbor(cur);
+            let cand_idx = self.neighbor(cur_idx);
+            let cand = self.space[cand_idx];
             let c = self.eval(backend, cand, &mut history)?;
             let accept = c < cur_cost || {
                 let p = ((cur_cost - c) / (cur_cost * temp)).exp();
                 self.rng.gen_bool(p.clamp(0.0, 1.0))
             };
             if accept {
-                cur = cand;
+                cur_idx = cand_idx;
                 cur_cost = c;
             }
             if c < best_cost {
@@ -128,22 +136,20 @@ impl Tuner {
         })
     }
 
-    /// A random valid neighbor of `s` differing in one knob (falls back
-    /// to a random point when `s` is isolated).
-    fn neighbor(&mut self, s: Schedule) -> Schedule {
-        let candidates: Vec<Schedule> = self
-            .space
-            .iter()
-            .copied()
-            .filter(|c| {
-                let diffs = [c.tm != s.tm, c.tn != s.tn, c.tk != s.tk];
-                diffs.iter().filter(|&&d| d).count() == 1
-            })
-            .collect();
-        if candidates.is_empty() {
-            self.space[self.rng.gen_range(0..self.space.len())]
+    /// A random one-knob neighbor of the schedule at `idx`, from the
+    /// precomputed table (falls back to a random point when isolated).
+    /// The table lists neighbors in space order, so the RNG draw
+    /// sequence is identical to filtering the space on every step.
+    fn neighbor(&mut self, idx: usize) -> usize {
+        let nbrs = self
+            .neighbors
+            .get(idx)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        if nbrs.is_empty() {
+            self.rng.gen_range(0..self.space.len())
         } else {
-            candidates[self.rng.gen_range(0..candidates.len())]
+            nbrs[self.rng.gen_range(0..nbrs.len())]
         }
     }
 
@@ -160,6 +166,127 @@ impl Tuner {
         }
         Ok(out)
     }
+
+    /// [`Tuner::exhaustive`] fanned out across `threads` worker
+    /// threads (0 = one per available core). `factory` builds one
+    /// private backend per worker — backends need not be `Send`, they
+    /// are constructed and used entirely inside their thread. Results
+    /// come back in space order, identical to the sequential path.
+    pub fn exhaustive_parallel<B, F>(
+        &self,
+        factory: F,
+        threads: usize,
+    ) -> Result<Vec<(Schedule, f64)>, CoreError>
+    where
+        B: CostBackend,
+        F: Fn() -> Result<B, CoreError> + Sync,
+    {
+        let results = eval_chunked(&self.space, &self.workload, &factory, threads)?;
+        Ok(results)
+    }
+
+    /// [`Tuner::random_search`] with parallel evaluation. The sample
+    /// is drawn up front with the tuner's RNG — the same draw sequence
+    /// as the sequential path, so for a given seed both visit the same
+    /// schedules and return the same best.
+    pub fn random_search_parallel<B, F>(
+        &mut self,
+        factory: F,
+        budget: usize,
+        threads: usize,
+    ) -> Result<SearchResult, CoreError>
+    where
+        B: CostBackend,
+        F: Fn() -> Result<B, CoreError> + Sync,
+    {
+        let sample: Vec<Schedule> = (0..budget)
+            .map(|_| self.space[self.rng.gen_range(0..self.space.len())])
+            .collect();
+        let t0 = std::time::Instant::now();
+        let history = eval_chunked(&sample, &self.workload, &factory, threads)?;
+        let (best, best_cost) = history
+            .iter()
+            .copied()
+            // Strict `<` keeps the earliest minimum, matching the
+            // sequential scan.
+            .reduce(|acc, cur| if cur.1 < acc.1 { cur } else { acc })
+            .ok_or_else(|| CoreError::InvalidObservation("random search needs budget >= 1".into()))?;
+        Ok(SearchResult {
+            best,
+            best_cost,
+            history,
+            // Per-worker backend clocks overlap; wall-clock of the
+            // whole fan-out is the meaningful figure here.
+            profiling_time: t0.elapsed(),
+        })
+    }
+}
+
+/// One-knob-differs adjacency over `space`, each row in ascending
+/// space order.
+fn one_knob_neighbors(space: &[Schedule]) -> Vec<Vec<usize>> {
+    space
+        .iter()
+        .map(|s| {
+            space
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    let diffs = [c.tm != s.tm, c.tn != s.tn, c.tk != s.tk];
+                    diffs.iter().filter(|&&d| d).count() == 1
+                })
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect()
+}
+
+/// Evaluates `schedules` across worker threads (chunked, order
+/// preserving), each worker on a backend built by `factory`.
+fn eval_chunked<B, F>(
+    schedules: &[Schedule],
+    workload: &GemmWorkload,
+    factory: &F,
+    threads: usize,
+) -> Result<Vec<(Schedule, f64)>, CoreError>
+where
+    B: CostBackend,
+    F: Fn() -> Result<B, CoreError> + Sync,
+{
+    if schedules.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(schedules.len());
+    let chunk = schedules.len().div_ceil(threads);
+    let per_chunk: Vec<Result<Vec<(Schedule, f64)>, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .chunks(chunk)
+            .map(|ch| {
+                scope.spawn(move || -> Result<Vec<(Schedule, f64)>, CoreError> {
+                    let mut backend = factory()?;
+                    ch.iter()
+                        .map(|&s| backend.cost(&s.lower(workload)).map(|c| (s, c)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cost worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(schedules.len());
+    for r in per_chunk {
+        out.extend(r?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -216,6 +343,164 @@ mod tests {
             .collect();
         let rho = spearman(&xs, &ys);
         assert!(rho > 0.9, "rank correlation {rho:.3}");
+    }
+
+    /// Deterministic, instant cost oracle for sequence-equality tests:
+    /// any fixed pure function of the program works.
+    #[derive(Default)]
+    struct StubCost {
+        evals: u64,
+    }
+
+    impl CostBackend for StubCost {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+
+        fn cost(&mut self, prog: &accel_vta::isa::Program) -> Result<f64, CoreError> {
+            self.evals += 1;
+            Ok((prog.fingerprint() % 1009) as f64 + 1.0)
+        }
+
+        fn time_spent(&self) -> Duration {
+            Duration::ZERO
+        }
+
+        fn evaluations(&self) -> u64 {
+            self.evals
+        }
+    }
+
+    /// The pre-refactor annealer: neighbors found by filtering the
+    /// whole space on every step. The RNG draw sequence must match
+    /// the table-driven [`Tuner::anneal`] exactly.
+    fn anneal_per_step_filter(
+        space: &[Schedule],
+        w: &GemmWorkload,
+        seed: u64,
+        iters: usize,
+        backend: &mut dyn CostBackend,
+    ) -> Vec<(Schedule, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut history = Vec::new();
+        let mut eval = |backend: &mut dyn CostBackend,
+                        s: Schedule,
+                        history: &mut Vec<(Schedule, f64)>| {
+            let c = backend.cost(&s.lower(w)).unwrap();
+            history.push((s, c));
+            c
+        };
+        let mut cur = space[rng.gen_range(0..space.len())];
+        let mut cur_cost = eval(backend, cur, &mut history);
+        for i in 0..iters {
+            let temp = 0.3 * (1.0 - i as f64 / iters.max(1) as f64) + 0.01;
+            let candidates: Vec<Schedule> = space
+                .iter()
+                .copied()
+                .filter(|c| {
+                    let diffs = [c.tm != cur.tm, c.tn != cur.tn, c.tk != cur.tk];
+                    diffs.iter().filter(|&&d| d).count() == 1
+                })
+                .collect();
+            let cand = if candidates.is_empty() {
+                space[rng.gen_range(0..space.len())]
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            };
+            let c = eval(backend, cand, &mut history);
+            let accept = c < cur_cost || {
+                let p = ((cur_cost - c) / (cur_cost * temp)).exp();
+                rng.gen_bool(p.clamp(0.0, 1.0))
+            };
+            if accept {
+                cur = cand;
+                cur_cost = c;
+            }
+        }
+        history
+    }
+
+    #[test]
+    fn anneal_with_neighbor_table_matches_per_step_filter() {
+        let (seed, iters) = (11, 40);
+        let mut tuner = Tuner::new(workload(), seed).unwrap();
+        let mut backend = StubCost::default();
+        let res = tuner.anneal(&mut backend, iters).unwrap();
+        let space = Schedule::enumerate(&workload());
+        let mut ref_backend = StubCost::default();
+        let ref_history =
+            anneal_per_step_filter(&space, &workload(), seed, iters, &mut ref_backend);
+        assert_eq!(res.history.len(), ref_history.len());
+        for (got, want) in res.history.iter().zip(&ref_history) {
+            assert_eq!(got.0, want.0);
+            assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn neighbor_table_rows_are_one_knob_and_sorted() {
+        let tuner = Tuner::new(workload(), 5).unwrap();
+        assert_eq!(tuner.neighbors.len(), tuner.space.len());
+        for (i, row) in tuner.neighbors.iter().enumerate() {
+            let s = tuner.space[i];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} not sorted");
+            for &j in row {
+                let c = tuner.space[j];
+                let diffs = [c.tm != s.tm, c.tn != s.tn, c.tk != s.tk];
+                assert_eq!(diffs.iter().filter(|&&d| d).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_parallel_matches_sequential() {
+        let mut tuner = Tuner::new(workload(), 6).unwrap();
+        let mut backend = StubCost::default();
+        let seq = tuner.exhaustive(&mut backend).unwrap();
+        for threads in [1, 3, 0] {
+            let par = tuner
+                .exhaustive_parallel(|| Ok(StubCost::default()), threads)
+                .unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn random_search_parallel_matches_sequential_for_same_seed() {
+        let (seed, budget) = (9, 24);
+        let mut seq_tuner = Tuner::new(workload(), seed).unwrap();
+        let mut backend = StubCost::default();
+        let seq = seq_tuner.random_search(&mut backend, budget).unwrap();
+        let mut par_tuner = Tuner::new(workload(), seed).unwrap();
+        let par = par_tuner
+            .random_search_parallel(|| Ok(StubCost::default()), budget, 4)
+            .unwrap();
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.best_cost.to_bits(), par.best_cost.to_bits());
+        assert_eq!(seq.history.len(), par.history.len());
+        for (a, b) in seq.history.iter().zip(&par.history) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_backend_skips_revisits_during_anneal() {
+        let mut tuner = Tuner::new(workload(), 12).unwrap();
+        let mut cached = crate::cost::CachedCost::new(StubCost::default());
+        let res = tuner.anneal(&mut cached, 60).unwrap();
+        let queries = res.history.len() as u64;
+        assert_eq!(cached.hits() + cached.misses(), queries);
+        // An annealing walk over a small space revisits schedules, so
+        // the cache must absorb some queries, and `evaluations` must
+        // report only real inner work.
+        assert!(cached.hits() > 0, "walk of {queries} never revisited");
+        assert_eq!(cached.evaluations(), cached.misses());
+        assert!(cached.evaluations() < queries);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Autotuner cost-backend benchmarks: one query per backend tier,
+//! plus the memoized decorator on its hit path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perf_autotune::cost::{CachedCost, CostBackend, CycleCost, PetriCost, ProgramCost};
+use perf_autotune::schedule::Schedule;
+use perf_autotune::workload::GemmWorkload;
+
+fn query_program() -> accel_vta::isa::Program {
+    let w = GemmWorkload::new(128, 128, 128);
+    Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w)
+}
+
+fn bench_cycle_cost(c: &mut Criterion) {
+    let prog = query_program();
+    let mut backend = CycleCost::new();
+    c.bench_function("cost_cycle_accurate", |b| {
+        b.iter(|| backend.cost(&prog).unwrap())
+    });
+}
+
+fn bench_petri_cost(c: &mut Criterion) {
+    let prog = query_program();
+    let mut backend = PetriCost::new().unwrap();
+    c.bench_function("cost_petri_net", |b| {
+        b.iter(|| backend.cost(&prog).unwrap())
+    });
+}
+
+fn bench_program_cost(c: &mut Criterion) {
+    let prog = query_program();
+    let mut backend = ProgramCost::new().unwrap();
+    c.bench_function("cost_program_interface", |b| {
+        b.iter(|| backend.cost(&prog).unwrap())
+    });
+}
+
+fn bench_cached_hit(c: &mut Criterion) {
+    let prog = query_program();
+    let mut backend = CachedCost::new(PetriCost::new().unwrap());
+    backend.cost(&prog).unwrap(); // prime the cache
+    c.bench_function("cost_cached_hit", |b| {
+        b.iter(|| backend.cost(&prog).unwrap())
+    });
+}
+
+criterion_group! {
+    name = cost_backends;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cycle_cost, bench_petri_cost, bench_program_cost, bench_cached_hit
+}
+criterion_main!(cost_backends);

@@ -1,0 +1,43 @@
+//! Petri engine throughput: incremental worklist firing vs the
+//! reference full-net fixpoint scan, on the two stress shapes from
+//! `perf_bench::enginebench`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perf_bench::enginebench::{deep_pipeline, fan_net, run_once};
+
+const TOKENS: usize = 256;
+
+fn bench_deep_pipeline(c: &mut Criterion) {
+    let (net, src) = deep_pipeline(28);
+    let events = run_once(&net, src, TOKENS, true).events;
+    let mut group = c.benchmark_group("engine_deep_pipeline_28");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("incremental", |b| {
+        b.iter(|| run_once(&net, src, TOKENS, true))
+    });
+    group.bench_function("reference_scan", |b| {
+        b.iter(|| run_once(&net, src, TOKENS, false))
+    });
+    group.finish();
+}
+
+fn bench_fan(c: &mut Criterion) {
+    let (net, src) = fan_net(8);
+    let events = run_once(&net, src, TOKENS, true).events;
+    let mut group = c.benchmark_group("engine_fan_8");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("incremental", |b| {
+        b.iter(|| run_once(&net, src, TOKENS, true))
+    });
+    group.bench_function("reference_scan", |b| {
+        b.iter(|| run_once(&net, src, TOKENS, false))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = engine_throughput;
+    config = Criterion::default().sample_size(20);
+    targets = bench_deep_pipeline, bench_fan
+}
+criterion_main!(engine_throughput);

@@ -5,28 +5,56 @@
 //! repro --quick         # smaller samples (seconds instead of minutes)
 //! repro --exp e4        # a single experiment
 //! repro --markdown OUT  # also write a measured-values report
+//! repro --bench-engine BENCH_engine.json
+//!                       # only the engine throughput benchmark
 //! ```
 
 use perf_bench::experiments::{self, ExperimentOutput};
 use std::io::Write;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--exp eN] [--markdown PATH]");
+    eprintln!("usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH]");
     std::process::exit(2);
+}
+
+/// Measures incremental-vs-reference engine throughput and writes the
+/// JSON artifact to `path`.
+fn bench_engine(path: &str, quick: bool) {
+    let (stages, lanes, tokens, repeats) = if quick {
+        (16, 6, 128, 3)
+    } else {
+        (48, 8, 512, 5)
+    };
+    let report = perf_bench::enginebench::run_engine_bench(stages, lanes, tokens, repeats);
+    let json = report.to_json();
+    std::fs::write(path, &json).expect("write engine bench report");
+    print!("{json}");
+    eprintln!(
+        "deep pipeline: {:.2}x, fan: {:.2}x incremental speedup; wrote {path}",
+        report.deep.speedup(),
+        report.fan.speedup()
+    );
 }
 
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut markdown: Option<String> = None;
+    let mut engine_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--exp" => only = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
             "--markdown" => markdown = Some(args.next().unwrap_or_else(|| usage())),
+            "--bench-engine" => engine_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+
+    if let Some(path) = engine_out {
+        bench_engine(&path, quick);
+        return;
     }
 
     let run_one = |id: &str| -> Result<ExperimentOutput, perf_core::CoreError> {

@@ -1,0 +1,219 @@
+//! Engine-throughput measurement shared by the Criterion bench
+//! (`benches/engine_throughput.rs`) and `repro --bench-engine`.
+//!
+//! Two stress shapes:
+//!
+//! * **deep pipeline** — a long chain of bounded stages. Backpressure
+//!   keeps most transitions blocked at any instant, which is the worst
+//!   case for the reference full-net fixpoint scan (it re-examines
+//!   every stage after every firing) and the best case for the
+//!   incremental worklist (only stages whose inputs changed wake up).
+//! * **fan** — one dispatcher fanning out to parallel lanes that a
+//!   join merges back. Exercises multi-arc firings, joins, and
+//!   wake-ups that touch several places per event.
+
+use perf_iface_lang::Value;
+use perf_petri::engine::{Engine, Options, SimResult};
+use perf_petri::net::{Net, NetBuilder, PlaceId};
+use perf_petri::token::Token;
+use std::time::Instant;
+
+/// A bounded pipeline of `stages` sequential transitions.
+pub fn deep_pipeline(stages: usize) -> (Net, PlaceId) {
+    assert!(stages >= 1);
+    let mut b = NetBuilder::new("deep-pipeline");
+    let src = b.place("src", None);
+    let mut prev = src;
+    for i in 0..stages {
+        let next = if i + 1 == stages {
+            b.sink("done")
+        } else {
+            b.place(format!("q{i}"), Some(8))
+        };
+        b.transition(
+            format!("s{i}"),
+            &[prev],
+            &[next],
+            move |_| 1 + (i as u64 % 3),
+            |ts| vec![ts[0].data.clone()],
+        );
+        prev = next;
+    }
+    (b.build().expect("valid pipeline net"), src)
+}
+
+/// A dispatcher fanning out to `lanes` bounded worker lanes whose
+/// outputs a join merges into the sink.
+pub fn fan_net(lanes: usize) -> (Net, PlaceId) {
+    assert!(lanes >= 1);
+    let mut b = NetBuilder::new("fan");
+    let src = b.place("src", None);
+    let lane_in: Vec<PlaceId> = (0..lanes)
+        .map(|i| b.place(format!("lane{i}"), Some(4)))
+        .collect();
+    let lane_out: Vec<PlaceId> = (0..lanes)
+        .map(|i| b.place(format!("merge{i}"), Some(4)))
+        .collect();
+    let done = b.sink("done");
+    b.transition("dispatch", &[src], &lane_in, |_| 1, move |ts| {
+        vec![ts[0].data.clone(); lanes]
+    });
+    for i in 0..lanes {
+        b.transition(
+            format!("work{i}"),
+            &[lane_in[i]],
+            &[lane_out[i]],
+            move |_| 2 + (i as u64 % 3),
+            |ts| vec![ts[0].data.clone()],
+        );
+    }
+    b.transition("join", &lane_out, &[done], |_| 1, |ts| {
+        vec![ts[0].data.clone()]
+    });
+    (b.build().expect("valid fan net"), src)
+}
+
+/// Runs `tokens` injections through `net`, on the incremental engine
+/// (`run`) or the reference fixpoint scan (`run_reference`).
+pub fn run_once(net: &Net, src: PlaceId, tokens: usize, incremental: bool) -> SimResult {
+    let mut e = Engine::new(net, Options::default());
+    for _ in 0..tokens {
+        e.inject(src, Token::at(Value::num(0.0), 0));
+    }
+    let res = if incremental {
+        e.run()
+    } else {
+        e.run_reference()
+    };
+    res.expect("bench net runs to quiescence")
+}
+
+/// One engine variant's measurement on one net shape.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineRate {
+    /// Simulation events processed per run.
+    pub events: u64,
+    /// Best-of-`repeats` events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Incremental vs reference on one net shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeReport {
+    pub incremental: EngineRate,
+    pub reference: EngineRate,
+}
+
+impl ShapeReport {
+    /// Incremental speedup over the reference scan.
+    pub fn speedup(&self) -> f64 {
+        self.incremental.events_per_sec / self.reference.events_per_sec
+    }
+}
+
+fn measure_variant(net: &Net, src: PlaceId, tokens: usize, repeats: usize, incremental: bool) -> EngineRate {
+    // Warm-up run, then best-of-N to shed scheduler noise.
+    let warm = run_once(net, src, tokens, incremental);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let res = run_once(net, src, tokens, incremental);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(res.events, warm.events, "run-to-run event count drifted");
+        best = best.min(dt);
+    }
+    EngineRate {
+        events: warm.events,
+        events_per_sec: warm.events as f64 / best,
+    }
+}
+
+/// Measures both engine variants on one shape.
+pub fn measure_shape(net: &Net, src: PlaceId, tokens: usize, repeats: usize) -> ShapeReport {
+    ShapeReport {
+        incremental: measure_variant(net, src, tokens, repeats, true),
+        reference: measure_variant(net, src, tokens, repeats, false),
+    }
+}
+
+/// The full engine benchmark: deep pipeline + fan, serialized as the
+/// `BENCH_engine.json` artifact.
+pub struct EngineBenchReport {
+    pub stages: usize,
+    pub lanes: usize,
+    pub tokens: usize,
+    pub deep: ShapeReport,
+    pub fan: ShapeReport,
+}
+
+/// Runs the engine benchmark at the given scale.
+pub fn run_engine_bench(stages: usize, lanes: usize, tokens: usize, repeats: usize) -> EngineBenchReport {
+    let (deep_net, deep_src) = deep_pipeline(stages);
+    let (fan, fan_src) = fan_net(lanes);
+    EngineBenchReport {
+        stages,
+        lanes,
+        tokens,
+        deep: measure_shape(&deep_net, deep_src, tokens, repeats),
+        fan: measure_shape(&fan, fan_src, tokens, repeats),
+    }
+}
+
+impl EngineBenchReport {
+    /// Hand-rolled JSON (the repo carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let shape = |name: &str, s: &ShapeReport| {
+            format!(
+                concat!(
+                    "  \"{}\": {{\n",
+                    "    \"events\": {},\n",
+                    "    \"incremental_events_per_sec\": {:.1},\n",
+                    "    \"reference_events_per_sec\": {:.1},\n",
+                    "    \"speedup\": {:.3}\n",
+                    "  }}"
+                ),
+                name,
+                s.incremental.events,
+                s.incremental.events_per_sec,
+                s.reference.events_per_sec,
+                s.speedup()
+            )
+        };
+        format!(
+            "{{\n  \"stages\": {},\n  \"lanes\": {},\n  \"tokens\": {},\n{},\n{}\n}}\n",
+            self.stages,
+            self.lanes,
+            self.tokens,
+            shape("deep_pipeline", &self.deep),
+            shape("fan", &self.fan)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_run_identically_on_both_engines() {
+        for (net, src) in [deep_pipeline(12), fan_net(5)] {
+            let a = run_once(&net, src, 64, true);
+            let b = run_once(&net, src, 64, false);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.firings, b.firings);
+            assert_eq!(a.completions.len(), b.completions.len());
+            assert!(a.stranded.is_empty(), "stranded: {:?}", a.stranded);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = run_engine_bench(6, 3, 32, 1);
+        let j = r.to_json();
+        assert!(j.contains("\"deep_pipeline\""));
+        assert!(j.contains("\"fan\""));
+        assert!(j.contains("\"speedup\""));
+        assert!(r.deep.speedup() > 0.0);
+    }
+}

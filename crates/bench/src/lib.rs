@@ -6,6 +6,7 @@
 //! runners at reduced scale; integration tests assert the headline
 //! shapes.
 
+pub mod enginebench;
 pub mod experiments;
 
 pub use experiments::{run_all, ExperimentOutput};

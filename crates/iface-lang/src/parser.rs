@@ -164,20 +164,15 @@ impl<'a> Parser<'a> {
                 let body = self.block()?;
                 Ok(Stmt::While(cond, body, span))
             }
-            Tok::Ident(name) => {
+            Tok::Ident(name)
                 // Either an assignment `x = e;` or an expression stmt.
-                if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) {
+                if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) => {
                     self.bump();
                     self.bump();
                     let e = self.expr()?;
                     self.expect(&Tok::Semi, "`;`")?;
                     Ok(Stmt::Assign(name, e, span))
-                } else {
-                    let e = self.expr()?;
-                    self.expect(&Tok::Semi, "`;`")?;
-                    Ok(Stmt::Expr(e, span))
                 }
-            }
             _ => {
                 let e = self.expr()?;
                 self.expect(&Tok::Semi, "`;`")?;

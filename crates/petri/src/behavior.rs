@@ -26,26 +26,43 @@ pub struct Firing {
     pub outputs: Vec<Value>,
 }
 
+/// A native guard closure over the would-be-consumed tokens.
+pub type GuardFn = Box<dyn Fn(&[Token]) -> bool>;
+/// A native delay closure over the consumed tokens.
+pub type DelayFn = Box<dyn Fn(&[Token]) -> u64>;
+/// A native transform closure: one payload per output arc.
+pub type TransformFn = Box<dyn Fn(&[Token]) -> Vec<Value>>;
+
 /// A transition's behavior.
 pub enum Behavior {
     /// Native closures.
     Native {
         /// Optional guard; `None` means always enabled.
-        guard: Option<Box<dyn Fn(&[Token]) -> bool>>,
+        guard: Option<GuardFn>,
         /// Delay as a function of the consumed tokens.
-        delay: Box<dyn Fn(&[Token]) -> u64>,
+        delay: DelayFn,
         /// Output payloads, one per output arc.
-        transform: Box<dyn Fn(&[Token]) -> Vec<Value>>,
+        transform: TransformFn,
     },
     /// PIL expressions compiled from `.pnet` text.
     Expr(ExprBehavior),
 }
 
 impl Behavior {
+    /// Whether firing is conditioned on a guard. Guard-free transitions
+    /// let the engine consume input tokens by move instead of cloning
+    /// them for a speculative guard evaluation.
+    pub fn has_guard(&self) -> bool {
+        match self {
+            Behavior::Native { guard, .. } => guard.is_some(),
+            Behavior::Expr(e) => e.has_guard,
+        }
+    }
+
     /// Evaluates the guard for candidate input tokens.
     pub fn guard(&self, inputs: &[Token]) -> Result<bool, PetriError> {
         match self {
-            Behavior::Native { guard, .. } => Ok(guard.as_ref().map_or(true, |g| g(inputs))),
+            Behavior::Native { guard, .. } => Ok(guard.as_ref().is_none_or(|g| g(inputs))),
             Behavior::Expr(e) => e.guard(inputs),
         }
     }

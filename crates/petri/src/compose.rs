@@ -77,11 +77,7 @@ pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net,
         transitions.push(t);
     }
 
-    let composed = Net {
-        name: name.to_string(),
-        places,
-        transitions,
-    };
+    let composed = Net::assemble(name.to_string(), places, transitions);
     // Re-validate the merged structure (e.g. a glued sink must not be
     // consumed from).
     revalidate(&composed)?;
@@ -90,10 +86,20 @@ pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net,
 
 fn revalidate(net: &Net) -> Result<(), PetriError> {
     for t in net.transitions() {
+        let mut in_places = std::collections::HashSet::new();
         for &(p, _) in &t.inputs {
             if net.places()[p.index()].is_sink {
                 return Err(PetriError::Structure(format!(
                     "transition `{}` consumes from sink `{}` after composition",
+                    t.name,
+                    net.places()[p.index()].name
+                )));
+            }
+            // Gluing two of a transition's input places into one would
+            // make it select overlapping FIFO heads.
+            if !in_places.insert(p.index()) {
+                return Err(PetriError::Structure(format!(
+                    "transition `{}` has duplicate input arcs from `{}` after composition",
                     t.name,
                     net.places()[p.index()].name
                 )));

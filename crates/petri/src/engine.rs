@@ -6,6 +6,16 @@
 //! Petri-net interface can be evaluated orders of magnitude faster than
 //! a cycle-accurate model of the same accelerator (the paper's 1312×
 //! TVM-profiling speedup, our experiment E5).
+//!
+//! Firing is *incremental*: after each event, only the transitions the
+//! event could have enabled are re-tried (a dirty-set worklist over the
+//! net's precomputed place→transition adjacency), instead of scanning
+//! the whole net to a fixpoint. The original full scan is kept as
+//! [`Engine::run_reference`] — it serves as the executable
+//! specification of the firing semantics for the differential tests
+//! and as the baseline for the throughput benchmarks. Both paths
+//! assume guards are pure (the reference may evaluate a guard more
+//! often than the worklist does).
 
 use crate::net::{Net, PlaceId};
 use crate::token::Token;
@@ -112,6 +122,59 @@ enum Ev {
     },
 }
 
+/// Bitmask over transition *ranks* (positions in the net's firing
+/// order, priority descending then declaration order). Scanning set
+/// bits in ascending rank keeps the worklist's firing sequence
+/// identical to the reference full-net scan.
+struct DirtySet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DirtySet {
+    fn new(len: usize) -> DirtySet {
+        DirtySet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn set_all(&mut self) {
+        let len = self.len;
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let bits = len.saturating_sub(w * 64).min(64);
+            *word = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+    }
+
+    /// Lowest set index ≥ `from`, if any.
+    fn next_set_at_or_after(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= self.words.len() {
+            return None;
+        }
+        let mut word = self.words[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+}
+
 /// An engine bound to a net. Inject tokens, then [`Engine::run`].
 pub struct Engine<'n> {
     net: &'n Net,
@@ -122,11 +185,16 @@ pub struct Engine<'n> {
     busy_servers: Vec<usize>,
     heap: BinaryHeap<Scheduled>,
     seq: u64,
-    order: Vec<usize>,
     completions: Vec<Token>,
     firings: Vec<u64>,
     busy: Vec<u64>,
     high_water: Vec<usize>,
+    /// Worklist of transitions to re-try, indexed by rank.
+    dirty: DirtySet,
+    /// Reusable buffer for the tokens consumed by one firing.
+    selected: Vec<Token>,
+    /// Recycled output vectors from processed Deliver events.
+    outs_pool: Vec<Vec<(PlaceId, Token)>>,
 }
 
 impl<'n> Engine<'n> {
@@ -139,15 +207,13 @@ impl<'n> Engine<'n> {
             busy_servers: vec![0; net.transitions().len()],
             heap: BinaryHeap::new(),
             seq: 0,
-            order: {
-                let mut order: Vec<usize> = (0..net.transitions().len()).collect();
-                order.sort_by_key(|&i| (-net.transitions()[i].priority, i));
-                order
-            },
             completions: Vec::new(),
             firings: vec![0; net.transitions().len()],
             busy: vec![0; net.transitions().len()],
             high_water: vec![0; net.places().len()],
+            dirty: DirtySet::new(net.transitions().len()),
+            selected: Vec::new(),
+            outs_pool: Vec::new(),
             net,
         }
     }
@@ -169,16 +235,193 @@ impl<'n> Engine<'n> {
         self.high_water[place.0] = self.high_water[place.0].max(q.len());
     }
 
+    /// Marks every transition consuming from `p` for re-trying (they
+    /// may see a new queue head or newly available tokens).
+    fn wake_consumers(&mut self, p: PlaceId) {
+        let net = self.net;
+        for &tj in &net.consumers[p.0] {
+            self.dirty.set(net.rank[tj]);
+        }
+    }
+
+    /// Marks every transition producing into `p` for re-trying (the
+    /// place freed capacity).
+    fn wake_producers(&mut self, p: PlaceId) {
+        let net = self.net;
+        for &tj in &net.producers[p.0] {
+            self.dirty.set(net.rank[tj]);
+        }
+    }
+
+    /// Fires until fixpoint using the selected strategy.
+    fn fire_enabled(&mut self, now: u64, incremental: bool) -> Result<(), PetriError> {
+        if incremental {
+            self.fire_enabled_incremental(now)
+        } else {
+            self.fire_enabled_scan(now)
+        }
+    }
+
+    /// Fires until fixpoint, re-trying only dirty transitions.
+    ///
+    /// Pass-structured to match the reference scan exactly: each pass
+    /// walks the dirty set in rank order; a transition dirtied at a
+    /// rank the cursor already passed waits for the next pass (where
+    /// the reference would also revisit it). A transition that is not
+    /// dirty cannot fire — nothing that enables it changed since it
+    /// last failed — so skipping it leaves the firing sequence, and
+    /// hence every event timestamp and sequence number, identical.
+    fn fire_enabled_incremental(&mut self, now: u64) -> Result<(), PetriError> {
+        loop {
+            let mut fired_any = false;
+            let mut cursor = 0usize;
+            while let Some(r) = self.dirty.next_set_at_or_after(cursor) {
+                cursor = r + 1;
+                let ti = self.net.order[r];
+                while self.try_fire_fast(ti, now)? {
+                    fired_any = true;
+                }
+                // Drained: only its own firings touched its inputs, so
+                // the final failed attempt is still current.
+                self.dirty.clear(r);
+            }
+            if !fired_any {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Attempts a single firing of `ti` at time `now`, consuming input
+    /// tokens by move when no guard needs to inspect them first. On
+    /// success, wakes the transitions the state change may enable.
+    fn try_fire_fast(&mut self, ti: usize, now: u64) -> Result<bool, PetriError> {
+        let net = self.net;
+        let t = &net.transitions()[ti];
+        if t.servers != 0 && self.busy_servers[ti] >= t.servers {
+            return Ok(false);
+        }
+        // Check token availability.
+        for &(p, w) in &t.inputs {
+            if self.marking[p.0].len() < w {
+                return Ok(false);
+            }
+        }
+        // Check output capacity (current occupancy + reservations,
+        // plus what earlier arcs of this firing reserve in the same
+        // place).
+        for (j, &(p, w)) in t.outputs.iter().enumerate() {
+            if let Some(cap) = net.places()[p.0].capacity {
+                let prior: usize = t.outputs[..j]
+                    .iter()
+                    .filter(|&&(q, _)| q == p)
+                    .map(|&(_, w2)| w2)
+                    .sum();
+                if self.marking[p.0].len() + self.reserved[p.0] + prior + w > cap {
+                    return Ok(false);
+                }
+            }
+        }
+        self.selected.clear();
+        if !t.behavior.has_guard() {
+            // Guard-free: consume by move, zero clones.
+            for &(p, w) in &t.inputs {
+                let q = &mut self.marking[p.0];
+                for _ in 0..w {
+                    self.selected.push(q.pop_front().expect("availability checked"));
+                }
+            }
+        } else if let [(p, w)] = t.inputs[..] {
+            // Guarded, single input arc: evaluate the guard on the
+            // borrowed queue head(s), then consume by move.
+            let head = &self.marking[p.0].make_contiguous()[..w];
+            if !t.behavior.guard(head)? {
+                return Ok(false);
+            }
+            let q = &mut self.marking[p.0];
+            for _ in 0..w {
+                self.selected.push(q.pop_front().expect("availability checked"));
+            }
+        } else {
+            // Guarded join: the candidate set spans queues, so clone
+            // it for the guard (rare shape; same as the reference).
+            for &(p, w) in &t.inputs {
+                for k in 0..w {
+                    self.selected.push(self.marking[p.0][k].clone());
+                }
+            }
+            if !t.behavior.guard(&self.selected)? {
+                return Ok(false);
+            }
+            for &(p, w) in &t.inputs {
+                let q = &mut self.marking[p.0];
+                for _ in 0..w {
+                    q.pop_front();
+                }
+            }
+        }
+        let firing = t.behavior.fire(&self.selected, t.outputs.len())?;
+        // Latency lineage: outputs inherit the earliest birth among the
+        // consumed tokens.
+        let born = self.selected.iter().map(|t| t.born).min().unwrap_or(now);
+        let done = now + firing.delay;
+        let mut outs = self.outs_pool.pop().unwrap_or_default();
+        for (&(p, w), payload) in t.outputs.iter().zip(firing.outputs) {
+            if let Some(cap) = net.places()[p.0].capacity {
+                debug_assert!(self.marking[p.0].len() + self.reserved[p.0] + w <= cap);
+            }
+            self.reserved[p.0] += w;
+            for _ in 1..w {
+                outs.push((
+                    p,
+                    Token {
+                        data: payload.clone(),
+                        born,
+                        arrived: done,
+                    },
+                ));
+            }
+            // The final copy per arc moves the payload.
+            outs.push((
+                p,
+                Token {
+                    data: payload,
+                    born,
+                    arrived: done,
+                },
+            ));
+        }
+        self.busy_servers[ti] += 1;
+        self.firings[ti] += 1;
+        self.busy[ti] += firing.delay;
+        self.push_event(
+            done,
+            Ev::Deliver {
+                trans: ti,
+                outputs: outs,
+            },
+        );
+        // Consumption changed the input queues' heads (guard
+        // re-selection for competing consumers) and freed capacity in
+        // bounded input places (their producers may proceed).
+        for &(p, _) in &t.inputs {
+            self.wake_consumers(p);
+            if net.places()[p.0].capacity.is_some() {
+                self.wake_producers(p);
+            }
+        }
+        Ok(true)
+    }
+
     /// Attempts to fire every enabled transition at time `now` until a
-    /// fixpoint. Returns an error if a behavior fails.
-    fn fire_enabled(&mut self, now: u64) -> Result<(), PetriError> {
+    /// fixpoint, scanning the whole net each pass (reference path).
+    fn fire_enabled_scan(&mut self, now: u64) -> Result<(), PetriError> {
         loop {
             let mut fired_any = false;
             // Deterministic order: priority descending, then
-            // declaration order (precomputed at engine construction).
-            for i in 0..self.order.len() {
-                let ti = self.order[i];
-                while self.try_fire(ti, now)? {
+            // declaration order (precomputed at net assembly).
+            for i in 0..self.net.order.len() {
+                let ti = self.net.order[i];
+                while self.try_fire_scan(ti, now)? {
                     fired_any = true;
                 }
             }
@@ -188,8 +431,9 @@ impl<'n> Engine<'n> {
         }
     }
 
-    /// Attempts a single firing of transition `ti` at time `now`.
-    fn try_fire(&mut self, ti: usize, now: u64) -> Result<bool, PetriError> {
+    /// Attempts a single firing of transition `ti` at time `now`
+    /// (reference path: speculative clones, fresh allocations).
+    fn try_fire_scan(&mut self, ti: usize, now: u64) -> Result<bool, PetriError> {
         let t = &self.net.transitions()[ti];
         if t.servers != 0 && self.busy_servers[ti] >= t.servers {
             return Ok(false);
@@ -200,10 +444,17 @@ impl<'n> Engine<'n> {
                 return Ok(false);
             }
         }
-        // Check output capacity (current occupancy + reservations).
-        for &(p, w) in &t.outputs {
+        // Check output capacity (current occupancy + reservations,
+        // plus what earlier arcs of this firing reserve in the same
+        // place).
+        for (j, &(p, w)) in t.outputs.iter().enumerate() {
             if let Some(cap) = self.net.places()[p.0].capacity {
-                if self.marking[p.0].len() + self.reserved[p.0] + w > cap {
+                let prior: usize = t.outputs[..j]
+                    .iter()
+                    .filter(|&&(q, _)| q == p)
+                    .map(|&(_, w2)| w2)
+                    .sum();
+                if self.marking[p.0].len() + self.reserved[p.0] + prior + w > cap {
                     return Ok(false);
                 }
             }
@@ -260,10 +511,35 @@ impl<'n> Engine<'n> {
     }
 
     /// Runs until quiescence and returns the result.
-    pub fn run(mut self) -> Result<SimResult, PetriError> {
+    ///
+    /// Uses the incremental worklist: after each event only the
+    /// transitions the event could have enabled are re-tried, and
+    /// guard-free firings consume tokens by move.
+    pub fn run(self) -> Result<SimResult, PetriError> {
+        self.run_impl(true)
+    }
+
+    /// Runs with the original full-net fixpoint scan: every transition
+    /// is re-tried after every event, with per-firing clones and fresh
+    /// allocations.
+    ///
+    /// Kept always-compiled as the executable specification of the
+    /// firing semantics — the differential suite asserts [`Engine::run`]
+    /// produces identical results, and the benchmarks measure the
+    /// worklist speedup against it.
+    pub fn run_reference(self) -> Result<SimResult, PetriError> {
+        self.run_impl(false)
+    }
+
+    fn run_impl(mut self, incremental: bool) -> Result<SimResult, PetriError> {
         let mut now = 0u64;
         let mut events = 0u64;
-        self.fire_enabled(now)?;
+        if incremental {
+            // Nothing has been tried yet: every transition is a
+            // candidate for the initial fixpoint.
+            self.dirty.set_all();
+        }
+        self.fire_enabled(now, incremental)?;
         while let Some(Scheduled { time, ev, .. }) = self.heap.pop() {
             events += 1;
             if events > self.opts.max_events {
@@ -276,25 +552,50 @@ impl<'n> Engine<'n> {
                         self.completions.push(token);
                     } else {
                         self.deposit(place, token);
-                    }
-                }
-                Ev::Deliver { trans, outputs } => {
-                    self.busy_servers[trans] -= 1;
-                    for (p, tok) in outputs {
-                        self.reserved[p.0] -= {
-                            // One reservation unit per emitted token.
-                            1
-                        };
-                        if self.net.places()[p.0].is_sink {
-                            self.completions.push(tok);
-                        } else {
-                            self.deposit(p, tok);
+                        if incremental {
+                            self.wake_consumers(place);
                         }
                     }
                 }
+                Ev::Deliver { trans, mut outputs } => {
+                    // The server is free again, so the transition may
+                    // immediately accept the next batch.
+                    self.busy_servers[trans] -= 1;
+                    if incremental {
+                        self.dirty.set(self.net.rank[trans]);
+                    }
+                    for (p, tok) in outputs.drain(..) {
+                        // One reservation unit per emitted token.
+                        self.reserved[p.0] -= 1;
+                        if self.net.places()[p.0].is_sink {
+                            self.completions.push(tok);
+                            // A bounded sink converts the released
+                            // reservation into free capacity.
+                            if incremental && self.net.places()[p.0].capacity.is_some() {
+                                self.wake_producers(p);
+                            }
+                        } else {
+                            // Deposit converts reservation into
+                            // occupancy (no net capacity change), but
+                            // consumers gain a token.
+                            self.deposit(p, tok);
+                            if incremental {
+                                self.wake_consumers(p);
+                            }
+                        }
+                    }
+                    self.outs_pool.push(outputs);
+                }
             }
-            self.fire_enabled(now)?;
+            self.fire_enabled(now, incremental)?;
         }
+        // Every reservation must have been released by the Deliver
+        // that created it.
+        debug_assert!(
+            self.reserved.iter().all(|&r| r == 0),
+            "reservations leaked at quiescence: {:?}",
+            self.reserved
+        );
         let stranded: Vec<(String, usize)> = self
             .net
             .places()

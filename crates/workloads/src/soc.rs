@@ -249,7 +249,7 @@ pub fn configure_soc(budget_kge: f64, mix: &SocMix) -> Result<Option<SocConfig>,
                 }
                 if best
                     .as_ref()
-                    .map_or(true, |b| cfg.score(mix) > b.score(mix))
+                    .is_none_or(|b| cfg.score(mix) > b.score(mix))
                 {
                     best = Some(cfg);
                 }

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# One-stop pre-merge gate: build, tests, lints, and bench compilation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo bench --no-run

@@ -200,7 +200,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), (5u8..8)]) {
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), 5u8..8]) {
             prop_assert!(v == 1 || v == 2 || (5..8).contains(&v));
         }
 
@@ -224,7 +224,7 @@ mod tests {
 
     #[derive(Clone, Debug)]
     enum Tree {
-        Leaf(u8),
+        Leaf(#[allow(dead_code)] u8),
         Node(Box<Tree>, Box<Tree>),
     }
 

@@ -125,12 +125,21 @@ pub struct MinerCycleSim {
     /// Hardware configuration.
     pub cfg: MinerConfig,
     ticks: u64,
+    /// Hashing cycles accumulated across jobs (`hashes x Loop`).
+    hash_cycles: u64,
+    /// Result-reporting cycles accumulated across jobs.
+    report_cycles: u64,
 }
 
 impl MinerCycleSim {
     /// Creates a simulator.
     pub fn new(cfg: MinerConfig) -> MinerCycleSim {
-        MinerCycleSim { cfg, ticks: 0 }
+        MinerCycleSim {
+            cfg,
+            ticks: 0,
+            hash_cycles: 0,
+            report_cycles: 0,
+        }
     }
 
     /// Total cycles simulated so far.
@@ -155,15 +164,44 @@ impl MinerCycleSim {
             if sha256::leading_zero_bits(&digest) >= job.difficulty_bits {
                 golden = Some(nonce);
                 cycles += self.cfg.report_cycles;
+                self.report_cycles += self.cfg.report_cycles;
                 break;
             }
         }
+        self.hash_cycles += hashes * self.cfg.loop_;
         self.ticks += cycles;
         MineOutcome {
             golden_nonce: golden,
             hashes_done: hashes,
             cycles,
         }
+    }
+
+    /// Emits accumulated cycle accounting into `sink` under component
+    /// `bitcoin`: the hasher's round units are fully busy while a job
+    /// runs (no queues, no backpressure — the one accelerator whose
+    /// interface fits in a single constant), plus the result-report
+    /// overhead as its own stage.
+    pub fn trace_stages(&self, sink: &mut dyn perf_sim::TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.stage(
+            "bitcoin",
+            "hasher",
+            perf_sim::StageCycles {
+                busy: self.hash_cycles,
+                ..perf_sim::StageCycles::default()
+            },
+        );
+        sink.stage(
+            "bitcoin",
+            "report",
+            perf_sim::StageCycles {
+                busy: self.report_cycles,
+                ..perf_sim::StageCycles::default()
+            },
+        );
     }
 }
 
@@ -250,6 +288,21 @@ mod tests {
         assert_eq!(o1.golden_nonce, o64.golden_nonce);
         assert_eq!(o1.hashes_done, o64.hashes_done);
         assert_eq!(o64.cycles, o1.cycles + o1.hashes_done * 63);
+    }
+
+    #[test]
+    fn trace_stages_account_for_all_ticks() {
+        let mut sim = MinerCycleSim::new(MinerConfig::with_loop(8).unwrap());
+        sim.mine(&MineJob::random(1, 100, 256)); // Exhausts the scan.
+        sim.mine(&MineJob::random(7, 10_000, 4)); // Finds a nonce.
+        let mut sink = perf_sim::MemorySink::new();
+        sim.trace_stages(&mut sink);
+        assert_eq!(sink.stages.len(), 2);
+        let total: u64 = sink.stages.iter().map(|s| s.cycles.busy).sum();
+        assert_eq!(total, sim.ticks_simulated());
+        assert_eq!(sink.stages[1].stage, "report");
+        assert_eq!(sink.stages[1].cycles.busy, 4);
+        sim.trace_stages(&mut perf_sim::NullSink);
     }
 
     #[test]

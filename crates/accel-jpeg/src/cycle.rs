@@ -10,7 +10,7 @@ use crate::hw::JpegHwConfig;
 use crate::workload::{Image, HEADER_BYTES};
 use perf_core::units::Cycles;
 use perf_core::{CoreError, GroundTruth, Observation};
-use perf_sim::{Pipeline, StageSpec};
+use perf_sim::{Pipeline, StageCycles, StageSpec, TraceSink};
 
 /// One block's job descriptor flowing through the pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +27,11 @@ pub struct JpegCycleSim {
     pub hw: JpegHwConfig,
     ticks: u64,
     images: u64,
+    /// Per-stage busy/stall/idle totals accumulated across decodes
+    /// (the per-decode pipeline is dropped after each image).
+    stage_totals: Vec<(String, StageCycles)>,
+    /// Header-parse prologue cycles accumulated across decodes.
+    header_cycles: u64,
 }
 
 impl JpegCycleSim {
@@ -36,6 +41,8 @@ impl JpegCycleSim {
             hw,
             ticks: 0,
             images: 0,
+            stage_totals: Vec::new(),
+            header_cycles: 0,
         }
     }
 
@@ -83,10 +90,47 @@ impl JpegCycleSim {
             .collect();
         let (pipe_cycles, out) = pipe.run_to_completion(jobs);
         debug_assert_eq!(out.len(), img.num_blocks());
-        let total = self.hw.header_cycles(HEADER_BYTES) + pipe_cycles;
+        let per_stage = pipe.stage_cycles();
+        if self.stage_totals.is_empty() {
+            self.stage_totals = per_stage;
+        } else {
+            for (acc, (_, c)) in self.stage_totals.iter_mut().zip(per_stage) {
+                acc.1.busy += c.busy;
+                acc.1.stall += c.stall;
+                acc.1.idle += c.idle;
+            }
+        }
+        let header = self.hw.header_cycles(HEADER_BYTES);
+        self.header_cycles += header;
+        let total = header + pipe_cycles;
         self.ticks += total;
         self.images += 1;
         total
+    }
+
+    /// Per-stage busy/stall/idle totals accumulated across decodes.
+    pub fn stage_totals(&self) -> &[(String, StageCycles)] {
+        &self.stage_totals
+    }
+
+    /// Emits accumulated per-stage cycle accounting into `sink` under
+    /// component `jpeg`, including the header-parse prologue as its own
+    /// (always-busy) stage.
+    pub fn trace_stages(&self, sink: &mut dyn TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.stage(
+            "jpeg",
+            "header",
+            StageCycles {
+                busy: self.header_cycles,
+                ..StageCycles::default()
+            },
+        );
+        for (name, c) in &self.stage_totals {
+            sink.stage("jpeg", name, *c);
+        }
     }
 }
 
@@ -172,6 +216,31 @@ mod tests {
         let a = sim().decode(&img);
         let b = sim().decode(&img);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stage_accounting_accumulates_across_decodes() {
+        let mut g = ImageGen::new(9);
+        let img = g.gen_sized(64, 64, 60);
+        let mut s = sim();
+        s.decode(&img);
+        let after_one: Vec<_> = s.stage_totals().to_vec();
+        assert_eq!(after_one.len(), 4);
+        assert!(after_one.iter().all(|(_, c)| c.busy > 0));
+        s.decode(&img);
+        for ((_, one), (_, two)) in after_one.iter().zip(s.stage_totals()) {
+            assert_eq!(two.busy, 2 * one.busy);
+            assert_eq!(two.stall, 2 * one.stall);
+            assert_eq!(two.idle, 2 * one.idle);
+        }
+        let mut sink = perf_sim::MemorySink::new();
+        s.trace_stages(&mut sink);
+        // Four pipeline stages plus the header prologue.
+        assert_eq!(sink.stages.len(), 5);
+        assert_eq!(sink.stages[0].stage, "header");
+        assert!(sink.stages[0].cycles.busy > 0);
+        // A NullSink costs nothing and records nothing.
+        s.trace_stages(&mut perf_sim::NullSink);
     }
 
     #[test]

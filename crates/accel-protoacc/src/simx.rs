@@ -20,7 +20,7 @@ use crate::descriptor::{FieldValue, Message};
 use crate::wire;
 use perf_core::units::{Cycles, Throughput};
 use perf_core::{CoreError, GroundTruth, Observation};
-use perf_sim::{DramModel, Tlb};
+use perf_sim::{DramModel, StageCycles, Tlb, TraceSink};
 
 /// Hardware configuration of the serializer.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -112,6 +112,8 @@ pub struct ProtoaccSim {
     /// Sequential allocator for data/descriptor/write regions.
     seq_slot: u64,
     ticks: u64,
+    /// Reader/writer busy/stall/idle totals accumulated across streams.
+    stage_totals: [StageCycles; 2],
 }
 
 impl Default for ProtoaccSim {
@@ -131,6 +133,7 @@ impl ProtoaccSim {
             scatter_state: 1,
             seq_slot: 1,
             ticks: 0,
+            stage_totals: [StageCycles::default(); 2],
         }
     }
 
@@ -258,6 +261,10 @@ impl ProtoaccSim {
         // the reader may run at most `chunk_queue_cap` chunks ahead of
         // the writer.
         let mut inflight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        // Writer cycle accounting: issue work vs waiting (on chunk
+        // availability or store-buffer backpressure).
+        let mut writer_busy = 0u64;
+        let mut writer_wait = 0u64;
         for msg in msgs {
             let mut chunk_times = Vec::new();
             let mut pending = 0usize;
@@ -271,6 +278,7 @@ impl ProtoaccSim {
             // limited by its issue rate and the DRAM channel's
             // occupancy, not by store completion latency.
             writer_t += self.cfg.write_setup;
+            writer_busy += self.cfg.write_setup;
             let mut last_store_done = writer_t;
             if chunk_times.is_empty() {
                 // Tiny message with no full chunk: one flush write.
@@ -284,11 +292,16 @@ impl ProtoaccSim {
                 while inflight.len() >= self.cfg.chunk_queue_cap {
                     let freed = inflight.pop_front().expect("non-empty");
                     if freed > writer_t {
+                        writer_wait += freed - writer_t;
                         writer_t = freed;
                     }
                 }
+                if avail > writer_t {
+                    writer_wait += avail - writer_t;
+                }
                 let start = writer_t.max(avail) + self.cfg.write_per_chunk;
                 let done = self.store_chunk(start);
+                writer_busy += self.cfg.write_per_chunk;
                 writer_t = start;
                 last_store_done = last_store_done.max(done);
                 inflight.push_back(done);
@@ -302,7 +315,34 @@ impl ProtoaccSim {
         }
         res.total_cycles = stream_last_done.max(reader_t);
         self.ticks += res.total_cycles;
+        // The reader is never throttled in this model: it is busy from
+        // stream start until its clock stops, then idle while the
+        // writer drains. The writer splits its time into issue work,
+        // waiting (chunks or store buffer) and tail idle.
+        self.stage_totals[0].busy += reader_t;
+        self.stage_totals[0].idle += res.total_cycles - reader_t;
+        self.stage_totals[1].busy += writer_busy;
+        self.stage_totals[1].stall += writer_wait;
+        self.stage_totals[1].idle += res
+            .total_cycles
+            .saturating_sub(writer_busy + writer_wait);
         res
+    }
+
+    /// Reader/writer busy/stall/idle totals accumulated across streams.
+    pub fn stage_totals(&self) -> &[StageCycles; 2] {
+        &self.stage_totals
+    }
+
+    /// Emits accumulated reader/writer cycle accounting into `sink`
+    /// under component `protoacc`.
+    pub fn trace_stages(&self, sink: &mut dyn TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (name, c) in ["reader", "writer"].iter().zip(&self.stage_totals) {
+            sink.stage("protoacc", name, *c);
+        }
     }
 
     /// Resets memory-system state (new measurement window).
@@ -416,6 +456,28 @@ mod tests {
         assert!(res.chunks >= 1000, "chunks = {}", res.chunks);
         // Write side must dominate: cycles >= chunks * (1 + mem ~ bw).
         assert!(res.total_cycles >= res.chunks * 2);
+    }
+
+    #[test]
+    fn stage_accounting_covers_the_stream() {
+        let mut sim = ProtoaccSim::default();
+        let w = ProtoWorkload::of_format(&flat(16), 20, 7);
+        let res = sim.serialize_stream(&w.messages);
+        let [reader, writer] = *sim.stage_totals();
+        // Both engines' accounted time spans exactly the stream.
+        assert_eq!(reader.total(), res.total_cycles);
+        assert_eq!(writer.total(), res.total_cycles);
+        assert!(reader.busy > 0);
+        assert!(writer.busy > 0);
+        // Fixed-width fields make the reader the bottleneck: the writer
+        // spends most of its time waiting for chunks.
+        assert!(writer.stall > writer.busy, "writer {writer:?}");
+        let mut sink = perf_sim::MemorySink::new();
+        sim.trace_stages(&mut sink);
+        assert_eq!(sink.stages.len(), 2);
+        assert_eq!(sink.stages[0].stage, "reader");
+        assert_eq!(sink.stages[1].cycles, writer);
+        sim.trace_stages(&mut perf_sim::NullSink);
     }
 
     #[test]

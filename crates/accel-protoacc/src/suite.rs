@@ -188,7 +188,7 @@ mod tests {
     fn suite_spans_depth_and_size() {
         let f = formats();
         let depths: Vec<usize> = f.iter().map(MessageDesc::depth).collect();
-        assert!(depths.iter().any(|&d| d == 1));
+        assert!(depths.contains(&1));
         assert!(depths.iter().any(|&d| d >= 7));
         let sizes: Vec<usize> = f
             .iter()

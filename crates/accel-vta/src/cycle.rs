@@ -11,7 +11,7 @@
 use crate::isa::{Insn, Module, Opcode, Program};
 use perf_core::units::{Cycles, Throughput};
 use perf_core::{CoreError, GroundTruth, Observation};
-use perf_sim::DramModel;
+use perf_sim::{DramModel, StageCycles, TraceSink};
 use std::collections::VecDeque;
 
 /// Hardware configuration.
@@ -60,6 +60,9 @@ struct ModuleState {
     pending: Option<Insn>,
     retired: u64,
     busy_cycles: u64,
+    /// Cycles spent with finished work blocked on a full dependency
+    /// queue (counted per tick in the retire phase).
+    stall_cycles: u64,
 }
 
 impl ModuleState {
@@ -70,6 +73,7 @@ impl ModuleState {
             pending: None,
             retired: 0,
             busy_cycles: 0,
+            stall_cycles: 0,
         }
     }
 }
@@ -83,6 +87,9 @@ pub struct RunStats {
     pub insns: u64,
     /// Per-module busy cycles (load, compute, store).
     pub busy: [u64; 3],
+    /// Per-module stall cycles: finished work blocked on a full
+    /// dependency queue (load, compute, store).
+    pub stall: [u64; 3],
 }
 
 /// Simulation fidelity.
@@ -109,6 +116,9 @@ pub struct VtaCycleSim {
     pub fidelity: Fidelity,
     dram: DramModel,
     ticks: u64,
+    /// Per-module busy/stall/idle totals accumulated across runs
+    /// (load, compute, store).
+    module_totals: [StageCycles; 3],
     /// Modeled datapath registers (MAC array, DMA shifters, control).
     datapath: [u64; 1024],
 }
@@ -127,6 +137,7 @@ impl VtaCycleSim {
             fidelity: Fidelity::Rtl,
             dram: DramModel::new(110, 42, 64, 4096, 16).with_banks(4),
             ticks: 0,
+            module_totals: [StageCycles::default(); 3],
             datapath: [0x9e3779b97f4a7c15; 1024],
         }
     }
@@ -269,6 +280,7 @@ impl VtaCycleSim {
                         } else {
                             // Stalled on a full dependency queue.
                             m.pending = Some(insn);
+                            m.stall_cycles += 1;
                         }
                     }
                 }
@@ -317,14 +329,42 @@ impl VtaCycleSim {
             }
         }
         self.ticks += now;
+        let cycles = now - 1;
+        for (total, m) in self.module_totals.iter_mut().zip(&mods) {
+            total.busy += m.busy_cycles;
+            total.stall += m.stall_cycles;
+            total.idle += cycles.saturating_sub(m.busy_cycles + m.stall_cycles);
+        }
         RunStats {
-            cycles: now - 1,
+            cycles,
             insns: mods.iter().map(|m| m.retired).sum(),
             busy: [
                 mods[0].busy_cycles,
                 mods[1].busy_cycles,
                 mods[2].busy_cycles,
             ],
+            stall: [
+                mods[0].stall_cycles,
+                mods[1].stall_cycles,
+                mods[2].stall_cycles,
+            ],
+        }
+    }
+
+    /// Per-module busy/stall/idle totals accumulated across runs
+    /// (load, compute, store).
+    pub fn module_totals(&self) -> &[StageCycles; 3] {
+        &self.module_totals
+    }
+
+    /// Emits accumulated per-module cycle accounting into `sink` under
+    /// component `vta`.
+    pub fn trace_stages(&self, sink: &mut dyn TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (name, c) in ["load", "compute", "store"].iter().zip(&self.module_totals) {
+            sink.stage("vta", name, *c);
         }
     }
 
@@ -519,6 +559,53 @@ mod tests {
         };
         assert!(sim.measure(&unbalanced).is_err());
         assert!(sim.measure(&Program::default()).is_err());
+    }
+
+    #[test]
+    fn dep_queue_backpressure_counted_as_stall() {
+        // Fast loads feeding a slow compute through the cap-4 L2C
+        // queue: once it fills, finished loads cannot retire and the
+        // load module stalls.
+        let mut sim = VtaCycleSim::new_timing_only(VtaHwConfig::default());
+        let mut insns = Vec::new();
+        for _ in 0..8 {
+            insns.push(load(
+                MemBuffer::Inp,
+                4,
+                DepFlags {
+                    push_next: true,
+                    ..DepFlags::NONE
+                },
+            ));
+        }
+        for _ in 0..8 {
+            insns.push(gemm(
+                2000,
+                DepFlags {
+                    pop_prev: true,
+                    ..DepFlags::NONE
+                },
+            ));
+        }
+        insns.push(Insn::plain(Opcode::Finish));
+        let stats = sim.run(&Program { insns });
+        assert!(
+            stats.stall[0] > 0,
+            "load should stall on the full L2C queue: {:?}",
+            stats.stall
+        );
+        let totals = sim.module_totals();
+        for (i, c) in totals.iter().enumerate() {
+            assert_eq!(c.busy, stats.busy[i], "module {i}");
+            assert_eq!(c.stall, stats.stall[i], "module {i}");
+            assert_eq!(c.total(), stats.cycles, "module {i}");
+        }
+        let mut sink = perf_sim::MemorySink::new();
+        sim.trace_stages(&mut sink);
+        assert_eq!(sink.stages.len(), 3);
+        assert_eq!(sink.stages[1].component, "vta");
+        assert_eq!(sink.stages[1].stage, "compute");
+        sim.trace_stages(&mut perf_sim::NullSink);
     }
 
     #[test]

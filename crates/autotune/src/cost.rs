@@ -10,6 +10,7 @@ use accel_vta::interface::petri::VtaPetriInterface;
 use accel_vta::interface::program::VtaProgramInterface;
 use accel_vta::isa::Program;
 use perf_core::iface::{Metric, PerfInterface};
+use perf_core::trace::TraceSink;
 use perf_core::{CoreError, GroundTruth};
 use std::time::{Duration, Instant};
 
@@ -247,6 +248,74 @@ impl<B: CostBackend> CostBackend for CachedCost<B> {
     }
 }
 
+/// A tracing decorator over any backend: each `cost` query is logged
+/// as a span — backend name, cache hit/miss and wall nanoseconds — so
+/// a search's per-candidate evaluation profile lands in the same sink
+/// as the simulators' per-stage cycle accounting.
+///
+/// Hit/miss is detected generically from the inner backend's
+/// [`CostBackend::evaluations`] delta: [`CachedCost`] advances it only
+/// on real inner work, so an unchanged count means the query was
+/// answered from cache. Over an uncached backend every query is a
+/// miss. With a [`perf_core::NullSink`] the whole span construction is
+/// skipped (`is_enabled` gate), so tracing costs nothing when off.
+pub struct TracedCost<B, S> {
+    inner: B,
+    sink: S,
+}
+
+impl<B: CostBackend, S: TraceSink> TracedCost<B, S> {
+    /// Wraps `inner`, logging every query into `sink`.
+    pub fn new(inner: B, sink: S) -> TracedCost<B, S> {
+        TracedCost { inner, sink }
+    }
+
+    /// The sink collected so far.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Unwraps into the inner backend and the sink.
+    pub fn into_parts(self) -> (B, S) {
+        (self.inner, self.sink)
+    }
+}
+
+impl<B: CostBackend, S: TraceSink> CostBackend for TracedCost<B, S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn cost(&mut self, prog: &Program) -> Result<f64, CoreError> {
+        let before = self.inner.evaluations();
+        let t0 = Instant::now();
+        let c = self.inner.cost(prog)?;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        if self.sink.is_enabled() {
+            let verdict = if self.inner.evaluations() == before {
+                "hit"
+            } else {
+                "miss"
+            };
+            self.sink.span(
+                "autotune",
+                self.inner.name(),
+                &format!("cache={verdict} cost={c}"),
+                nanos,
+            );
+        }
+        Ok(c)
+    }
+
+    fn time_spent(&self) -> Duration {
+        self.inner.time_spent()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +405,40 @@ mod tests {
                 cached.cost(&p).unwrap().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn traced_cost_spans_record_cache_hits_and_misses() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
+        let b = Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w);
+        let cached = CachedCost::new(PetriCost::new().unwrap());
+        let mut traced = TracedCost::new(cached, perf_core::MemorySink::new());
+        traced.cost(&a).unwrap();
+        traced.cost(&a).unwrap();
+        traced.cost(&b).unwrap();
+        let spans = &traced.sink().spans;
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.component == "autotune"));
+        assert!(spans.iter().all(|s| s.label == "petri-net"));
+        assert!(spans[0].detail.contains("cache=miss"));
+        assert!(spans[1].detail.contains("cache=hit"));
+        assert!(spans[2].detail.contains("cache=miss"));
+        let (cached, sink) = traced.into_parts();
+        assert_eq!(cached.misses(), 2);
+        assert_eq!(sink.spans.len(), 3);
+    }
+
+    #[test]
+    fn traced_cost_over_null_sink_is_transparent() {
+        let w = GemmWorkload::new(128, 128, 128);
+        let p = Schedule { tm: 2, tn: 2, tk: 2 }.lower(&w);
+        let mut plain = PetriCost::new().unwrap();
+        let expect = plain.cost(&p).unwrap();
+        let mut traced = TracedCost::new(PetriCost::new().unwrap(), perf_core::NullSink);
+        assert_eq!(traced.cost(&p).unwrap().to_bits(), expect.to_bits());
+        assert_eq!(traced.name(), "petri-net");
+        assert_eq!(traced.evaluations(), 1);
     }
 
     #[test]

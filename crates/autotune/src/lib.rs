@@ -22,7 +22,7 @@ pub mod schedule;
 pub mod search;
 pub mod workload;
 
-pub use cost::{CachedCost, CostBackend, CycleCost, PetriCost, ProgramCost};
+pub use cost::{CachedCost, CostBackend, CycleCost, PetriCost, ProgramCost, TracedCost};
 pub use schedule::Schedule;
 pub use search::{SearchResult, Tuner};
 pub use workload::GemmWorkload;

@@ -383,7 +383,7 @@ mod tests {
     ) -> Vec<(Schedule, f64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut history = Vec::new();
-        let mut eval = |backend: &mut dyn CostBackend,
+        let eval = |backend: &mut dyn CostBackend,
                         s: Schedule,
                         history: &mut Vec<(Schedule, f64)>| {
             let c = backend.cost(&s.lower(w)).unwrap();

@@ -39,7 +39,7 @@ fn bench_pil_interpreter(c: &mut Criterion) {
     ]);
     c.bench_function("pil_jpeg_latency_call", |b| {
         b.iter(|| {
-            prog.call("latency_jpeg_decode", &[img.clone()])
+            prog.call("latency_jpeg_decode", std::slice::from_ref(&img))
                 .expect("evals")
         })
     });

@@ -7,13 +7,18 @@
 //! repro --markdown OUT  # also write a measured-values report
 //! repro --bench-engine BENCH_engine.json
 //!                       # only the engine throughput benchmark
+//! repro --trace TRACE.json
+//!                       # traced run of every substrate: writes the
+//!                       # combined JSON report, prints folded stacks
 //! ```
 
 use perf_bench::experiments::{self, ExperimentOutput};
 use std::io::Write;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH]");
+    eprintln!(
+        "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] [--trace PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -41,6 +46,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut markdown: Option<String> = None;
     let mut engine_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,12 +54,21 @@ fn main() {
             "--exp" => only = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
             "--markdown" => markdown = Some(args.next().unwrap_or_else(|| usage())),
             "--bench-engine" => engine_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
 
     if let Some(path) = engine_out {
         bench_engine(&path, quick);
+        return;
+    }
+
+    if let Some(path) = trace_out {
+        let demo = perf_bench::tracedemo::run_trace_demo(quick);
+        std::fs::write(&path, &demo.json).expect("write trace report");
+        print!("{}", demo.folded);
+        eprintln!("wrote {path}");
         return;
     }
 

@@ -8,5 +8,6 @@
 
 pub mod enginebench;
 pub mod experiments;
+pub mod tracedemo;
 
 pub use experiments::{run_all, ExperimentOutput};

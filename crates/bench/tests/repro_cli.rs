@@ -1,0 +1,56 @@
+//! Argument-parsing behaviour of the `repro` binary: bad invocations
+//! must exit with a usage message (status 2), never a panic.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_2() {
+    let out = repro(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr was: {err}");
+    assert!(!err.contains("panicked"), "stderr was: {err}");
+}
+
+#[test]
+fn flags_with_missing_operands_exit_2() {
+    for flag in ["--exp", "--markdown", "--bench-engine", "--trace"] {
+        let out = repro(&[flag]);
+        assert_eq!(out.status.code(), Some(2), "flag {flag}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "flag {flag}: stderr was {err}");
+        assert!(!err.contains("panicked"), "flag {flag}: stderr was {err}");
+    }
+}
+
+#[test]
+fn unknown_experiment_name_is_an_error_not_a_panic() {
+    let out = repro(&["--exp", "e99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "stderr was: {err}");
+    assert!(!err.contains("panicked"), "stderr was: {err}");
+}
+
+#[test]
+fn trace_flag_writes_report_and_prints_folded_stacks() {
+    let dir = std::env::temp_dir().join("repro-cli-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.json");
+    let out = repro(&["--quick", "--trace", path.to_str().unwrap()]);
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let json = std::fs::read_to_string(&path).expect("trace report written");
+    assert!(json.contains("\"critical_path_total\""));
+    assert!(json.contains("\"components\""));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("refpipe;"), "stdout was: {stdout}");
+    assert!(stdout.contains("autotune;"), "stdout was: {stdout}");
+    std::fs::remove_file(&path).ok();
+}

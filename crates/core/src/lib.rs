@@ -6,8 +6,9 @@
 //! interfaces ([`iface`]), machine-checkable natural-language claims
 //! ([`nl`]), the validation harness that scores an interface against a
 //! ground truth ([`validate`]), the interface-complexity metric
-//! ([`complexity`]), small statistics helpers ([`stats`]) and plain-text
-//! report rendering ([`report`]).
+//! ([`complexity`]), small statistics helpers ([`stats`]), plain-text
+//! report rendering ([`report`]) and the [`trace`] observability
+//! interface every execution substrate emits into.
 //!
 //! The design follows the HotOS '23 paper "The Case for Performance
 //! Interfaces for Hardware Accelerators": an accelerator ships with an
@@ -22,11 +23,13 @@ pub mod nl;
 pub mod predict;
 pub mod report;
 pub mod stats;
+pub mod trace;
 pub mod units;
 pub mod validate;
 
 pub use error::CoreError;
 pub use iface::{GroundTruth, InterfaceBundle, InterfaceKind, PerfInterface};
 pub use predict::{Observation, Prediction};
+pub use trace::{MemorySink, NullSink, StageCycles, TraceSink};
 pub use units::{Cycles, Freq, Throughput};
 pub use validate::{ErrorStats, ValidationReport};

@@ -10,12 +10,22 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Maximum; returns 0 for an empty slice, ignores NaNs.
+/// Maximum; ignores NaNs, returns 0 only when no non-NaN value exists.
+///
+/// Folding from `-inf` (not `0.0`) matters for error samples that are
+/// all negative: a signed-error series of `[-3, -1]` has max `-1`, not
+/// a phantom `0`.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter()
+    let m = xs
+        .iter()
         .copied()
         .filter(|x| !x.is_nan())
-        .fold(0.0, f64::max)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        0.0
+    } else {
+        m
+    }
 }
 
 /// Population standard deviation; returns 0 for fewer than two samples.
@@ -28,14 +38,18 @@ pub fn stddev(xs: &[f64]) -> f64 {
     var.sqrt()
 }
 
-/// The `p`-th percentile (0–100) by linear interpolation; returns 0 for
-/// an empty slice.
+/// The `p`-th percentile (0–100) by linear interpolation; ignores NaNs
+/// and returns 0 for empty (or all-NaN) input.
+///
+/// NaNs must be filtered before sorting: `partial_cmp` reports them as
+/// `Equal` to everything, so they land at arbitrary sort positions and
+/// corrupt every quantile above them.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -154,6 +168,29 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(max(&[]), 0.0);
         assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn max_of_all_negative_sample_is_negative() {
+        // Regression: folding from 0.0 reported max 0 for all-negative
+        // error samples.
+        assert_eq!(max(&[-3.0, -1.5, -2.0]), -1.5);
+        assert_eq!(max(&[-3.0, f64::NAN, -2.0]), -2.0);
+        assert_eq!(max(&[f64::NAN]), 0.0);
+        assert_eq!(max(&[f64::NAN, f64::NAN]), 0.0);
+        assert_eq!(max(&[-1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn percentile_ignores_nans() {
+        // Regression: NaNs sorted to arbitrary positions and corrupted
+        // upper quantiles (ErrorStats::p99).
+        let xs = [10.0, f64::NAN, 20.0, 30.0, f64::NAN, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert!(!percentile(&xs, 99.0).is_nan());
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 99.0), 0.0);
     }
 
     #[test]

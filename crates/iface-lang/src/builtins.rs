@@ -180,7 +180,9 @@ mod tests {
     fn len_and_sum() {
         let l = Value::list(vec![Value::num(1.0), Value::num(2.0), Value::num(4.0)]);
         assert_eq!(
-            call("len", &[l.clone()], Span::default()).unwrap().as_num(),
+            call("len", std::slice::from_ref(&l), Span::default())
+                .unwrap()
+                .as_num(),
             Some(3.0)
         );
         assert_eq!(

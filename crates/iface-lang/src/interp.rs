@@ -518,7 +518,7 @@ mod tests {
     fn index_and_bounds() {
         let src = "fn f(xs) { return xs[1]; }";
         let xs = Value::list(vec![Value::num(10.0), Value::num(20.0)]);
-        assert_eq!(run_num(src, "f", &[xs.clone()]), 20.0);
+        assert_eq!(run_num(src, "f", std::slice::from_ref(&xs)), 20.0);
         let bad = "fn f(xs) { return xs[5]; }";
         assert!(run(bad, "f", &[xs]).is_err());
     }
@@ -593,7 +593,7 @@ mod tests {
             ("orig_size", Value::num(64000.0)),
             ("compress_rate", Value::num(10.0)),
         ]);
-        let lat = run_num(src, "latency_jpeg_decode", &[img.clone()]);
+        let lat = run_num(src, "latency_jpeg_decode", std::slice::from_ref(&img));
         assert_eq!(
             lat,
             (1000.0f64 * 136.5).max(1000.0 / 64.0 * ((5.0 / 10.0) * 3.0 + 6.0) * 1.5)

@@ -311,7 +311,7 @@ mod tests {
         let e = ExprBehavior::compile("", "6 + ceil(t.bits / 32)", None, &[None]).unwrap();
         let b = Behavior::Expr(e);
         let t = Token::at(Value::record([("bits", Value::num(100.0))]), 0);
-        let f = b.fire(&[t.clone()], 1).unwrap();
+        let f = b.fire(std::slice::from_ref(&t), 1).unwrap();
         assert_eq!(f.delay, 6 + 4);
         assert_eq!(f.outputs[0], t.data);
     }

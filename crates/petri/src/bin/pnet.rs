@@ -1,19 +1,62 @@
 //! `pnet` — command-line tooling for Petri-net performance IRs.
 //!
 //! ```text
-//! pnet check FILE                       # parse + structural report
-//! pnet dot FILE                         # Graphviz to stdout
-//! pnet run FILE PLACE N [field=VAL...]  # inject N tokens, simulate
+//! pnet check FILE                                 # parse + structural report
+//! pnet dot FILE                                   # Graphviz to stdout
+//! pnet run FILE PLACE N [field=VAL...]            # inject N tokens, simulate
+//! pnet trace FILE PLACE N [--folded] [field=VAL...]
+//!                                                 # traced run: JSON report
+//!                                                 # (or folded stacks) with
+//!                                                 # critical-path attribution
 //! ```
 
 use perf_iface_lang::Value;
 use perf_petri::engine::{Engine, Options};
 use perf_petri::token::Token;
+use perf_petri::trace::{critical_path, trace_report_json, DEFAULT_TRACE_CAPACITY};
 use perf_petri::{analysis, dot, text};
 
 fn usage() -> ! {
-    eprintln!("usage: pnet check FILE | pnet dot FILE | pnet run FILE PLACE N [field=VAL...]");
+    eprintln!(
+        "usage: pnet check FILE | pnet dot FILE | pnet run FILE PLACE N [field=VAL...] \
+         | pnet trace FILE PLACE N [--folded] [field=VAL...]"
+    );
     std::process::exit(2);
+}
+
+/// Parses the shared `FILE PLACE N [field=VAL...]` operands of `run`
+/// and `trace` and returns the loaded net, injection place, token
+/// count and payload fields.
+fn parse_run_args(
+    args: &[String],
+) -> (
+    perf_petri::net::Net,
+    perf_petri::net::PlaceId,
+    usize,
+    Vec<(String, Value)>,
+) {
+    let net = load(&args[0]);
+    let place = net.place_id(&args[1]).unwrap_or_else(|| {
+        eprintln!("pnet: no place `{}`", args[1]);
+        std::process::exit(1);
+    });
+    let n: usize = args[2].parse().unwrap_or_else(|_| {
+        eprintln!("pnet: bad count `{}`", args[2]);
+        std::process::exit(2);
+    });
+    let mut fields = Vec::new();
+    for pair in &args[3..] {
+        let Some((k, v)) = pair.split_once('=') else {
+            eprintln!("pnet: expected field=VALUE, got `{pair}`");
+            std::process::exit(2);
+        };
+        let Ok(num) = v.parse::<f64>() else {
+            eprintln!("pnet: non-numeric value in `{pair}`");
+            std::process::exit(2);
+        };
+        fields.push((k.to_string(), Value::num(num)));
+    }
+    (net, place, n, fields)
 }
 
 fn load(path: &str) -> perf_petri::net::Net {
@@ -57,27 +100,7 @@ fn main() {
             print!("{}", dot::to_dot(&load(&args[1])));
         }
         Some("run") if args.len() >= 4 => {
-            let net = load(&args[1]);
-            let place = net.place_id(&args[2]).unwrap_or_else(|| {
-                eprintln!("pnet: no place `{}`", args[2]);
-                std::process::exit(1);
-            });
-            let n: usize = args[3].parse().unwrap_or_else(|_| {
-                eprintln!("pnet: bad count `{}`", args[3]);
-                std::process::exit(2);
-            });
-            let mut fields = Vec::new();
-            for pair in &args[4..] {
-                let Some((k, v)) = pair.split_once('=') else {
-                    eprintln!("pnet: expected field=VALUE, got `{pair}`");
-                    std::process::exit(2);
-                };
-                let Ok(num) = v.parse::<f64>() else {
-                    eprintln!("pnet: non-numeric value in `{pair}`");
-                    std::process::exit(2);
-                };
-                fields.push((k.to_string(), Value::num(num)));
-            }
+            let (net, place, n, fields) = parse_run_args(&args[1..]);
             let mut eng = Engine::new(&net, Options::default());
             for _ in 0..n {
                 eng.inject(place, Token::at(Value::record_owned(fields.clone()), 0));
@@ -105,6 +128,37 @@ fn main() {
             }
             if !res.stranded.is_empty() {
                 println!("stranded:    {:?}", res.stranded);
+            }
+        }
+        Some("trace") if args.len() >= 4 => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let folded = rest.iter().any(|a| a == "--folded");
+            rest.retain(|a| a != "--folded");
+            if rest.len() < 3 {
+                usage();
+            }
+            let (net, place, n, fields) = parse_run_args(&rest);
+            let mut eng = Engine::new(
+                &net,
+                Options {
+                    trace: Some(DEFAULT_TRACE_CAPACITY),
+                    ..Options::default()
+                },
+            );
+            for _ in 0..n {
+                eng.inject(place, Token::at(Value::record_owned(fields.clone()), 0));
+            }
+            let res = eng.run().unwrap_or_else(|e| {
+                eprintln!("pnet: simulation failed: {e}");
+                std::process::exit(1);
+            });
+            let path = critical_path(&res);
+            if folded {
+                if let Some(p) = &path {
+                    print!("{}", p.to_folded(&net));
+                }
+            } else {
+                print!("{}", trace_report_json(&net, &res, path.as_ref()));
             }
         }
         _ => usage(),

@@ -19,6 +19,7 @@
 
 use crate::net::{Net, PlaceId};
 use crate::token::Token;
+use crate::trace::{EngineTrace, TokenSrc};
 use crate::PetriError;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -29,6 +30,12 @@ pub struct Options {
     pub max_events: u64,
     /// Treat stranded tokens at quiescence as an error.
     pub fail_on_deadlock: bool,
+    /// Record a firing trace with token provenance, retaining at most
+    /// this many records ([`crate::trace::DEFAULT_TRACE_CAPACITY`] is a
+    /// reasonable choice). `None` (the default) disables tracing and
+    /// keeps the hot path free of per-firing bookkeeping beyond one
+    /// branch.
+    pub trace: Option<usize>,
 }
 
 impl Default for Options {
@@ -36,6 +43,7 @@ impl Default for Options {
         Options {
             max_events: 200_000_000,
             fail_on_deadlock: false,
+            trace: None,
         }
     }
 }
@@ -57,6 +65,15 @@ pub struct SimResult {
     pub high_water: Vec<usize>,
     /// Tokens stranded in non-sink places at quiescence.
     pub stranded: Vec<(String, usize)>,
+    /// Enablement attempts: how often a transition was re-checked for
+    /// firing. The incremental worklist's whole point is to keep this
+    /// number low; the reference scan's is much higher for the same
+    /// net, so differential tests must not compare it.
+    pub enablement_checks: u64,
+    /// Firing trace with token provenance; `Some` iff
+    /// [`Options::trace`] was set. Feed to
+    /// [`crate::trace::critical_path`].
+    pub trace: Option<EngineTrace>,
 }
 
 impl SimResult {
@@ -119,6 +136,9 @@ enum Ev {
     Deliver {
         trans: usize,
         outputs: Vec<(PlaceId, Token)>,
+        /// Firing sequence number in the trace; 0 when untraced (never
+        /// read in that case).
+        fseq: u64,
     },
 }
 
@@ -195,6 +215,14 @@ pub struct Engine<'n> {
     selected: Vec<Token>,
     /// Recycled output vectors from processed Deliver events.
     outs_pool: Vec<Vec<(PlaceId, Token)>>,
+    /// Enablement attempts (see [`SimResult::enablement_checks`]).
+    enablement_checks: u64,
+    /// Firing trace; `Some` iff [`Options::trace`] was set.
+    trace: Option<EngineTrace>,
+    /// Token provenance queues mirroring `marking` exactly: one
+    /// [`TokenSrc`] per queued token, pushed and popped in lockstep.
+    /// Only populated while tracing.
+    prov: Vec<VecDeque<TokenSrc>>,
 }
 
 impl<'n> Engine<'n> {
@@ -214,6 +242,9 @@ impl<'n> Engine<'n> {
             dirty: DirtySet::new(net.transitions().len()),
             selected: Vec::new(),
             outs_pool: Vec::new(),
+            enablement_checks: 0,
+            trace: opts.trace.map(EngineTrace::new),
+            prov: net.places().iter().map(|_| VecDeque::new()).collect(),
             net,
         }
     }
@@ -297,6 +328,7 @@ impl<'n> Engine<'n> {
     fn try_fire_fast(&mut self, ti: usize, now: u64) -> Result<bool, PetriError> {
         let net = self.net;
         let t = &net.transitions()[ti];
+        self.enablement_checks += 1;
         if t.servers != 0 && self.busy_servers[ti] >= t.servers {
             return Ok(false);
         }
@@ -359,6 +391,20 @@ impl<'n> Engine<'n> {
                 }
             }
         }
+        // Provenance pops mirror the consumption above exactly (same
+        // arcs, same counts, same FIFO heads).
+        let parents = if self.trace.is_some() {
+            let mut ps = Vec::with_capacity(self.selected.len());
+            for &(p, w) in &t.inputs {
+                let q = &mut self.prov[p.0];
+                for _ in 0..w {
+                    ps.push(q.pop_front().expect("provenance mirrors marking"));
+                }
+            }
+            ps
+        } else {
+            Vec::new()
+        };
         let firing = t.behavior.fire(&self.selected, t.outputs.len())?;
         // Latency lineage: outputs inherit the earliest birth among the
         // consumed tokens.
@@ -393,11 +439,13 @@ impl<'n> Engine<'n> {
         self.busy_servers[ti] += 1;
         self.firings[ti] += 1;
         self.busy[ti] += firing.delay;
+        let fseq = self.record_firing(now, ti, firing.delay, parents);
         self.push_event(
             done,
             Ev::Deliver {
                 trans: ti,
                 outputs: outs,
+                fseq,
             },
         );
         // Consumption changed the input queues' heads (guard
@@ -435,6 +483,7 @@ impl<'n> Engine<'n> {
     /// (reference path: speculative clones, fresh allocations).
     fn try_fire_scan(&mut self, ti: usize, now: u64) -> Result<bool, PetriError> {
         let t = &self.net.transitions()[ti];
+        self.enablement_checks += 1;
         if t.servers != 0 && self.busy_servers[ti] >= t.servers {
             return Ok(false);
         }
@@ -475,6 +524,19 @@ impl<'n> Engine<'n> {
                 self.marking[p.0].pop_front();
             }
         }
+        // Provenance pops mirror the consumption above exactly.
+        let parents = if self.trace.is_some() {
+            let mut ps = Vec::with_capacity(selected.len());
+            for &(p, w) in &t.inputs {
+                let q = &mut self.prov[p.0];
+                for _ in 0..w {
+                    ps.push(q.pop_front().expect("provenance mirrors marking"));
+                }
+            }
+            ps
+        } else {
+            Vec::new()
+        };
         let firing = t.behavior.fire(&selected, t.outputs.len())?;
         // Latency lineage: outputs inherit the earliest birth among the
         // consumed tokens.
@@ -500,14 +562,30 @@ impl<'n> Engine<'n> {
         self.busy_servers[ti] += 1;
         self.firings[ti] += 1;
         self.busy[ti] += firing.delay;
+        let fseq = self.record_firing(now, ti, firing.delay, parents);
         self.push_event(
             done,
             Ev::Deliver {
                 trans: ti,
                 outputs: outs,
+                fseq,
             },
         );
         Ok(true)
+    }
+
+    /// Appends a firing record when tracing; returns the assigned
+    /// firing sequence number (0, never read, when untraced).
+    fn record_firing(&mut self, now: u64, ti: usize, delay: u64, parents: Vec<TokenSrc>) -> u64 {
+        match self.trace.as_mut() {
+            Some(tr) => {
+                let t = &self.net.transitions()[ti];
+                let tokens_in: u32 = t.inputs.iter().map(|&(_, w)| w as u32).sum();
+                let tokens_out: u32 = t.outputs.iter().map(|&(_, w)| w as u32).sum();
+                tr.push(now, ti, delay, tokens_in, tokens_out, parents)
+            }
+            None => 0,
+        }
     }
 
     /// Runs until quiescence and returns the result.
@@ -548,16 +626,30 @@ impl<'n> Engine<'n> {
             now = time;
             match ev {
                 Ev::Inject { place, token } => {
+                    let src = TokenSrc {
+                        producer: None,
+                        arrived: token.arrived,
+                    };
                     if self.net.places()[place.0].is_sink {
                         self.completions.push(token);
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.completion_src.push(src);
+                        }
                     } else {
                         self.deposit(place, token);
+                        if self.trace.is_some() {
+                            self.prov[place.0].push_back(src);
+                        }
                         if incremental {
                             self.wake_consumers(place);
                         }
                     }
                 }
-                Ev::Deliver { trans, mut outputs } => {
+                Ev::Deliver {
+                    trans,
+                    mut outputs,
+                    fseq,
+                } => {
                     // The server is free again, so the transition may
                     // immediately accept the next batch.
                     self.busy_servers[trans] -= 1;
@@ -567,8 +659,15 @@ impl<'n> Engine<'n> {
                     for (p, tok) in outputs.drain(..) {
                         // One reservation unit per emitted token.
                         self.reserved[p.0] -= 1;
+                        let src = TokenSrc {
+                            producer: Some(fseq),
+                            arrived: tok.arrived,
+                        };
                         if self.net.places()[p.0].is_sink {
                             self.completions.push(tok);
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.completion_src.push(src);
+                            }
                             // A bounded sink converts the released
                             // reservation into free capacity.
                             if incremental && self.net.places()[p.0].capacity.is_some() {
@@ -579,6 +678,9 @@ impl<'n> Engine<'n> {
                             // occupancy (no net capacity change), but
                             // consumers gain a token.
                             self.deposit(p, tok);
+                            if self.trace.is_some() {
+                                self.prov[p.0].push_back(src);
+                            }
                             if incremental {
                                 self.wake_consumers(p);
                             }
@@ -615,6 +717,8 @@ impl<'n> Engine<'n> {
             busy: self.busy,
             high_water: self.high_water,
             stranded,
+            enablement_checks: self.enablement_checks,
+            trace: self.trace,
         })
     }
 }
@@ -707,7 +811,7 @@ mod tests {
         assert_eq!(r.completions.len(), n);
         // Steady state: one completion per 4 cycles.
         let per_item = r.makespan as f64 / n as f64;
-        assert!(per_item >= 4.0 && per_item < 4.2, "per_item = {per_item}");
+        assert!((4.0..4.2).contains(&per_item), "per_item = {per_item}");
         // The bounded mid place forces backpressure on `fast`: its
         // firings track the slow stage rather than racing ahead.
         assert_eq!(r.high_water[mid.index()], 2);
@@ -884,7 +988,7 @@ mod tests {
             &net,
             Options {
                 max_events: 100,
-                fail_on_deadlock: false,
+                ..Options::default()
             },
         );
         e.inject(a, Token::at(Value::num(0.0), 0));

@@ -19,6 +19,9 @@
 //!   semantics, capacity reservation (backpressure) and deterministic
 //!   conflict resolution ([`engine`]),
 //! * structural and dynamic analyses ([`analysis`]),
+//! * an optional firing trace with token provenance and a
+//!   critical-path extractor that attributes end-to-end predicted
+//!   latency to service and queueing per transition ([`trace`]),
 //! * a textual `.pnet` interchange format so nets can ship as vendor
 //!   artifacts ([`text`]) and Graphviz export ([`dot`]).
 //!
@@ -60,10 +63,12 @@ pub mod engine;
 pub mod net;
 pub mod text;
 pub mod token;
+pub mod trace;
 
 pub use engine::{Engine, Options, SimResult};
 pub use net::{Net, NetBuilder, PlaceId, TransId};
 pub use token::Token;
+pub use trace::{critical_path, CriticalPath, EngineTrace, FiringRecord, Segment, TokenSrc};
 
 use perf_core::CoreError;
 

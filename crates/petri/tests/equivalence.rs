@@ -140,7 +140,7 @@ fn run(spec: &NetSpec, net: &Net, incremental: bool) -> Result<SimResult, PetriE
             // Tight budget so cyclic nets terminate quickly; both
             // engines must hit it at the same event count.
             max_events: 5_000,
-            fail_on_deadlock: false,
+            ..Options::default()
         },
     );
     for &(p, v, at) in &spec.injections {

@@ -25,3 +25,8 @@ pub use mem::{DramModel, Tlb};
 pub use pipeline::{Pipeline, StageSpec};
 pub use stats::Counter;
 pub use trace::{Trace, TraceEvent};
+// The sink interface lives in `perf-core` so non-sim crates (the
+// autotuner, the Petri engine's consumers) can emit into the same
+// sinks; re-exported here because the cycle-level models are its main
+// producers.
+pub use perf_core::trace::{MemorySink, NullSink, StageCycles, TraceSink};

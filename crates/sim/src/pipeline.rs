@@ -207,6 +207,39 @@ impl<T> Pipeline<T> {
         (self.now - start, out)
     }
 
+    /// Per-stage cycle totals over the cycles simulated so far:
+    /// `(name, cycles)` with busy split into pure work and
+    /// backpressure stall, and idle as the remainder of elapsed time.
+    pub fn stage_cycles(&self) -> Vec<(String, crate::StageCycles)> {
+        let elapsed = self.now;
+        self.stages
+            .iter()
+            .map(|s| {
+                // `busy_cycles` counts every occupied cycle, including
+                // those stalled on a full downstream buffer.
+                let busy = s.busy_cycles - s.stall_cycles;
+                (
+                    s.name.clone(),
+                    crate::StageCycles {
+                        busy,
+                        stall: s.stall_cycles,
+                        idle: elapsed.saturating_sub(s.busy_cycles),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Emits every stage's cycle totals into `sink` under `component`.
+    pub fn report_stages(&self, component: &str, sink: &mut dyn crate::TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (name, cycles) in self.stage_cycles() {
+            sink.stage(component, &name, cycles);
+        }
+    }
+
     /// Per-stage utilization over the cycles simulated so far:
     /// `(name, busy_fraction, stall_fraction, items_processed)`.
     pub fn stage_stats(&self) -> Vec<(String, f64, f64, u64)> {
@@ -259,7 +292,7 @@ mod tests {
         let (elapsed, out) = p.run_to_completion(vec![42]);
         assert_eq!(out, vec![42]);
         // 3 + 4 plus one cycle of queue hand-off per boundary.
-        assert!(elapsed >= 7 && elapsed <= 10, "elapsed = {elapsed}");
+        assert!((7..=10).contains(&elapsed), "elapsed = {elapsed}");
     }
 
     #[test]
@@ -270,7 +303,7 @@ mod tests {
         assert_eq!(out.len(), n as usize);
         let per_item = elapsed as f64 / n as f64;
         // Bottleneck stage takes 5 cycles/item; fill adds a little.
-        assert!(per_item >= 5.0 && per_item < 6.0, "per_item = {per_item}");
+        assert!((5.0..6.0).contains(&per_item), "per_item = {per_item}");
     }
 
     #[test]
@@ -337,5 +370,33 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn empty_pipeline_panics() {
         let _ = Pipeline::<u64>::new(1, vec![]);
+    }
+
+    #[test]
+    fn stage_cycles_partition_elapsed_time() {
+        let mut p = Pipeline::new(
+            4,
+            vec![
+                StageSpec::new("fast", 1, |_: &u64| 1),
+                StageSpec::new("slow", 1, |_: &u64| 10),
+            ],
+        );
+        let (elapsed, _) = p.run_to_completion((0..10).collect());
+        for (name, c) in p.stage_cycles() {
+            assert_eq!(c.total(), elapsed, "stage {name} must partition time");
+            assert!(c.busy > 0);
+        }
+        // The fast stage stalls behind the slow one.
+        let fast = &p.stage_cycles()[0];
+        assert!(fast.1.stall > 0, "expected backpressure stalls: {fast:?}");
+        // The sink view matches the raw accessor.
+        let mut sink = crate::MemorySink::new();
+        p.report_stages("pipe", &mut sink);
+        assert_eq!(sink.stages.len(), 2);
+        assert_eq!(sink.stages[0].cycles, p.stage_cycles()[0].1);
+        assert_eq!(sink.stages[0].component, "pipe");
+        // A disabled sink stays empty.
+        let mut null = crate::NullSink;
+        p.report_stages("pipe", &mut null);
     }
 }

@@ -21,3 +21,38 @@ pub mod offload;
 pub mod rpc;
 pub mod smartnic;
 pub mod soc;
+
+/// `2^exp` as a byte count, rounding to the nearest integer before the
+/// cast.
+///
+/// Payload sweeps draw `exp` from a continuous range; a plain
+/// `powf(exp) as usize` truncates, so an `exp` that is mathematically
+/// integral but lands at `1023.999…` in floating point yields 1023
+/// instead of 1024 and the sweep misses its power-of-two sizes.
+pub fn pow2_bytes(exp: f64) -> usize {
+    2.0f64.powf(exp).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pow2_bytes;
+
+    #[test]
+    fn integral_exponents_yield_exact_powers_of_two() {
+        for k in 0..=20u32 {
+            let got = pow2_bytes(k as f64);
+            assert_eq!(got, 1usize << k, "2^{k}");
+            assert!(got.is_power_of_two());
+        }
+        // A value representable only approximately must still round to
+        // the true power of two, not truncate below it.
+        let nearly_ten = (1024.0f64).log2(); // 10.0 up to rounding error
+        assert_eq!(pow2_bytes(nearly_ten), 1024);
+    }
+
+    #[test]
+    fn fractional_exponents_round_to_nearest() {
+        assert_eq!(pow2_bytes(7.3), 158); // 2^7.3 = 157.58…
+        assert_eq!(pow2_bytes(0.0), 1);
+    }
+}

@@ -36,7 +36,7 @@ pub fn record_trace(n: usize, seed: u64) -> Vec<Request> {
     (0..n)
         .map(|i| {
             let exp = rng.gen_range(5.0..12.0f64);
-            let payload = 2.0f64.powf(exp) as usize;
+            let payload = crate::pow2_bytes(exp);
             let desc = MessageDesc::new(
                 "resp",
                 vec![

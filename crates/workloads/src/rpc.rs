@@ -107,7 +107,7 @@ pub fn peak_vs_realistic(seed: u64, samples: usize) -> (f64, f64) {
         // Log-normal-ish object sizes centered near ~100 B: mostly
         // small metadata-heavy RPCs, occasionally a bigger blob.
         let exp = rng.gen_range(3.0..9.0f64);
-        let payload = (2.0f64.powf(exp)) as usize;
+        let payload = crate::pow2_bytes(exp);
         let msg = blob_message(payload, seed ^ (i as u64) << 13);
         total_bytes += wire::encoded_len(&msg) as f64;
         total_cycles += optimus_serialize_cycles(&msg) as f64;

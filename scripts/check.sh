@@ -4,6 +4,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
-cargo clippy --workspace -- -D warnings
+# --workspace matters: without it only the root package's suites run,
+# and the other ~33 member suites silently stop gating merges.
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run

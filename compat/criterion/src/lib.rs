@@ -165,7 +165,11 @@ impl BenchmarkGroup<'_> {
             last_median: Duration::ZERO,
         };
         f(&mut b);
-        report(&format!("{}/{id}", self.name), b.last_median, self.throughput);
+        report(
+            &format!("{}/{id}", self.name),
+            b.last_median,
+            self.throughput,
+        );
         self
     }
 

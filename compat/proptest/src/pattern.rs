@@ -168,7 +168,10 @@ fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Node {
         if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
             let hi = chars[*pos + 1];
             *pos += 2;
-            assert!(c <= hi, "unsupported regex pattern {pat:?}: bad class range");
+            assert!(
+                c <= hi,
+                "unsupported regex pattern {pat:?}: bad class range"
+            );
             for v in (c as u32)..=(hi as u32) {
                 if let Some(ch) = char::from_u32(v) {
                     opts.push(ch);
@@ -183,7 +186,10 @@ fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Node {
         "unsupported regex pattern {pat:?}: unclosed class"
     );
     *pos += 1;
-    assert!(!opts.is_empty(), "unsupported regex pattern {pat:?}: empty class");
+    assert!(
+        !opts.is_empty(),
+        "unsupported regex pattern {pat:?}: empty class"
+    );
     Node::Class(opts)
 }
 
@@ -211,9 +217,9 @@ fn parse_quantifier(atom: Node, chars: &[char], pos: &mut usize, pat: &str) -> N
                 lo.push(chars[*pos]);
                 *pos += 1;
             }
-            let lo: usize = lo.parse().unwrap_or_else(|_| {
-                panic!("unsupported regex pattern {pat:?}: bad {{m}} bound")
-            });
+            let lo: usize = lo
+                .parse()
+                .unwrap_or_else(|_| panic!("unsupported regex pattern {pat:?}: bad {{m}} bound"));
             let hi = if *pos < chars.len() && chars[*pos] == ',' {
                 *pos += 1;
                 let mut hi = String::new();
@@ -232,7 +238,10 @@ fn parse_quantifier(atom: Node, chars: &[char], pos: &mut usize, pat: &str) -> N
                 "unsupported regex pattern {pat:?}: unclosed quantifier"
             );
             *pos += 1;
-            assert!(lo <= hi, "unsupported regex pattern {pat:?}: {{m,n}} with m > n");
+            assert!(
+                lo <= hi,
+                "unsupported regex pattern {pat:?}: {{m,n}} with m > n"
+            );
             Node::Repeat(Box::new(atom), lo, hi)
         }
         _ => atom,
@@ -260,11 +269,9 @@ mod tests {
         for _ in 0..200 {
             let s = generate("[a-z(){};=+*/ 0-9\\.\"]{0,60}", &mut rng);
             assert!(s.chars().count() <= 60);
-            assert!(s
-                .chars()
-                .all(|c| c.is_ascii_lowercase()
-                    || c.is_ascii_digit()
-                    || "(){};=+*/ .\"".contains(c)));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || "(){};=+*/ .\"".contains(c)));
         }
     }
 
@@ -285,7 +292,10 @@ mod tests {
         for _ in 0..200 {
             let s = generate("(fn|let|const|return|if) ?", &mut rng);
             let kw = s.trim_end_matches(' ');
-            assert!(["fn", "let", "const", "return", "if"].contains(&kw), "{s:?}");
+            assert!(
+                ["fn", "let", "const", "return", "if"].contains(&kw),
+                "{s:?}"
+            );
             saw_space |= s.ends_with(' ');
         }
         assert!(saw_space);

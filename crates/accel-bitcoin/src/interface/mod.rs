@@ -5,7 +5,7 @@ pub mod petri;
 pub mod program;
 
 use crate::miner::{MineJob, MinerConfig};
-use perf_core::InterfaceBundle;
+use perf_core::{Diagnostics, InterfaceBundle};
 
 /// Builds the miner's vendor-shipped interface bundle for a given
 /// configuration.
@@ -19,10 +19,31 @@ pub fn bundle(cfg: MinerConfig) -> InterfaceBundle<MineJob> {
         ))
 }
 
+/// Statically audits the miner's shipped interface artifacts with the
+/// `perf-lint` analyses. The net is generated per configuration, so
+/// the audit covers the default-configuration instance; nonces enter
+/// at `nonces`.
+pub fn lint() -> Diagnostics {
+    let mut ds = perf_iface_lang::lint::lint_src("bitcoin.pi", program::BITCOIN_PI_SRC);
+    ds.merge(perf_petri::lint::lint_pnet_src(
+        "bitcoin.pnet",
+        &petri::pnet_source(&MinerConfig::default()),
+        &["nonces"],
+    ));
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use perf_core::InterfaceKind;
+
+    #[test]
+    fn shipped_artifacts_lint_clean() {
+        let ds = lint();
+        assert_eq!(ds.count(perf_core::Severity::Error), 0, "{}", ds.render());
+        assert_eq!(ds.count(perf_core::Severity::Warning), 0, "{}", ds.render());
+    }
 
     #[test]
     fn bundle_complete() {

@@ -5,7 +5,7 @@ pub mod petri;
 pub mod program;
 
 use crate::workload::Image;
-use perf_core::InterfaceBundle;
+use perf_core::{Diagnostics, InterfaceBundle};
 
 /// Builds the full vendor-shipped interface bundle for the JPEG
 /// decoder: prose, program, and Petri net.
@@ -19,10 +19,30 @@ pub fn bundle() -> InterfaceBundle<Image> {
         ))
 }
 
+/// Statically audits the decoder's shipped interface artifacts (the
+/// `.pi` program and the `.pnet` net) with the `perf-lint` analyses.
+/// Tokens enter the net at `blocks_in`, one per 8×8 block.
+pub fn lint() -> Diagnostics {
+    let mut ds = perf_iface_lang::lint::lint_src("jpeg.pi", program::JPEG_PI_SRC);
+    ds.merge(perf_petri::lint::lint_pnet_src(
+        "jpeg.pnet",
+        petri::JPEG_PNET_SRC,
+        &["blocks_in"],
+    ));
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use perf_core::InterfaceKind;
+
+    #[test]
+    fn shipped_artifacts_lint_clean() {
+        let ds = lint();
+        assert_eq!(ds.count(perf_core::Severity::Error), 0, "{}", ds.render());
+        assert_eq!(ds.count(perf_core::Severity::Warning), 0, "{}", ds.render());
+    }
 
     #[test]
     fn bundle_has_all_three_representations() {

@@ -5,7 +5,7 @@ pub mod petri;
 pub mod program;
 
 use crate::simx::ProtoWorkload;
-use perf_core::InterfaceBundle;
+use perf_core::{Diagnostics, InterfaceBundle};
 
 /// Builds Protoacc's vendor-shipped interface bundle.
 pub fn bundle() -> InterfaceBundle<ProtoWorkload> {
@@ -18,10 +18,29 @@ pub fn bundle() -> InterfaceBundle<ProtoWorkload> {
         ))
 }
 
+/// Statically audits Protoacc's shipped interface artifacts with the
+/// `perf-lint` analyses. Messages enter the net at `msgs_in`.
+pub fn lint() -> Diagnostics {
+    let mut ds = perf_iface_lang::lint::lint_src("protoacc.pi", program::PROTOACC_PI_SRC);
+    ds.merge(perf_petri::lint::lint_pnet_src(
+        "protoacc.pnet",
+        petri::PROTOACC_PNET_SRC,
+        &["msgs_in"],
+    ));
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use perf_core::InterfaceKind;
+
+    #[test]
+    fn shipped_artifacts_lint_clean() {
+        let ds = lint();
+        assert_eq!(ds.count(perf_core::Severity::Error), 0, "{}", ds.render());
+        assert_eq!(ds.count(perf_core::Severity::Warning), 0, "{}", ds.render());
+    }
 
     #[test]
     fn bundle_complete() {

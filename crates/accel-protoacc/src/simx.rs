@@ -323,9 +323,7 @@ impl ProtoaccSim {
         self.stage_totals[0].idle += res.total_cycles - reader_t;
         self.stage_totals[1].busy += writer_busy;
         self.stage_totals[1].stall += writer_wait;
-        self.stage_totals[1].idle += res
-            .total_cycles
-            .saturating_sub(writer_busy + writer_wait);
+        self.stage_totals[1].idle += res.total_cycles.saturating_sub(writer_busy + writer_wait);
         res
     }
 

@@ -5,7 +5,17 @@ pub mod petri;
 pub mod program;
 
 use crate::isa::Program;
-use perf_core::InterfaceBundle;
+use perf_core::{Diagnostics, InterfaceBundle};
+
+/// Places the simulation harness injects tokens into: the instruction
+/// stream plus the initially-marked engine-free resource places.
+pub const ENTRY_PLACES: [&str; 5] = [
+    "fetch_q",
+    "fetch_free",
+    "load_free",
+    "compute_free",
+    "store_free",
+];
 
 /// Builds VTA's vendor-shipped interface bundle (the full-fidelity
 /// Petri net; see [`petri::VtaPetriInterface::new_lite`] for the
@@ -20,10 +30,35 @@ pub fn bundle() -> InterfaceBundle<Program> {
         ))
 }
 
+/// Statically audits VTA's shipped interface artifacts — the `.pi`
+/// program and both the full and corner-cut (`lite`) nets — with the
+/// `perf-lint` analyses.
+pub fn lint() -> Diagnostics {
+    let mut ds = perf_iface_lang::lint::lint_src("vta.pi", program::VTA_PI_SRC);
+    ds.merge(perf_petri::lint::lint_pnet_src(
+        "vta_full.pnet",
+        petri::VTA_FULL_PNET_SRC,
+        &ENTRY_PLACES,
+    ));
+    ds.merge(perf_petri::lint::lint_pnet_src(
+        "vta_lite.pnet",
+        petri::VTA_LITE_PNET_SRC,
+        &ENTRY_PLACES,
+    ));
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use perf_core::InterfaceKind;
+
+    #[test]
+    fn shipped_artifacts_lint_clean() {
+        let ds = lint();
+        assert_eq!(ds.count(perf_core::Severity::Error), 0, "{}", ds.render());
+        assert_eq!(ds.count(perf_core::Severity::Warning), 0, "{}", ds.render());
+    }
 
     #[test]
     fn bundle_complete() {

@@ -356,8 +356,18 @@ mod tests {
     #[test]
     fn cached_cost_hits_return_identical_costs() {
         let w = GemmWorkload::new(128, 128, 128);
-        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
-        let b = Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w);
+        let a = Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        }
+        .lower(&w);
+        let b = Schedule {
+            tm: 4,
+            tn: 4,
+            tk: 2,
+        }
+        .lower(&w);
         let mut cached = CachedCost::new(PetriCost::new().unwrap());
         let ca1 = cached.cost(&a).unwrap();
         let cb1 = cached.cost(&b).unwrap();
@@ -373,8 +383,18 @@ mod tests {
     #[test]
     fn cached_cost_counts_only_misses() {
         let w = GemmWorkload::new(128, 128, 128);
-        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
-        let b = Schedule { tm: 2, tn: 2, tk: 2 }.lower(&w);
+        let a = Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        }
+        .lower(&w);
+        let b = Schedule {
+            tm: 2,
+            tn: 2,
+            tk: 2,
+        }
+        .lower(&w);
         let mut cached = CachedCost::new(PetriCost::new().unwrap());
         for _ in 0..3 {
             cached.cost(&a).unwrap();
@@ -395,9 +415,21 @@ mod tests {
         let mut plain = PetriCost::new().unwrap();
         let mut cached = CachedCost::new(PetriCost::new().unwrap());
         for s in [
-            Schedule { tm: 1, tn: 1, tk: 1 },
-            Schedule { tm: 4, tn: 4, tk: 2 },
-            Schedule { tm: 1, tn: 1, tk: 1 },
+            Schedule {
+                tm: 1,
+                tn: 1,
+                tk: 1,
+            },
+            Schedule {
+                tm: 4,
+                tn: 4,
+                tk: 2,
+            },
+            Schedule {
+                tm: 1,
+                tn: 1,
+                tk: 1,
+            },
         ] {
             let p = s.lower(&w);
             assert_eq!(
@@ -410,8 +442,18 @@ mod tests {
     #[test]
     fn traced_cost_spans_record_cache_hits_and_misses() {
         let w = GemmWorkload::new(128, 128, 128);
-        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
-        let b = Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w);
+        let a = Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        }
+        .lower(&w);
+        let b = Schedule {
+            tm: 4,
+            tn: 4,
+            tk: 2,
+        }
+        .lower(&w);
         let cached = CachedCost::new(PetriCost::new().unwrap());
         let mut traced = TracedCost::new(cached, perf_core::MemorySink::new());
         traced.cost(&a).unwrap();
@@ -432,7 +474,12 @@ mod tests {
     #[test]
     fn traced_cost_over_null_sink_is_transparent() {
         let w = GemmWorkload::new(128, 128, 128);
-        let p = Schedule { tm: 2, tn: 2, tk: 2 }.lower(&w);
+        let p = Schedule {
+            tm: 2,
+            tn: 2,
+            tk: 2,
+        }
+        .lower(&w);
         let mut plain = PetriCost::new().unwrap();
         let expect = plain.cost(&p).unwrap();
         let mut traced = TracedCost::new(PetriCost::new().unwrap(), perf_core::NullSink);
@@ -444,8 +491,18 @@ mod tests {
     #[test]
     fn fingerprints_distinguish_programs() {
         let w = GemmWorkload::new(128, 128, 128);
-        let a = Schedule { tm: 1, tn: 1, tk: 1 }.lower(&w);
-        let b = Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w);
+        let a = Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        }
+        .lower(&w);
+        let b = Schedule {
+            tm: 4,
+            tn: 4,
+            tk: 2,
+        }
+        .lower(&w);
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
         assert_ne!(a.fingerprint(), b.fingerprint());
     }

@@ -43,7 +43,8 @@ impl Schedule {
     /// Enumerates all valid schedules for a workload.
     pub fn enumerate(w: &GemmWorkload) -> Vec<Schedule> {
         let (mb, nb, kb) = w.blocks();
-        let divisors = |x: usize| -> Vec<usize> { (1..=x).filter(|d| x.is_multiple_of(*d)).collect() };
+        let divisors =
+            |x: usize| -> Vec<usize> { (1..=x).filter(|d| x.is_multiple_of(*d)).collect() };
         let mut out = Vec::new();
         for &tm in &divisors(mb) {
             for &tn in &divisors(nb) {

@@ -210,7 +210,9 @@ impl Tuner {
             // Strict `<` keeps the earliest minimum, matching the
             // sequential scan.
             .reduce(|acc, cur| if cur.1 < acc.1 { cur } else { acc })
-            .ok_or_else(|| CoreError::InvalidObservation("random search needs budget >= 1".into()))?;
+            .ok_or_else(|| {
+                CoreError::InvalidObservation("random search needs budget >= 1".into())
+            })?;
         Ok(SearchResult {
             best,
             best_cost,
@@ -383,13 +385,12 @@ mod tests {
     ) -> Vec<(Schedule, f64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut history = Vec::new();
-        let eval = |backend: &mut dyn CostBackend,
-                        s: Schedule,
-                        history: &mut Vec<(Schedule, f64)>| {
-            let c = backend.cost(&s.lower(w)).unwrap();
-            history.push((s, c));
-            c
-        };
+        let eval =
+            |backend: &mut dyn CostBackend, s: Schedule, history: &mut Vec<(Schedule, f64)>| {
+                let c = backend.cost(&s.lower(w)).unwrap();
+                history.push((s, c));
+                c
+            };
         let mut cur = space[rng.gen_range(0..space.len())];
         let mut cur_cost = eval(backend, cur, &mut history);
         for i in 0..iters {

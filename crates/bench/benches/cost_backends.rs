@@ -8,7 +8,12 @@ use perf_autotune::workload::GemmWorkload;
 
 fn query_program() -> accel_vta::isa::Program {
     let w = GemmWorkload::new(128, 128, 128);
-    Schedule { tm: 4, tn: 4, tk: 2 }.lower(&w)
+    Schedule {
+        tm: 4,
+        tn: 4,
+        tk: 2,
+    }
+    .lower(&w)
 }
 
 fn bench_cycle_cost(c: &mut Criterion) {

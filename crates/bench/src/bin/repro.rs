@@ -10,16 +10,25 @@
 //! repro --trace TRACE.json
 //!                       # traced run of every substrate: writes the
 //!                       # combined JSON report, prints folded stacks
+//! repro --lint-all      # static perf-lint audit of every shipped
+//!                       # .pnet net and .pi program; exit 1 on findings
 //! ```
 
 use perf_bench::experiments::{self, ExperimentOutput};
-use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] [--trace PATH]"
+        "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] \
+         [--trace PATH] [--lint-all]"
     );
     std::process::exit(2);
+}
+
+/// Reports an I/O failure and exits, instead of unwinding with a
+/// panic backtrace the user has to dig a path out of.
+fn io_fail(what: &str, path: &str, err: std::io::Error) -> ! {
+    eprintln!("error: {what} `{path}`: {err}");
+    std::process::exit(1);
 }
 
 /// Measures incremental-vs-reference engine throughput and writes the
@@ -32,7 +41,9 @@ fn bench_engine(path: &str, quick: bool) {
     };
     let report = perf_bench::enginebench::run_engine_bench(stages, lanes, tokens, repeats);
     let json = report.to_json();
-    std::fs::write(path, &json).expect("write engine bench report");
+    if let Err(e) = std::fs::write(path, &json) {
+        io_fail("cannot write engine bench report", path, e);
+    }
     print!("{json}");
     eprintln!(
         "deep pipeline: {:.2}x, fan: {:.2}x incremental speedup; wrote {path}",
@@ -47,6 +58,7 @@ fn main() {
     let mut markdown: Option<String> = None;
     let mut engine_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut lint_all = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,8 +67,15 @@ fn main() {
             "--markdown" => markdown = Some(args.next().unwrap_or_else(|| usage())),
             "--bench-engine" => engine_out = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--lint-all" => lint_all = true,
             _ => usage(),
         }
+    }
+
+    if lint_all {
+        let (report, clean) = perf_bench::lintall::report();
+        print!("{report}");
+        std::process::exit(if clean { 0 } else { 1 });
     }
 
     if let Some(path) = engine_out {
@@ -66,7 +85,9 @@ fn main() {
 
     if let Some(path) = trace_out {
         let demo = perf_bench::tracedemo::run_trace_demo(quick);
-        std::fs::write(&path, &demo.json).expect("write trace report");
+        if let Err(e) = std::fs::write(&path, &demo.json) {
+            io_fail("cannot write trace report", &path, e);
+        }
         print!("{}", demo.folded);
         eprintln!("wrote {path}");
         return;
@@ -110,18 +131,20 @@ fn main() {
     }
 
     if let Some(path) = markdown {
-        let mut f = std::fs::File::create(&path).expect("create markdown report");
-        writeln!(f, "# Measured values\n").unwrap();
+        let mut doc = String::from("# Measured values\n\n");
         for out in &outputs {
-            writeln!(f, "## {} — {}\n", out.id, out.title).unwrap();
-            writeln!(f, "{}", out.table.to_markdown()).unwrap();
+            doc.push_str(&format!("## {} — {}\n\n", out.id, out.title));
+            doc.push_str(&format!("{}\n", out.table.to_markdown()));
             for n in &out.notes {
-                writeln!(f, "> {n}\n").unwrap();
+                doc.push_str(&format!("> {n}\n\n"));
             }
             for (k, v) in &out.values {
-                writeln!(f, "- `{k}` = {v:.6}").unwrap();
+                doc.push_str(&format!("- `{k}` = {v:.6}\n"));
             }
-            writeln!(f).unwrap();
+            doc.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, doc) {
+            io_fail("cannot write markdown report", &path, e);
         }
         eprintln!("wrote {path}");
     }

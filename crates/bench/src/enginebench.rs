@@ -55,9 +55,13 @@ pub fn fan_net(lanes: usize) -> (Net, PlaceId) {
         .map(|i| b.place(format!("merge{i}"), Some(4)))
         .collect();
     let done = b.sink("done");
-    b.transition("dispatch", &[src], &lane_in, |_| 1, move |ts| {
-        vec![ts[0].data.clone(); lanes]
-    });
+    b.transition(
+        "dispatch",
+        &[src],
+        &lane_in,
+        |_| 1,
+        move |ts| vec![ts[0].data.clone(); lanes],
+    );
     for i in 0..lanes {
         b.transition(
             format!("work{i}"),
@@ -67,9 +71,13 @@ pub fn fan_net(lanes: usize) -> (Net, PlaceId) {
             |ts| vec![ts[0].data.clone()],
         );
     }
-    b.transition("join", &lane_out, &[done], |_| 1, |ts| {
-        vec![ts[0].data.clone()]
-    });
+    b.transition(
+        "join",
+        &lane_out,
+        &[done],
+        |_| 1,
+        |ts| vec![ts[0].data.clone()],
+    );
     (b.build().expect("valid fan net"), src)
 }
 
@@ -111,7 +119,13 @@ impl ShapeReport {
     }
 }
 
-fn measure_variant(net: &Net, src: PlaceId, tokens: usize, repeats: usize, incremental: bool) -> EngineRate {
+fn measure_variant(
+    net: &Net,
+    src: PlaceId,
+    tokens: usize,
+    repeats: usize,
+    incremental: bool,
+) -> EngineRate {
     // Warm-up run, then best-of-N to shed scheduler noise.
     let warm = run_once(net, src, tokens, incremental);
     let mut best = f64::INFINITY;
@@ -147,7 +161,12 @@ pub struct EngineBenchReport {
 }
 
 /// Runs the engine benchmark at the given scale.
-pub fn run_engine_bench(stages: usize, lanes: usize, tokens: usize, repeats: usize) -> EngineBenchReport {
+pub fn run_engine_bench(
+    stages: usize,
+    lanes: usize,
+    tokens: usize,
+    repeats: usize,
+) -> EngineBenchReport {
     let (deep_net, deep_src) = deep_pipeline(stages);
     let (fan, fan_src) = fan_net(lanes);
     EngineBenchReport {

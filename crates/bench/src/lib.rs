@@ -8,6 +8,7 @@
 
 pub mod enginebench;
 pub mod experiments;
+pub mod lintall;
 pub mod tracedemo;
 
 pub use experiments::{run_all, ExperimentOutput};

@@ -98,7 +98,14 @@ pub fn run_trace_demo(quick: bool) -> TraceDemo {
 
     let mut vta = VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
     let gemm = GemmWorkload::new(64, 64, 64);
-    vta.run(&Schedule { tm: 2, tn: 2, tk: 2 }.lower(&gemm));
+    vta.run(
+        &Schedule {
+            tm: 2,
+            tn: 2,
+            tk: 2,
+        }
+        .lower(&gemm),
+    );
     vta.trace_stages(&mut sink);
 
     let mut proto = ProtoaccSim::default();
@@ -122,9 +129,21 @@ pub fn run_trace_demo(quick: bool) -> TraceDemo {
         MemorySink::new(),
     );
     let candidates = [
-        Schedule { tm: 1, tn: 1, tk: 1 },
-        Schedule { tm: 2, tn: 2, tk: 2 },
-        Schedule { tm: 4, tn: 4, tk: 2 },
+        Schedule {
+            tm: 1,
+            tn: 1,
+            tk: 1,
+        },
+        Schedule {
+            tm: 2,
+            tn: 2,
+            tk: 2,
+        },
+        Schedule {
+            tm: 4,
+            tn: 4,
+            tk: 2,
+        },
     ];
     for s in candidates.iter().chain(candidates.iter()) {
         traced

@@ -1,0 +1,475 @@
+//! The shared diagnostics model behind `perf-lint`.
+//!
+//! A performance interface is only trustworthy if a tool can audit it,
+//! and an audit is only usable if its findings have a uniform shape.
+//! Every static analysis in the workspace — the Petri-net structural
+//! lints in `perf-petri`, the abstract interpreter over PIL programs in
+//! `perf-iface-lang`, and the per-accelerator artifact audits — reports
+//! through this module: a [`Diagnostic`] carries a stable lint code, a
+//! severity, the artifact it was found in and an optional location;
+//! a [`Diagnostics`] set accumulates findings (never fail-fast),
+//! renders them rustc-style for humans and as JSON for tools, and
+//! decides the process exit code.
+
+use crate::trace::json_escape;
+use core::fmt;
+
+/// How bad a finding is.
+///
+/// Ordering is by badness: `Info < Warning < Error`, so `max()` over a
+/// set yields the severity that should drive the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A structural fact worth surfacing (e.g. a P-invariant); never
+    /// gates a merge.
+    Info,
+    /// Probably a mistake, but the artifact still runs.
+    Warning,
+    /// The artifact is broken or will mislead any tool that trusts it.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in rendered output and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from a static analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable lint code (`PN...` for Petri-net lints, `PIL...` for
+    /// interface-language lints). Listed in DESIGN.md.
+    pub code: String,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// One-line description of the defect.
+    pub message: String,
+    /// The artifact the finding is about (file path or asset name,
+    /// e.g. `jpeg.pnet`). Empty until [`Diagnostics::set_origin`] or
+    /// [`Diagnostic::with_origin`] fills it in.
+    pub origin: String,
+    /// The object within the artifact (e.g. ``transition `writer` ``).
+    pub at: Option<String>,
+    /// 1-based source line, when the analysis has one.
+    pub line: Option<u32>,
+    /// 1-based source column, when the analysis has one.
+    pub col: Option<u32>,
+    /// Supporting detail rendered as `= note:` lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a finding with no location attached yet.
+    pub fn new(code: impl Into<String>, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code: code.into(),
+            severity,
+            message: message.into(),
+            origin: String::new(),
+            at: None,
+            line: None,
+            col: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Shorthand for an error finding.
+    pub fn error(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    /// Shorthand for a warning finding.
+    pub fn warning(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    /// Shorthand for an info finding.
+    pub fn info(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Info, message)
+    }
+
+    /// Sets the artifact name.
+    pub fn with_origin(mut self, origin: impl Into<String>) -> Self {
+        self.origin = origin.into();
+        self
+    }
+
+    /// Sets the object within the artifact.
+    pub fn with_at(mut self, at: impl Into<String>) -> Self {
+        self.at = Some(at.into());
+        self
+    }
+
+    /// Sets a 1-based source position.
+    pub fn with_pos(mut self, line: u32, col: u32) -> Self {
+        self.line = Some(line);
+        self.col = Some(col);
+        self
+    }
+
+    /// Appends a `= note:` line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the finding rustc-style:
+    ///
+    /// ```text
+    /// error[PN103]: structural deadlock: siphon {load_free} starts empty and can never gain tokens
+    ///   --> vta_full.pnet: transition `load_plain`
+    ///    = note: 2 transitions consume from the siphon and can never fire
+    /// ```
+    pub fn render(&self) -> String {
+        let mut s = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        let mut loc = String::new();
+        if !self.origin.is_empty() {
+            loc.push_str(&self.origin);
+        }
+        if let Some(line) = self.line {
+            if !loc.is_empty() {
+                loc.push(':');
+            }
+            loc.push_str(&line.to_string());
+            if let Some(col) = self.col {
+                loc.push(':');
+                loc.push_str(&col.to_string());
+            }
+        }
+        if let Some(at) = &self.at {
+            if !loc.is_empty() {
+                loc.push_str(": ");
+            }
+            loc.push_str(at);
+        }
+        if !loc.is_empty() {
+            s.push_str("\n  --> ");
+            s.push_str(&loc);
+        }
+        for n in &self.notes {
+            s.push_str("\n   = note: ");
+            s.push_str(n);
+        }
+        s
+    }
+
+    /// Renders the finding as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"origin\":\"{}\"",
+            json_escape(&self.code),
+            self.severity,
+            json_escape(&self.message),
+            json_escape(&self.origin),
+        );
+        if let Some(at) = &self.at {
+            s.push_str(&format!(",\"at\":\"{}\"", json_escape(at)));
+        }
+        if let Some(line) = self.line {
+            s.push_str(&format!(",\"line\":{line}"));
+        }
+        if let Some(col) = self.col {
+            s.push_str(&format!(",\"col\":{col}"));
+        }
+        s.push_str(",\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", json_escape(n)));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// An accumulating set of findings.
+///
+/// Analyses push into one of these instead of returning early, so a
+/// single run reports every problem in an artifact.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty set.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Moves every finding of `other` into `self`.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// The findings, in insertion order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if there are no findings.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// `true` if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// The worst severity present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.items.iter().map(|d| d.severity).max()
+    }
+
+    /// `true` if some finding carries lint code `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.items.iter().any(|d| d.code == code)
+    }
+
+    /// The first finding with lint code `code`.
+    pub fn find(&self, code: &str) -> Option<&Diagnostic> {
+        self.items.iter().find(|d| d.code == code)
+    }
+
+    /// Sets `origin` on every finding that does not have one yet, and
+    /// returns the set (builder-style, for labeling a whole analysis).
+    pub fn with_origin(mut self, origin: &str) -> Diagnostics {
+        self.set_origin(origin);
+        self
+    }
+
+    /// Sets `origin` on every finding that does not have one yet.
+    pub fn set_origin(&mut self, origin: &str) {
+        for d in &mut self.items {
+            if d.origin.is_empty() {
+                d.origin = origin.to_string();
+            }
+        }
+    }
+
+    /// Sorts findings worst-first, then by origin, code and position —
+    /// the order a reader wants and the order the JSON report uses.
+    pub fn sort(&mut self) {
+        self.items.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.origin.cmp(&b.origin))
+                .then_with(|| a.code.cmp(&b.code))
+                .then_with(|| a.line.cmp(&b.line))
+                .then_with(|| a.col.cmp(&b.col))
+        });
+    }
+
+    /// Renders every finding rustc-style, followed by a summary line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for d in &self.items {
+            s.push_str(&d.render());
+            s.push_str("\n\n");
+        }
+        s.push_str(&self.summary());
+        s.push('\n');
+        s
+    }
+
+    /// The one-line summary (`lint: 1 error, 2 warnings, 3 infos`).
+    pub fn summary(&self) -> String {
+        fn plural(n: usize, what: &str) -> String {
+            format!("{n} {what}{}", if n == 1 { "" } else { "s" })
+        }
+        if self.items.is_empty() {
+            "lint: clean".to_string()
+        } else {
+            format!(
+                "lint: {}, {}, {}",
+                plural(self.count(Severity::Error), "error"),
+                plural(self.count(Severity::Warning), "warning"),
+                plural(self.count(Severity::Info), "info"),
+            )
+        }
+    }
+
+    /// Renders the whole set as one machine-readable JSON object.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\"diagnostics\":[");
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"infos\":{}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        s
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Diagnostics {
+        Diagnostics {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.name(), "error");
+    }
+
+    #[test]
+    fn render_includes_code_location_and_notes() {
+        let d = Diagnostic::error("PN101", "tokens strand in `trap`")
+            .with_origin("jpeg.pnet")
+            .with_at("place `trap`")
+            .with_note("no path to any sink");
+        let r = d.render();
+        assert!(r.starts_with("error[PN101]: tokens strand in `trap`"));
+        assert!(r.contains("--> jpeg.pnet: place `trap`"));
+        assert!(r.contains("= note: no path to any sink"));
+    }
+
+    #[test]
+    fn render_with_line_and_col() {
+        let d = Diagnostic::warning("PIL009", "unused parameter `x`")
+            .with_origin("jpeg.pi")
+            .with_pos(3, 7);
+        assert!(d.render().contains("--> jpeg.pi:3:7"));
+    }
+
+    #[test]
+    fn accumulation_counts_and_worst() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_empty());
+        assert_eq!(ds.worst(), None);
+        ds.push(Diagnostic::info("PN111", "invariant"));
+        ds.push(Diagnostic::warning("PN102", "orphan"));
+        assert_eq!(ds.worst(), Some(Severity::Warning));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error("PN110", "livelock"));
+        assert!(ds.has_errors());
+        assert_eq!(ds.count(Severity::Error), 1);
+        assert_eq!(ds.len(), 3);
+        assert!(ds.has_code("PN102"));
+        assert!(!ds.has_code("PN999"));
+        assert_eq!(ds.find("PN110").unwrap().message, "livelock");
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::info("A", "i"));
+        ds.push(Diagnostic::error("B", "e"));
+        ds.push(Diagnostic::warning("C", "w"));
+        ds.sort();
+        let sevs: Vec<Severity> = ds.items().iter().map(|d| d.severity).collect();
+        assert_eq!(
+            sevs,
+            vec![Severity::Error, Severity::Warning, Severity::Info]
+        );
+    }
+
+    #[test]
+    fn summary_pluralizes() {
+        let mut ds = Diagnostics::new();
+        assert_eq!(ds.summary(), "lint: clean");
+        ds.push(Diagnostic::error("X", "x"));
+        ds.push(Diagnostic::warning("Y", "y"));
+        ds.push(Diagnostic::warning("Z", "z"));
+        assert_eq!(ds.summary(), "lint: 1 error, 2 warnings, 0 infos");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::error("PN1", "bad \"name\"")
+                .with_origin("a.pnet")
+                .with_pos(2, 5)
+                .with_note("line\nbreak"),
+        );
+        let j = ds.render_json();
+        assert!(j.contains("\"code\":\"PN1\""));
+        assert!(j.contains("bad \\\"name\\\""));
+        assert!(j.contains("\"line\":2"));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("\"errors\":1"));
+        assert!(j.ends_with('}'));
+    }
+
+    #[test]
+    fn set_origin_respects_existing() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::error("A", "x").with_origin("keep.pnet"));
+        ds.push(Diagnostic::error("B", "y"));
+        ds.set_origin("new.pnet");
+        assert_eq!(ds.items()[0].origin, "keep.pnet");
+        assert_eq!(ds.items()[1].origin, "new.pnet");
+    }
+
+    #[test]
+    fn merge_and_iterate() {
+        let mut a = Diagnostics::new();
+        a.push(Diagnostic::info("A", "1"));
+        let mut b = Diagnostics::new();
+        b.push(Diagnostic::info("B", "2"));
+        a.merge(b);
+        let codes: Vec<&str> = (&a).into_iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, vec!["A", "B"]);
+    }
+}

@@ -7,8 +7,9 @@
 //! ([`nl`]), the validation harness that scores an interface against a
 //! ground truth ([`validate`]), the interface-complexity metric
 //! ([`complexity`]), small statistics helpers ([`stats`]), plain-text
-//! report rendering ([`report`]) and the [`trace`] observability
-//! interface every execution substrate emits into.
+//! report rendering ([`report`]), the [`trace`] observability
+//! interface every execution substrate emits into, and the [`diag`]
+//! diagnostics model shared by the `perf-lint` static analyses.
 //!
 //! The design follows the HotOS '23 paper "The Case for Performance
 //! Interfaces for Hardware Accelerators": an accelerator ships with an
@@ -17,6 +18,7 @@
 //! and a Petri-net IR — each trading readability for precision.
 
 pub mod complexity;
+pub mod diag;
 pub mod error;
 pub mod iface;
 pub mod nl;
@@ -27,6 +29,7 @@ pub mod trace;
 pub mod units;
 pub mod validate;
 
+pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use error::CoreError;
 pub use iface::{GroundTruth, InterfaceBundle, InterfaceKind, PerfInterface};
 pub use predict::{Observation, Prediction};

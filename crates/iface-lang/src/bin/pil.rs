@@ -2,29 +2,65 @@
 //!
 //! ```text
 //! pil check FILE                # parse + static checks
+//! pil lint FILE [--json]        # all static checks + perf-lint analyses
 //! pil fmt FILE                  # canonical formatting to stdout
 //! pil run FILE FUNC [ARG...]    # evaluate a function
 //! ```
 //!
 //! Arguments are numbers (`42`, `3.5`) or records
 //! (`orig_size=65536,compress_rate=8`).
+//!
+//! Malformed inputs are reported as rendered diagnostics with exit
+//! code 1; the tool never panics on user-supplied files.
 
-use perf_iface_lang::{printer, Program, Value};
+use perf_core::diag::{Diagnostic, Diagnostics};
+use perf_iface_lang::{check, lexer, lint, parser, printer, LangError, Program, Value};
 
 fn usage() -> ! {
-    eprintln!("usage: pil check FILE | pil fmt FILE | pil run FILE FUNC [ARG...]");
+    eprintln!(
+        "usage: pil check FILE | pil lint FILE [--json] | pil fmt FILE | pil run FILE FUNC [ARG...]"
+    );
     std::process::exit(2);
 }
 
-fn load(path: &str) -> Program {
-    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("pil: cannot read {path}: {e}");
-        std::process::exit(1);
-    });
-    Program::parse(&src).unwrap_or_else(|e| {
-        eprintln!("pil: {path}: {e}");
-        std::process::exit(1);
+/// Renders a single load-time diagnostic and exits with code 1.
+fn fail(d: Diagnostic, json: bool) -> ! {
+    let mut ds = Diagnostics::new();
+    ds.push(d);
+    if json {
+        println!("{}", ds.render_json());
+    } else {
+        eprint!("{}", ds.render());
+    }
+    std::process::exit(1);
+}
+
+fn read(path: &str, json: bool) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        fail(
+            Diagnostic::error("PIL011", format!("cannot read file: {e}")).with_origin(path),
+            json,
+        )
     })
+}
+
+/// Turns a lex/parse/check failure into the corresponding diagnostic.
+fn lang_diag(path: &str, e: &LangError) -> Diagnostic {
+    let (code, span, msg) = match e {
+        LangError::Lex { span, msg } | LangError::Parse { span, msg } => ("PIL012", *span, msg),
+        LangError::Check { span, msg } => ("PIL005", *span, msg),
+        other => {
+            return Diagnostic::error("PIL012", other.to_string()).with_origin(path);
+        }
+    };
+    Diagnostic::error(code, msg.clone())
+        .with_origin(path)
+        .with_pos(span.line, span.col)
+}
+
+fn load(path: &str) -> Program {
+    let src = read(path, false);
+    Program::parse(&src).unwrap_or_else(|e| fail(lang_diag(path, &e), false))
 }
 
 fn parse_arg(raw: &str) -> Value {
@@ -63,6 +99,30 @@ fn main() {
                 fns.len(),
                 fns.join(", ")
             );
+        }
+        Some("lint") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let json = rest.iter().any(|a| a == "--json");
+            rest.retain(|a| a != "--json");
+            let [path] = rest.as_slice() else { usage() };
+            let src = read(path, json);
+            // Lex + parse directly (not `Program::parse`) so the
+            // accumulating checker reports every name error at once
+            // instead of stopping at the first.
+            let toks = lexer::lex(&src).unwrap_or_else(|e| fail(lang_diag(path, &e), json));
+            let ast = parser::parse(&toks).unwrap_or_else(|e| fail(lang_diag(path, &e), json));
+            let mut ds = check::diagnostics(&ast);
+            ds.merge(lint::lint(&ast));
+            ds.set_origin(path);
+            ds.sort();
+            if json {
+                println!("{}", ds.render_json());
+            } else {
+                print!("{}", ds.render());
+            }
+            if ds.has_errors() {
+                std::process::exit(1);
+            }
         }
         Some("fmt") if args.len() == 2 => {
             let p = load(&args[1]);

@@ -4,36 +4,71 @@
 //! vendor would want caught before shipping an interface: duplicate
 //! functions/constants, calls to undefined functions, references to
 //! undefined variables, wrong arity for user functions, and assignment
-//! to names that were never bound.
+//! to names that were never bound. It also warns about unused function
+//! parameters and unused `let` bindings.
+//!
+//! The checker accumulates: [`diagnostics`] walks the whole program and
+//! reports every problem with a `PIL0xx` code through the shared
+//! [`perf_core::diag`] model. [`check`] keeps the original fail-fast
+//! contract — it returns the first *error*-severity finding — so
+//! parsing still rejects broken programs while warnings (unused names)
+//! never block execution.
 
 use crate::ast::{Expr, FnDecl, Program, Stmt};
 use crate::builtins;
 use crate::error::{LangError, Span};
+use perf_core::diag::{Diagnostic, Diagnostics, Severity};
 use std::collections::{HashMap, HashSet};
 
-/// Checks `prog`, returning the first error found.
+/// Checks `prog`, returning the first error-severity finding.
+/// Warnings (e.g. unused parameters) do not fail the check.
 pub fn check(prog: &Program) -> Result<(), LangError> {
+    match diagnostics(prog)
+        .items()
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+    {
+        None => Ok(()),
+        Some(d) => Err(LangError::Check {
+            span: Span::at(d.line.unwrap_or(0), d.col.unwrap_or(0)),
+            msg: d.message.clone(),
+        }),
+    }
+}
+
+/// Runs every name/arity/usage check on `prog` and reports all findings.
+pub fn diagnostics(prog: &Program) -> Diagnostics {
+    let mut out = Diagnostics::new();
     let mut fn_arity: HashMap<&str, usize> = HashMap::new();
     for f in &prog.functions {
         if fn_arity.insert(&f.name, f.params.len()).is_some() {
-            return Err(LangError::Check {
-                span: f.span,
-                msg: format!("duplicate function `{}`", f.name),
-            });
+            report(
+                &mut out,
+                "PIL001",
+                Severity::Error,
+                format!("duplicate function `{}`", f.name),
+                f.span,
+            );
         }
         if builtins::is_builtin(&f.name) {
-            return Err(LangError::Check {
-                span: f.span,
-                msg: format!("function `{}` shadows a builtin", f.name),
-            });
+            report(
+                &mut out,
+                "PIL002",
+                Severity::Error,
+                format!("function `{}` shadows a builtin", f.name),
+                f.span,
+            );
         }
         let mut seen = HashSet::new();
         for p in &f.params {
             if !seen.insert(p.as_str()) {
-                return Err(LangError::Check {
-                    span: f.span,
-                    msg: format!("duplicate parameter `{p}` in `{}`", f.name),
-                });
+                report(
+                    &mut out,
+                    "PIL003",
+                    Severity::Error,
+                    format!("duplicate parameter `{p}` in `{}`", f.name),
+                    f.span,
+                );
             }
         }
     }
@@ -41,43 +76,140 @@ pub fn check(prog: &Program) -> Result<(), LangError> {
     let mut consts: HashSet<&str> = HashSet::new();
     for c in &prog.consts {
         // Constants may reference earlier constants only.
-        let scope = Scope {
-            fn_arity: &fn_arity,
-            consts: &consts,
-            locals: Vec::new(),
-        };
-        scope.check_expr(&c.init)?;
+        {
+            let mut scope = Scope {
+                fn_arity: &fn_arity,
+                consts: &consts,
+                locals: Vec::new(),
+                out: &mut out,
+            };
+            scope.check_expr(&c.init);
+        }
         if !consts.insert(&c.name) {
-            return Err(LangError::Check {
-                span: c.span,
-                msg: format!("duplicate constant `{}`", c.name),
-            });
+            report(
+                &mut out,
+                "PIL004",
+                Severity::Error,
+                format!("duplicate constant `{}`", c.name),
+                c.span,
+            );
         }
     }
 
     for f in &prog.functions {
-        check_fn(f, &fn_arity, &consts)?;
+        let mut scope = Scope {
+            fn_arity: &fn_arity,
+            consts: &consts,
+            locals: vec![f.params.iter().cloned().collect()],
+            out: &mut out,
+        };
+        scope.check_block(&f.body);
+        unused_bindings(f, &mut out);
     }
-    Ok(())
+    out
+}
+
+fn report(out: &mut Diagnostics, code: &str, sev: Severity, msg: String, span: Span) {
+    out.push(Diagnostic::new(code, sev, msg).with_pos(span.line, span.col));
+}
+
+/// PIL009/PIL010: parameters and `let` bindings that are never read.
+/// A name is "read" if it appears as a variable reference anywhere in
+/// the function; `_`-prefixed names opt out.
+fn unused_bindings(f: &FnDecl, out: &mut Diagnostics) {
+    let mut used: HashSet<&str> = HashSet::new();
+    for s in &f.body {
+        collect_reads(s, &mut used);
+    }
+    for p in &f.params {
+        if !p.starts_with('_') && !used.contains(p.as_str()) {
+            out.push(
+                Diagnostic::warning("PIL009", format!("unused parameter `{p}` in `{}`", f.name))
+                    .with_pos(f.span.line, f.span.col)
+                    .with_note("prefix it with `_` if the interface shape requires it"),
+            );
+        }
+    }
+    let mut lets: Vec<(&str, Span)> = Vec::new();
+    for s in &f.body {
+        collect_lets(s, &mut lets);
+    }
+    for (name, span) in lets {
+        if !name.starts_with('_') && !used.contains(name) {
+            out.push(
+                Diagnostic::warning(
+                    "PIL010",
+                    format!("unused `let` binding `{name}` in `{}`", f.name),
+                )
+                .with_pos(span.line, span.col)
+                .with_note("the value is computed and then dropped"),
+            );
+        }
+    }
+}
+
+fn collect_reads<'a>(s: &'a Stmt, used: &mut HashSet<&'a str>) {
+    match s {
+        Stmt::Let(_, e, _) | Stmt::Assign(_, e, _) | Stmt::Return(e, _) | Stmt::Expr(e, _) => {
+            collect_expr_reads(e, used)
+        }
+        Stmt::If(c, a, b, _) => {
+            collect_expr_reads(c, used);
+            a.iter().for_each(|s| collect_reads(s, used));
+            b.iter().for_each(|s| collect_reads(s, used));
+        }
+        Stmt::For(_, it, body, _) => {
+            collect_expr_reads(it, used);
+            body.iter().for_each(|s| collect_reads(s, used));
+        }
+        Stmt::While(c, body, _) => {
+            collect_expr_reads(c, used);
+            body.iter().for_each(|s| collect_reads(s, used));
+        }
+    }
+}
+
+fn collect_expr_reads<'a>(e: &'a Expr, used: &mut HashSet<&'a str>) {
+    match e {
+        Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => {}
+        Expr::Var(name, _) => {
+            used.insert(name);
+        }
+        Expr::List(items, _) => items.iter().for_each(|i| collect_expr_reads(i, used)),
+        Expr::Record(fields, _) => fields.iter().for_each(|(_, v)| collect_expr_reads(v, used)),
+        Expr::Field(base, _, _) => collect_expr_reads(base, used),
+        Expr::Index(base, idx, _) => {
+            collect_expr_reads(base, used);
+            collect_expr_reads(idx, used);
+        }
+        Expr::Call(_, args, _) => args.iter().for_each(|a| collect_expr_reads(a, used)),
+        Expr::Unary(_, inner, _) => collect_expr_reads(inner, used),
+        Expr::Binary(_, l, r, _) => {
+            collect_expr_reads(l, used);
+            collect_expr_reads(r, used);
+        }
+    }
+}
+
+fn collect_lets<'a>(s: &'a Stmt, lets: &mut Vec<(&'a str, Span)>) {
+    match s {
+        Stmt::Let(name, _, span) => lets.push((name, *span)),
+        Stmt::If(_, a, b, _) => {
+            a.iter().for_each(|s| collect_lets(s, lets));
+            b.iter().for_each(|s| collect_lets(s, lets));
+        }
+        Stmt::For(_, _, body, _) | Stmt::While(_, body, _) => {
+            body.iter().for_each(|s| collect_lets(s, lets));
+        }
+        Stmt::Assign(..) | Stmt::Return(..) | Stmt::Expr(..) => {}
+    }
 }
 
 struct Scope<'a> {
     fn_arity: &'a HashMap<&'a str, usize>,
     consts: &'a HashSet<&'a str>,
     locals: Vec<HashSet<String>>,
-}
-
-fn check_fn(
-    f: &FnDecl,
-    fn_arity: &HashMap<&str, usize>,
-    consts: &HashSet<&str>,
-) -> Result<(), LangError> {
-    let mut scope = Scope {
-        fn_arity,
-        consts,
-        locals: vec![f.params.iter().cloned().collect()],
-    };
-    scope.check_block(&f.body)
+    out: &'a mut Diagnostics,
 }
 
 impl<'a> Scope<'a> {
@@ -85,105 +217,105 @@ impl<'a> Scope<'a> {
         self.locals.iter().any(|s| s.contains(name)) || self.consts.contains(name)
     }
 
-    fn check_block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+    fn check_block(&mut self, stmts: &[Stmt]) {
         self.locals.push(HashSet::new());
         for s in stmts {
-            self.check_stmt(s)?;
+            self.check_stmt(s);
         }
         self.locals.pop();
-        Ok(())
     }
 
-    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+    fn check_stmt(&mut self, stmt: &Stmt) {
         match stmt {
             Stmt::Let(name, init, _) => {
-                self.check_expr(init)?;
+                self.check_expr(init);
                 self.locals
                     .last_mut()
                     .expect("scope stack non-empty")
                     .insert(name.clone());
-                Ok(())
             }
             Stmt::Assign(name, e, span) => {
                 if !self.locals.iter().any(|s| s.contains(name)) {
-                    return Err(LangError::Check {
-                        span: *span,
-                        msg: format!("assignment to unbound variable `{name}` (use `let`)"),
-                    });
+                    report(
+                        self.out,
+                        "PIL008",
+                        Severity::Error,
+                        format!("assignment to unbound variable `{name}` (use `let`)"),
+                        *span,
+                    );
                 }
-                self.check_expr(e)
+                self.check_expr(e);
             }
             Stmt::Return(e, _) => self.check_expr(e),
             Stmt::If(cond, then, els, _) => {
-                self.check_expr(cond)?;
-                self.check_block(then)?;
-                self.check_block(els)
+                self.check_expr(cond);
+                self.check_block(then);
+                self.check_block(els);
             }
             Stmt::For(var, iter, body, _) => {
-                self.check_expr(iter)?;
+                self.check_expr(iter);
                 self.locals.push(HashSet::from([var.clone()]));
                 for s in body {
-                    self.check_stmt(s)?;
+                    self.check_stmt(s);
                 }
                 self.locals.pop();
-                Ok(())
             }
             Stmt::While(cond, body, _) => {
-                self.check_expr(cond)?;
-                self.check_block(body)
+                self.check_expr(cond);
+                self.check_block(body);
             }
             Stmt::Expr(e, _) => self.check_expr(e),
         }
     }
 
-    fn check_expr(&self, e: &Expr) -> Result<(), LangError> {
+    fn check_expr(&mut self, e: &Expr) {
         match e {
-            Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => Ok(()),
+            Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => {}
             Expr::Var(name, span) => {
-                if self.is_bound(name) {
-                    Ok(())
-                } else {
-                    Err(self.undefined(name, *span))
+                if !self.is_bound(name) {
+                    report(
+                        self.out,
+                        "PIL005",
+                        Severity::Error,
+                        format!("undefined variable `{name}`"),
+                        *span,
+                    );
                 }
             }
-            Expr::List(items, _) => items.iter().try_for_each(|i| self.check_expr(i)),
-            Expr::Record(fields, _) => fields.iter().try_for_each(|(_, v)| self.check_expr(v)),
+            Expr::List(items, _) => items.iter().for_each(|i| self.check_expr(i)),
+            Expr::Record(fields, _) => fields.iter().for_each(|(_, v)| self.check_expr(v)),
             Expr::Field(base, _, _) => self.check_expr(base),
             Expr::Index(base, idx, _) => {
-                self.check_expr(base)?;
-                self.check_expr(idx)
+                self.check_expr(base);
+                self.check_expr(idx);
             }
             Expr::Call(name, args, span) => {
                 if let Some(&arity) = self.fn_arity.get(name.as_str()) {
                     if args.len() != arity {
-                        return Err(LangError::Check {
-                            span: *span,
-                            msg: format!(
-                                "`{name}` expects {arity} argument(s), got {}",
-                                args.len()
-                            ),
-                        });
+                        report(
+                            self.out,
+                            "PIL007",
+                            Severity::Error,
+                            format!("`{name}` expects {arity} argument(s), got {}", args.len()),
+                            *span,
+                        );
                     }
                 } else if !builtins::is_builtin(name) {
-                    return Err(LangError::Check {
-                        span: *span,
-                        msg: format!("call to undefined function `{name}`"),
-                    });
+                    report(
+                        self.out,
+                        "PIL006",
+                        Severity::Error,
+                        format!("call to undefined function `{name}`"),
+                        *span,
+                    );
                 }
-                args.iter().try_for_each(|a| self.check_expr(a))
+                args.iter().for_each(|a| self.check_expr(a));
             }
             Expr::Unary(_, inner, _) => self.check_expr(inner),
             Expr::Binary(_, l, r, _) => {
-                self.check_expr(l)?;
-                self.check_expr(r)
+                self.check_expr(l);
+                self.check_expr(r);
             }
-        }
-    }
-
-    fn undefined(&self, name: &str, span: Span) -> LangError {
-        LangError::Check {
-            span,
-            msg: format!("undefined variable `{name}`"),
         }
     }
 }
@@ -196,6 +328,10 @@ mod tests {
 
     fn check_src(src: &str) -> Result<(), LangError> {
         check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    fn diag_src(src: &str) -> Diagnostics {
+        diagnostics(&parse(&lex(src).unwrap()).unwrap())
     }
 
     #[test]
@@ -261,5 +397,53 @@ mod tests {
     fn recursion_allowed() {
         check_src("fn rc(m) { let c = 0; for s in m.subs { c = c + rc(s); } return c + 1; }")
             .unwrap();
+    }
+
+    #[test]
+    fn diagnostics_accumulate_every_problem() {
+        // Three distinct errors in one program, reported together.
+        let ds = diag_src("fn f() { return y; } fn f() { return 2; } fn g() { return h(); }");
+        assert!(ds.has_code("PIL001"), "{}", ds.render());
+        assert!(ds.has_code("PIL005"), "{}", ds.render());
+        assert!(ds.has_code("PIL006"), "{}", ds.render());
+        assert_eq!(ds.count(Severity::Error), 3, "{}", ds.render());
+    }
+
+    #[test]
+    fn unused_parameter_warns_but_does_not_fail() {
+        let src = "fn f(a, b) { return a; }";
+        check_src(src).unwrap();
+        let ds = diag_src(src);
+        let d = ds.find("PIL009").expect("unused-param warning");
+        assert!(d.message.contains("`b`"), "{}", ds.render());
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unused_let_warns_but_does_not_fail() {
+        let src = "fn f(a) { let waste = a * 2; return a; }";
+        check_src(src).unwrap();
+        let ds = diag_src(src);
+        assert!(ds.has_code("PIL010"), "{}", ds.render());
+    }
+
+    #[test]
+    fn underscore_prefix_silences_unused_warnings() {
+        let ds = diag_src("fn f(a, _shape) { let _x = a; return a; }");
+        assert!(ds.is_empty(), "{}", ds.render());
+    }
+
+    #[test]
+    fn used_in_nested_scope_is_not_unused() {
+        let ds = diag_src("fn f(xs, k) { let s = 0; for x in xs { s = s + x * k; } return s; }");
+        assert!(ds.is_empty(), "{}", ds.render());
+    }
+
+    #[test]
+    fn shipped_style_program_is_warning_free() {
+        let ds = diag_src(
+            "const M = 145;\nfn read_cost(msg) { let c = 0; for s in msg.subs { c = c + read_cost(s); } return c + M; }",
+        );
+        assert!(ds.is_empty(), "{}", ds.render());
     }
 }

@@ -38,6 +38,7 @@ pub mod check;
 pub mod error;
 pub mod interp;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod printer;
 pub mod value;

@@ -67,6 +67,39 @@ impl Behavior {
         }
     }
 
+    /// The delay, if it is provably constant: an expression behavior
+    /// whose delay mentions neither `t` nor `ts`. Native closures are
+    /// opaque, so they always return `None`. Used by the lint pass to
+    /// find zero-delay cycles.
+    pub fn const_delay(&self) -> Option<f64> {
+        match self {
+            Behavior::Native { .. } => None,
+            Behavior::Expr(e) => e.const_fn_value("__delay").and_then(|v| v.as_num()),
+        }
+    }
+
+    /// The guard's value, if it is provably constant (see
+    /// [`Behavior::const_delay`]). `None` means "depends on tokens or
+    /// unknowable"; guard-free transitions report `Some(true)`.
+    pub fn const_guard(&self) -> Option<bool> {
+        match self {
+            Behavior::Native { guard, .. } => {
+                if guard.is_none() {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Behavior::Expr(e) => {
+                if !e.has_guard {
+                    Some(true)
+                } else {
+                    e.const_fn_value("__guard").and_then(|v| v.as_bool())
+                }
+            }
+        }
+    }
+
     /// Computes the firing (delay and outputs) for consumed tokens.
     pub fn fire(&self, inputs: &[Token], n_outputs: usize) -> Result<Firing, PetriError> {
         match self {
@@ -158,6 +191,19 @@ impl ExprBehavior {
             c_guard,
             c_emits,
         })
+    }
+
+    /// Evaluates compiled function `name` if its body provably does not
+    /// depend on the consumed tokens (mentions neither `t` nor `ts`),
+    /// returning the constant result. Evaluation failures (e.g. a
+    /// division by zero inside constants) yield `None`.
+    pub(crate) fn const_fn_value(&self, name: &str) -> Option<Value> {
+        let f = self.prog.ast().functions.iter().find(|f| f.name == name)?;
+        if f.body.iter().any(stmt_mentions_inputs) {
+            return None;
+        }
+        let dummy = [Value::num(0.0), Value::list(Vec::new())];
+        self.invoke(name, &dummy).ok()
     }
 
     /// Returns the cached constant environment, evaluating it once.
@@ -262,6 +308,43 @@ impl ExprBehavior {
     }
 }
 
+/// Whether a statement (transitively) reads the token bindings `t` or
+/// `ts`. The generated `__delay`/`__guard` wrappers have exactly these
+/// two parameters, so "mentions neither" means "constant w.r.t. the
+/// consumed tokens".
+fn stmt_mentions_inputs(s: &perf_iface_lang::ast::Stmt) -> bool {
+    use perf_iface_lang::ast::Stmt;
+    match s {
+        Stmt::Let(_, e, _) | Stmt::Assign(_, e, _) | Stmt::Return(e, _) | Stmt::Expr(e, _) => {
+            expr_mentions_inputs(e)
+        }
+        Stmt::If(c, a, b, _) => {
+            expr_mentions_inputs(c)
+                || a.iter().any(stmt_mentions_inputs)
+                || b.iter().any(stmt_mentions_inputs)
+        }
+        Stmt::For(_, it, body, _) => {
+            expr_mentions_inputs(it) || body.iter().any(stmt_mentions_inputs)
+        }
+        Stmt::While(c, body, _) => expr_mentions_inputs(c) || body.iter().any(stmt_mentions_inputs),
+    }
+}
+
+fn expr_mentions_inputs(e: &perf_iface_lang::ast::Expr) -> bool {
+    use perf_iface_lang::ast::Expr;
+    match e {
+        Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => false,
+        Expr::Var(name, _) => name == "t" || name == "ts",
+        Expr::List(items, _) => items.iter().any(expr_mentions_inputs),
+        Expr::Record(fields, _) => fields.iter().any(|(_, v)| expr_mentions_inputs(v)),
+        Expr::Field(base, _, _) => expr_mentions_inputs(base),
+        Expr::Index(base, idx, _) => expr_mentions_inputs(base) || expr_mentions_inputs(idx),
+        Expr::Call(_, args, _) => args.iter().any(expr_mentions_inputs),
+        Expr::Unary(_, inner, _) => expr_mentions_inputs(inner),
+        Expr::Binary(_, l, r, _) => expr_mentions_inputs(l) || expr_mentions_inputs(r),
+    }
+}
+
 /// A convenience constructor: fixed delay, pass-through payloads.
 pub fn fixed_delay(delay: u64, n_outputs: usize) -> Behavior {
     Behavior::Native {
@@ -353,6 +436,25 @@ mod tests {
         assert!(Behavior::Expr(e).fire(&[tok(0.0)], 1).is_err());
         let e = ExprBehavior::compile("", "1 / 0", None, &[None]).unwrap();
         assert!(Behavior::Expr(e).fire(&[tok(0.0)], 1).is_err());
+    }
+
+    #[test]
+    fn const_delay_detected_only_when_token_free() {
+        let e = ExprBehavior::compile("const K = 3;", "K * 2 - 6", None, &[None]).unwrap();
+        assert_eq!(Behavior::Expr(e).const_delay(), Some(0.0));
+        let e = ExprBehavior::compile("", "ceil(t.bits / 2)", None, &[None]).unwrap();
+        assert_eq!(Behavior::Expr(e).const_delay(), None);
+        assert_eq!(fixed_delay(7, 1).const_delay(), None); // native: opaque
+    }
+
+    #[test]
+    fn const_guard_detected() {
+        let e = ExprBehavior::compile("", "1", Some("1 == 2"), &[None]).unwrap();
+        assert_eq!(Behavior::Expr(e).const_guard(), Some(false));
+        let e = ExprBehavior::compile("", "1", Some("t.v < 3"), &[None]).unwrap();
+        assert_eq!(Behavior::Expr(e).const_guard(), None);
+        let e = ExprBehavior::compile("", "1", None, &[None]).unwrap();
+        assert_eq!(Behavior::Expr(e).const_guard(), Some(true));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pnet check FILE                                 # parse + structural report
+//! pnet lint FILE [--entry PLACE]... [--json]      # static perf-lint analyses
 //! pnet dot FILE                                   # Graphviz to stdout
 //! pnet run FILE PLACE N [field=VAL...]            # inject N tokens, simulate
 //! pnet trace FILE PLACE N [--folded] [field=VAL...]
@@ -9,19 +10,46 @@
 //!                                                 # (or folded stacks) with
 //!                                                 # critical-path attribution
 //! ```
+//!
+//! Malformed inputs are reported as rendered diagnostics with exit
+//! code 1; the tool never panics on user-supplied files.
 
+use perf_core::diag::{Diagnostic, Diagnostics};
 use perf_iface_lang::Value;
 use perf_petri::engine::{Engine, Options};
 use perf_petri::token::Token;
 use perf_petri::trace::{critical_path, trace_report_json, DEFAULT_TRACE_CAPACITY};
-use perf_petri::{analysis, dot, text};
+use perf_petri::{analysis, dot, lint, text, PetriError};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pnet check FILE | pnet dot FILE | pnet run FILE PLACE N [field=VAL...] \
-         | pnet trace FILE PLACE N [--folded] [field=VAL...]"
+        "usage: pnet check FILE | pnet lint FILE [--entry PLACE]... [--json] | pnet dot FILE \
+         | pnet run FILE PLACE N [field=VAL...] | pnet trace FILE PLACE N [--folded] [field=VAL...]"
     );
     std::process::exit(2);
+}
+
+/// Renders a single load-time diagnostic and exits with code 1.
+fn fail(d: Diagnostic, json: bool) -> ! {
+    let mut ds = Diagnostics::new();
+    ds.push(d);
+    if json {
+        println!("{}", ds.render_json());
+    } else {
+        eprint!("{}", ds.render());
+    }
+    std::process::exit(1);
+}
+
+/// Turns a load failure into the corresponding loader diagnostic.
+fn load_diag(path: &str, e: &PetriError) -> Diagnostic {
+    match e {
+        PetriError::Parse { line, msg } => Diagnostic::error("PN002", msg.clone())
+            .with_origin(path)
+            .with_pos(*line as u32, 0),
+        PetriError::Structure(msg) => Diagnostic::error("PN003", msg.clone()).with_origin(path),
+        other => Diagnostic::error("PN002", other.to_string()).with_origin(path),
+    }
 }
 
 /// Parses the shared `FILE PLACE N [field=VAL...]` operands of `run`
@@ -61,13 +89,12 @@ fn parse_run_args(
 
 fn load(path: &str) -> perf_petri::net::Net {
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("pnet: cannot read {path}: {e}");
-        std::process::exit(1);
+        fail(
+            Diagnostic::error("PN001", format!("cannot read file: {e}")).with_origin(path),
+            false,
+        )
     });
-    text::parse(&src).unwrap_or_else(|e| {
-        eprintln!("pnet: {path}: {e}");
-        std::process::exit(1);
-    })
+    text::parse(&src).unwrap_or_else(|e| fail(load_diag(path, &e), false))
 }
 
 fn main() {
@@ -93,6 +120,60 @@ fn main() {
                     "  dead ends: {} <- TOKENS CAN STRAND HERE",
                     s.dead_ends.join(", ")
                 );
+                std::process::exit(1);
+            }
+        }
+        Some("lint") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let json = rest.iter().any(|a| a == "--json");
+            rest.retain(|a| a != "--json");
+            let mut entries: Vec<String> = Vec::new();
+            let mut operands: Vec<String> = Vec::new();
+            let mut it = rest.into_iter();
+            while let Some(a) = it.next() {
+                if a == "--entry" {
+                    match it.next() {
+                        Some(p) => entries.push(p),
+                        None => usage(),
+                    }
+                } else {
+                    operands.push(a);
+                }
+            }
+            let [path] = operands.as_slice() else { usage() };
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                fail(
+                    Diagnostic::error("PN001", format!("cannot read file: {e}")).with_origin(path),
+                    json,
+                )
+            });
+            let net = text::parse(&src).unwrap_or_else(|e| fail(load_diag(path, &e), json));
+            let mut entry_ids = Vec::new();
+            for e in &entries {
+                match net.place_id(e) {
+                    Some(id) => entry_ids.push(id),
+                    None => fail(
+                        Diagnostic::error("PN003", format!("no place `{e}` for --entry"))
+                            .with_origin(path),
+                        json,
+                    ),
+                }
+            }
+            let mut ds = lint::lint(
+                &net,
+                if entry_ids.is_empty() {
+                    None
+                } else {
+                    Some(&entry_ids)
+                },
+            );
+            ds.set_origin(path);
+            if json {
+                println!("{}", ds.render_json());
+            } else {
+                print!("{}", ds.render());
+            }
+            if ds.has_errors() {
                 std::process::exit(1);
             }
         }

@@ -124,7 +124,6 @@ pub fn transition_names(net: &Net) -> Vec<String> {
     net.transitions().iter().map(|t| t.name.clone()).collect()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

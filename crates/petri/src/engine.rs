@@ -359,7 +359,8 @@ impl<'n> Engine<'n> {
             for &(p, w) in &t.inputs {
                 let q = &mut self.marking[p.0];
                 for _ in 0..w {
-                    self.selected.push(q.pop_front().expect("availability checked"));
+                    self.selected
+                        .push(q.pop_front().expect("availability checked"));
                 }
             }
         } else if let [(p, w)] = t.inputs[..] {
@@ -371,7 +372,8 @@ impl<'n> Engine<'n> {
             }
             let q = &mut self.marking[p.0];
             for _ in 0..w {
-                self.selected.push(q.pop_front().expect("availability checked"));
+                self.selected
+                    .push(q.pop_front().expect("availability checked"));
             }
         } else {
             // Guarded join: the candidate set spans queues, so clone

@@ -60,6 +60,7 @@ pub mod components;
 pub mod compose;
 pub mod dot;
 pub mod engine;
+pub mod lint;
 pub mod net;
 pub mod text;
 pub mod token;

@@ -521,10 +521,7 @@ mod tests {
         let r = e.run().unwrap();
         let cp = critical_path(&r).unwrap();
         assert_eq!(cp.total(), cp.end);
-        assert!(cp
-            .segments
-            .iter()
-            .any(|s| s.kind == SegmentKind::Truncated));
+        assert!(cp.segments.iter().any(|s| s.kind == SegmentKind::Truncated));
     }
 
     #[test]

@@ -40,10 +40,7 @@ struct TransSpec {
 }
 
 fn spec_strategy() -> impl Strategy<Value = NetSpec> {
-    let place = prop_oneof![
-        Just(None),
-        (1usize..=3).prop_map(Some),
-    ];
+    let place = prop_oneof![Just(None), (1usize..=3).prop_map(Some),];
     let trans = (
         prop::collection::vec((0usize..100, 1usize..=2), 1..=2),
         prop::collection::vec((0usize..100, 1usize..=2), 0..=2),
@@ -107,9 +104,8 @@ fn build(spec: &NetSpec) -> Net {
         let n_out = outputs.len();
         let base = t.base_delay;
         let guard = t.guard.map(|thr| {
-            Box::new(move |ts: &[Token]| {
-                (ts[0].data.as_num().unwrap_or(0.0) as u64) % 16 < thr
-            }) as Box<dyn Fn(&[Token]) -> bool>
+            Box::new(move |ts: &[Token]| (ts[0].data.as_num().unwrap_or(0.0) as u64) % 16 < thr)
+                as Box<dyn Fn(&[Token]) -> bool>
         });
         b.add_transition(Transition {
             name: format!("t{i}"),
@@ -121,7 +117,10 @@ fn build(spec: &NetSpec) -> Net {
                     base + (ts[0].data.as_num().unwrap_or(0.0) as u64) % 3
                 }),
                 transform: Box::new(move |ts: &[Token]| {
-                    let v = ts.iter().map(|t| t.data.as_num().unwrap_or(0.0)).sum::<f64>();
+                    let v = ts
+                        .iter()
+                        .map(|t| t.data.as_num().unwrap_or(0.0))
+                        .sum::<f64>();
                     vec![Value::num((v + 1.0) % 1024.0); n_out]
                 }),
             },
@@ -176,7 +175,9 @@ fn assert_identical(a: &Result<SimResult, PetriError>, b: &Result<SimResult, Pet
             assert_eq!(ra.completions, rb.completions, "completions");
         }
         (Err(ea), Err(eb)) => assert_eq!(ea, eb, "errors differ"),
-        (a, b) => panic!("one engine errored, the other did not:\n  incremental: {a:?}\n  reference: {b:?}"),
+        (a, b) => panic!(
+            "one engine errored, the other did not:\n  incremental: {a:?}\n  reference: {b:?}"
+        ),
     }
 }
 
@@ -222,9 +223,7 @@ fn handcrafted_shapes_match() {
             inputs: vec![(mid, 1)],
             outputs: vec![(small, 1)],
             behavior: perf_petri::behavior::Behavior::Native {
-                guard: Some(Box::new(|ts: &[Token]| {
-                    ts[0].data.as_num().unwrap() < 5.0
-                })),
+                guard: Some(Box::new(|ts: &[Token]| ts[0].data.as_num().unwrap() < 5.0)),
                 delay: Box::new(|_| 2),
                 transform: Box::new(|ts: &[Token]| vec![ts[0].data.clone()]),
             },
@@ -254,7 +253,11 @@ fn handcrafted_shapes_match() {
                 Token::at(Value::num((i % 9) as f64), i / 3),
             );
         }
-        if incremental { e.run() } else { e.run_reference() }
+        if incremental {
+            e.run()
+        } else {
+            e.run_reference()
+        }
     };
     assert_identical(&run(true), &run(false));
 }

@@ -247,10 +247,7 @@ pub fn configure_soc(budget_kge: f64, mix: &SocMix) -> Result<Option<SocConfig>,
                 if cfg.area_kge() > budget_kge {
                     continue;
                 }
-                if best
-                    .as_ref()
-                    .is_none_or(|b| cfg.score(mix) > b.score(mix))
-                {
+                if best.as_ref().is_none_or(|b| cfg.score(mix) > b.score(mix)) {
                     best = Some(cfg);
                 }
             }
@@ -279,9 +276,7 @@ mod soc_config_tests {
         assert_eq!(sers.len(), 2);
         // Lane scaling: double area, double throughput.
         assert!((jpegs[1].area_kge / jpegs[0].area_kge - 2.0).abs() < 1e-9);
-        assert!(
-            (jpegs[1].jobs_per_kcycle / jpegs[0].jobs_per_kcycle - 2.0).abs() < 1e-9
-        );
+        assert!((jpegs[1].jobs_per_kcycle / jpegs[0].jobs_per_kcycle - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -3,9 +3,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 # --workspace matters: without it only the root package's suites run,
 # and the other ~33 member suites silently stop gating merges.
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# Static perf-lint audit of every shipped .pnet net and .pi program;
+# exits nonzero on any error- or warning-severity finding.
+cargo run --release -p perf-bench --bin repro -- --lint-all
 cargo bench --no-run

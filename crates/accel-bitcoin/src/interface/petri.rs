@@ -103,19 +103,34 @@ impl PerfInterface<MineJob> for BitcoinPetriInterface {
     fn predict(&self, job: &MineJob, metric: Metric) -> Result<Prediction, CoreError> {
         match metric {
             Metric::Throughput => {
-                // Steady-state: measure a long exhaustive scan.
-                let n = 1000u64;
-                let span = self.run(n, false)?;
-                Ok(Prediction::point(n as f64 / span as f64))
+                if job.difficulty_bits >= 200 {
+                    // Steady-state: measure a long exhaustive scan.
+                    let n = 1000u64;
+                    let span = self.run(n, false)?;
+                    Ok(Prediction::point(n as f64 / span as f64))
+                } else {
+                    // A first-find scan stops after a data-dependent
+                    // number of hashes k, observing k / (k*Loop +
+                    // report): worst with the report amortized over a
+                    // single hash, best the reportless steady state.
+                    let n = 1000u64;
+                    let lo = self.run(1, true)?;
+                    let hi = self.run(n, false)?;
+                    Ok(Prediction::bounds(1.0 / lo as f64, n as f64 / hi as f64))
+                }
             }
             Metric::Latency => {
                 if job.difficulty_bits >= 200 {
                     let span = self.run(job.nonce_count as u64, false)?;
                     Ok(Prediction::point(span as f64))
                 } else {
-                    let lo = self.run(1, true)?;
+                    // The cheapest outcomes are an instant find (one
+                    // hash plus the report) or — for short scans —
+                    // exhausting without any find, paying no report.
+                    let find = self.run(1, true)?;
+                    let exhaust = self.run(job.nonce_count as u64, false)?;
                     let hi = self.run(job.nonce_count as u64, true)?;
-                    Ok(Prediction::bounds(lo as f64, hi as f64))
+                    Ok(Prediction::bounds(find.min(exhaust) as f64, hi as f64))
                 }
             }
         }
@@ -162,6 +177,31 @@ mod tests {
         let job = MineJob::random(1, 10, 256);
         let t = iface.predict(&job, Metric::Throughput).unwrap();
         assert!((t.midpoint() - 1.0 / 32.0).abs() < 1e-6);
+    }
+
+    // Conformance-harness counterexamples: short first-find scans
+    // observe a report-amortized throughput well below 1/Loop, and a
+    // short scan that exhausts unfound undercuts the instant-find
+    // latency; both must fall inside the net's bounds.
+    #[test]
+    fn short_scan_bounds_cover_find_and_exhaust() {
+        for (loop_, seed, n, diff) in [(1u64, 3u64, 1u32, 0u32), (8, 3, 1, 0), (8, 7, 1, 64)] {
+            let cfg = MinerConfig::with_loop(loop_).unwrap();
+            let iface = BitcoinPetriInterface::new(cfg).unwrap();
+            let mut sim = MinerCycleSim::new(cfg);
+            let job = MineJob::random(seed, n, diff);
+            let obs = sim.measure(&job).unwrap();
+            for metric in [Metric::Latency, Metric::Throughput] {
+                let v = metric.of(&obs);
+                let pred = iface.predict(&job, metric).unwrap();
+                assert!(matches!(pred, Prediction::Bounds { .. }));
+                assert!(
+                    pred.contains(v),
+                    "Loop {loop_} diff {diff}: {} {v} outside {pred}",
+                    metric.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -72,8 +72,19 @@ impl PerfInterface<MineJob> for BitcoinProgramInterface {
     fn predict(&self, job: &MineJob, metric: Metric) -> Result<Prediction, CoreError> {
         match metric {
             Metric::Throughput => {
-                let t = self.call_num("tput_hash", self.cfg_value())?;
-                Ok(Prediction::point(t))
+                if job.difficulty_bits >= 200 {
+                    // Exhaustive scan: the steady-state rate is exact.
+                    let t = self.call_num("tput_hash", self.cfg_value())?;
+                    Ok(Prediction::point(t))
+                } else {
+                    // A first-find scan stops after a data-dependent
+                    // number of hashes and amortizes the report
+                    // overhead over however many it did: bounds, like
+                    // latency.
+                    let lo = self.call_num("min_tput_job", self.job_value(job))?;
+                    let hi = self.call_num("max_tput_job", self.job_value(job))?;
+                    Ok(Prediction::bounds(lo, hi))
+                }
             }
             Metric::Latency => {
                 if job.difficulty_bits >= 200 {
@@ -129,5 +140,44 @@ mod tests {
         let job = MineJob::random(1, 10, 256);
         let t = iface.predict(&job, Metric::Throughput).unwrap();
         assert_eq!(t, Prediction::Point(0.25));
+    }
+
+    // Conformance-harness counterexample: a Loop=1 single-nonce job
+    // that finds instantly runs 1 hash in 1*Loop + report = 5 cycles,
+    // so its observed throughput is 0.2 — far from the steady-state
+    // 1/Loop = 1.0 the interface used to predict as a point. First-find
+    // scans get bounds now.
+    #[test]
+    fn short_find_throughput_within_bounds() {
+        for l in [1u64, 8] {
+            let cfg = MinerConfig::with_loop(l).unwrap();
+            let iface = BitcoinProgramInterface::new(cfg).unwrap();
+            let mut sim = MinerCycleSim::new(cfg);
+            let job = MineJob::random(3, 1, 0); // difficulty 0: instant find
+            let obs = sim.measure(&job).unwrap();
+            let t = Metric::Throughput.of(&obs);
+            let pred = iface.predict(&job, Metric::Throughput).unwrap();
+            assert!(matches!(pred, Prediction::Bounds { .. }));
+            assert!(pred.contains(t), "Loop {l}: tput {t} outside {pred}");
+            assert!((t - 1.0 / (l as f64 + 4.0)).abs() < 1e-12);
+        }
+    }
+
+    // Conformance-harness counterexample: a single-nonce scan that
+    // exhausts *without* finding pays no report, finishing in Loop
+    // cycles — below the old `Loop + REPORT` lower latency bound.
+    #[test]
+    fn short_unfound_scan_within_latency_bounds() {
+        let cfg = MinerConfig::default();
+        let iface = BitcoinProgramInterface::new(cfg).unwrap();
+        let mut sim = MinerCycleSim::new(cfg);
+        let job = MineJob::random(7, 1, 64); // ~2^-64: never finds
+        let obs = sim.measure(&job).unwrap();
+        let lat = obs.latency.as_f64();
+        let lpred = iface.predict(&job, Metric::Latency).unwrap();
+        assert!(lpred.contains(lat), "latency {lat} outside {lpred}");
+        let t = Metric::Throughput.of(&obs);
+        let tpred = iface.predict(&job, Metric::Throughput).unwrap();
+        assert!(tpred.contains(t), "tput {t} outside {tpred}");
     }
 }

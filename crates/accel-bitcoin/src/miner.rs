@@ -5,6 +5,7 @@ use crate::sha256;
 use perf_core::units::Cycles;
 use perf_core::units::Throughput;
 use perf_core::{CoreError, GroundTruth, Observation};
+use perf_sim::fault::{FaultInjector, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -129,6 +130,12 @@ pub struct MinerCycleSim {
     hash_cycles: u64,
     /// Result-reporting cycles accumulated across jobs.
     report_cycles: u64,
+    /// Transient hasher stalls injected by the armed fault plan.
+    fault_stall_cycles: u64,
+    /// Armed fault injector (the miner has no memory system or FIFOs,
+    /// so only the transient-stall class applies: a stall extends one
+    /// hash's occupancy of the round units).
+    fault: Option<FaultInjector>,
 }
 
 impl MinerCycleSim {
@@ -139,7 +146,21 @@ impl MinerCycleSim {
             ticks: 0,
             hash_cycles: 0,
             report_cycles: 0,
+            fault_stall_cycles: 0,
+            fault: None,
         }
+    }
+
+    /// Arms (or with `None` disarms) deterministic fault injection:
+    /// each hash may pay extra stall cycles per the plan's
+    /// transient-stall parameters.
+    pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.map(FaultInjector::new);
+    }
+
+    /// Total stall cycles injected by the armed fault plan so far.
+    pub fn fault_cycles(&self) -> u64 {
+        self.fault_stall_cycles
     }
 
     /// Total cycles simulated so far.
@@ -160,6 +181,11 @@ impl MinerCycleSim {
             let nonce = job.start_nonce.wrapping_add(i);
             let digest = sha256::header_pow_hash(&mid, tail, nonce);
             cycles += self.cfg.loop_;
+            if let Some(f) = self.fault.as_mut() {
+                let extra = f.stage_stall();
+                cycles += extra;
+                self.fault_stall_cycles += extra;
+            }
             hashes += 1;
             if sha256::leading_zero_bits(&digest) >= job.difficulty_bits {
                 golden = Some(nonce);
@@ -191,6 +217,7 @@ impl MinerCycleSim {
             "hasher",
             perf_sim::StageCycles {
                 busy: self.hash_cycles,
+                stall: self.fault_stall_cycles,
                 ..perf_sim::StageCycles::default()
             },
         );

@@ -10,7 +10,7 @@ use crate::hw::JpegHwConfig;
 use crate::workload::{Image, HEADER_BYTES};
 use perf_core::units::Cycles;
 use perf_core::{CoreError, GroundTruth, Observation};
-use perf_sim::{Pipeline, StageCycles, StageSpec, TraceSink};
+use perf_sim::{FaultPlan, Pipeline, StageCycles, StageSpec, TraceSink};
 
 /// One block's job descriptor flowing through the pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +32,8 @@ pub struct JpegCycleSim {
     stage_totals: Vec<(String, StageCycles)>,
     /// Header-parse prologue cycles accumulated across decodes.
     header_cycles: u64,
+    /// Armed fault plan, applied to every per-image pipeline.
+    fault: Option<FaultPlan>,
 }
 
 impl JpegCycleSim {
@@ -43,7 +45,17 @@ impl JpegCycleSim {
             images: 0,
             stage_totals: Vec::new(),
             header_cycles: 0,
+            fault: None,
         }
+    }
+
+    /// Arms (or with `None` disarms) deterministic fault injection.
+    /// Each decode derives a per-image seed from the plan's seed and
+    /// the running image count, so a sequence of decodes is replayable
+    /// on a fresh simulator while distinct images still see distinct
+    /// fault schedules.
+    pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
     }
 
     /// Total clock ticks simulated so far (a proxy for simulation cost;
@@ -78,6 +90,12 @@ impl JpegCycleSim {
                 }),
             ],
         );
+        if let Some(plan) = self.fault {
+            pipe.set_fault(Some(FaultPlan {
+                seed: plan.seed.wrapping_add(self.images),
+                ..plan
+            }));
+        }
         let jobs: Vec<BlockJob> = img
             .blocks
             .iter()

@@ -62,13 +62,19 @@ impl JpegPetriInterface {
             .place_id("blocks_in")
             .ok_or_else(|| CoreError::Artifact("net lacks blocks_in".into()))?;
         let mut eng = Engine::new(&self.net, Options::default());
-        for b in &img.blocks {
+        let per_page = JpegHwConfig::default().blocks_per_page;
+        for (i, b) in img.blocks.iter().enumerate() {
+            // Blocks at page-aligned output offsets carry the writer's
+            // DRAM page-open flag (the token transform that keeps the
+            // net's delay expressions exact).
+            let opens_page = (i as u64).is_multiple_of(per_page);
             eng.inject(
                 src,
                 Token::at(
                     Value::record([
                         ("bits", Value::from(b.bits as u64)),
                         ("nz", Value::from(b.nonzero as u64)),
+                        ("pg", Value::from(u64::from(opens_page))),
                     ]),
                     self.header_cycles,
                 ),
@@ -106,8 +112,10 @@ impl PerfInterface<Image> for JpegPetriInterface {
 mod tests {
     use super::*;
     use crate::cycle::JpegCycleSim;
+    use crate::huffman::BlockCost;
     use crate::workload::ImageGen;
     use perf_core::validate::validate;
+    use perf_core::GroundTruth;
 
     #[test]
     fn net_parses_and_predicts() {
@@ -117,6 +125,43 @@ mod tests {
         let lat = iface.run(&img).unwrap();
         assert!(lat > 0);
         assert!(iface.events_evaluated() > 0);
+    }
+
+    // Conformance-harness counterexample: on a single minimal block
+    // the old net amortized the writer's page-open penalty away and
+    // predicted 547 where the hardware takes 580 cycles (5.7% off,
+    // against a 1% budget). With the `pg` token flag and the refill
+    // term the net now tracks the simulator to within the pipeline's
+    // handoff cycles on degenerate and page-aligned images alike.
+    #[test]
+    fn degenerate_and_page_aligned_images_track_simulator() {
+        let mut sim = JpegCycleSim::new(JpegHwConfig::default());
+        let iface = JpegPetriInterface::new().unwrap();
+        let flat = |blocks: usize, bits: u32, nonzero: u8| Image {
+            width: 8 * blocks as u32,
+            height: 8,
+            quality: 50,
+            color: crate::workload::ColorMode::Grayscale,
+            blocks: vec![BlockCost { bits, nonzero }; blocks],
+        };
+        for img in [
+            flat(1, 0, 0),       // minimal single block
+            flat(1, 4000, 63),   // huffman bomb: 31 refill stalls
+            flat(129, 3000, 63), // crosses two page boundaries
+            flat(128, 0, 0),     // page-aligned idct-bound stream
+        ] {
+            let obs = sim.measure(&img).unwrap();
+            let pred = iface.run(&img).unwrap() as f64;
+            let gap = (pred - obs.latency.as_f64()).abs();
+            assert!(
+                gap <= 8.0,
+                "{}x{} ({} blocks): net {pred} vs sim {} (gap {gap})",
+                img.width,
+                img.height,
+                img.num_blocks(),
+                obs.latency.as_f64()
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,21 @@ pub const PROTOACC_PNET_SRC: &str = include_str!("../../assets/protoacc.pnet");
 /// calibration as the program interface).
 pub const AVG_MEM_LATENCY: u64 = 145;
 
+/// Writer tail charged on the latency (first-message) path instead of
+/// the chunk-scaled [`write_cost`](ProtoaccPetriInterface::write_cost).
+///
+/// Within one message the hardware writer drains chunks concurrently
+/// with the reader's streaming (the simulator releases chunks
+/// progressively across each field's interval), so the per-chunk
+/// write cost is overlapped, not serial — on 16 KiB payloads the
+/// serial model over-predicted by 113%. What remains past the
+/// reader's finish is a near-constant flush/store tail; the constant
+/// also absorbs the first message's cold-TLB/cold-row extra. The
+/// conformance harness measured `sim - (read + data)` between -47 and
+/// +242 cycles across the 32-format suite; 140 minimizes the worst
+/// relative error (~6.5%).
+pub const FIRST_MSG_TAIL: u64 = 140;
+
 /// Petri-net interface for Protoacc.
 pub struct ProtoaccPetriInterface {
     net: Net,
@@ -63,23 +78,21 @@ impl ProtoaccPetriInterface {
         wire::encoded_len(msg) as u64 / 16
     }
 
-    /// Runs the net over a stream and returns `(makespan, completions)`.
-    pub fn run(&self, msgs: &[Message]) -> Result<(u64, usize), CoreError> {
+    /// Runs the net over pre-computed `(read_cost, write_cost)` token
+    /// payloads and returns `(makespan, completions)`.
+    fn run_costed(&self, costed: &[(u64, u64)]) -> Result<(u64, usize), CoreError> {
         let src = self
             .net
             .place_id("msgs_in")
             .ok_or_else(|| CoreError::Artifact("net lacks msgs_in".into()))?;
         let mut eng = Engine::new(&self.net, Options::default());
-        for m in msgs {
+        for &(rc, wc) in costed {
             eng.inject(
                 src,
                 Token::at(
                     Value::record([
-                        (
-                            "read_cost",
-                            Value::from(self.read_cost(m) + self.data_cost(m)),
-                        ),
-                        ("write_cost", Value::from(self.write_cost(m))),
+                        ("read_cost", Value::from(rc)),
+                        ("write_cost", Value::from(wc)),
                     ]),
                     0,
                 ),
@@ -87,6 +100,15 @@ impl ProtoaccPetriInterface {
         }
         let res = eng.run().map_err(CoreError::from)?;
         Ok((res.makespan, res.completions.len()))
+    }
+
+    /// Runs the net over a stream and returns `(makespan, completions)`.
+    pub fn run(&self, msgs: &[Message]) -> Result<(u64, usize), CoreError> {
+        let costed: Vec<(u64, u64)> = msgs
+            .iter()
+            .map(|m| (self.read_cost(m) + self.data_cost(m), self.write_cost(m)))
+            .collect();
+        self.run_costed(&costed)
     }
 }
 
@@ -102,11 +124,15 @@ impl PerfInterface<ProtoWorkload> for ProtoaccPetriInterface {
                 Ok(Prediction::point(n as f64 / span.max(1) as f64))
             }
             Metric::Latency => {
+                // First-message span: the writer overlaps the read, so
+                // the token carries the constant tail, not the
+                // chunk-scaled steady-state write cost.
                 let first = w
                     .messages
                     .first()
                     .ok_or_else(|| CoreError::InvalidObservation("empty stream".into()))?;
-                let (span, _) = self.run(std::slice::from_ref(first))?;
+                let rc = self.read_cost(first) + self.data_cost(first);
+                let (span, _) = self.run_costed(&[(rc, FIRST_MSG_TAIL)])?;
                 Ok(Prediction::point(span as f64))
             }
         }
@@ -129,6 +155,34 @@ mod tests {
             assert_eq!(n, 4);
             assert!(span > 0);
         }
+    }
+
+    // Conformance-harness counterexamples: the latency metric is the
+    // *first* message's span, which runs cold (empty TLB, closed DRAM
+    // rows) — the steady-state constants under-shot flat singleton
+    // formats by 22% — while serializing the chunk-scaled write cost
+    // after the read over-shot 16 KiB payloads by 113% (the hardware
+    // writer drains chunks while the reader streams). With the
+    // constant first-message tail the whole 32-format suite stays
+    // inside 10%.
+    #[test]
+    fn singleton_latency_includes_cold_start() {
+        let iface = ProtoaccPetriInterface::new().unwrap();
+        let mut worst: f64 = 0.0;
+        let mut sum = 0.0;
+        let formats = suite::formats();
+        for (i, d) in formats.iter().enumerate() {
+            let w = ProtoWorkload::of_format(d, 1, 90 + i as u64);
+            let mut sim = ProtoaccSim::default();
+            let obs = perf_core::GroundTruth::measure(&mut sim, &w).unwrap();
+            let pred = iface.predict(&w, Metric::Latency).unwrap();
+            let rel = (pred.midpoint() - obs.latency.as_f64()).abs() / obs.latency.as_f64();
+            worst = worst.max(rel);
+            sum += rel;
+        }
+        let avg = sum / formats.len() as f64;
+        assert!(worst < 0.10, "worst singleton latency error {worst:.3}");
+        assert!(avg < 0.05, "avg singleton latency error {avg:.3}");
     }
 
     #[test]

@@ -142,6 +142,23 @@ impl ProtoaccSim {
         self.ticks
     }
 
+    /// Arms (or with `None` disarms) deterministic fault injection:
+    /// memory-latency jitter on both the read and write DRAM channels
+    /// (decorrelated by deriving the write channel's seed from the
+    /// plan's). [`reset`](ProtoaccSim::reset) rewinds both streams.
+    pub fn set_fault(&mut self, plan: Option<perf_sim::FaultPlan>) {
+        self.dram.set_fault(plan);
+        self.dram_wr.set_fault(plan.map(|p| perf_sim::FaultPlan {
+            seed: p.seed.wrapping_add(1),
+            ..p
+        }));
+    }
+
+    /// Extra cycles injected by the armed fault plan so far.
+    pub fn fault_cycles(&self) -> u64 {
+        self.dram.fault_cycles() + self.dram_wr.fault_cycles()
+    }
+
     /// Empirical mean memory access latency observed so far (what a
     /// vendor would calibrate `avg_mem_latency` to).
     pub fn observed_mem_latency(&self) -> f64 {

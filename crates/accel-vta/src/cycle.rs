@@ -149,6 +149,18 @@ impl VtaCycleSim {
         s
     }
 
+    /// Arms (or with `None` disarms) deterministic fault injection:
+    /// memory-latency jitter on the shared DRAM channel every load and
+    /// store crosses. [`reset`](VtaCycleSim::reset) rewinds the stream.
+    pub fn set_fault(&mut self, plan: Option<perf_sim::FaultPlan>) {
+        self.dram.set_fault(plan);
+    }
+
+    /// Extra cycles injected by the armed fault plan so far.
+    pub fn fault_cycles(&self) -> u64 {
+        self.dram.fault_cycles()
+    }
+
     /// Folds the datapath registers into one word (prevents the
     /// per-cycle evaluation from being optimized away and gives tests a
     /// determinism probe).

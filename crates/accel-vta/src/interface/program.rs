@@ -120,6 +120,29 @@ mod tests {
         assert!(tput.midpoint() > 0.0);
     }
 
+    // Conformance-harness counterexample: a lone FINISH retires in 1
+    // cycle on hardware, but the interface used to add its full
+    // 180-cycle SYNC_SLACK fill constant unconditionally and predict
+    // 181 (180x off). The slack is now capped by the program's total
+    // work, so degenerate programs stay within a handful of cycles.
+    #[test]
+    fn finish_only_program_not_dominated_by_slack() {
+        use crate::isa::{Insn, Opcode, Program};
+        use perf_core::GroundTruth;
+        let iface = VtaProgramInterface::new().unwrap();
+        let mut sim = VtaCycleSim::default();
+        let p = Program {
+            insns: vec![Insn::plain(Opcode::Finish)],
+        };
+        let obs = sim.measure(&p).unwrap();
+        assert_eq!(obs.latency.as_f64(), 1.0);
+        let lat = iface.predict(&p, Metric::Latency).unwrap().midpoint();
+        assert!(
+            (lat - obs.latency.as_f64()).abs() <= 4.0,
+            "finish-only predicted {lat} vs simulated 1"
+        );
+    }
+
     #[test]
     fn coarse_but_bounded_error() {
         let iface = VtaProgramInterface::new().unwrap();

@@ -12,6 +12,11 @@
 //!                       # combined JSON report, prints folded stacks
 //! repro --lint-all      # static perf-lint audit of every shipped
 //!                       # .pnet net and .pi program; exit 1 on findings
+//! repro --conformance   # differential conformance check of every
+//!                       # interface against its simulator (nominal +
+//!                       # fault-injected); writes BENCH_conformance.json,
+//!                       # exit 1 on any violation. --json prints the
+//!                       # JSON report instead of the summary.
 //! ```
 
 use perf_bench::experiments::{self, ExperimentOutput};
@@ -19,7 +24,7 @@ use perf_bench::experiments::{self, ExperimentOutput};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] \
-         [--trace PATH] [--lint-all]"
+         [--trace PATH] [--lint-all] [--conformance [--json]]"
     );
     std::process::exit(2);
 }
@@ -59,6 +64,8 @@ fn main() {
     let mut engine_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut lint_all = false;
+    let mut conformance = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -68,8 +75,26 @@ fn main() {
             "--bench-engine" => engine_out = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--lint-all" => lint_all = true,
+            "--conformance" => conformance = true,
+            "--json" => json = true,
             _ => usage(),
         }
+    }
+
+    if conformance {
+        let rep = perf_bench::conformance::run(quick);
+        let out = rep.to_json();
+        let path = "BENCH_conformance.json";
+        if let Err(e) = std::fs::write(path, &out) {
+            io_fail("cannot write conformance report", path, e);
+        }
+        if json {
+            print!("{out}");
+        } else {
+            print!("{}", rep.render());
+        }
+        eprintln!("wrote {path}");
+        std::process::exit(if rep.pass() { 0 } else { 1 });
     }
 
     if lint_all {

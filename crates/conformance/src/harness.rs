@@ -1,0 +1,702 @@
+//! The differential conformance harness.
+//!
+//! A [`Subject`] adapts one accelerator to the harness: it enumerates
+//! workload specs (randomized plus adversarial edge cases), realizes
+//! them into workloads, measures ground truth on the cycle-accurate
+//! simulator, queries each interface representation, and declares the
+//! error [`Budget`] each channel is held to. [`run_subject`] then
+//! drives three phases:
+//!
+//! 1. **Nominal**: every case through every (representation, metric)
+//!    channel; budget violations are shrunk to a minimal
+//!    counterexample via the subject's spec-level `shrink`.
+//! 2. **NL claims**: the natural-language interface's machine-checkable
+//!    claims are swept against the simulator.
+//! 3. **Fault regions**: deterministic fault plans are armed on the
+//!    simulator (the interfaces never see them); in-contract regions
+//!    must stay within a widened budget, out-of-contract regions are
+//!    explicitly reported and predictions must merely stay finite —
+//!    never silently wrong, never non-finite.
+
+use perf_core::diag::{Diagnostic, Diagnostics};
+use perf_core::iface::{InterfaceKind, Metric};
+use perf_core::{CoreError, Observation, Prediction};
+use perf_sim::FaultPlan;
+
+use crate::budget::{Budget, Contract};
+use crate::report::{AccelReport, ChannelReport, Counterexample, FaultRegion, NlResult};
+
+/// The (representation, metric) channels every subject is checked on.
+pub const CHANNELS: [(InterfaceKind, Metric); 4] = [
+    (InterfaceKind::Program, Metric::Latency),
+    (InterfaceKind::Program, Metric::Throughput),
+    (InterfaceKind::PetriNet, Metric::Latency),
+    (InterfaceKind::PetriNet, Metric::Throughput),
+];
+
+/// Ceiling on greedy shrink steps per counterexample.
+const MAX_SHRINK_STEPS: usize = 64;
+
+/// One generated conformance case: a labelled workload spec.
+#[derive(Clone, Debug)]
+pub struct CaseSpec<S> {
+    /// Short label for reports (`random-3`, `single-block`, ...).
+    pub label: String,
+    /// Whether this is a hand-built adversarial edge case.
+    pub adversarial: bool,
+    /// The generator-level spec (shrunk instead of the raw workload so
+    /// structural invariants — e.g. VTA dependency-validity — are
+    /// preserved by construction).
+    pub spec: S,
+}
+
+impl<S> CaseSpec<S> {
+    /// A randomized case.
+    pub fn random(label: impl Into<String>, spec: S) -> CaseSpec<S> {
+        CaseSpec {
+            label: label.into(),
+            adversarial: false,
+            spec,
+        }
+    }
+
+    /// An adversarial edge case.
+    pub fn adversarial(label: impl Into<String>, spec: S) -> CaseSpec<S> {
+        CaseSpec {
+            label: label.into(),
+            adversarial: true,
+            spec,
+        }
+    }
+}
+
+/// Adapts one accelerator (simulator + interface bundle) to the
+/// harness.
+pub trait Subject {
+    /// Generator-level workload description; shrinking operates on
+    /// these, regenerating workloads so invariants hold.
+    type Spec: Clone;
+    /// The realized workload type.
+    type Workload;
+
+    /// Accelerator name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Enumerates the conformance cases (smaller set when `quick`).
+    fn specs(&mut self, quick: bool) -> Vec<CaseSpec<Self::Spec>>;
+
+    /// Deterministically realizes a spec into a workload.
+    fn realize(&mut self, spec: &Self::Spec) -> Self::Workload;
+
+    /// Human-readable description of a spec (for counterexamples).
+    fn describe(&self, spec: &Self::Spec) -> String;
+
+    /// Smaller specs to try when minimizing a violation (may be
+    /// empty when the spec is already minimal).
+    fn shrink(&mut self, spec: &Self::Spec) -> Vec<Self::Spec>;
+
+    /// Ground truth: runs the cycle-accurate simulator (fresh per
+    /// call, with the currently armed fault plan applied).
+    fn measure(&mut self, w: &Self::Workload) -> Result<Observation, CoreError>;
+
+    /// Queries one interface representation.
+    fn predict(
+        &mut self,
+        kind: InterfaceKind,
+        w: &Self::Workload,
+        metric: Metric,
+    ) -> Result<Prediction, CoreError>;
+
+    /// The error budget for one channel.
+    fn budget(&self, kind: InterfaceKind, metric: Metric) -> Budget;
+
+    /// The fault-operating contract.
+    fn contract(&self) -> Contract;
+
+    /// Deterministic fault plans probing in- and out-of-contract
+    /// operation.
+    fn fault_plans(&self, quick: bool) -> Vec<FaultPlan>;
+
+    /// Arms (or disarms) fault injection for subsequent `measure`
+    /// calls.
+    fn set_fault(&mut self, plan: Option<FaultPlan>);
+
+    /// Sweeps the NL interface's machine-checkable claims against the
+    /// simulator.
+    fn check_nl(&mut self) -> Vec<NlResult>;
+}
+
+/// Relative error of a prediction against an observation: distance
+/// for points, overshoot past the nearer bound (zero if contained)
+/// for intervals.
+pub fn relative_error(pred: &Prediction, actual: f64) -> f64 {
+    let denom = actual.abs().max(1e-12);
+    match *pred {
+        Prediction::Point(v) => (v - actual).abs() / denom,
+        Prediction::Bounds { min, max } => {
+            if actual < min {
+                (min - actual) / denom
+            } else if actual > max {
+                (actual - max) / denom
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Absolute distance between prediction and observation in the
+/// time domain: cycles for latency, cycles-per-item (the reciprocal)
+/// for throughput. Zero when an interval prediction contains the
+/// observation.
+pub fn cycle_distance(pred: &Prediction, actual: f64, metric: Metric) -> f64 {
+    let to_cycles = |v: f64| match metric {
+        Metric::Latency => v,
+        Metric::Throughput => 1.0 / v.abs().max(1e-12),
+    };
+    let a = to_cycles(actual);
+    match *pred {
+        Prediction::Point(v) => (to_cycles(v) - a).abs(),
+        Prediction::Bounds { min, max } => {
+            // Reciprocation flips interval endpoints for throughput.
+            let (c1, c2) = (to_cycles(min), to_cycles(max));
+            let (lo, hi) = (c1.min(c2), c1.max(c2));
+            if a < lo {
+                lo - a
+            } else if a > hi {
+                a - hi
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Per-case channel error: the relative error, except that predictions
+/// within `atol` cycles of the observation (time domain) count as
+/// exact. The deadband keeps relative budgets meaningful on degenerate
+/// one-cycle workloads without masking real divergences, which are
+/// tens of cycles or more off.
+pub fn channel_error(pred: &Prediction, actual: f64, metric: Metric, atol: f64) -> f64 {
+    if cycle_distance(pred, actual, metric) <= atol {
+        0.0
+    } else {
+        relative_error(pred, actual)
+    }
+}
+
+/// Outcome of evaluating one (spec, channel) pair.
+struct CaseEval {
+    rel: f64,
+    pred: Prediction,
+    actual: f64,
+}
+
+fn eval_case<S: Subject + ?Sized>(
+    s: &mut S,
+    spec: &S::Spec,
+    kind: InterfaceKind,
+    metric: Metric,
+) -> Result<Option<CaseEval>, CoreError> {
+    let w = s.realize(spec);
+    let Ok(obs) = s.measure(&w) else {
+        return Ok(None); // Simulator rejects this workload: skip.
+    };
+    let pred = s.predict(kind, &w, metric)?;
+    let actual = metric.of(&obs);
+    let atol = s.budget(kind, metric).atol;
+    let rel = if pred.is_finite() {
+        channel_error(&pred, actual, metric, atol)
+    } else {
+        f64::INFINITY
+    };
+    Ok(Some(CaseEval { rel, pred, actual }))
+}
+
+/// Greedily shrinks `start` while some shrink candidate still exceeds
+/// `threshold` on the given channel.
+fn shrink_violation<S: Subject>(
+    s: &mut S,
+    start: &S::Spec,
+    kind: InterfaceKind,
+    metric: Metric,
+    threshold: f64,
+) -> (S::Spec, CaseEval, usize) {
+    let mut cur = start.clone();
+    let mut cur_eval = match eval_case(s, &cur, kind, metric) {
+        Ok(Some(e)) => e,
+        _ => CaseEval {
+            rel: f64::INFINITY,
+            pred: Prediction::point(f64::NAN),
+            actual: 0.0,
+        },
+    };
+    let mut steps = 0;
+    while steps < MAX_SHRINK_STEPS {
+        let mut advanced = false;
+        for cand in s.shrink(&cur) {
+            if let Ok(Some(e)) = eval_case(s, &cand, kind, metric) {
+                if e.rel > threshold {
+                    cur = cand;
+                    cur_eval = e;
+                    steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    (cur, cur_eval, steps)
+}
+
+/// Per-channel accumulator.
+#[derive(Default)]
+struct ChannelAcc {
+    rels: Vec<f64>,
+    bounds_n: usize,
+    bounds_within: usize,
+    worst: Option<(f64, usize)>, // (rel, spec index)
+    rejected: usize,
+    non_finite: usize,
+}
+
+impl ChannelAcc {
+    fn record(&mut self, e: &CaseEval, idx: usize) {
+        self.rels.push(e.rel);
+        if let Prediction::Bounds { .. } = e.pred {
+            self.bounds_n += 1;
+            if e.rel == 0.0 {
+                self.bounds_within += 1;
+            }
+        }
+        if self.worst.is_none_or(|(w, _)| e.rel > w) {
+            self.worst = Some((e.rel, idx));
+        }
+    }
+
+    fn avg(&self) -> f64 {
+        if self.rels.is_empty() {
+            0.0
+        } else {
+            self.rels.iter().sum::<f64>() / self.rels.len() as f64
+        }
+    }
+
+    fn max(&self) -> f64 {
+        self.rels.iter().cloned().fold(0.0, f64::max)
+    }
+
+    fn p99(&self) -> f64 {
+        if self.rels.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.rels.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[((v.len() - 1) as f64 * 0.99) as usize]
+    }
+}
+
+/// Evaluates all `specs` on all channels with the currently armed
+/// fault state, returning one accumulator per channel plus the number
+/// of simulator-rejected cases.
+fn sweep<S: Subject>(
+    s: &mut S,
+    specs: &[CaseSpec<S::Spec>],
+    diags: &mut Diagnostics,
+    phase: &str,
+) -> ([ChannelAcc; 4], usize) {
+    let mut accs: [ChannelAcc; 4] = Default::default();
+    let mut rejected = 0;
+    for (idx, case) in specs.iter().enumerate() {
+        let w = s.realize(&case.spec);
+        let Ok(obs) = s.measure(&w) else {
+            rejected += 1;
+            continue;
+        };
+        for (ci, &(kind, metric)) in CHANNELS.iter().enumerate() {
+            let actual = metric.of(&obs);
+            let atol = s.budget(kind, metric).atol;
+            match s.predict(kind, &w, metric) {
+                Ok(pred) => {
+                    let rel = if pred.is_finite() {
+                        channel_error(&pred, actual, metric, atol)
+                    } else {
+                        accs[ci].non_finite += 1;
+                        diags.push(
+                            Diagnostic::error(
+                                "CONF03",
+                                format!(
+                                    "{} {} prediction is non-finite ({}) on `{}` [{}]",
+                                    kind.name(),
+                                    metric.name(),
+                                    pred,
+                                    case.label,
+                                    phase
+                                ),
+                            )
+                            .with_origin(s.name()),
+                        );
+                        f64::INFINITY
+                    };
+                    accs[ci].record(&CaseEval { rel, pred, actual }, idx);
+                }
+                Err(e) => {
+                    accs[ci].rejected += 1;
+                    // An explicit refusal is only acceptable under
+                    // fault injection (out-of-contract declaration);
+                    // in nominal operation it is a conformance bug.
+                    if phase == "nominal" {
+                        diags.push(
+                            Diagnostic::error(
+                                "CONF04",
+                                format!(
+                                    "{} interface rejected simulator-accepted workload \
+                                     `{}` for {}: {}",
+                                    kind.name(),
+                                    case.label,
+                                    metric.name(),
+                                    e
+                                ),
+                            )
+                            .with_origin(s.name()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (accs, rejected)
+}
+
+/// Builds channel reports from accumulators and flags budget
+/// violations; returns the reports plus, for per-case (max) budget
+/// violations, the index of the worst offending spec per channel.
+#[allow(clippy::type_complexity)]
+fn settle<S: Subject>(
+    s: &mut S,
+    accs: &[ChannelAcc; 4],
+    widen_by: f64,
+    diags: &mut Diagnostics,
+    phase: &str,
+) -> (Vec<ChannelReport>, Vec<(usize, InterfaceKind, Metric, f64)>) {
+    let mut reports = Vec::new();
+    let mut to_shrink = Vec::new();
+    for (ci, &(kind, metric)) in CHANNELS.iter().enumerate() {
+        let acc = &accs[ci];
+        if acc.rels.is_empty() && acc.rejected == 0 {
+            continue;
+        }
+        let budget = s.budget(kind, metric).widen(widen_by);
+        let (avg, max) = (acc.avg(), acc.max());
+        let mut pass = acc.non_finite == 0;
+        if phase == "nominal" && acc.rejected > 0 {
+            pass = false;
+        }
+        if avg > budget.avg {
+            pass = false;
+            diags.push(
+                Diagnostic::error(
+                    "CONF02",
+                    format!(
+                        "{} {} mean relative error {:.4} exceeds budget {:.4} [{}]",
+                        kind.name(),
+                        metric.name(),
+                        avg,
+                        budget.avg,
+                        phase
+                    ),
+                )
+                .with_origin(s.name()),
+            );
+        }
+        if max > budget.max {
+            pass = false;
+            if let Some((rel, idx)) = acc.worst {
+                if rel > budget.max {
+                    to_shrink.push((idx, kind, metric, budget.max));
+                }
+            }
+        }
+        reports.push(ChannelReport {
+            kind: kind.name(),
+            metric: metric.name(),
+            n: acc.rels.len(),
+            avg,
+            max,
+            p99: acc.p99(),
+            bounds_n: acc.bounds_n,
+            bounds_within: acc.bounds_within,
+            budget,
+            pass,
+        });
+    }
+    (reports, to_shrink)
+}
+
+/// Runs the full three-phase conformance check for one subject.
+pub fn run_subject<S: Subject>(s: &mut S, quick: bool) -> AccelReport {
+    let mut diags = Diagnostics::new();
+    s.set_fault(None);
+    let specs = s.specs(quick);
+    let adversarial = specs.iter().filter(|c| c.adversarial).count();
+
+    // Phase 1: nominal differential check, with shrinking.
+    let (accs, rejected) = sweep(s, &specs, &mut diags, "nominal");
+    let (nominal, to_shrink) = settle(s, &accs, 0.0, &mut diags, "nominal");
+    let mut counterexamples = Vec::new();
+    for (idx, kind, metric, threshold) in to_shrink {
+        let case = &specs[idx];
+        let (min_spec, e, steps) = shrink_violation(s, &case.spec.clone(), kind, metric, threshold);
+        let desc = s.describe(&min_spec);
+        diags.push(
+            Diagnostic::error(
+                "CONF01",
+                format!(
+                    "{} {} relative error {:.4} exceeds per-case budget {:.4}",
+                    kind.name(),
+                    metric.name(),
+                    e.rel,
+                    threshold
+                ),
+            )
+            .with_origin(s.name())
+            .with_at(case.label.clone())
+            .with_note(format!(
+                "minimal counterexample ({} shrink steps): {} -> predicted {}, simulated {:.0}",
+                steps, desc, e.pred, e.actual
+            )),
+        );
+        counterexamples.push(Counterexample {
+            kind: kind.name(),
+            metric: metric.name(),
+            label: case.label.clone(),
+            desc,
+            predicted: e.pred.to_string(),
+            actual: e.actual,
+            rel: e.rel,
+            shrink_steps: steps,
+        });
+    }
+
+    // Phase 2: NL claims against the simulator.
+    let nl = s.check_nl();
+    for r in &nl {
+        if !r.holds {
+            diags.push(
+                Diagnostic::error(
+                    "CONF07",
+                    format!(
+                        "NL claim `{}` violated on simulator sweep (worst {:.4})",
+                        r.claim, r.worst
+                    ),
+                )
+                .with_origin(s.name()),
+            );
+        }
+    }
+
+    // Phase 3: fault-injected operating regions.
+    let contract = s.contract();
+    let mut faults = Vec::new();
+    for plan in s.fault_plans(quick) {
+        let intensity = plan.intensity();
+        let in_contract = intensity <= contract.max_intensity;
+        s.set_fault(Some(plan));
+        let phase = if in_contract {
+            "fault-in-contract"
+        } else {
+            "fault-out-of-contract"
+        };
+        let (accs, _) = sweep(s, &specs, &mut diags, phase);
+        let (channels, pass) = if in_contract {
+            let before = diags.count(perf_core::diag::Severity::Error);
+            let (ch, violations) = settle(s, &accs, contract.slack(intensity), &mut diags, phase);
+            for (idx, kind, metric, threshold) in violations {
+                diags.push(
+                    Diagnostic::error(
+                        "CONF05",
+                        format!(
+                            "{} {} exceeds widened budget {:.4} under in-contract fault \
+                             plan (seed {}, intensity {:.3}) on `{}`",
+                            kind.name(),
+                            metric.name(),
+                            threshold,
+                            plan.seed,
+                            intensity,
+                            specs[idx].label
+                        ),
+                    )
+                    .with_origin(s.name()),
+                );
+            }
+            let pass = diags.count(perf_core::diag::Severity::Error) == before;
+            (ch, pass)
+        } else {
+            // Beyond the contract the interfaces are not accountable
+            // for accuracy — but they must stay finite, and the
+            // region must be declared, not silently mispredicted.
+            let non_finite: usize = accs.iter().map(|a| a.non_finite).sum();
+            diags.push(
+                Diagnostic::info(
+                    "CONF06",
+                    format!(
+                        "fault plan (seed {}, intensity {:.3}) exceeds contract max \
+                         intensity {:.3}: operating region declared out of contract",
+                        plan.seed, intensity, contract.max_intensity
+                    ),
+                )
+                .with_origin(s.name()),
+            );
+            (Vec::new(), non_finite == 0)
+        };
+        faults.push(FaultRegion {
+            seed: plan.seed,
+            intensity,
+            in_contract,
+            channels,
+            pass,
+        });
+        s.set_fault(None);
+    }
+
+    AccelReport {
+        name: s.name(),
+        cases: specs.len(),
+        adversarial,
+        rejected,
+        nominal,
+        nl,
+        faults,
+        counterexamples,
+        diags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::units::Cycles;
+
+    #[test]
+    fn relative_error_point_and_bounds() {
+        assert!((relative_error(&Prediction::point(110.0), 100.0) - 0.1).abs() < 1e-12);
+        let b = Prediction::bounds(90.0, 120.0);
+        assert_eq!(relative_error(&b, 100.0), 0.0);
+        assert!((relative_error(&b, 150.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(&b, 60.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atol_deadband_zeroes_tiny_absolute_gaps() {
+        // 2 vs 1 cycle: 100% relative, but inside a 4-cycle deadband.
+        let p = Prediction::point(2.0);
+        assert_eq!(channel_error(&p, 1.0, Metric::Latency, 4.0), 0.0);
+        assert!(channel_error(&p, 1.0, Metric::Latency, 0.5) > 0.9);
+        // Throughput compares in the reciprocal (cycles-per-item)
+        // domain: 0.5 vs 1.0 items/cycle is a 1-cycle gap.
+        let t = Prediction::point(0.5);
+        assert_eq!(cycle_distance(&t, 1.0, Metric::Throughput), 1.0);
+        assert_eq!(channel_error(&t, 1.0, Metric::Throughput, 4.0), 0.0);
+        // A 1.0-vs-0.2 divergence is 4 cycles off: outside a 2-cycle
+        // deadband, so the full relative error survives.
+        let d = Prediction::point(1.0);
+        assert_eq!(cycle_distance(&d, 0.2, Metric::Throughput), 4.0);
+        assert_eq!(channel_error(&d, 0.2, Metric::Throughput, 2.0), 4.0);
+    }
+
+    /// A toy subject whose program interface is wrong for workloads
+    /// above a threshold: the harness must catch it and shrink to the
+    /// smallest still-failing size.
+    struct Toy {
+        bad_above: u64,
+    }
+
+    impl Subject for Toy {
+        type Spec = u64;
+        type Workload = u64;
+
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn specs(&mut self, _quick: bool) -> Vec<CaseSpec<u64>> {
+            vec![CaseSpec::random("small", 4), CaseSpec::random("large", 64)]
+        }
+        fn realize(&mut self, spec: &u64) -> u64 {
+            *spec
+        }
+        fn describe(&self, spec: &u64) -> String {
+            format!("size={spec}")
+        }
+        fn shrink(&mut self, spec: &u64) -> Vec<u64> {
+            if *spec > 1 {
+                vec![spec / 2, spec - 1]
+            } else {
+                vec![]
+            }
+        }
+        fn measure(&mut self, w: &u64) -> Result<Observation, CoreError> {
+            Ok(Observation::single_item(Cycles(10 * *w)))
+        }
+        fn predict(
+            &mut self,
+            _kind: InterfaceKind,
+            w: &u64,
+            metric: Metric,
+        ) -> Result<Prediction, CoreError> {
+            let lat = if *w > self.bad_above {
+                20.0 * *w as f64 // Model bug: double latency.
+            } else {
+                10.0 * *w as f64
+            };
+            Ok(match metric {
+                Metric::Latency => Prediction::point(lat),
+                Metric::Throughput => Prediction::point(1.0 / lat),
+            })
+        }
+        fn budget(&self, _kind: InterfaceKind, _metric: Metric) -> Budget {
+            Budget::new(0.05, 0.10)
+        }
+        fn contract(&self) -> Contract {
+            Contract::new(1.0, 0.5)
+        }
+        fn fault_plans(&self, _quick: bool) -> Vec<FaultPlan> {
+            vec![]
+        }
+        fn set_fault(&mut self, _plan: Option<FaultPlan>) {}
+        fn check_nl(&mut self) -> Vec<NlResult> {
+            vec![NlResult {
+                claim: "latency vs size".into(),
+                holds: true,
+                worst: 0.0,
+            }]
+        }
+    }
+
+    #[test]
+    fn catches_and_shrinks_divergence() {
+        let mut toy = Toy { bad_above: 16 };
+        let rep = run_subject(&mut toy, true);
+        assert!(!rep.pass());
+        assert!(rep.diags.has_code("CONF01"));
+        assert!(rep.diags.has_code("CONF02"));
+        // Greedy shrink must land on the smallest failing size, 17.
+        let cx = &rep.counterexamples[0];
+        assert_eq!(cx.desc, "size=17");
+        assert!(cx.shrink_steps > 0);
+    }
+
+    #[test]
+    fn correct_toy_passes() {
+        let mut toy = Toy {
+            bad_above: u64::MAX,
+        };
+        let rep = run_subject(&mut toy, true);
+        assert!(rep.pass(), "{}", rep.diags.render());
+        assert!(rep.counterexamples.is_empty());
+        assert_eq!(rep.nominal.len(), 4);
+        assert!(rep.nominal.iter().all(|c| c.pass));
+    }
+}

@@ -1,0 +1,45 @@
+//! Differential conformance harness for performance interfaces.
+//!
+//! The paper's central promise is that an accelerator's performance
+//! interface — prose claims, an executable program, or a Petri net —
+//! is a *contract*: it predicts what the silicon (here, the
+//! cycle-accurate simulators) will do, within a stated error. This
+//! crate checks that contract mechanically, for all four accelerators
+//! and all three representations at once:
+//!
+//! * randomized workloads from the shipped generators, plus
+//!   adversarial edge cases (empty/singleton/maximal inputs,
+//!   pathological Huffman tables, saturating queue depths),
+//! * every prediction compared against the simulator under a
+//!   per-accelerator, per-representation error budget (Table 1),
+//! * budget violations shrunk to a minimal counterexample and
+//!   reported as structured [`perf_core::diag`] diagnostics,
+//! * deterministic fault injection ([`perf_sim::fault`]) applied to
+//!   the simulators to verify that interfaces either stay within a
+//!   widened budget or the operating region is explicitly declared
+//!   out of contract — never silently wrong, never non-finite.
+//!
+//! Run it via `repro --conformance [--quick] [--json]`, which writes
+//! `BENCH_conformance.json`.
+
+pub mod budget;
+pub mod harness;
+pub mod report;
+pub mod subjects;
+
+pub use budget::{Budget, Contract};
+pub use harness::{relative_error, run_subject, CaseSpec, Subject, CHANNELS};
+pub use report::{AccelReport, ChannelReport, ConformanceReport, Counterexample, NlResult};
+
+/// Runs the conformance harness over all four accelerators.
+pub fn run_all(quick: bool) -> ConformanceReport {
+    ConformanceReport {
+        quick,
+        accels: vec![
+            run_subject(&mut subjects::jpeg::JpegSubject::new(), quick),
+            run_subject(&mut subjects::bitcoin::BitcoinSubject::new(), quick),
+            run_subject(&mut subjects::protoacc::ProtoaccSubject::new(), quick),
+            run_subject(&mut subjects::vta::VtaSubject::new(), quick),
+        ],
+    }
+}

@@ -1,0 +1,6 @@
+//! Harness adapters for the four accelerators.
+
+pub mod bitcoin;
+pub mod jpeg;
+pub mod protoacc;
+pub mod vta;

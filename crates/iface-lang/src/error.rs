@@ -69,6 +69,34 @@ impl LangError {
             msg: msg.into(),
         }
     }
+
+    /// The stable diagnostic code for this error class (`PILR0x` —
+    /// runtime-family codes, disjoint from the `PIL0xx` static lints).
+    pub fn code(&self) -> &'static str {
+        match self {
+            LangError::Lex { .. } => "PILR01",
+            LangError::Parse { .. } => "PILR02",
+            LangError::Check { .. } => "PILR03",
+            LangError::Runtime { .. } => "PILR04",
+            LangError::LimitExceeded(_) => "PILR05",
+        }
+    }
+
+    /// Renders this error as a structured [`perf_core::diag::Diagnostic`]
+    /// attributed to `origin` (typically the `.pi` asset path), so
+    /// interpreter failures flow through the same reporting pipeline as
+    /// static lints.
+    pub fn to_diagnostic(&self, origin: &str) -> perf_core::diag::Diagnostic {
+        let d =
+            perf_core::diag::Diagnostic::error(self.code(), self.to_string()).with_origin(origin);
+        match self {
+            LangError::Lex { span, .. }
+            | LangError::Parse { span, .. }
+            | LangError::Check { span, .. }
+            | LangError::Runtime { span, .. } => d.with_pos(span.line, span.col),
+            LangError::LimitExceeded(_) => d,
+        }
+    }
 }
 
 impl fmt::Display for LangError {

@@ -445,10 +445,22 @@ mod tests {
     }
 
     #[test]
-    fn division_by_zero_yields_infinity() {
-        // Like the paper's Python programs, 1/0 is inf, not a crash; the
-        // validation layer rejects non-finite predictions.
-        assert_eq!(run_num("fn f() { return 1 / 0; }", "f", &[]), f64::INFINITY);
+    fn division_by_zero_is_infinity_mid_expression_but_errors_at_boundary() {
+        // Like the paper's Python programs, 1/0 is inf *inside* an
+        // expression — `1/0 > 5` is a legitimate (true) comparison —
+        // but an interface whose returned value is non-finite is a
+        // runtime error at the call boundary, not a prediction.
+        assert_eq!(
+            run("fn f() { return 1 / 0 > 5; }", "f", &[]).unwrap(),
+            Value::bool(true)
+        );
+        let err = run("fn f() { return 1 / 0; }", "f", &[]).unwrap_err();
+        assert!(matches!(err, LangError::Runtime { .. }), "got {err:?}");
+        assert!(err.to_string().contains("non-finite"), "got {err}");
+        // NaN and nested non-finite values are caught too.
+        assert!(run("fn f() { return 0 / 0; }", "f", &[]).is_err());
+        let err = run("fn f() { return [1, 2 / 0]; }", "f", &[]).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
     }
 
     #[test]

@@ -81,18 +81,55 @@ impl Program {
     }
 
     /// Calls function `name` with `args` under default execution limits.
+    ///
+    /// # Errors
+    ///
+    /// Besides ordinary runtime errors, a call whose *result* contains
+    /// a non-finite number (`inf`/`NaN` anywhere in the returned value,
+    /// including inside lists and records) is a runtime error. Interface
+    /// programs exist to predict cycle counts; `1 / 0` is permitted
+    /// *mid-expression* (like the paper's Python programs), but an
+    /// infinite latency escaping the program boundary is never a
+    /// prediction — it flowed unchecked into experiments and the
+    /// autotuner before this check existed.
     pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, LangError> {
-        Interp::new(&self.ast, Limits::default()).call(name, args)
+        self.call_with_limits(name, args, Limits::default())
     }
 
     /// Calls function `name` with `args` under custom limits.
+    ///
+    /// # Errors
+    ///
+    /// Same non-finite-result policy as [`Program::call`].
     pub fn call_with_limits(
         &self,
         name: &str,
         args: &[Value],
         limits: Limits,
     ) -> Result<Value, LangError> {
-        Interp::new(&self.ast, limits).call(name, args)
+        let out = Interp::new(&self.ast, limits).call(name, args)?;
+        check_finite(&out).map_err(|bad| {
+            LangError::runtime(
+                Span::default(),
+                format!(
+                    "function '{name}' returned a non-finite result ({bad}); \
+                     a performance interface must yield finite numbers \
+                     (check for division by zero or overflow)"
+                ),
+            )
+        })?;
+        Ok(out)
+    }
+}
+
+/// Verifies every numeric leaf of `v` is finite; returns the first
+/// offending number otherwise.
+fn check_finite(v: &Value) -> Result<(), f64> {
+    match v {
+        Value::Num(n) if !n.is_finite() => Err(*n),
+        Value::List(items) => items.iter().try_for_each(check_finite),
+        Value::Record(fields) => fields.values().try_for_each(check_finite),
+        _ => Ok(()),
     }
 }
 

@@ -1,0 +1,311 @@
+//! Deterministic fault injection for the cycle-accurate models.
+//!
+//! A real accelerator's timing contract holds only over an *operating
+//! region*: DRAM refresh, thermal throttling or a congested NoC add
+//! latency the vendor's interface never promised to model. The
+//! conformance harness (`perf-conformance`) needs a way to push the
+//! simulated hardware outside its nominal behavior and check that the
+//! interfaces degrade *gracefully* — stay within a widened error budget
+//! or be declared out of contract — rather than silently producing
+//! nonsense.
+//!
+//! Everything here is seeded and deterministic: a [`FaultPlan`] plus a
+//! seed fully determines every injected event, so any faulted run can
+//! be replayed bit-exactly. The PRNG is a self-contained splitmix64 —
+//! no dependence on the `rand` facade — because replayability across
+//! crates is the whole point.
+//!
+//! Three fault classes, matching the structures in this crate:
+//!
+//! * **memory-latency jitter** — extra cycles on a [`crate::DramModel`]
+//!   access (refresh collisions, rank contention);
+//! * **transient stage stalls** — extra occupancy when a
+//!   [`crate::Pipeline`] stage issues an item (clock gating, ECC
+//!   scrub);
+//! * **FIFO backpressure bursts** — a stage's output queue refuses
+//!   retirement for a burst of cycles (downstream arbitration loss).
+//!
+//! # Examples
+//!
+//! ```
+//! use perf_sim::fault::{FaultInjector, FaultPlan};
+//!
+//! let plan = FaultPlan::mem_jitter(7, 100, 40); // seed 7, 10%, ≤40 cycles
+//! let mut a = FaultInjector::new(plan);
+//! let mut b = FaultInjector::new(plan);
+//! let xs: Vec<u64> = (0..64).map(|_| a.mem_extra()).collect();
+//! let ys: Vec<u64> = (0..64).map(|_| b.mem_extra()).collect();
+//! assert_eq!(xs, ys); // Same plan, same stream.
+//! ```
+
+/// What to inject, with what probability, and how hard.
+///
+/// Probabilities are per-mille (`0..=1000`) so a plan is `Copy`, `Eq`
+/// and hashable — convenient for memoized harness runs. The default
+/// plan injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the injector's private PRNG stream.
+    pub seed: u64,
+    /// Per-mille probability that a DRAM access pays extra latency.
+    pub mem_jitter_pm: u32,
+    /// Maximum extra cycles on a jittered access (uniform `1..=max`).
+    pub mem_jitter_max: u64,
+    /// Per-mille probability that a stage issue incurs a transient
+    /// stall.
+    pub stage_stall_pm: u32,
+    /// Maximum extra cycles for a transient stage stall.
+    pub stage_stall_max: u64,
+    /// Per-mille probability that an item's retirement triggers a
+    /// backpressure burst on its stage's output queue.
+    pub backpressure_pm: u32,
+    /// Length of a backpressure burst in cycles.
+    pub backpressure_len: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects only memory-latency jitter.
+    pub fn mem_jitter(seed: u64, pm: u32, max: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mem_jitter_pm: pm,
+            mem_jitter_max: max,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that injects only transient stage stalls.
+    pub fn stage_stalls(seed: u64, pm: u32, max: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            stage_stall_pm: pm,
+            stage_stall_max: max,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that injects only FIFO backpressure bursts.
+    pub fn backpressure(seed: u64, pm: u32, len: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            backpressure_pm: pm,
+            backpressure_len: len,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_nominal(&self) -> bool {
+        self.mem_jitter_pm == 0 && self.stage_stall_pm == 0 && self.backpressure_pm == 0
+    }
+
+    /// Expected extra cycles per *potential* injection site — the
+    /// scalar the conformance harness compares against a per-accelerator
+    /// contract threshold. Deterministic in the plan alone (the seed
+    /// plays no part), so the in/out-of-contract decision is stable.
+    pub fn intensity(&self) -> f64 {
+        let mj = self.mem_jitter_pm as f64 * (self.mem_jitter_max as f64 + 1.0) / 2.0;
+        let ss = self.stage_stall_pm as f64 * (self.stage_stall_max as f64 + 1.0) / 2.0;
+        let bp = self.backpressure_pm as f64 * self.backpressure_len as f64;
+        (mj + ss + bp) / 1000.0
+    }
+}
+
+/// Stateful, seeded injector: the runtime half of a [`FaultPlan`].
+///
+/// Each query advances a private splitmix64 stream, so the sequence of
+/// injected events is a pure function of the plan. [`reset`] rewinds
+/// the stream to its start, which the simulators call from their own
+/// `reset` so a measurement is replayable.
+///
+/// [`reset`]: FaultInjector::reset
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    injected: u64,
+    extra_cycles: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector at the start of the plan's event stream.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            // Offset so seed 0 is a usable stream too.
+            state: plan.seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            injected: 0,
+            extra_cycles: 0,
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele et al.) — tiny, full-period, and good
+        // enough for Bernoulli draws.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, pm: u32) -> bool {
+        pm > 0 && self.next_u64() % 1000 < pm as u64
+    }
+
+    fn magnitude(&mut self, max: u64) -> u64 {
+        if max == 0 {
+            0
+        } else {
+            1 + self.next_u64() % max
+        }
+    }
+
+    fn charge(&mut self, extra: u64) -> u64 {
+        if extra > 0 {
+            self.injected += 1;
+            self.extra_cycles += extra;
+        }
+        extra
+    }
+
+    /// Extra latency for one DRAM access (0 when not jittered).
+    pub fn mem_extra(&mut self) -> u64 {
+        if self.roll(self.plan.mem_jitter_pm) {
+            let m = self.magnitude(self.plan.mem_jitter_max);
+            self.charge(m)
+        } else {
+            0
+        }
+    }
+
+    /// Extra occupancy for one pipeline-stage issue (0 when clean).
+    pub fn stage_stall(&mut self) -> u64 {
+        if self.roll(self.plan.stage_stall_pm) {
+            let m = self.magnitude(self.plan.stage_stall_max);
+            self.charge(m)
+        } else {
+            0
+        }
+    }
+
+    /// Backpressure-burst length charged to one item's retirement
+    /// (0 when no burst triggers).
+    pub fn backpressure_burst(&mut self) -> u64 {
+        if self.roll(self.plan.backpressure_pm) {
+            let len = self.plan.backpressure_len;
+            self.charge(len)
+        } else {
+            0
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total extra cycles injected so far.
+    pub fn extra_cycles(&self) -> u64 {
+        self.extra_cycles
+    }
+
+    /// Rewinds the event stream to its start (fresh measurement
+    /// window; replays identically).
+    pub fn reset(&mut self) {
+        *self = FaultInjector::new(self.plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_nominal_and_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        assert!(inj.plan().is_nominal());
+        assert_eq!(inj.plan().intensity(), 0.0);
+        for _ in 0..1000 {
+            assert_eq!(inj.mem_extra(), 0);
+            assert_eq!(inj.stage_stall(), 0);
+            assert_eq!(inj.backpressure_burst(), 0);
+        }
+        assert_eq!(inj.injected(), 0);
+        assert_eq!(inj.extra_cycles(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_diverges() {
+        let plan = FaultPlan::mem_jitter(42, 500, 100);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        let mut c = FaultInjector::new(FaultPlan::mem_jitter(43, 500, 100));
+        let xs: Vec<u64> = (0..256).map(|_| a.mem_extra()).collect();
+        let ys: Vec<u64> = (0..256).map(|_| b.mem_extra()).collect();
+        let zs: Vec<u64> = (0..256).map(|_| c.mem_extra()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn reset_rewinds_the_stream() {
+        let mut inj = FaultInjector::new(FaultPlan::stage_stalls(7, 300, 9));
+        let first: Vec<u64> = (0..64).map(|_| inj.stage_stall()).collect();
+        inj.reset();
+        let replay: Vec<u64> = (0..64).map(|_| inj.stage_stall()).collect();
+        assert_eq!(first, replay);
+        assert_eq!(
+            inj.injected(),
+            first.iter().filter(|&&x| x > 0).count() as u64
+        );
+    }
+
+    #[test]
+    fn probabilities_and_magnitudes_respected() {
+        let mut inj = FaultInjector::new(FaultPlan::mem_jitter(1, 250, 16));
+        let n = 10_000;
+        let hits = (0..n).filter(|_| inj.mem_extra() > 0).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "hit rate {frac}");
+        let mut inj = FaultInjector::new(FaultPlan::mem_jitter(1, 1000, 16));
+        for _ in 0..1000 {
+            let m = inj.mem_extra();
+            assert!((1..=16).contains(&m), "magnitude {m}");
+        }
+    }
+
+    #[test]
+    fn backpressure_burst_is_fixed_length() {
+        let mut inj = FaultInjector::new(FaultPlan::backpressure(3, 1000, 12));
+        for _ in 0..100 {
+            assert_eq!(inj.backpressure_burst(), 12);
+        }
+        assert_eq!(inj.extra_cycles(), 1200);
+    }
+
+    #[test]
+    fn intensity_scales_with_plan_not_seed() {
+        let a = FaultPlan::mem_jitter(1, 100, 40);
+        let b = FaultPlan::mem_jitter(999, 100, 40);
+        assert_eq!(a.intensity(), b.intensity());
+        assert!(FaultPlan::mem_jitter(0, 200, 40).intensity() > a.intensity());
+        let combo = FaultPlan {
+            seed: 0,
+            mem_jitter_pm: 100,
+            mem_jitter_max: 40,
+            stage_stall_pm: 50,
+            stage_stall_max: 10,
+            backpressure_pm: 20,
+            backpressure_len: 8,
+        };
+        let expect = (100.0 * 20.5 + 50.0 * 5.5 + 20.0 * 8.0) / 1000.0;
+        assert!((combo.intensity() - expect).abs() < 1e-12);
+        assert!(!combo.is_nominal());
+    }
+}

@@ -5,8 +5,9 @@
 //! simulators standing in for the RTL the paper measured. This crate is
 //! their shared substrate: bounded FIFOs with backpressure ([`fifo`]),
 //! an in-order multi-stage pipeline model ([`pipeline`]), DRAM and TLB
-//! models ([`mem`]), statistics counters ([`stats`]) and a bounded event
-//! trace ([`trace`]).
+//! models ([`mem`]), statistics counters ([`stats`]), a bounded event
+//! trace ([`trace`]) and deterministic fault injection ([`fault`]) for
+//! probing interface contracts outside nominal operation.
 //!
 //! All of these are *tick-accurate*: state advances one clock cycle at a
 //! time, which is deliberately detailed and deliberately slow — the
@@ -14,12 +15,14 @@
 //! net evaluates the same performance behavior orders of magnitude
 //! faster.
 
+pub mod fault;
 pub mod fifo;
 pub mod mem;
 pub mod pipeline;
 pub mod stats;
 pub mod trace;
 
+pub use fault::{FaultInjector, FaultPlan};
 pub use fifo::Fifo;
 pub use mem::{DramModel, Tlb};
 pub use pipeline::{Pipeline, StageSpec};

@@ -6,6 +6,7 @@
 //! nested messages is its dominant cost. These models supply that
 //! behavior to the accelerator simulators.
 
+use crate::fault::{FaultInjector, FaultPlan};
 use std::collections::VecDeque;
 
 /// A single-channel DRAM model with a row buffer and finite bandwidth.
@@ -38,6 +39,7 @@ pub struct DramModel {
     accesses: u64,
     row_hits: u64,
     total_latency: u64,
+    fault: Option<FaultInjector>,
 }
 
 impl DramModel {
@@ -71,7 +73,20 @@ impl DramModel {
             accesses: 0,
             row_hits: 0,
             total_latency: 0,
+            fault: None,
         }
+    }
+
+    /// Arms (or with `None` disarms) deterministic latency-jitter
+    /// injection: each access may pay extra cycles per the plan.
+    /// [`reset`](DramModel::reset) rewinds the injection stream.
+    pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.map(FaultInjector::new);
+    }
+
+    /// Extra cycles injected by the armed fault plan so far.
+    pub fn fault_cycles(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.extra_cycles())
     }
 
     /// A configuration resembling a 2022-era DDR4 channel as seen from a
@@ -105,12 +120,16 @@ impl DramModel {
         let bank = (row % self.open_rows.len() as u64) as usize;
         let hit = self.open_rows[bank] == Some(row);
         self.open_rows[bank] = Some(row);
-        let lat = if hit {
+        let base_lat = if hit {
             self.row_hits += 1;
             self.row_hit_latency
         } else {
             self.row_miss_latency
         };
+        // Injected jitter delays the data like a longer activation
+        // would: it pushes completion out and (on a miss) holds the
+        // bank, but never reorders accesses.
+        let lat = base_lat + self.fault.as_mut().map_or(0, FaultInjector::mem_extra);
         let eff_bytes = bytes.max(self.burst_bytes);
         let xfer = eff_bytes.div_ceil(self.bytes_per_cycle);
         let start = now.max(self.channel_free_at);
@@ -155,12 +174,17 @@ impl DramModel {
     }
 
     /// Forgets open-row and channel state (new measurement window).
+    /// An armed fault plan rewinds to the start of its stream, so a
+    /// faulted measurement replays bit-exactly after reset.
     pub fn reset(&mut self) {
         self.open_rows.iter_mut().for_each(|r| *r = None);
         self.channel_free_at = 0;
         self.accesses = 0;
         self.row_hits = 0;
         self.total_latency = 0;
+        if let Some(f) = self.fault.as_mut() {
+            f.reset();
+        }
     }
 }
 
@@ -311,6 +335,41 @@ mod tests {
         assert_eq!(t.translate(4096), 25); // Page 1 was evicted: miss.
         assert_eq!(t.lookups(), 5);
         assert!((t.miss_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_jitter_is_deterministic_and_reset_replays() {
+        let plan = FaultPlan::mem_jitter(21, 350, 60);
+        let run = |d: &mut DramModel| -> Vec<u64> {
+            let mut t = 0;
+            (0..50u64)
+                .map(|i| {
+                    t = d.access(t, i * 8192, 64);
+                    t
+                })
+                .collect()
+        };
+        let mut a = DramModel::typical();
+        a.set_fault(Some(plan));
+        let mut b = DramModel::typical();
+        b.set_fault(Some(plan));
+        let ta = run(&mut a);
+        assert_eq!(ta, run(&mut b), "same plan, same completion times");
+        assert!(a.fault_cycles() > 0);
+        // reset() rewinds the stream: the same model replays exactly.
+        let before = a.fault_cycles();
+        a.reset();
+        assert_eq!(run(&mut a), ta);
+        assert_eq!(a.fault_cycles(), before);
+        // Jitter only ever delays completions.
+        let mut clean = DramModel::typical();
+        let tc = run(&mut clean);
+        assert!(ta.iter().zip(&tc).all(|(f, c)| f >= c));
+        // Disarming restores nominal behavior.
+        a.set_fault(None);
+        a.reset();
+        assert_eq!(run(&mut a), tc);
+        assert_eq!(a.fault_cycles(), 0);
     }
 
     #[test]

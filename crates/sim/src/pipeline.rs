@@ -8,6 +8,7 @@
 //! the resulting "throughput = slowest stage, latency = fill + drain")
 //! is the performance behavior the paper's interfaces summarize.
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::fifo::Fifo;
 
 /// Specification of one pipeline stage.
@@ -40,6 +41,9 @@ struct Stage<T> {
     delay: Box<dyn Fn(&T) -> u64>,
     /// Item in flight in this stage, with its completion cycle.
     current: Option<(T, u64)>,
+    /// Injected backpressure burst: retirement is refused while
+    /// `now < hold_until`, exactly as if `out` were full.
+    hold_until: u64,
     /// Buffer between this stage and the next.
     out: Fifo<T>,
     busy_cycles: u64,
@@ -71,6 +75,7 @@ pub struct Pipeline<T> {
     input: Fifo<T>,
     stages: Vec<Stage<T>>,
     now: u64,
+    fault: Option<FaultInjector>,
 }
 
 impl<T> Pipeline<T> {
@@ -89,6 +94,7 @@ impl<T> Pipeline<T> {
                 name: s.name,
                 delay: s.delay,
                 current: None,
+                hold_until: 0,
                 busy_cycles: 0,
                 stall_cycles: 0,
                 processed: 0,
@@ -98,7 +104,23 @@ impl<T> Pipeline<T> {
             input: Fifo::new("input", input_capacity),
             stages,
             now: 0,
+            fault: None,
         }
+    }
+
+    /// Arms (or with `None` disarms) deterministic fault injection:
+    /// transient stage stalls extend an item's occupancy (counted as
+    /// busy time — the stage *is* working, just slower), and
+    /// backpressure bursts refuse retirement for a window (counted as
+    /// stall time, like a full downstream queue). The busy/stall/idle
+    /// partition of elapsed time is preserved under injection.
+    pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.map(FaultInjector::new);
+    }
+
+    /// Extra cycles injected by the armed fault plan so far.
+    pub fn fault_cycles(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.extra_cycles())
     }
 
     /// Current simulation time in cycles.
@@ -134,7 +156,7 @@ impl<T> Pipeline<T> {
             // 1. Retire a finished item into the out buffer if it fits.
             let finished = matches!(self.stages[i].current, Some((_, done)) if done <= now);
             if finished {
-                if self.stages[i].out.is_full() {
+                if self.stages[i].out.is_full() || self.stages[i].hold_until > now {
                     self.stages[i].stall_cycles += 1;
                 } else {
                     let (item, _) = self.stages[i].current.take().expect("checked");
@@ -157,7 +179,17 @@ impl<T> Pipeline<T> {
                     prev[i - 1].out.pop()
                 };
                 if let Some(item) = item {
-                    let d = (self.stages[i].delay)(&item).max(1);
+                    let mut d = (self.stages[i].delay)(&item).max(1);
+                    if let Some(f) = self.fault.as_mut() {
+                        // Transient stall: the stage simply takes
+                        // longer. Backpressure burst: after finishing,
+                        // retirement is refused for the burst window.
+                        d += f.stage_stall();
+                        let burst = f.backpressure_burst();
+                        if burst > 0 {
+                            self.stages[i].hold_until = now + d + burst;
+                        }
+                    }
                     self.stages[i].current = Some((item, now + d));
                 }
             }
@@ -263,12 +295,16 @@ impl<T> Pipeline<T> {
         self.input.reset();
         for s in &mut self.stages {
             s.current = None;
+            s.hold_until = 0;
             s.out.reset();
             s.busy_cycles = 0;
             s.stall_cycles = 0;
             s.processed = 0;
         }
         self.now = 0;
+        if let Some(f) = self.fault.as_mut() {
+            f.reset();
+        }
     }
 }
 
@@ -398,5 +434,99 @@ mod tests {
         // A disabled sink stays empty.
         let mut null = crate::NullSink;
         p.report_stages("pipe", &mut null);
+    }
+
+    fn faulted_pipeline(plan: FaultPlan) -> Pipeline<u64> {
+        let mut p = Pipeline::new(
+            4,
+            vec![
+                StageSpec::new("a", 2, |_: &u64| 3),
+                StageSpec::new("b", 2, |_: &u64| 2),
+            ],
+        );
+        p.set_fault(Some(plan));
+        p
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_replayable() {
+        let plan = FaultPlan {
+            seed: 11,
+            mem_jitter_pm: 0,
+            mem_jitter_max: 0,
+            stage_stall_pm: 400,
+            stage_stall_max: 7,
+            backpressure_pm: 200,
+            backpressure_len: 5,
+        };
+        let (e1, o1) = faulted_pipeline(plan).run_to_completion((0..40).collect());
+        let (e2, o2) = faulted_pipeline(plan).run_to_completion((0..40).collect());
+        assert_eq!(e1, e2, "same plan must replay bit-exactly");
+        assert_eq!(o1, o2);
+        // reset() rewinds the injection stream: the same pipeline
+        // object repeats the measurement exactly.
+        let mut p = faulted_pipeline(plan);
+        let (ea, _) = p.run_to_completion((0..40).collect());
+        let fault_a = p.fault_cycles();
+        p.reset();
+        let (eb, _) = p.run_to_completion((0..40).collect());
+        assert_eq!(ea, eb);
+        assert_eq!(fault_a, p.fault_cycles());
+        assert!(fault_a > 0, "plan should have injected something");
+        // A different seed yields a different schedule.
+        let (e3, _) =
+            faulted_pipeline(FaultPlan { seed: 12, ..plan }).run_to_completion((0..40).collect());
+        assert_ne!(e1, e3);
+        // Injection only ever slows the pipeline down.
+        let mut clean = faulted_pipeline(plan);
+        clean.set_fault(None);
+        let (e0, _) = clean.run_to_completion((0..40).collect());
+        assert!(e1 > e0, "faulted {e1} should exceed clean {e0}");
+    }
+
+    #[test]
+    fn stage_cycles_partition_holds_under_injection() {
+        // Transient stalls land in busy time, backpressure bursts in
+        // stall time; either way every elapsed cycle stays attributed
+        // to exactly one of busy/stall/idle per stage.
+        for plan in [
+            FaultPlan::stage_stalls(5, 500, 9),
+            FaultPlan::backpressure(5, 400, 6),
+            FaultPlan {
+                seed: 9,
+                mem_jitter_pm: 0,
+                mem_jitter_max: 0,
+                stage_stall_pm: 300,
+                stage_stall_max: 4,
+                backpressure_pm: 300,
+                backpressure_len: 8,
+            },
+        ] {
+            let mut p = faulted_pipeline(plan);
+            let (elapsed, out) = p.run_to_completion((0..25).collect());
+            assert_eq!(out, (0..25).collect::<Vec<_>>(), "order preserved");
+            for (name, c) in p.stage_cycles() {
+                assert_eq!(
+                    c.total(),
+                    elapsed,
+                    "stage {name} must partition elapsed time under {plan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backpressure_bursts_surface_as_stalls() {
+        let mut p = Pipeline::new(4, vec![StageSpec::new("only", 4, |_: &u64| 2)]);
+        p.set_fault(Some(FaultPlan::backpressure(2, 1000, 10)));
+        p.run_to_completion((0..5).collect());
+        let (_, c) = &p.stage_cycles()[0];
+        // Every item triggers a 10-cycle hold; with no real downstream
+        // pressure all stall time comes from injection.
+        assert!(
+            c.stall >= 50,
+            "expected ≥50 injected stall cycles, got {}",
+            c.stall
+        );
     }
 }

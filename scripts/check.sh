@@ -12,4 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Static perf-lint audit of every shipped .pnet net and .pi program;
 # exits nonzero on any error- or warning-severity finding.
 cargo run --release -p perf-bench --bin repro -- --lint-all
+# Differential conformance gate: every interface representation against
+# its cycle-accurate simulator (nominal + fault-injected), fast seeds,
+# all four accelerators. Exits nonzero past the recorded error budgets.
+cargo run --release -p perf-bench --bin repro -- --conformance --quick
 cargo bench --no-run

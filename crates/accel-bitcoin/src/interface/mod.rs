@@ -3,6 +3,7 @@
 pub mod nl;
 pub mod petri;
 pub mod program;
+pub mod service;
 
 use crate::miner::{MineJob, MinerConfig};
 use perf_core::{Diagnostics, InterfaceBundle};

@@ -3,6 +3,7 @@
 pub mod nl;
 pub mod petri;
 pub mod program;
+pub mod service;
 
 use crate::isa::Program;
 use perf_core::{Diagnostics, InterfaceBundle};

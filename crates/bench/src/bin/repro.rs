@@ -17,6 +17,13 @@
 //!                       # fault-injected); writes BENCH_conformance.json,
 //!                       # exit 1 on any violation. --json prints the
 //!                       # JSON report instead of the summary.
+//! repro --serve         # performance-query server on stdin/stdout:
+//!                       # one JSON request (or array) per line, one
+//!                       # JSON response per line; empty line or EOF
+//!                       # drains and prints a stats line.
+//!                       # --workers N sets the pool size (default 4);
+//!                       # --tcp ADDR serves connections on ADDR
+//!                       # instead of stdio.
 //! ```
 
 use perf_bench::experiments::{self, ExperimentOutput};
@@ -24,7 +31,8 @@ use perf_bench::experiments::{self, ExperimentOutput};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] \
-         [--trace PATH] [--lint-all] [--conformance [--json]]"
+         [--trace PATH] [--lint-all] [--conformance [--json]] \
+         [--serve [--workers N] [--tcp ADDR]]"
     );
     std::process::exit(2);
 }
@@ -66,6 +74,9 @@ fn main() {
     let mut lint_all = false;
     let mut conformance = false;
     let mut json = false;
+    let mut serve = false;
+    let mut workers = 4usize;
+    let mut tcp: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -77,8 +88,43 @@ fn main() {
             "--lint-all" => lint_all = true,
             "--conformance" => conformance = true,
             "--json" => json = true,
+            "--serve" => serve = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+
+    if serve {
+        let cfg = perf_service::ServiceConfig {
+            workers,
+            ..Default::default()
+        };
+        let result = match tcp {
+            Some(addr) => {
+                eprintln!("perf-service: listening on {addr} ({workers} worker(s))");
+                perf_service::line::serve_tcp(&addr, cfg, u64::MAX)
+            }
+            None => {
+                eprintln!(
+                    "perf-service: serving stdio with {workers} worker(s); \
+                     one JSON request or array per line, empty line to finish"
+                );
+                let stdin = std::io::stdin();
+                let mut stdout = std::io::stdout().lock();
+                perf_service::line::serve_lines(stdin.lock(), &mut stdout, cfg).map(|_| ())
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("perf-service: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
 
     if conformance {

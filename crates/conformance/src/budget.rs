@@ -1,112 +1,8 @@
 //! Error budgets and fault-operating contracts.
 //!
-//! A [`Budget`] says how far an interface representation's predictions
-//! may drift from the cycle-accurate simulator before the harness
-//! flags a divergence — one budget per (representation, metric)
-//! channel, mirroring the per-accelerator error columns of the paper's
-//! Table 1. A [`Contract`] declares the fault-injection regime an
-//! interface is still accountable under: within the declared intensity
-//! its (widened) budget must hold; beyond it the harness only requires
-//! that predictions stay finite and the region is explicitly reported
-//! as out of contract.
+//! The types and error measures formerly defined here moved to
+//! [`perf_core::budget`] so the `perf-service` query server can tag
+//! degraded responses with the same budgets the conformance harness
+//! enforces. This module re-exports them under the historical paths.
 
-/// Relative-error budget for one (representation, metric) channel.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Budget {
-    /// Ceiling on the mean relative error across all cases.
-    pub avg: f64,
-    /// Ceiling on any single case's relative error. For interval
-    /// predictions the per-case error is zero when the observation is
-    /// contained and the relative overshoot past the nearer bound
-    /// otherwise, so `max` doubles as the containment tolerance.
-    pub max: f64,
-    /// Absolute deadband in *cycles* (throughput channels are compared
-    /// in the reciprocal cycles-per-item domain). A prediction within
-    /// `atol` cycles of the observation counts as zero error: on a
-    /// one-cycle degenerate workload, being one cycle off is not a
-    /// model divergence even though the relative error is 100%.
-    pub atol: f64,
-}
-
-impl Budget {
-    /// Creates a budget with no absolute deadband.
-    pub const fn new(avg: f64, max: f64) -> Budget {
-        Budget {
-            avg,
-            max,
-            atol: 0.0,
-        }
-    }
-
-    /// Sets the absolute cycle deadband.
-    pub const fn with_atol(self, atol: f64) -> Budget {
-        Budget { atol, ..self }
-    }
-
-    /// Returns this budget widened by an absolute relative-error
-    /// `slack`, as allowed for in-contract fault-injected operation.
-    /// The per-case ceiling gets three times the slack because a
-    /// single unlucky case concentrates more injected cycles than the
-    /// mean does.
-    pub fn widen(self, slack: f64) -> Budget {
-        Budget {
-            avg: self.avg + slack,
-            max: self.max + 3.0 * slack,
-            atol: self.atol,
-        }
-    }
-}
-
-/// Fault-operating contract for one accelerator's interfaces.
-///
-/// `intensity` here is [`perf_sim::FaultPlan::intensity`]: the
-/// expected number of extra cycles injected per fault opportunity.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Contract {
-    /// Highest fault intensity the interfaces remain accountable
-    /// under. Regions beyond this are reported as out of contract.
-    pub max_intensity: f64,
-    /// Relative-error slack granted per unit of intensity while in
-    /// contract (accelerator-specific: it reflects how many fault
-    /// opportunities one predicted cycle spans).
-    pub err_per_intensity: f64,
-}
-
-impl Contract {
-    /// Creates a contract.
-    pub const fn new(max_intensity: f64, err_per_intensity: f64) -> Contract {
-        Contract {
-            max_intensity,
-            err_per_intensity,
-        }
-    }
-
-    /// The absolute relative-error slack granted at `intensity`.
-    pub fn slack(&self, intensity: f64) -> f64 {
-        self.err_per_intensity * intensity
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn widen_adds_slack() {
-        let b = Budget::new(0.10, 0.30).widen(0.05);
-        assert!((b.avg - 0.15).abs() < 1e-12);
-        assert!((b.max - 0.45).abs() < 1e-12);
-    }
-
-    #[test]
-    fn widen_preserves_atol() {
-        let b = Budget::new(0.10, 0.30).with_atol(4.0).widen(0.05);
-        assert_eq!(b.atol, 4.0);
-    }
-
-    #[test]
-    fn contract_slack_scales() {
-        let c = Contract::new(1.0, 0.2);
-        assert!((c.slack(0.5) - 0.1).abs() < 1e-12);
-    }
-}
+pub use perf_core::budget::{Budget, Contract};

@@ -126,64 +126,10 @@ pub trait Subject {
     fn check_nl(&mut self) -> Vec<NlResult>;
 }
 
-/// Relative error of a prediction against an observation: distance
-/// for points, overshoot past the nearer bound (zero if contained)
-/// for intervals.
-pub fn relative_error(pred: &Prediction, actual: f64) -> f64 {
-    let denom = actual.abs().max(1e-12);
-    match *pred {
-        Prediction::Point(v) => (v - actual).abs() / denom,
-        Prediction::Bounds { min, max } => {
-            if actual < min {
-                (min - actual) / denom
-            } else if actual > max {
-                (actual - max) / denom
-            } else {
-                0.0
-            }
-        }
-    }
-}
-
-/// Absolute distance between prediction and observation in the
-/// time domain: cycles for latency, cycles-per-item (the reciprocal)
-/// for throughput. Zero when an interval prediction contains the
-/// observation.
-pub fn cycle_distance(pred: &Prediction, actual: f64, metric: Metric) -> f64 {
-    let to_cycles = |v: f64| match metric {
-        Metric::Latency => v,
-        Metric::Throughput => 1.0 / v.abs().max(1e-12),
-    };
-    let a = to_cycles(actual);
-    match *pred {
-        Prediction::Point(v) => (to_cycles(v) - a).abs(),
-        Prediction::Bounds { min, max } => {
-            // Reciprocation flips interval endpoints for throughput.
-            let (c1, c2) = (to_cycles(min), to_cycles(max));
-            let (lo, hi) = (c1.min(c2), c1.max(c2));
-            if a < lo {
-                lo - a
-            } else if a > hi {
-                a - hi
-            } else {
-                0.0
-            }
-        }
-    }
-}
-
-/// Per-case channel error: the relative error, except that predictions
-/// within `atol` cycles of the observation (time domain) count as
-/// exact. The deadband keeps relative budgets meaningful on degenerate
-/// one-cycle workloads without masking real divergences, which are
-/// tens of cycles or more off.
-pub fn channel_error(pred: &Prediction, actual: f64, metric: Metric, atol: f64) -> f64 {
-    if cycle_distance(pred, actual, metric) <= atol {
-        0.0
-    } else {
-        relative_error(pred, actual)
-    }
-}
+// The error measures moved to `perf_core::budget` (shared with the
+// `perf-service` degradation checks); re-exported here so existing
+// harness callers keep working unchanged.
+pub use perf_core::budget::{channel_error, cycle_distance, relative_error};
 
 /// Outcome of evaluating one (spec, channel) pair.
 struct CaseEval {

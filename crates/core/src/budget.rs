@@ -1,0 +1,203 @@
+//! Error budgets, fault-operating contracts, and the error measures
+//! they are checked with.
+//!
+//! A [`Budget`] says how far an interface representation's predictions
+//! may drift from the cycle-accurate simulator before the harness
+//! flags a divergence — one budget per (representation, metric)
+//! channel, mirroring the per-accelerator error columns of the paper's
+//! Table 1. A [`Contract`] declares the fault-injection regime an
+//! interface is still accountable under: within the declared intensity
+//! its (widened) budget must hold; beyond it the harness only requires
+//! that predictions stay finite and the region is explicitly reported
+//! as out of contract.
+//!
+//! The error measures ([`relative_error`], [`cycle_distance`],
+//! [`channel_error`]) live here, next to the budgets they are judged
+//! against, so that every consumer — the `perf-conformance`
+//! differential harness and the `perf-service` query server's
+//! degradation checks — scores predictions identically.
+
+use crate::iface::Metric;
+use crate::predict::Prediction;
+
+/// Relative-error budget for one (representation, metric) channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Budget {
+    /// Ceiling on the mean relative error across all cases.
+    pub avg: f64,
+    /// Ceiling on any single case's relative error. For interval
+    /// predictions the per-case error is zero when the observation is
+    /// contained and the relative overshoot past the nearer bound
+    /// otherwise, so `max` doubles as the containment tolerance.
+    pub max: f64,
+    /// Absolute deadband in *cycles* (throughput channels are compared
+    /// in the reciprocal cycles-per-item domain). A prediction within
+    /// `atol` cycles of the observation counts as zero error: on a
+    /// one-cycle degenerate workload, being one cycle off is not a
+    /// model divergence even though the relative error is 100%.
+    pub atol: f64,
+}
+
+impl Budget {
+    /// Creates a budget with no absolute deadband.
+    pub const fn new(avg: f64, max: f64) -> Budget {
+        Budget {
+            avg,
+            max,
+            atol: 0.0,
+        }
+    }
+
+    /// Sets the absolute cycle deadband.
+    pub const fn with_atol(self, atol: f64) -> Budget {
+        Budget { atol, ..self }
+    }
+
+    /// Returns this budget widened by an absolute relative-error
+    /// `slack`, as allowed for in-contract fault-injected operation.
+    /// The per-case ceiling gets three times the slack because a
+    /// single unlucky case concentrates more injected cycles than the
+    /// mean does.
+    pub fn widen(self, slack: f64) -> Budget {
+        Budget {
+            avg: self.avg + slack,
+            max: self.max + 3.0 * slack,
+            atol: self.atol,
+        }
+    }
+}
+
+/// Fault-operating contract for one accelerator's interfaces.
+///
+/// `intensity` here is `perf_sim::FaultPlan::intensity`: the expected
+/// number of extra cycles injected per fault opportunity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Contract {
+    /// Highest fault intensity the interfaces remain accountable
+    /// under. Regions beyond this are reported as out of contract.
+    pub max_intensity: f64,
+    /// Relative-error slack granted per unit of intensity while in
+    /// contract (accelerator-specific: it reflects how many fault
+    /// opportunities one predicted cycle spans).
+    pub err_per_intensity: f64,
+}
+
+impl Contract {
+    /// Creates a contract.
+    pub const fn new(max_intensity: f64, err_per_intensity: f64) -> Contract {
+        Contract {
+            max_intensity,
+            err_per_intensity,
+        }
+    }
+
+    /// The absolute relative-error slack granted at `intensity`.
+    pub fn slack(&self, intensity: f64) -> f64 {
+        self.err_per_intensity * intensity
+    }
+}
+
+/// Relative error of a prediction against an observation: distance
+/// for points, overshoot past the nearer bound (zero if contained)
+/// for intervals.
+pub fn relative_error(pred: &Prediction, actual: f64) -> f64 {
+    let denom = actual.abs().max(1e-12);
+    match *pred {
+        Prediction::Point(v) => (v - actual).abs() / denom,
+        Prediction::Bounds { min, max } => {
+            if actual < min {
+                (min - actual) / denom
+            } else if actual > max {
+                (actual - max) / denom
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Absolute distance between prediction and observation in the
+/// time domain: cycles for latency, cycles-per-item (the reciprocal)
+/// for throughput. Zero when an interval prediction contains the
+/// observation.
+pub fn cycle_distance(pred: &Prediction, actual: f64, metric: Metric) -> f64 {
+    let to_cycles = |v: f64| match metric {
+        Metric::Latency => v,
+        Metric::Throughput => 1.0 / v.abs().max(1e-12),
+    };
+    let a = to_cycles(actual);
+    match *pred {
+        Prediction::Point(v) => (to_cycles(v) - a).abs(),
+        Prediction::Bounds { min, max } => {
+            // Reciprocation flips interval endpoints for throughput.
+            let (c1, c2) = (to_cycles(min), to_cycles(max));
+            let (lo, hi) = (c1.min(c2), c1.max(c2));
+            if a < lo {
+                lo - a
+            } else if a > hi {
+                a - hi
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Per-case channel error: the relative error, except that predictions
+/// within `atol` cycles of the observation (time domain) count as
+/// exact. The deadband keeps relative budgets meaningful on degenerate
+/// one-cycle workloads without masking real divergences, which are
+/// tens of cycles or more off.
+pub fn channel_error(pred: &Prediction, actual: f64, metric: Metric, atol: f64) -> f64 {
+    if cycle_distance(pred, actual, metric) <= atol {
+        0.0
+    } else {
+        relative_error(pred, actual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_adds_slack() {
+        let b = Budget::new(0.10, 0.30).widen(0.05);
+        assert!((b.avg - 0.15).abs() < 1e-12);
+        assert!((b.max - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widen_preserves_atol() {
+        let b = Budget::new(0.10, 0.30).with_atol(4.0).widen(0.05);
+        assert_eq!(b.atol, 4.0);
+    }
+
+    #[test]
+    fn contract_slack_scales() {
+        let c = Contract::new(1.0, 0.2);
+        assert!((c.slack(0.5) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_point_and_bounds() {
+        assert!((relative_error(&Prediction::point(110.0), 100.0) - 0.1).abs() < 1e-12);
+        let b = Prediction::bounds(90.0, 120.0);
+        assert_eq!(relative_error(&b, 100.0), 0.0);
+        assert!((relative_error(&b, 150.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(&b, 60.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atol_deadband_zeroes_tiny_absolute_gaps() {
+        // 2 vs 1 cycle: 100% relative, but inside a 4-cycle deadband.
+        let p = Prediction::point(2.0);
+        assert_eq!(channel_error(&p, 1.0, Metric::Latency, 4.0), 0.0);
+        assert!(channel_error(&p, 1.0, Metric::Latency, 0.5) > 0.9);
+        // Throughput compares in the reciprocal (cycles-per-item)
+        // domain: 0.5 vs 1.0 items/cycle is a 1-cycle gap.
+        let t = Prediction::point(0.5);
+        assert_eq!(cycle_distance(&t, 1.0, Metric::Throughput), 1.0);
+        assert_eq!(channel_error(&t, 1.0, Metric::Throughput, 4.0), 0.0);
+    }
+}

@@ -16,9 +16,28 @@
 use perf_core::diag::{Diagnostic, Diagnostics};
 use perf_iface_lang::{check, lexer, lint, parser, printer, LangError, Program, Value};
 
+/// Full help text: every subcommand with every flag. The `--help`
+/// output and the short usage line are kept in sync by the
+/// `help_mentions_every_subcommand` integration test.
+const HELP: &str = "\
+pil — command-line tooling for interface programs
+
+usage:
+  pil check FILE               parse + static checks
+  pil lint FILE [--json]       all static checks + perf-lint analyses;
+                               --json renders diagnostics as JSON;
+                               exit 1 on errors
+  pil fmt FILE                 canonical formatting to stdout
+  pil run FILE FUNC [ARG...]   evaluate a function; arguments are
+                               numbers (42, 3.5), booleans, or records
+                               (orig_size=65536,compress_rate=8)
+  pil --help                   this text
+";
+
 fn usage() -> ! {
     eprintln!(
-        "usage: pil check FILE | pil lint FILE [--json] | pil fmt FILE | pil run FILE FUNC [ARG...]"
+        "usage: pil check FILE | pil lint FILE [--json] | pil fmt FILE \
+         | pil run FILE FUNC [ARG...] | pil --help"
     );
     std::process::exit(2);
 }
@@ -89,6 +108,9 @@ fn parse_arg(raw: &str) -> Value {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{HELP}");
+        }
         Some("check") if args.len() == 2 => {
             let p = load(&args[1]);
             let fns: Vec<&str> = p.ast().functions.iter().map(|f| f.name.as_str()).collect();

@@ -21,10 +21,36 @@ use perf_petri::token::Token;
 use perf_petri::trace::{critical_path, trace_report_json, DEFAULT_TRACE_CAPACITY};
 use perf_petri::{analysis, dot, lint, text, PetriError};
 
+/// Full help text: every subcommand with every flag. The `--help`
+/// output and the short usage line are kept in sync by the
+/// `help_mentions_every_subcommand` integration test.
+const HELP: &str = "\
+pnet — command-line tooling for Petri-net performance IRs
+
+usage:
+  pnet check FILE                       parse + structural report
+                                        (exit 1 on dead-end places)
+  pnet lint FILE [--entry PLACE]... [--json]
+                                        static perf-lint analyses;
+                                        --entry marks token-injection
+                                        places for reachability,
+                                        --json renders diagnostics as
+                                        JSON; exit 1 on errors
+  pnet dot FILE                         Graphviz rendering to stdout
+  pnet run FILE PLACE N [field=VAL...]  inject N tokens at PLACE and
+                                        simulate to completion
+  pnet trace FILE PLACE N [--folded] [field=VAL...]
+                                        traced run with critical-path
+                                        attribution: JSON report, or
+                                        folded stacks with --folded
+  pnet --help                           this text
+";
+
 fn usage() -> ! {
     eprintln!(
         "usage: pnet check FILE | pnet lint FILE [--entry PLACE]... [--json] | pnet dot FILE \
-         | pnet run FILE PLACE N [field=VAL...] | pnet trace FILE PLACE N [--folded] [field=VAL...]"
+         | pnet run FILE PLACE N [field=VAL...] | pnet trace FILE PLACE N [--folded] [field=VAL...] \
+         | pnet --help"
     );
     std::process::exit(2);
 }
@@ -100,6 +126,9 @@ fn load(path: &str) -> perf_petri::net::Net {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{HELP}");
+        }
         Some("check") if args.len() == 2 => {
             let net = load(&args[1]);
             let s = analysis::structure(&net);

@@ -254,6 +254,47 @@ impl<'n> Engine<'n> {
         self.push_event(token.arrived, Ev::Inject { place, token });
     }
 
+    /// A 64-bit fingerprint of the engine's current marking: every
+    /// queued token and every injected-but-undelivered token, with its
+    /// place, payload, birth and arrival cycles, combined with the
+    /// net's structural fingerprint ([`Net::fingerprint`]).
+    ///
+    /// Deterministic runs from identical markings produce identical
+    /// results, so this value keys the `perf-service` result cache for
+    /// Petri-tier evaluations: two workloads whose token injections
+    /// coincide (say, two images with the same per-block bit/nonzero
+    /// profile) share one cache slot. Call it after `inject`ing the
+    /// workload and before [`Engine::run`].
+    pub fn marking_fingerprint(&self) -> u64 {
+        let mut h = perf_core::query::Fnv1a::new();
+        h.write_u64(self.net.fingerprint());
+        let hash_token = |h: &mut perf_core::query::Fnv1a, place: usize, t: &Token| {
+            h.write_u64(place as u64);
+            h.write(t.data.to_string().as_bytes());
+            h.write_u64(t.born);
+            h.write_u64(t.arrived);
+        };
+        for (pi, q) in self.marking.iter().enumerate() {
+            for t in q {
+                hash_token(&mut h, pi, t);
+            }
+        }
+        // Pending injections live in the event heap; walk them in
+        // deterministic insertion (seq) order, not heap order.
+        let mut pending: Vec<&Scheduled> = self
+            .heap
+            .iter()
+            .filter(|s| matches!(s.ev, Ev::Inject { .. }))
+            .collect();
+        pending.sort_by_key(|s| s.seq);
+        for s in pending {
+            if let Ev::Inject { place, ref token } = s.ev {
+                hash_token(&mut h, place.0, token);
+            }
+        }
+        h.finish()
+    }
+
     fn push_event(&mut self, time: u64, ev: Ev) {
         let seq = self.seq;
         self.seq += 1;
@@ -734,6 +775,44 @@ mod tests {
 
     fn passthrough(n: usize) -> impl Fn(&[Token]) -> Vec<Value> {
         move |ts: &[Token]| vec![ts[0].data.clone(); n]
+    }
+
+    #[test]
+    fn marking_fingerprint_tracks_injections_not_order_noise() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.transition("t", &[a], &[z], |_| 7, passthrough(1));
+        let net = b.build().unwrap();
+
+        let empty = Engine::new(&net, Options::default()).marking_fingerprint();
+        let mut e1 = Engine::new(&net, Options::default());
+        e1.inject(a, Token::at(Value::num(1.0), 0));
+        let one = e1.marking_fingerprint();
+        assert_ne!(empty, one, "injection must change the fingerprint");
+
+        // Identical injections give identical fingerprints.
+        let mut e2 = Engine::new(&net, Options::default());
+        e2.inject(a, Token::at(Value::num(1.0), 0));
+        assert_eq!(one, e2.marking_fingerprint());
+
+        // A different payload gives a different fingerprint.
+        let mut e3 = Engine::new(&net, Options::default());
+        e3.inject(a, Token::at(Value::num(2.0), 0));
+        assert_ne!(one, e3.marking_fingerprint());
+
+        // A structurally different net (distinct transition name)
+        // shifts every fingerprint. Native closure *bodies* are
+        // opaque and intentionally do not contribute.
+        let mut b2 = NetBuilder::new("n");
+        let a2 = b2.place("a", None);
+        let z2 = b2.sink("z");
+        b2.transition("u", &[a2], &[z2], |_| 7, passthrough(1));
+        let net2 = b2.build().unwrap();
+        assert_ne!(net.fingerprint(), net2.fingerprint());
+        let mut e4 = Engine::new(&net2, Options::default());
+        e4.inject(a2, Token::at(Value::num(1.0), 0));
+        assert_ne!(one, e4.marking_fingerprint());
     }
 
     #[test]

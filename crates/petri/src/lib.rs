@@ -52,6 +52,7 @@
 //! // Throughput is set by the 5-cycle bottleneck stage.
 //! assert!(res.makespan >= 25);
 //! ```
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod behavior;

@@ -116,6 +116,54 @@ impl Net {
             .map(TransId)
     }
 
+    /// A 64-bit structural fingerprint: FNV-1a over the net name,
+    /// every place (name, capacity, sink flag) and every transition
+    /// (name, arcs with weights, server count, priority, constant
+    /// delay/guard folds when the behavior exposes them).
+    ///
+    /// Two nets with the same structure fingerprint evaluate workloads
+    /// identically for all shipped `.pnet` artifacts, whose behaviors
+    /// are pure functions of the structure — so the value serves as
+    /// the net half of the `perf-service` result-cache key (the other
+    /// half is [`crate::Engine::marking_fingerprint`]). Native-closure
+    /// behaviors contribute only their constant folds; nets built from
+    /// distinct closures with identical structure can collide, which
+    /// is why cache keys must always include the workload fingerprint
+    /// too.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = perf_core::query::Fnv1a::new();
+        h.write(self.name.as_bytes());
+        h.write(&[0xff]);
+        for p in &self.places {
+            h.write(p.name.as_bytes());
+            h.write_u64(p.capacity.map(|c| c as u64 + 1).unwrap_or(0));
+            h.write(&[u8::from(p.is_sink)]);
+        }
+        h.write(&[0xfe]);
+        for t in &self.transitions {
+            h.write(t.name.as_bytes());
+            for &(p, w) in &t.inputs {
+                h.write_u64(p.0 as u64);
+                h.write_u64(w as u64);
+            }
+            h.write(&[0xfd]);
+            for &(p, w) in &t.outputs {
+                h.write_u64(p.0 as u64);
+                h.write_u64(w as u64);
+            }
+            h.write_u64(t.servers as u64);
+            h.write_u64(t.priority as u64);
+            h.write(&[u8::from(t.behavior.has_guard())]);
+            if let Some(d) = t.behavior.const_delay() {
+                h.write_f64(d);
+            }
+            if let Some(g) = t.behavior.const_guard() {
+                h.write(&[2 + u8::from(g)]);
+            }
+        }
+        h.finish()
+    }
+
     /// Assembles a net from parts, computing the adjacency indices.
     /// Every construction path (builder, composition) must go through
     /// here so the indices stay consistent with the structure.

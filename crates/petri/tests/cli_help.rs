@@ -1,0 +1,68 @@
+//! Checks that `pnet --help` and the short usage line stay in sync
+//! with the actual subcommand surface — PR 3 added `lint` flags that
+//! the usage text missed, and this test makes that class of drift a
+//! build failure.
+
+use std::process::Command;
+
+const SUBCOMMANDS: [&str; 5] = ["check", "lint", "dot", "run", "trace"];
+const LINT_FLAGS: [&str; 2] = ["--entry", "--json"];
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pnet"))
+        .args(args)
+        .output()
+        .expect("spawn pnet")
+}
+
+#[test]
+fn help_mentions_every_subcommand() {
+    let out = run(&["--help"]);
+    assert!(out.status.success(), "--help should exit 0");
+    let text = String::from_utf8(out.stdout).expect("utf8 help");
+    for sub in SUBCOMMANDS {
+        assert!(
+            text.contains(&format!("pnet {sub} ")),
+            "help omits subcommand `{sub}`:\n{text}"
+        );
+    }
+    for flag in LINT_FLAGS {
+        assert!(
+            text.contains(flag),
+            "help omits lint flag `{flag}`:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("--folded"),
+        "help omits trace flag `--folded`:\n{text}"
+    );
+}
+
+#[test]
+fn short_usage_mentions_every_subcommand_and_lint_flags() {
+    let out = run(&["no-such-subcommand"]);
+    assert_eq!(out.status.code(), Some(2), "bad args should exit 2");
+    let text = String::from_utf8(out.stderr).expect("utf8 usage");
+    for sub in SUBCOMMANDS {
+        assert!(
+            text.contains(&format!("pnet {sub} ")),
+            "usage omits subcommand `{sub}`:\n{text}"
+        );
+    }
+    for flag in LINT_FLAGS {
+        assert!(
+            text.contains(flag),
+            "usage omits lint flag `{flag}`:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn help_aliases_agree() {
+    let long = run(&["--help"]);
+    for alias in ["-h", "help"] {
+        let out = run(&[alias]);
+        assert!(out.status.success(), "`{alias}` should exit 0");
+        assert_eq!(out.stdout, long.stdout, "`{alias}` differs from --help");
+    }
+}

@@ -1,0 +1,33 @@
+//! Load generator for the performance-query service.
+//!
+//! ```text
+//! svcbench                  # full sweep, writes BENCH_service.json
+//! svcbench --quick          # smaller request count
+//! svcbench --out PATH       # write the JSON artifact elsewhere
+//! ```
+
+fn usage() -> ! {
+    eprintln!("usage: svcbench [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_service.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let report = perf_service::svcbench::run(quick);
+    print!("{}", report.render());
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write `{out}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    std::process::exit(if report.pass() { 0 } else { 1 });
+}

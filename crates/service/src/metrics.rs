@@ -1,0 +1,263 @@
+//! Service counters and latency histograms.
+//!
+//! One [`ServiceMetrics`] instance lives behind the server's shared
+//! state; workers record into it under a short lock, and observers
+//! take [`MetricsSnapshot`]s for reports, the `svcbench` JSON, or a
+//! [`TraceSink`] export.
+
+use perf_core::iface::InterfaceKind;
+use perf_core::stats;
+use perf_core::trace::{json_escape, TraceSink};
+
+/// Index of a representation in the per-representation arrays.
+fn ridx(kind: InterfaceKind) -> usize {
+    match kind {
+        InterfaceKind::NaturalLanguage => 0,
+        InterfaceKind::Program => 1,
+        InterfaceKind::PetriNet => 2,
+    }
+}
+
+const REPR_NAMES: [&str; 3] = ["nl", "program", "petri"];
+
+/// Mutable counter state (kept behind the server's mutex).
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests offered to admission.
+    pub submitted: u64,
+    /// Requests dropped because the queue was full.
+    pub rejected: u64,
+    /// Requests whose deadline expired in the queue.
+    pub expired: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests that failed in a backend.
+    pub errors: u64,
+    /// Answers served from the result cache.
+    pub cache_hits: u64,
+    /// Answers served from a representation below the requested
+    /// ceiling.
+    pub degraded: u64,
+    /// Highest queue depth observed at admission.
+    pub queue_high_water: usize,
+    /// Per-representation evaluation times in microseconds (cache
+    /// misses only; hits cost no evaluation).
+    pub service_us: [Vec<f64>; 3],
+    /// Queueing delays in microseconds.
+    pub queue_us: Vec<f64>,
+}
+
+impl ServiceMetrics {
+    /// Records one served answer.
+    pub fn record_answer(
+        &mut self,
+        repr: InterfaceKind,
+        degraded: bool,
+        cache_hit: bool,
+        queue_us: f64,
+        service_us: f64,
+    ) {
+        self.completed += 1;
+        if degraded {
+            self.degraded += 1;
+        }
+        if cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.service_us[ridx(repr)].push(service_us);
+        }
+        self.queue_us.push(queue_us);
+    }
+
+    /// Merges a burst-local accumulator into this one. Workers record
+    /// into a thread-local `ServiceMetrics` while serving a burst and
+    /// merge once at the end, so the shared instance costs one lock
+    /// per burst instead of per query. Admission-side counters
+    /// (`submitted`, `rejected`, `queue_high_water`) are maintained by
+    /// the submitting thread and summed/maxed here for completeness.
+    pub fn merge(&mut self, other: &ServiceMetrics) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.expired += other.expired;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.cache_hits += other.cache_hits;
+        self.degraded += other.degraded;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        for (mine, theirs) in self.service_us.iter_mut().zip(&other.service_us) {
+            mine.extend_from_slice(theirs);
+        }
+        self.queue_us.extend_from_slice(&other.queue_us);
+    }
+
+    /// Takes an immutable summary of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let per_repr = std::array::from_fn(|i| {
+            let xs = &self.service_us[i];
+            ReprStats {
+                count: xs.len() as u64,
+                mean_us: stats::mean(xs),
+                p50_us: stats::percentile(xs, 50.0),
+                p99_us: stats::percentile(xs, 99.0),
+            }
+        });
+        MetricsSnapshot {
+            submitted: self.submitted,
+            rejected: self.rejected,
+            expired: self.expired,
+            completed: self.completed,
+            errors: self.errors,
+            cache_hits: self.cache_hits,
+            degraded: self.degraded,
+            queue_high_water: self.queue_high_water,
+            queue_p50_us: stats::percentile(&self.queue_us, 50.0),
+            queue_p99_us: stats::percentile(&self.queue_us, 99.0),
+            per_repr,
+        }
+    }
+}
+
+/// Latency summary for one representation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReprStats {
+    /// Evaluations (cache misses) recorded.
+    pub count: u64,
+    /// Mean evaluation time, microseconds.
+    pub mean_us: f64,
+    /// Median evaluation time, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile evaluation time, microseconds.
+    pub p99_us: f64,
+}
+
+/// An immutable summary of the service counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests offered to admission.
+    pub submitted: u64,
+    /// Admission rejects (queue full).
+    pub rejected: u64,
+    /// Queue-deadline expiries.
+    pub expired: u64,
+    /// Successful answers.
+    pub completed: u64,
+    /// Backend errors.
+    pub errors: u64,
+    /// Cache hits among answers.
+    pub cache_hits: u64,
+    /// Degraded answers.
+    pub degraded: u64,
+    /// Highest observed queue depth.
+    pub queue_high_water: usize,
+    /// Median queueing delay, microseconds.
+    pub queue_p50_us: f64,
+    /// 99th-percentile queueing delay, microseconds.
+    pub queue_p99_us: f64,
+    /// Per-representation evaluation-latency summaries, indexed
+    /// nl / program / petri.
+    pub per_repr: [ReprStats; 3],
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate among completed answers (0 when none completed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.completed as f64
+        }
+    }
+
+    /// Renders the snapshot as a JSON object (used by `svcbench` and
+    /// `repro --serve` stats lines).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"submitted\":{},\"rejected\":{},\"expired\":{},\"completed\":{},\
+             \"errors\":{},\"cache_hits\":{},\"degraded\":{},\"queue_high_water\":{},\
+             \"queue_p50_us\":{:.1},\"queue_p99_us\":{:.1},\"per_repr\":{{",
+            self.submitted,
+            self.rejected,
+            self.expired,
+            self.completed,
+            self.errors,
+            self.cache_hits,
+            self.degraded,
+            self.queue_high_water,
+            self.queue_p50_us,
+            self.queue_p99_us,
+        );
+        for (i, name) in REPR_NAMES.iter().enumerate() {
+            let r = &self.per_repr[i];
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+                json_escape(name),
+                r.count,
+                r.mean_us,
+                r.p50_us,
+                r.p99_us
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Exports the snapshot into a [`TraceSink`] as one span per
+    /// representation plus counter events.
+    pub fn trace_into(&self, sink: &mut dyn TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (i, name) in REPR_NAMES.iter().enumerate() {
+            let r = &self.per_repr[i];
+            sink.span(
+                "service",
+                name,
+                &format!(
+                    "count={} p50_us={:.1} p99_us={:.1}",
+                    r.count, r.p50_us, r.p99_us
+                ),
+                (r.mean_us * 1_000.0) as u64,
+            );
+        }
+        sink.event(0, "service", &format!("completed={}", self.completed));
+        sink.event(0, "service", &format!("rejected={}", self.rejected));
+        sink.event(0, "service", &format!("expired={}", self.expired));
+        sink.event(
+            0,
+            "service",
+            &format!("cache_hit_rate={:.3}", self.cache_hit_rate()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::trace::MemorySink;
+
+    #[test]
+    fn snapshot_aggregates_and_renders() {
+        let mut m = ServiceMetrics {
+            submitted: 10,
+            ..Default::default()
+        };
+        m.record_answer(InterfaceKind::PetriNet, false, false, 5.0, 100.0);
+        m.record_answer(InterfaceKind::PetriNet, false, true, 2.0, 0.0);
+        m.record_answer(InterfaceKind::NaturalLanguage, true, false, 1.0, 2.0);
+        let s = m.snapshot();
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.per_repr[2].count, 1);
+        assert!((s.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let json = s.to_json();
+        assert!(json.contains("\"petri\""));
+        assert!(crate::json::Json::parse(&json).is_ok());
+        let mut sink = MemorySink::new();
+        s.trace_into(&mut sink);
+        assert!(sink.len() >= 4);
+    }
+}

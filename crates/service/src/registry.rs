@@ -1,0 +1,47 @@
+//! The accelerator backend registry.
+//!
+//! Backends hold interpreter state that is not `Send` (the `.pi`
+//! interpreter shares ASTs via `Rc`), so the registry hands out
+//! *constructors*: each worker thread builds its own backend set and
+//! keeps it for the thread's lifetime.
+
+use accel_bitcoin::interface::service::BitcoinService;
+use accel_jpeg::interface::service::JpegService;
+use accel_protoacc::interface::service::ProtoaccService;
+use accel_vta::interface::service::VtaService;
+use perf_core::query::QueryBackend;
+use perf_core::CoreError;
+
+/// Names of every accelerator the service can answer for.
+pub fn accelerators() -> &'static [&'static str] {
+    &["jpeg-decoder", "bitcoin-miner", "protoacc", "vta"]
+}
+
+/// Builds the backend for one accelerator name.
+pub fn backend(accel: &str) -> Result<Box<dyn QueryBackend>, CoreError> {
+    match accel {
+        "jpeg-decoder" => Ok(Box::new(JpegService::new()?)),
+        "bitcoin-miner" => Ok(Box::new(BitcoinService::new())),
+        "protoacc" => Ok(Box::new(ProtoaccService::new())),
+        "vta" => Ok(Box::new(VtaService::new())),
+        other => Err(CoreError::Artifact(format!(
+            "unknown accelerator `{other}` (have: {})",
+            accelerators().join(", ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_accelerator_constructs() {
+        for name in accelerators() {
+            let b = backend(name).unwrap();
+            assert_eq!(&b.accel(), name);
+            assert!(!b.spec_kinds().is_empty());
+        }
+        assert!(backend("nope").is_err());
+    }
+}

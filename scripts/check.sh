@@ -1,13 +1,32 @@
 #!/usr/bin/env bash
-# One-stop pre-merge gate: build, tests, lints, and bench compilation.
+# One-stop pre-merge gate: build, tests, docs, lints, and bench
+# compilation. `--quick` runs the fast subset (build, tests, doc gate,
+# service saturation smoke) for inner-loop use.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
 
 cargo fmt --check
 cargo build --release
 # --workspace matters: without it only the root package's suites run,
 # and the other ~33 member suites silently stop gating merges.
 cargo test -q --workspace
+# Docs are part of the contract: perf-core, perf-petri and perf-service
+# deny missing_docs, and broken intra-doc links fail the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+# Service saturation smoke: a flooded queue must shed load instead of
+# deadlocking, and every degraded answer must stay inside the serving
+# representation's conformance budget.
+cargo test -q --release -p perf-service --test e2e saturation
+
+if [[ "$quick" == "1" ]]; then
+    exit 0
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 # Static perf-lint audit of every shipped .pnet net and .pi program;
 # exits nonzero on any error- or warning-severity finding.

@@ -16,8 +16,10 @@
 //! ([`jpeg`]), a Bitcoin miner ([`bitcoin`]), the Protoacc serializer
 //! ([`protoacc`]) and the VTA deep-learning accelerator ([`vta`]), each
 //! built on the cycle-accurate substrate in [`sim`]. An autotuner
-//! ([`autotune`]) demonstrates tools consuming the IR, and
-//! [`workloads`] packages the paper's developer-story studies.
+//! ([`autotune`]) demonstrates tools consuming the IR, [`workloads`]
+//! packages the paper's developer-story studies, and [`service`] serves
+//! performance queries from a long-running, deadline-aware worker pool
+//! (`repro --serve`).
 //!
 //! # Quick start
 //!
@@ -52,5 +54,17 @@ pub use perf_autotune as autotune;
 pub use perf_core as core;
 pub use perf_iface_lang as lang;
 pub use perf_petri as petri;
+pub use perf_service as service;
 pub use perf_sim as sim;
 pub use perf_workloads as workloads;
+
+/// Runs the Rust code blocks embedded in `README.md` as doc-tests, so
+/// the prose examples cannot drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
+/// Runs the Rust code blocks embedded in `DESIGN.md` as doc-tests.
+#[cfg(doctest)]
+#[doc = include_str!("../DESIGN.md")]
+pub struct DesignDoctests;

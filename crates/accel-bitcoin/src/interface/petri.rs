@@ -8,10 +8,12 @@
 
 use crate::miner::{MineJob, MinerConfig};
 use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::query::EngineChoice;
 use perf_core::{CoreError, Prediction};
 use perf_iface_lang::Value;
-use perf_petri::engine::{Engine, Options};
+use perf_petri::engine::Options;
 use perf_petri::net::Net;
+use perf_petri::stepper::NetExec;
 use perf_petri::text;
 use perf_petri::token::Token;
 
@@ -50,16 +52,30 @@ pub fn pnet_source(cfg: &MinerConfig) -> String {
 
 /// Petri-net interface for the miner.
 pub struct BitcoinPetriInterface {
-    net: Net,
+    exec: NetExec,
     src: String,
 }
 
 impl BitcoinPetriInterface {
-    /// Generates and parses the net for `cfg`.
+    /// Generates and parses the net for `cfg`; evaluations run the
+    /// compiled stepper.
     pub fn new(cfg: MinerConfig) -> Result<BitcoinPetriInterface, CoreError> {
+        Self::with_engine(cfg, EngineChoice::Compiled)
+    }
+
+    /// Generates and parses the net for `cfg` with an explicit
+    /// evaluation substrate.
+    pub fn with_engine(
+        cfg: MinerConfig,
+        engine: EngineChoice,
+    ) -> Result<BitcoinPetriInterface, CoreError> {
         let src = pnet_source(&cfg);
         let net = text::parse(&src)?;
-        Ok(BitcoinPetriInterface { net, src })
+        let exec = match engine {
+            EngineChoice::Compiled => NetExec::compiled(net),
+            EngineChoice::Interpreted => NetExec::interpreted(net),
+        };
+        Ok(BitcoinPetriInterface { exec, src })
     }
 
     /// The generated `.pnet` source.
@@ -69,17 +85,18 @@ impl BitcoinPetriInterface {
 
     /// The parsed net.
     pub fn net(&self) -> &Net {
-        &self.net
+        self.exec.net()
     }
 
     /// Runs the net for a scan of `hashes` nonces, the last of which is
     /// golden if `found` (mirrors the simulator's early-stop shape).
     pub fn run(&self, hashes: u64, found: bool) -> Result<u64, CoreError> {
         let src = self
-            .net
+            .exec
+            .net()
             .place_id("nonces")
             .ok_or_else(|| CoreError::Artifact("net lacks nonces place".into()))?;
-        let mut eng = Engine::new(&self.net, Options::default());
+        let mut eng = self.exec.session(Options::default());
         for i in 0..hashes {
             let golden = found && i == hashes - 1;
             eng.inject(

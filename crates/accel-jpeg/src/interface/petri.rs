@@ -9,10 +9,12 @@
 use crate::hw::JpegHwConfig;
 use crate::workload::{Image, HEADER_BYTES};
 use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::query::EngineChoice;
 use perf_core::{CoreError, Prediction};
 use perf_iface_lang::Value;
-use perf_petri::engine::{Engine, Options};
+use perf_petri::engine::Options;
 use perf_petri::net::Net;
+use perf_petri::stepper::NetExec;
 use perf_petri::text;
 use perf_petri::token::Token;
 
@@ -21,17 +23,26 @@ pub const JPEG_PNET_SRC: &str = include_str!("../../assets/jpeg.pnet");
 
 /// Petri-net interface for the JPEG decoder.
 pub struct JpegPetriInterface {
-    net: Net,
+    exec: NetExec,
     header_cycles: u64,
     events_evaluated: std::cell::Cell<u64>,
 }
 
 impl JpegPetriInterface {
-    /// Parses the shipped net.
+    /// Parses the shipped net; evaluations run the compiled stepper.
     pub fn new() -> Result<JpegPetriInterface, CoreError> {
+        Self::with_engine(EngineChoice::Compiled)
+    }
+
+    /// Parses the shipped net with an explicit evaluation substrate.
+    pub fn with_engine(engine: EngineChoice) -> Result<JpegPetriInterface, CoreError> {
         let net = text::parse(JPEG_PNET_SRC)?;
+        let exec = match engine {
+            EngineChoice::Compiled => NetExec::compiled(net),
+            EngineChoice::Interpreted => NetExec::interpreted(net),
+        };
         Ok(JpegPetriInterface {
-            net,
+            exec,
             header_cycles: JpegHwConfig::default().header_cycles(HEADER_BYTES),
             events_evaluated: std::cell::Cell::new(0),
         })
@@ -45,7 +56,16 @@ impl JpegPetriInterface {
 
     /// The parsed net (for DOT export or structural analysis).
     pub fn net(&self) -> &Net {
-        &self.net
+        self.exec.net()
+    }
+
+    /// Which evaluation substrate [`JpegPetriInterface::run`] uses.
+    pub fn engine(&self) -> EngineChoice {
+        if self.exec.is_compiled() {
+            EngineChoice::Compiled
+        } else {
+            EngineChoice::Interpreted
+        }
     }
 
     /// Engine events processed across all predictions so far (the cost
@@ -58,10 +78,11 @@ impl JpegPetriInterface {
     /// latency in cycles.
     pub fn run(&self, img: &Image) -> Result<u64, CoreError> {
         let src = self
-            .net
+            .exec
+            .net()
             .place_id("blocks_in")
             .ok_or_else(|| CoreError::Artifact("net lacks blocks_in".into()))?;
-        let mut eng = Engine::new(&self.net, Options::default());
+        let mut eng = self.exec.session(Options::default());
         let per_page = JpegHwConfig::default().blocks_per_page;
         for (i, b) in img.blocks.iter().enumerate() {
             // Blocks at page-aligned output offsets carry the writer's

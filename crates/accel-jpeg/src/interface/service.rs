@@ -13,7 +13,7 @@ use crate::hw::JpegHwConfig;
 use crate::interface::{petri, program};
 use crate::workload::{ColorMode, Image, ImageGen};
 use perf_core::iface::{InterfaceKind, Metric};
-use perf_core::query::{Fnv1a, QueryBackend, WorkloadSpec};
+use perf_core::query::{EngineChoice, Fnv1a, QueryBackend, WorkloadSpec};
 use perf_core::{Budget, CoreError, GroundTruth, Observation, Prediction};
 use perf_petri::net::Net;
 use perf_petri::text;
@@ -26,15 +26,23 @@ pub struct JpegService {
     program: program::JpegProgramInterface,
     petri: petri::JpegPetriInterface,
     net: Net,
+    engine: EngineChoice,
 }
 
 impl JpegService {
-    /// Builds the backend from the shipped interface artifacts.
+    /// Builds the backend from the shipped interface artifacts; the
+    /// interfaces run on the compiled substrate.
     pub fn new() -> Result<JpegService, CoreError> {
+        Self::with_engine(EngineChoice::Compiled)
+    }
+
+    /// Builds the backend with an explicit evaluation substrate.
+    pub fn with_engine(engine: EngineChoice) -> Result<JpegService, CoreError> {
         Ok(JpegService {
-            program: program::JpegProgramInterface::new()?,
-            petri: petri::JpegPetriInterface::new()?,
+            program: program::JpegProgramInterface::with_engine(engine)?,
+            petri: petri::JpegPetriInterface::with_engine(engine)?,
             net: text::parse(petri::JPEG_PNET_SRC)?,
+            engine,
         })
     }
 
@@ -120,6 +128,10 @@ pub fn nl_bounds(img: &Image, metric: Metric) -> Prediction {
 impl QueryBackend for JpegService {
     fn accel(&self) -> &'static str {
         "jpeg-decoder"
+    }
+
+    fn engine(&self) -> EngineChoice {
+        self.engine
     }
 
     fn spec_kinds(&self) -> &'static [&'static str] {

@@ -9,10 +9,11 @@ use crate::descriptor::Message;
 use crate::simx::{ProtoWorkload, ProtoaccConfig};
 use crate::wire;
 use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::query::EngineChoice;
 use perf_core::{CoreError, Prediction};
 use perf_iface_lang::Value;
-use perf_petri::engine::{Engine, Options};
-use perf_petri::net::Net;
+use perf_petri::engine::Options;
+use perf_petri::stepper::NetExec;
 use perf_petri::text;
 use perf_petri::token::Token;
 
@@ -40,17 +41,36 @@ pub const FIRST_MSG_TAIL: u64 = 140;
 
 /// Petri-net interface for Protoacc.
 pub struct ProtoaccPetriInterface {
-    net: Net,
+    exec: NetExec,
     cfg: ProtoaccConfig,
 }
 
 impl ProtoaccPetriInterface {
-    /// Parses the shipped net.
+    /// Parses the shipped net; evaluations run the compiled stepper.
     pub fn new() -> Result<ProtoaccPetriInterface, CoreError> {
+        Self::with_engine(EngineChoice::Compiled)
+    }
+
+    /// Parses the shipped net with an explicit evaluation substrate.
+    pub fn with_engine(engine: EngineChoice) -> Result<ProtoaccPetriInterface, CoreError> {
+        let net = text::parse(PROTOACC_PNET_SRC)?;
+        let exec = match engine {
+            EngineChoice::Compiled => NetExec::compiled(net),
+            EngineChoice::Interpreted => NetExec::interpreted(net),
+        };
         Ok(ProtoaccPetriInterface {
-            net: text::parse(PROTOACC_PNET_SRC)?,
+            exec,
             cfg: ProtoaccConfig::default(),
         })
+    }
+
+    /// Which evaluation substrate [`ProtoaccPetriInterface::run`] uses.
+    pub fn engine(&self) -> EngineChoice {
+        if self.exec.is_compiled() {
+            EngineChoice::Compiled
+        } else {
+            EngineChoice::Interpreted
+        }
     }
 
     /// The `.pnet` source.
@@ -82,10 +102,11 @@ impl ProtoaccPetriInterface {
     /// payloads and returns `(makespan, completions)`.
     fn run_costed(&self, costed: &[(u64, u64)]) -> Result<(u64, usize), CoreError> {
         let src = self
-            .net
+            .exec
+            .net()
             .place_id("msgs_in")
             .ok_or_else(|| CoreError::Artifact("net lacks msgs_in".into()))?;
-        let mut eng = Engine::new(&self.net, Options::default());
+        let mut eng = self.exec.session(Options::default());
         for &(rc, wc) in costed {
             eng.inject(
                 src,

@@ -5,10 +5,12 @@
 
 use crate::isa::{Insn, Module, Opcode, Program};
 use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::query::EngineChoice;
 use perf_core::{CoreError, Prediction};
 use perf_iface_lang::Value;
-use perf_petri::engine::{Engine, Options, SimResult};
+use perf_petri::engine::{Options, SimResult};
 use perf_petri::net::Net;
+use perf_petri::stepper::NetExec;
 use perf_petri::text;
 use perf_petri::token::Token;
 
@@ -73,26 +75,44 @@ fn insn_token(insn: &Insn) -> Value {
 
 /// Petri-net interface for VTA.
 pub struct VtaPetriInterface {
-    net: Net,
+    exec: NetExec,
     src: &'static str,
     events: std::cell::Cell<u64>,
 }
 
 impl VtaPetriInterface {
-    /// Parses the shipped full-fidelity net.
+    /// Parses the shipped full-fidelity net; evaluations run the
+    /// compiled stepper.
     pub fn new_full() -> Result<VtaPetriInterface, CoreError> {
-        Ok(VtaPetriInterface {
-            net: text::parse(VTA_FULL_PNET_SRC)?,
-            src: VTA_FULL_PNET_SRC,
-            events: std::cell::Cell::new(0),
-        })
+        Self::full_with_engine(EngineChoice::Compiled)
+    }
+
+    /// Parses the shipped full-fidelity net with an explicit
+    /// evaluation substrate.
+    pub fn full_with_engine(engine: EngineChoice) -> Result<VtaPetriInterface, CoreError> {
+        Self::from_src(VTA_FULL_PNET_SRC, engine)
     }
 
     /// Parses the shipped corner-cut net (E9 ablation).
     pub fn new_lite() -> Result<VtaPetriInterface, CoreError> {
+        Self::lite_with_engine(EngineChoice::Compiled)
+    }
+
+    /// Parses the corner-cut net with an explicit evaluation
+    /// substrate.
+    pub fn lite_with_engine(engine: EngineChoice) -> Result<VtaPetriInterface, CoreError> {
+        Self::from_src(VTA_LITE_PNET_SRC, engine)
+    }
+
+    fn from_src(src: &'static str, engine: EngineChoice) -> Result<VtaPetriInterface, CoreError> {
+        let net = text::parse(src)?;
+        let exec = match engine {
+            EngineChoice::Compiled => NetExec::compiled(net),
+            EngineChoice::Interpreted => NetExec::interpreted(net),
+        };
         Ok(VtaPetriInterface {
-            net: text::parse(VTA_LITE_PNET_SRC)?,
-            src: VTA_LITE_PNET_SRC,
+            exec,
+            src,
             events: std::cell::Cell::new(0),
         })
     }
@@ -104,7 +124,7 @@ impl VtaPetriInterface {
 
     /// The parsed net.
     pub fn net(&self) -> &Net {
-        &self.net
+        self.exec.net()
     }
 
     /// Total engine events processed (the evaluation-cost metric for
@@ -116,13 +136,15 @@ impl VtaPetriInterface {
     /// Evaluates the net on a program.
     pub fn run(&self, prog: &Program) -> Result<SimResult, CoreError> {
         let fetch_q = self
-            .net
+            .exec
+            .net()
             .place_id("fetch_q")
             .ok_or_else(|| CoreError::Artifact("net lacks fetch_q".into()))?;
-        let mut eng = Engine::new(&self.net, Options::default());
+        let mut eng = self.exec.session(Options::default());
         for free in ["fetch_free", "load_free", "compute_free", "store_free"] {
             let p = self
-                .net
+                .exec
+                .net()
                 .place_id(free)
                 .ok_or_else(|| CoreError::Artifact(format!("net lacks {free}")))?;
             eng.inject(p, Token::at(Value::record([("u", Value::num(0.0))]), 0));

@@ -2,7 +2,9 @@
 
 use crate::isa::{Insn, Module, Opcode, Program};
 use perf_core::iface::{InterfaceKind, Metric, PerfInterface};
+use perf_core::query::EngineChoice;
 use perf_core::{CoreError, Prediction};
+use perf_iface_lang::vm::Executable;
 use perf_iface_lang::{Program as PilProgram, Value};
 
 /// The shipped interface program source.
@@ -66,15 +68,26 @@ pub fn program_value(prog: &Program) -> Value {
 
 /// Executable program interface for VTA.
 pub struct VtaProgramInterface {
-    prog: PilProgram,
+    prog: Executable,
 }
 
 impl VtaProgramInterface {
-    /// Parses the shipped program.
+    /// Parses the shipped program; calls run the bytecode VM.
     pub fn new() -> Result<VtaProgramInterface, CoreError> {
-        Ok(VtaProgramInterface {
-            prog: PilProgram::parse(VTA_PI_SRC).map_err(|e| CoreError::Artifact(e.to_string()))?,
-        })
+        Self::with_engine(EngineChoice::Compiled)
+    }
+
+    /// Parses the shipped program with an explicit evaluation
+    /// substrate.
+    pub fn with_engine(engine: EngineChoice) -> Result<VtaProgramInterface, CoreError> {
+        let prog = PilProgram::parse(VTA_PI_SRC).map_err(|e| CoreError::Artifact(e.to_string()))?;
+        let prog = match engine {
+            EngineChoice::Compiled => {
+                Executable::compiled(prog).map_err(|e| CoreError::Artifact(e.to_string()))?
+            }
+            EngineChoice::Interpreted => Executable::interpreted(prog),
+        };
+        Ok(VtaProgramInterface { prog })
     }
 
     /// The interface source text.

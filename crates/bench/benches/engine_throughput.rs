@@ -1,14 +1,16 @@
-//! Petri engine throughput: incremental worklist firing vs the
-//! reference full-net fixpoint scan, on the two stress shapes from
-//! `perf_bench::enginebench`.
+//! Petri engine throughput: the reference full-net fixpoint scan vs
+//! the incremental worklist engine vs the compiled static-topology
+//! stepper, on the two stress shapes from `perf_bench::enginebench`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use perf_bench::enginebench::{deep_pipeline, fan_net, run_once};
+use perf_bench::enginebench::{deep_pipeline, fan_net, run_once, run_once_compiled};
+use perf_petri::stepper::CompiledNet;
 
 const TOKENS: usize = 256;
 
 fn bench_deep_pipeline(c: &mut Criterion) {
     let (net, src) = deep_pipeline(28);
+    let plan = CompiledNet::compile(&net);
     let events = run_once(&net, src, TOKENS, true).events;
     let mut group = c.benchmark_group("engine_deep_pipeline_28");
     group.throughput(Throughput::Elements(events));
@@ -18,11 +20,15 @@ fn bench_deep_pipeline(c: &mut Criterion) {
     group.bench_function("reference_scan", |b| {
         b.iter(|| run_once(&net, src, TOKENS, false))
     });
+    group.bench_function("compiled", |b| {
+        b.iter(|| run_once_compiled(&plan, &net, src, TOKENS))
+    });
     group.finish();
 }
 
 fn bench_fan(c: &mut Criterion) {
     let (net, src) = fan_net(8);
+    let plan = CompiledNet::compile(&net);
     let events = run_once(&net, src, TOKENS, true).events;
     let mut group = c.benchmark_group("engine_fan_8");
     group.throughput(Throughput::Elements(events));
@@ -31,6 +37,9 @@ fn bench_fan(c: &mut Criterion) {
     });
     group.bench_function("reference_scan", |b| {
         b.iter(|| run_once(&net, src, TOKENS, false))
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| run_once_compiled(&plan, &net, src, TOKENS))
     });
     group.finish();
 }

@@ -44,8 +44,10 @@ fn io_fail(what: &str, path: &str, err: std::io::Error) -> ! {
     std::process::exit(1);
 }
 
-/// Measures incremental-vs-reference engine throughput and writes the
-/// JSON artifact to `path`.
+/// Measures reference/incremental/compiled engine throughput and
+/// writes the JSON artifact to `path`. Exits nonzero when the
+/// compiled stepper is slower than the incremental engine on any
+/// shape — a fast-path regression must not land silently.
 fn bench_engine(path: &str, quick: bool) {
     let (stages, lanes, tokens, repeats) = if quick {
         (16, 6, 128, 3)
@@ -59,10 +61,17 @@ fn bench_engine(path: &str, quick: bool) {
     }
     print!("{json}");
     eprintln!(
-        "deep pipeline: {:.2}x, fan: {:.2}x incremental speedup; wrote {path}",
+        "deep pipeline: {:.2}x incremental-over-reference, {:.2}x compiled-over-incremental; \
+         fan: {:.2}x / {:.2}x; wrote {path}",
         report.deep.speedup(),
-        report.fan.speedup()
+        report.deep.compiled_speedup(),
+        report.fan.speedup(),
+        report.fan.compiled_speedup()
     );
+    if !report.pass() {
+        eprintln!("FAIL: compiled stepper slower than the incremental engine");
+        std::process::exit(1);
+    }
 }
 
 fn main() {

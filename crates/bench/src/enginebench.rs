@@ -11,12 +11,32 @@
 //! * **fan** — one dispatcher fanning out to parallel lanes that a
 //!   join merges back. Exercises multi-arc firings, joins, and
 //!   wake-ups that touch several places per event.
+//!
+//! Both shapes carry expression behaviors (constant delays,
+//! passthrough transforms) rather than native closures, so the
+//! compiled stepper's constant-folded fast path applies — the same
+//! shape the shipped accelerator nets use. Three engine variants are
+//! measured per shape: the reference full-net fixpoint scan, the
+//! incremental worklist engine, and the compiled static-topology
+//! stepper (`perf_petri::CompiledNet`).
 
 use perf_iface_lang::Value;
+use perf_petri::behavior::{Behavior, ExprBehavior};
 use perf_petri::engine::{Engine, Options, SimResult};
-use perf_petri::net::{Net, NetBuilder, PlaceId};
+use perf_petri::net::{Net, NetBuilder, PlaceId, Transition};
+use perf_petri::stepper::CompiledNet;
 use perf_petri::token::Token;
 use std::time::Instant;
+
+/// An expression behavior with a constant delay and passthrough
+/// transforms on all `outputs` arcs — the shape the compiled stepper
+/// folds completely.
+fn const_behavior(delay: u64, outputs: usize) -> Behavior {
+    Behavior::Expr(
+        ExprBehavior::compile("", &delay.to_string(), None, &vec![None; outputs])
+            .expect("constant behavior compiles"),
+    )
+}
 
 /// A bounded pipeline of `stages` sequential transitions.
 pub fn deep_pipeline(stages: usize) -> (Net, PlaceId) {
@@ -30,13 +50,14 @@ pub fn deep_pipeline(stages: usize) -> (Net, PlaceId) {
         } else {
             b.place(format!("q{i}"), Some(8))
         };
-        b.transition(
-            format!("s{i}"),
-            &[prev],
-            &[next],
-            move |_| 1 + (i as u64 % 3),
-            |ts| vec![ts[0].data.clone()],
-        );
+        b.add_transition(Transition {
+            name: format!("s{i}"),
+            inputs: vec![(prev, 1)],
+            outputs: vec![(next, 1)],
+            behavior: const_behavior(1 + (i as u64 % 3), 1),
+            servers: 1,
+            priority: 0,
+        });
         prev = next;
     }
     (b.build().expect("valid pipeline net"), src)
@@ -55,30 +76,44 @@ pub fn fan_net(lanes: usize) -> (Net, PlaceId) {
         .map(|i| b.place(format!("merge{i}"), Some(4)))
         .collect();
     let done = b.sink("done");
-    b.transition(
-        "dispatch",
-        &[src],
-        &lane_in,
-        |_| 1,
-        move |ts| vec![ts[0].data.clone(); lanes],
-    );
+    b.add_transition(Transition {
+        name: "dispatch".into(),
+        inputs: vec![(src, 1)],
+        outputs: lane_in.iter().map(|&p| (p, 1)).collect(),
+        behavior: const_behavior(1, lanes),
+        servers: 1,
+        priority: 0,
+    });
     for i in 0..lanes {
-        b.transition(
-            format!("work{i}"),
-            &[lane_in[i]],
-            &[lane_out[i]],
-            move |_| 2 + (i as u64 % 3),
-            |ts| vec![ts[0].data.clone()],
-        );
+        b.add_transition(Transition {
+            name: format!("work{i}"),
+            inputs: vec![(lane_in[i], 1)],
+            outputs: vec![(lane_out[i], 1)],
+            behavior: const_behavior(2 + (i as u64 % 3), 1),
+            servers: 1,
+            priority: 0,
+        });
     }
-    b.transition(
-        "join",
-        &lane_out,
-        &[done],
-        |_| 1,
-        |ts| vec![ts[0].data.clone()],
-    );
+    b.add_transition(Transition {
+        name: "join".into(),
+        inputs: lane_out.iter().map(|&p| (p, 1)).collect(),
+        outputs: vec![(done, 1)],
+        behavior: const_behavior(1, 1),
+        servers: 1,
+        priority: 0,
+    });
     (b.build().expect("valid fan net"), src)
+}
+
+/// Which engine variant a measurement runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Full-net fixpoint scan after every event.
+    Reference,
+    /// Incremental worklist engine (the interpreted default).
+    Incremental,
+    /// Static-topology compiled stepper.
+    Compiled,
 }
 
 /// Runs `tokens` injections through `net`, on the incremental engine
@@ -96,6 +131,15 @@ pub fn run_once(net: &Net, src: PlaceId, tokens: usize, incremental: bool) -> Si
     res.expect("bench net runs to quiescence")
 }
 
+/// Runs `tokens` injections through a pre-compiled stepper plan.
+pub fn run_once_compiled(plan: &CompiledNet, net: &Net, src: PlaceId, tokens: usize) -> SimResult {
+    let mut st = plan.stepper(net, Options::default());
+    for _ in 0..tokens {
+        st.inject(src, Token::at(Value::num(0.0), 0));
+    }
+    st.run().expect("bench net runs to quiescence")
+}
+
 /// One engine variant's measurement on one net shape.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineRate {
@@ -105,11 +149,12 @@ pub struct EngineRate {
     pub events_per_sec: f64,
 }
 
-/// Incremental vs reference on one net shape.
+/// Reference vs incremental vs compiled on one net shape.
 #[derive(Clone, Copy, Debug)]
 pub struct ShapeReport {
     pub incremental: EngineRate,
     pub reference: EngineRate,
+    pub compiled: EngineRate,
 }
 
 impl ShapeReport {
@@ -117,21 +162,20 @@ impl ShapeReport {
     pub fn speedup(&self) -> f64 {
         self.incremental.events_per_sec / self.reference.events_per_sec
     }
+
+    /// Compiled-stepper speedup over the incremental engine.
+    pub fn compiled_speedup(&self) -> f64 {
+        self.compiled.events_per_sec / self.incremental.events_per_sec
+    }
 }
 
-fn measure_variant(
-    net: &Net,
-    src: PlaceId,
-    tokens: usize,
-    repeats: usize,
-    incremental: bool,
-) -> EngineRate {
+fn measure(mut run: impl FnMut() -> SimResult, repeats: usize) -> EngineRate {
     // Warm-up run, then best-of-N to shed scheduler noise.
-    let warm = run_once(net, src, tokens, incremental);
+    let warm = run();
     let mut best = f64::INFINITY;
     for _ in 0..repeats.max(1) {
         let t0 = Instant::now();
-        let res = run_once(net, src, tokens, incremental);
+        let res = run();
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(res.events, warm.events, "run-to-run event count drifted");
         best = best.min(dt);
@@ -142,12 +186,21 @@ fn measure_variant(
     }
 }
 
-/// Measures both engine variants on one shape.
+/// Measures all three engine variants on one shape. The compiled
+/// variant's plan is built once outside the timed region, matching
+/// how long-lived services amortize compilation.
 pub fn measure_shape(net: &Net, src: PlaceId, tokens: usize, repeats: usize) -> ShapeReport {
-    ShapeReport {
-        incremental: measure_variant(net, src, tokens, repeats, true),
-        reference: measure_variant(net, src, tokens, repeats, false),
-    }
+    let plan = CompiledNet::compile(net);
+    let report = ShapeReport {
+        incremental: measure(|| run_once(net, src, tokens, true), repeats),
+        reference: measure(|| run_once(net, src, tokens, false), repeats),
+        compiled: measure(|| run_once_compiled(&plan, net, src, tokens), repeats),
+    };
+    assert_eq!(
+        report.compiled.events, report.incremental.events,
+        "compiled stepper diverged from the incremental engine"
+    );
+    report
 }
 
 /// The full engine benchmark: deep pipeline + fan, serialized as the
@@ -179,6 +232,14 @@ pub fn run_engine_bench(
 }
 
 impl EngineBenchReport {
+    /// Whether the compiled stepper held its ground: at least as fast
+    /// as the incremental engine on every shape. `repro
+    /// --bench-engine` exits nonzero when this fails, so a regression
+    /// in the compiled fast path cannot land silently.
+    pub fn pass(&self) -> bool {
+        self.deep.compiled_speedup() >= 1.0 && self.fan.compiled_speedup() >= 1.0
+    }
+
     /// Hand-rolled JSON (the repo carries no serde dependency).
     pub fn to_json(&self) -> String {
         let shape = |name: &str, s: &ShapeReport| {
@@ -186,25 +247,30 @@ impl EngineBenchReport {
                 concat!(
                     "  \"{}\": {{\n",
                     "    \"events\": {},\n",
-                    "    \"incremental_events_per_sec\": {:.1},\n",
                     "    \"reference_events_per_sec\": {:.1},\n",
-                    "    \"speedup\": {:.3}\n",
+                    "    \"incremental_events_per_sec\": {:.1},\n",
+                    "    \"compiled_events_per_sec\": {:.1},\n",
+                    "    \"speedup\": {:.3},\n",
+                    "    \"compiled_speedup\": {:.3}\n",
                     "  }}"
                 ),
                 name,
                 s.incremental.events,
-                s.incremental.events_per_sec,
                 s.reference.events_per_sec,
-                s.speedup()
+                s.incremental.events_per_sec,
+                s.compiled.events_per_sec,
+                s.speedup(),
+                s.compiled_speedup()
             )
         };
         format!(
-            "{{\n  \"stages\": {},\n  \"lanes\": {},\n  \"tokens\": {},\n{},\n{}\n}}\n",
+            "{{\n  \"stages\": {},\n  \"lanes\": {},\n  \"tokens\": {},\n{},\n{},\n  \"pass\": {}\n}}\n",
             self.stages,
             self.lanes,
             self.tokens,
             shape("deep_pipeline", &self.deep),
-            shape("fan", &self.fan)
+            shape("fan", &self.fan),
+            self.pass()
         )
     }
 }
@@ -214,14 +280,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn shapes_run_identically_on_both_engines() {
+    fn shapes_run_identically_on_all_engines() {
         for (net, src) in [deep_pipeline(12), fan_net(5)] {
             let a = run_once(&net, src, 64, true);
             let b = run_once(&net, src, 64, false);
+            let plan = CompiledNet::compile(&net);
+            let c = run_once_compiled(&plan, &net, src, 64);
             assert_eq!(a.makespan, b.makespan);
             assert_eq!(a.events, b.events);
             assert_eq!(a.firings, b.firings);
             assert_eq!(a.completions.len(), b.completions.len());
+            assert_eq!(a.makespan, c.makespan);
+            assert_eq!(a.events, c.events);
+            assert_eq!(a.firings, c.firings);
+            assert_eq!(a.completions, c.completions);
             assert!(a.stranded.is_empty(), "stranded: {:?}", a.stranded);
         }
     }
@@ -233,6 +305,8 @@ mod tests {
         assert!(j.contains("\"deep_pipeline\""));
         assert!(j.contains("\"fan\""));
         assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"compiled_events_per_sec\""));
         assert!(r.deep.speedup() > 0.0);
+        assert!(r.deep.compiled_speedup() > 0.0);
     }
 }

@@ -42,6 +42,7 @@ pub mod lint;
 pub mod parser;
 pub mod printer;
 pub mod value;
+pub mod vm;
 
 pub use error::{LangError, Span};
 pub use interp::{Interp, Limits};
@@ -124,7 +125,7 @@ impl Program {
 
 /// Verifies every numeric leaf of `v` is finite; returns the first
 /// offending number otherwise.
-fn check_finite(v: &Value) -> Result<(), f64> {
+pub(crate) fn check_finite(v: &Value) -> Result<(), f64> {
     match v {
         Value::Num(n) if !n.is_finite() => Err(*n),
         Value::List(items) => items.iter().try_for_each(check_finite),

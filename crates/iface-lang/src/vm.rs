@@ -1,0 +1,1240 @@
+//! Register-based bytecode VM for interface programs.
+//!
+//! The tree-walking interpreter ([`crate::interp`]) re-traverses the
+//! AST, re-resolves every name, and re-evaluates constant
+//! subexpressions on every query. A service answering hundreds of
+//! thousands of `.pi` queries per second pays that cost per call, so
+//! this module compiles a checked [`Program`](crate::Program) once into
+//! flat bytecode:
+//!
+//! * **register machine** — locals and temporaries live in a flat
+//!   per-activation register file; variable reads are array indexing,
+//!   not scope-stack probing;
+//! * **per-program constant pool** — literals, top-level `const`
+//!   values, and every workload-independent subexpression are folded at
+//!   compile time into pool loads (folding is conservative: a
+//!   subexpression that would *error* at runtime is left unfolded so
+//!   the error, with its span, still surfaces on the same call);
+//! * **structured control flow lowered to jumps** — `if`/`while`/`for`
+//!   and the short-circuiting `&&`/`||` become conditional branches.
+//!
+//! The VM is observably equivalent to the interpreter: same values,
+//! same runtime errors (message and span), same non-finite-result
+//! policy at the call boundary. The one intentional difference is
+//! accounting: [`Limits::max_steps`] counts executed *instructions*
+//! here rather than visited AST nodes, so the two engines may diverge
+//! only on programs that run into the step ceiling.
+
+use crate::ast::{BinOp, Expr, FnDecl, Program as Ast, Stmt, UnOp};
+use crate::builtins;
+use crate::error::{LangError, Span};
+use crate::interp::{eval_consts, Limits};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One bytecode instruction. Register operands index the activation's
+/// register file; `idx`/`name`/`keys` operands index the program's
+/// shared pools.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `dst = pool[idx]`.
+    Const { dst: u16, idx: u16 },
+    /// `dst = src`.
+    Copy { dst: u16, src: u16 },
+    /// `dst = [base, base+1, ..., base+n-1]`.
+    List { dst: u16, base: u16, n: u16 },
+    /// `dst = { keys[0]: base, keys[1]: base+1, ... }`.
+    Record { dst: u16, keys: u16, base: u16 },
+    /// `dst = base.name`; errors when the field is absent.
+    Field { dst: u16, base: u16, name: u16 },
+    /// `dst = base[idx]`; errors on non-list / non-integral / bounds.
+    Index { dst: u16, base: u16, idx: u16 },
+    /// `dst = -src` (numbers only).
+    Neg { dst: u16, src: u16 },
+    /// `dst = !src` (bools only).
+    Not { dst: u16, src: u16 },
+    /// `dst = lhs op rhs` for every non-short-circuit operator.
+    Bin {
+        op: BinOp,
+        dst: u16,
+        lhs: u16,
+        rhs: u16,
+    },
+    /// Errors unless `src` holds a bool (the interpreter's `eval_bool`
+    /// coercion point for conditions and `&&`/`||` operands).
+    AsBool { src: u16 },
+    /// Unconditional branch.
+    Jump { to: u32 },
+    /// Branch when `src` is `false` (guaranteed bool by `AsBool`).
+    JumpIfFalse { src: u16, to: u32 },
+    /// `for` prologue: errors unless `src` is a list, then snapshots it
+    /// into `list` and zeroes the counter register.
+    IterInit { list: u16, src: u16, ctr: u16 },
+    /// `for` step: loads the next element into `item` or exits.
+    IterNext {
+        item: u16,
+        list: u16,
+        ctr: u16,
+        exit: u32,
+    },
+    /// Call user function `f` with `n` args at `base`.
+    CallFn { dst: u16, f: u16, base: u16, n: u16 },
+    /// Call builtin `names[name]` with `n` args at `base`.
+    CallBuiltin {
+        dst: u16,
+        name: u16,
+        base: u16,
+        n: u16,
+    },
+    /// Return `src` from the current activation.
+    Ret { src: u16 },
+    /// Raise the deterministic runtime error this site always produces
+    /// (undefined variable, assignment to unbound name, fall-off-end).
+    Fail { kind: FailKind, name: u16 },
+}
+
+/// Which deterministic error a [`Op::Fail`] site raises.
+#[derive(Clone, Copy, Debug)]
+enum FailKind {
+    /// `undefined variable `x``.
+    UndefVar,
+    /// `assignment to unbound variable `x``.
+    AssignUnbound,
+    /// `function `f` finished without `return``.
+    NoReturn,
+}
+
+/// One compiled function.
+#[derive(Debug)]
+struct CFn {
+    name: String,
+    params: usize,
+    /// Register-file size (params + locals + temporaries).
+    regs: usize,
+    code: Vec<Op>,
+    /// Per-instruction source spans (error attribution).
+    spans: Vec<Span>,
+}
+
+/// A program compiled to bytecode, ready for repeated cheap calls.
+///
+/// Compile once per program (e.g. at service-worker startup), then
+/// [`CompiledProgram::call`] per query. Not `Send` — like the
+/// interpreter it shares [`Value`]s via `Rc`, so each worker thread
+/// compiles its own copy.
+///
+/// # Examples
+///
+/// ```
+/// use perf_iface_lang::vm::CompiledProgram;
+/// use perf_iface_lang::{Program, Value};
+///
+/// let p = Program::parse("const K = 4; fn f(x) { return x * K + 1; }").unwrap();
+/// let vm = CompiledProgram::compile(&p).unwrap();
+/// let out = vm.call("f", &[Value::num(10.0)]).unwrap();
+/// assert_eq!(out.as_num(), Some(41.0));
+/// ```
+pub struct CompiledProgram {
+    funcs: Vec<CFn>,
+    by_name: HashMap<String, usize>,
+    /// The constant pool: literals, folded `const` values, and folded
+    /// workload-independent subexpressions.
+    pool: Vec<Value>,
+    /// Interned identifiers (field names, builtin names, error names).
+    names: Vec<String>,
+    /// Interned record key lists.
+    rec_keys: Vec<Vec<String>>,
+}
+
+impl CompiledProgram {
+    /// Compiles a parsed, checked program to bytecode. Top-level
+    /// constants are evaluated eagerly (same order and semantics as the
+    /// interpreter) and folded into the constant pool.
+    pub fn compile(prog: &crate::Program) -> Result<CompiledProgram, LangError> {
+        Self::compile_ast(prog.ast())
+    }
+
+    /// Compiles directly from an AST (for callers that hold one).
+    pub fn compile_ast(ast: &Ast) -> Result<CompiledProgram, LangError> {
+        let consts = eval_consts(ast, Limits::default())?;
+        let fn_index: HashMap<&str, usize> = ast
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect();
+        let mut shared = Pools::default();
+        let mut funcs = Vec::with_capacity(ast.functions.len());
+        for f in &ast.functions {
+            funcs.push(FnCompiler::compile(f, &consts, &fn_index, &mut shared)?);
+        }
+        let by_name = ast
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        Ok(CompiledProgram {
+            funcs,
+            by_name,
+            pool: shared.pool,
+            names: shared.names,
+            rec_keys: shared.rec_keys,
+        })
+    }
+
+    /// Returns `true` if the program defines function `name`.
+    pub fn defines(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Calls function `name` under default limits, with the same
+    /// non-finite-result policy as [`Program::call`](crate::Program::call).
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, LangError> {
+        self.call_with_limits(name, args, Limits::default())
+    }
+
+    /// Calls function `name` under custom limits.
+    pub fn call_with_limits(
+        &self,
+        name: &str,
+        args: &[Value],
+        limits: Limits,
+    ) -> Result<Value, LangError> {
+        let fi = *self.by_name.get(name).ok_or_else(|| {
+            LangError::runtime(
+                Span::default(),
+                format!("call to undefined function `{name}`"),
+            )
+        })?;
+        let mut vm = Vm {
+            prog: self,
+            limits,
+            steps: 0,
+            depth: 0,
+        };
+        let out = vm.run_fn(fi, args.to_vec(), Span::default())?;
+        crate::check_finite(&out).map_err(|bad| {
+            LangError::runtime(
+                Span::default(),
+                format!(
+                    "function '{name}' returned a non-finite result ({bad}); \
+                     a performance interface must yield finite numbers \
+                     (check for division by zero or overflow)"
+                ),
+            )
+        })?;
+        Ok(out)
+    }
+
+    /// Disassembly-ish summary for diagnostics: per-function register
+    /// and instruction counts plus the pool size.
+    pub fn stats(&self) -> String {
+        let insns: usize = self.funcs.iter().map(|f| f.code.len()).sum();
+        format!(
+            "{} fn(s), {} insn(s), pool {} value(s)",
+            self.funcs.len(),
+            insns,
+            self.pool.len()
+        )
+    }
+}
+
+/// Pools shared by every function of one compiled program.
+#[derive(Default)]
+struct Pools {
+    pool: Vec<Value>,
+    names: Vec<String>,
+    rec_keys: Vec<Vec<String>>,
+}
+
+impl Pools {
+    fn intern_value(&mut self, v: Value) -> u16 {
+        if let Some(i) = self.pool.iter().position(|p| *p == v) {
+            return i as u16;
+        }
+        self.pool.push(v);
+        (self.pool.len() - 1) as u16
+    }
+
+    fn intern_name(&mut self, s: &str) -> u16 {
+        if let Some(i) = self.names.iter().position(|n| n == s) {
+            return i as u16;
+        }
+        self.names.push(s.to_string());
+        (self.names.len() - 1) as u16
+    }
+
+    fn intern_keys(&mut self, keys: Vec<String>) -> u16 {
+        if let Some(i) = self.rec_keys.iter().position(|k| *k == keys) {
+            return i as u16;
+        }
+        self.rec_keys.push(keys);
+        (self.rec_keys.len() - 1) as u16
+    }
+}
+
+/// Compiles one function body to bytecode.
+struct FnCompiler<'a> {
+    consts: &'a HashMap<String, Value>,
+    fn_index: &'a HashMap<&'a str, usize>,
+    shared: &'a mut Pools,
+    code: Vec<Op>,
+    spans: Vec<Span>,
+    /// Lexical scopes mapping names to registers; mirrors the
+    /// interpreter's scope-stack push/pop points exactly, so a name
+    /// resolves (or fails to) identically in both engines.
+    scopes: Vec<Vec<(String, u16)>>,
+    /// Next free register; statement boundaries reset it to reclaim
+    /// temporaries, scope exits reclaim locals.
+    next_reg: u32,
+    max_reg: u32,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn compile(
+        f: &FnDecl,
+        consts: &'a HashMap<String, Value>,
+        fn_index: &'a HashMap<&'a str, usize>,
+        shared: &'a mut Pools,
+    ) -> Result<CFn, LangError> {
+        let mut c = FnCompiler {
+            consts,
+            fn_index,
+            shared,
+            code: Vec::new(),
+            spans: Vec::new(),
+            scopes: vec![f
+                .params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i as u16))
+                .collect()],
+            next_reg: f.params.len() as u32,
+            max_reg: f.params.len() as u32,
+        };
+        c.block(&f.body)?;
+        // Falling off the end is the interpreter's
+        // "finished without `return`" error, attributed to the decl.
+        let name = c.shared.intern_name(&f.name);
+        c.emit(
+            Op::Fail {
+                kind: FailKind::NoReturn,
+                name,
+            },
+            f.span,
+        );
+        if c.max_reg > u16::MAX as u32 {
+            return Err(LangError::Check {
+                span: f.span,
+                msg: format!("function `{}` needs too many registers", f.name),
+            });
+        }
+        Ok(CFn {
+            name: f.name.clone(),
+            params: f.params.len(),
+            regs: c.max_reg as usize,
+            code: c.code,
+            spans: c.spans,
+        })
+    }
+
+    fn emit(&mut self, op: Op, span: Span) -> usize {
+        self.code.push(op);
+        self.spans.push(span);
+        self.code.len() - 1
+    }
+
+    fn alloc(&mut self) -> u16 {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.max_reg = self.max_reg.max(self.next_reg);
+        r as u16
+    }
+
+    fn resolve_local(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|(k, _)| k == name).map(|&(_, r)| r))
+    }
+
+    /// Compiles a statement block inside its own lexical scope (the
+    /// interpreter pushes a scope per block).
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        let base = self.next_reg;
+        self.scopes.push(Vec::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        self.next_reg = base;
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        let save = self.next_reg;
+        match s {
+            Stmt::Let(name, init, _) => {
+                let r = self.expr_value(init)?;
+                // Keep the value register alive as the binding (or pin
+                // a fresh one when the init resolved to an existing
+                // binding's register, which must stay independent).
+                let reg = if (r as u32) >= save {
+                    self.next_reg = r as u32 + 1;
+                    r
+                } else {
+                    self.next_reg = save;
+                    let dst = self.alloc();
+                    self.emit(Op::Copy { dst, src: r }, s_span(s));
+                    dst
+                };
+                self.next_reg = (reg as u32) + 1;
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .push((name.clone(), reg));
+            }
+            Stmt::Assign(name, e, span) => {
+                let r = self.expr_value(e)?;
+                match self.resolve_local(name) {
+                    Some(dst) => {
+                        self.emit(Op::Copy { dst, src: r }, *span);
+                    }
+                    None => {
+                        // Constants are not assignable; the interpreter
+                        // fails the same way after evaluating the rhs.
+                        let n = self.shared.intern_name(name);
+                        self.emit(
+                            Op::Fail {
+                                kind: FailKind::AssignUnbound,
+                                name: n,
+                            },
+                            *span,
+                        );
+                    }
+                }
+                self.next_reg = save;
+            }
+            Stmt::Return(e, span) => {
+                let r = self.expr_value(e)?;
+                self.emit(Op::Ret { src: r }, *span);
+                self.next_reg = save;
+            }
+            Stmt::If(cond, then, els, _) => {
+                let c = self.cond(cond)?;
+                let jf = self.emit(Op::JumpIfFalse { src: c, to: 0 }, cond.span());
+                self.next_reg = save;
+                self.block(then)?;
+                let je = self.emit(Op::Jump { to: 0 }, cond.span());
+                self.patch(jf, self.code.len() as u32);
+                self.block(els)?;
+                self.patch(je, self.code.len() as u32);
+            }
+            Stmt::While(cond, body, _) => {
+                let top = self.code.len() as u32;
+                let c = self.cond(cond)?;
+                let jf = self.emit(Op::JumpIfFalse { src: c, to: 0 }, cond.span());
+                self.next_reg = save;
+                self.block(body)?;
+                self.emit(Op::Jump { to: top }, cond.span());
+                self.patch(jf, self.code.len() as u32);
+            }
+            Stmt::For(var, iter, body, span) => {
+                let src = self.expr_value(iter)?;
+                self.next_reg = save;
+                let list = self.alloc();
+                let ctr = self.alloc();
+                let item = self.alloc();
+                self.emit(Op::IterInit { list, src, ctr }, *span);
+                let top = self.code.len() as u32;
+                let next = self.emit(
+                    Op::IterNext {
+                        item,
+                        list,
+                        ctr,
+                        exit: 0,
+                    },
+                    *span,
+                );
+                // The interpreter opens one scope per iteration holding
+                // the loop variable, then executes the body statements
+                // directly inside it.
+                self.scopes.push(vec![(var.clone(), item)]);
+                for st in body {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                self.emit(Op::Jump { to: top }, *span);
+                let end = self.code.len() as u32;
+                self.patch(next, end);
+                self.next_reg = save;
+            }
+            Stmt::Expr(e, _) => {
+                self.expr_value(e)?;
+                self.next_reg = save;
+            }
+        }
+        Ok(())
+    }
+
+    fn patch(&mut self, at: usize, to: u32) {
+        match &mut self.code[at] {
+            Op::Jump { to: t } | Op::JumpIfFalse { to: t, .. } | Op::IterNext { exit: t, .. } => {
+                *t = to
+            }
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// Compiles a condition: value + bool coercion (the interpreter's
+    /// `eval_bool`, with the error span on the condition expression).
+    fn cond(&mut self, e: &Expr) -> Result<u16, LangError> {
+        let r = self.expr_value(e)?;
+        self.emit(Op::AsBool { src: r }, e.span());
+        Ok(r)
+    }
+
+    /// Compiles `e`, returning the register holding its value (possibly
+    /// an existing binding's register; callers must not write to it).
+    fn expr_value(&mut self, e: &Expr) -> Result<u16, LangError> {
+        if let Some(v) = self.fold(e) {
+            let idx = self.shared.intern_value(v);
+            let dst = self.alloc();
+            self.emit(Op::Const { dst, idx }, e.span());
+            return Ok(dst);
+        }
+        match e {
+            // Unfoldable literals don't exist; `fold` covers them.
+            Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => unreachable!("literals fold"),
+            Expr::Var(name, span) => {
+                if let Some(r) = self.resolve_local(name) {
+                    Ok(r)
+                } else {
+                    // Not a local and not a constant (`fold` checked):
+                    // this site always raises "undefined variable".
+                    let n = self.shared.intern_name(name);
+                    self.emit(
+                        Op::Fail {
+                            kind: FailKind::UndefVar,
+                            name: n,
+                        },
+                        *span,
+                    );
+                    Ok(self.alloc())
+                }
+            }
+            Expr::List(items, _) => {
+                let base = self.next_reg as u16;
+                for _ in items {
+                    self.alloc();
+                }
+                for (i, it) in items.iter().enumerate() {
+                    self.expr_into(it, base + i as u16)?;
+                }
+                let dst = self.alloc();
+                self.emit(
+                    Op::List {
+                        dst,
+                        base,
+                        n: items.len() as u16,
+                    },
+                    e.span(),
+                );
+                Ok(dst)
+            }
+            Expr::Record(fields, _) => {
+                let base = self.next_reg as u16;
+                for _ in fields {
+                    self.alloc();
+                }
+                for (i, (_, v)) in fields.iter().enumerate() {
+                    self.expr_into(v, base + i as u16)?;
+                }
+                let keys = self
+                    .shared
+                    .intern_keys(fields.iter().map(|(k, _)| k.clone()).collect());
+                let dst = self.alloc();
+                self.emit(Op::Record { dst, keys, base }, e.span());
+                Ok(dst)
+            }
+            Expr::Field(b, field, span) => {
+                let base = self.expr_value(b)?;
+                let name = self.shared.intern_name(field);
+                let dst = self.alloc();
+                self.emit(Op::Field { dst, base, name }, *span);
+                Ok(dst)
+            }
+            Expr::Index(b, i, span) => {
+                let base = self.expr_value(b)?;
+                let idx = self.expr_value(i)?;
+                let dst = self.alloc();
+                self.emit(Op::Index { dst, base, idx }, *span);
+                Ok(dst)
+            }
+            Expr::Call(name, args, span) => {
+                let base = self.next_reg as u16;
+                for _ in args {
+                    self.alloc();
+                }
+                for (i, a) in args.iter().enumerate() {
+                    self.expr_into(a, base + i as u16)?;
+                }
+                let dst = self.alloc();
+                let n = args.len() as u16;
+                match self.fn_index.get(name.as_str()) {
+                    Some(&fi) => {
+                        self.emit(
+                            Op::CallFn {
+                                dst,
+                                f: fi as u16,
+                                base,
+                                n,
+                            },
+                            *span,
+                        );
+                    }
+                    None => {
+                        let ni = self.shared.intern_name(name);
+                        self.emit(
+                            Op::CallBuiltin {
+                                dst,
+                                name: ni,
+                                base,
+                                n,
+                            },
+                            *span,
+                        );
+                    }
+                }
+                Ok(dst)
+            }
+            Expr::Unary(op, inner, span) => {
+                let src = self.expr_value(inner)?;
+                let dst = self.alloc();
+                match op {
+                    UnOp::Neg => self.emit(Op::Neg { dst, src }, *span),
+                    UnOp::Not => self.emit(Op::Not { dst, src }, *span),
+                };
+                Ok(dst)
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), l, r, _) => {
+                // Short-circuit: the lhs bool is the result unless
+                // evaluation must continue into the rhs.
+                let dst = self.alloc();
+                self.expr_into(l, dst)?;
+                self.emit(Op::AsBool { src: dst }, l.span());
+                let j = match op {
+                    BinOp::And => self.emit(Op::JumpIfFalse { src: dst, to: 0 }, l.span()),
+                    _ => {
+                        // `||`: skip the rhs when the lhs is true.
+                        self.emit(Op::Not { dst, src: dst }, l.span());
+                        let j = self.emit(Op::JumpIfFalse { src: dst, to: 0 }, l.span());
+                        self.emit(Op::Not { dst, src: dst }, l.span());
+                        j
+                    }
+                };
+                self.expr_into(r, dst)?;
+                self.emit(Op::AsBool { src: dst }, r.span());
+                let end = self.code.len() as u32;
+                self.patch(j, end);
+                if matches!(op, BinOp::Or) {
+                    // The skip path left `dst` negated; restore it.
+                    // Reached only via the jump, whose target points at
+                    // this un-negation.
+                    self.patch(j, end);
+                    self.emit(Op::Jump { to: end + 2 }, l.span());
+                    self.patch(j, self.code.len() as u32);
+                    self.emit(Op::Not { dst, src: dst }, l.span());
+                }
+                Ok(dst)
+            }
+            Expr::Binary(op, l, r, span) => {
+                let lhs = self.expr_value(l)?;
+                let rhs = self.expr_value(r)?;
+                let dst = self.alloc();
+                self.emit(
+                    Op::Bin {
+                        op: *op,
+                        dst,
+                        lhs,
+                        rhs,
+                    },
+                    *span,
+                );
+                Ok(dst)
+            }
+        }
+    }
+
+    /// Compiles `e` and ensures the value lands in `dst`.
+    fn expr_into(&mut self, e: &Expr, dst: u16) -> Result<(), LangError> {
+        let save = self.next_reg;
+        let r = self.expr_value(e)?;
+        if r != dst {
+            self.emit(Op::Copy { dst, src: r }, e.span());
+        }
+        self.next_reg = save;
+        Ok(())
+    }
+
+    /// Constant-folds a workload-independent subexpression, returning
+    /// its value. Conservative: anything that could error at runtime
+    /// (type mismatch, bad index, missing field) returns `None` so the
+    /// bytecode reproduces the error. Locals never fold — only
+    /// literals, `const` references and pure operators over them.
+    fn fold(&self, e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Num(n, _) => Some(Value::num(*n)),
+            Expr::Str(s, _) => Some(Value::str(s.clone())),
+            Expr::Bool(b, _) => Some(Value::bool(*b)),
+            Expr::Var(name, _) => {
+                if self.resolve_local(name).is_some() {
+                    None
+                } else {
+                    self.consts.get(name).cloned()
+                }
+            }
+            Expr::List(items, _) => Some(Value::list(
+                items.iter().map(|i| self.fold(i)).collect::<Option<_>>()?,
+            )),
+            Expr::Record(fields, _) => Some(Value::record_owned(
+                fields
+                    .iter()
+                    .map(|(k, v)| Some((k.clone(), self.fold(v)?)))
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+            Expr::Field(b, field, _) => self.fold(b)?.field(field).cloned(),
+            Expr::Index(b, i, _) => {
+                let list = self.fold(b)?;
+                let list = list.as_list()?;
+                let n = self.fold(i)?.as_num()?;
+                if n < 0.0 || n.fract() != 0.0 || (n as usize) >= list.len() {
+                    return None;
+                }
+                Some(list[n as usize].clone())
+            }
+            Expr::Call(name, args, span) => {
+                // User functions may recurse or diverge: never folded.
+                if self.fn_index.contains_key(name.as_str()) || !builtins::is_builtin(name) {
+                    return None;
+                }
+                let vals: Vec<Value> = args.iter().map(|a| self.fold(a)).collect::<Option<_>>()?;
+                builtins::call(name, &vals, *span).ok()
+            }
+            Expr::Unary(op, inner, _) => {
+                let v = self.fold(inner)?;
+                match op {
+                    UnOp::Neg => Some(Value::num(-v.as_num()?)),
+                    UnOp::Not => Some(Value::bool(!v.as_bool()?)),
+                }
+            }
+            Expr::Binary(op, l, r, _) => {
+                let lv = self.fold(l)?;
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let lb = lv.as_bool()?;
+                    return match (op, lb) {
+                        (BinOp::And, false) => Some(Value::bool(false)),
+                        (BinOp::Or, true) => Some(Value::bool(true)),
+                        _ => Some(Value::bool(self.fold(r)?.as_bool()?)),
+                    };
+                }
+                let rv = self.fold(r)?;
+                if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    let eq = lv == rv;
+                    return Some(Value::bool(if *op == BinOp::Eq { eq } else { !eq }));
+                }
+                let (a, b) = (lv.as_num()?, rv.as_num()?);
+                Some(match op {
+                    BinOp::Add => Value::num(a + b),
+                    BinOp::Sub => Value::num(a - b),
+                    BinOp::Mul => Value::num(a * b),
+                    BinOp::Div => Value::num(a / b),
+                    BinOp::Rem => Value::num(a % b),
+                    BinOp::Lt => Value::bool(a < b),
+                    BinOp::Le => Value::bool(a <= b),
+                    BinOp::Gt => Value::bool(a > b),
+                    BinOp::Ge => Value::bool(a >= b),
+                    _ => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+}
+
+fn s_span(s: &Stmt) -> Span {
+    match s {
+        Stmt::Let(_, _, sp)
+        | Stmt::Assign(_, _, sp)
+        | Stmt::Return(_, sp)
+        | Stmt::If(_, _, _, sp)
+        | Stmt::For(_, _, _, sp)
+        | Stmt::While(_, _, sp)
+        | Stmt::Expr(_, sp) => *sp,
+    }
+}
+
+/// One VM execution (counters shared across nested calls).
+struct Vm<'p> {
+    prog: &'p CompiledProgram,
+    limits: Limits,
+    steps: u64,
+    depth: u32,
+}
+
+impl Vm<'_> {
+    fn run_fn(&mut self, fi: usize, args: Vec<Value>, call_span: Span) -> Result<Value, LangError> {
+        let f = &self.prog.funcs[fi];
+        if args.len() != f.params {
+            return Err(LangError::runtime(
+                call_span,
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    f.name,
+                    f.params,
+                    args.len()
+                ),
+            ));
+        }
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            self.depth -= 1;
+            return Err(LangError::LimitExceeded(format!(
+                "call depth {} exceeded in `{}`",
+                self.limits.max_depth, f.name
+            )));
+        }
+        let out = self.exec(f, args);
+        self.depth -= 1;
+        out
+    }
+
+    fn exec(&mut self, f: &CFn, args: Vec<Value>) -> Result<Value, LangError> {
+        let mut regs: Vec<Value> = args;
+        regs.resize(f.regs, Value::bool(false));
+        let mut pc = 0usize;
+        let err = |pc: usize, msg: String| LangError::runtime(f.spans[pc], msg);
+        loop {
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(LangError::LimitExceeded(format!(
+                    "step limit {} exceeded at {}",
+                    self.limits.max_steps, f.spans[pc]
+                )));
+            }
+            match &f.code[pc] {
+                Op::Const { dst, idx } => {
+                    regs[*dst as usize] = self.prog.pool[*idx as usize].clone();
+                }
+                Op::Copy { dst, src } => regs[*dst as usize] = regs[*src as usize].clone(),
+                Op::List { dst, base, n } => {
+                    let b = *base as usize;
+                    regs[*dst as usize] = Value::list(regs[b..b + *n as usize].to_vec());
+                }
+                Op::Record { dst, keys, base } => {
+                    let ks = &self.prog.rec_keys[*keys as usize];
+                    let b = *base as usize;
+                    regs[*dst as usize] = Value::record_owned(
+                        ks.iter()
+                            .enumerate()
+                            .map(|(i, k)| (k.clone(), regs[b + i].clone())),
+                    );
+                }
+                Op::Field { dst, base, name } => {
+                    let b = &regs[*base as usize];
+                    let field = &self.prog.names[*name as usize];
+                    let v = b.field(field).cloned().ok_or_else(|| {
+                        err(pc, format!("{} has no field `{field}`", b.type_name()))
+                    })?;
+                    regs[*dst as usize] = v;
+                }
+                Op::Index { dst, base, idx } => {
+                    let b = &regs[*base as usize];
+                    let i = &regs[*idx as usize];
+                    let list = b
+                        .as_list()
+                        .ok_or_else(|| err(pc, format!("cannot index into {}", b.type_name())))?;
+                    let n = i.as_num().ok_or_else(|| {
+                        err(pc, format!("index must be a number, got {}", i.type_name()))
+                    })?;
+                    if n < 0.0 || n.fract() != 0.0 || (n as usize) >= list.len() {
+                        return Err(err(
+                            pc,
+                            format!("index {n} out of bounds for list of length {}", list.len()),
+                        ));
+                    }
+                    regs[*dst as usize] = list[n as usize].clone();
+                }
+                Op::Neg { dst, src } => {
+                    let v = &regs[*src as usize];
+                    let n = v
+                        .as_num()
+                        .ok_or_else(|| err(pc, format!("cannot negate {}", v.type_name())))?;
+                    regs[*dst as usize] = Value::num(-n);
+                }
+                Op::Not { dst, src } => {
+                    let v = &regs[*src as usize];
+                    let b = v
+                        .as_bool()
+                        .ok_or_else(|| err(pc, format!("cannot apply `!` to {}", v.type_name())))?;
+                    regs[*dst as usize] = Value::bool(!b);
+                }
+                Op::Bin { op, dst, lhs, rhs } => {
+                    let lv = &regs[*lhs as usize];
+                    let rv = &regs[*rhs as usize];
+                    let v = if matches!(op, BinOp::Eq | BinOp::Ne) {
+                        let eq = lv == rv;
+                        Value::bool(if *op == BinOp::Eq { eq } else { !eq })
+                    } else {
+                        let (a, b) = match (lv.as_num(), rv.as_num()) {
+                            (Some(a), Some(b)) => (a, b),
+                            _ => {
+                                return Err(err(
+                                    pc,
+                                    format!(
+                                        "numeric operator on {} and {}",
+                                        lv.type_name(),
+                                        rv.type_name()
+                                    ),
+                                ))
+                            }
+                        };
+                        match op {
+                            BinOp::Add => Value::num(a + b),
+                            BinOp::Sub => Value::num(a - b),
+                            BinOp::Mul => Value::num(a * b),
+                            BinOp::Div => Value::num(a / b),
+                            BinOp::Rem => Value::num(a % b),
+                            BinOp::Lt => Value::bool(a < b),
+                            BinOp::Le => Value::bool(a <= b),
+                            BinOp::Gt => Value::bool(a > b),
+                            BinOp::Ge => Value::bool(a >= b),
+                            BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => {
+                                unreachable!("compiled separately")
+                            }
+                        }
+                    };
+                    regs[*dst as usize] = v;
+                }
+                Op::AsBool { src } => {
+                    let v = &regs[*src as usize];
+                    if v.truthy().is_none() {
+                        return Err(err(
+                            pc,
+                            format!("condition must be a bool, got {}", v.type_name()),
+                        ));
+                    }
+                }
+                Op::Jump { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Op::JumpIfFalse { src, to } => {
+                    if regs[*src as usize] == Value::bool(false) {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Op::IterInit { list, src, ctr } => {
+                    let v = &regs[*src as usize];
+                    if v.as_list().is_none() {
+                        return Err(err(
+                            pc,
+                            format!("`for` needs a list, got {}", v.type_name()),
+                        ));
+                    }
+                    // Snapshot semantics: the interpreter clones the
+                    // list before iterating; values are immutable, so
+                    // holding the same Rc is the same snapshot.
+                    regs[*list as usize] = v.clone();
+                    regs[*ctr as usize] = Value::num(0.0);
+                }
+                Op::IterNext {
+                    item,
+                    list,
+                    ctr,
+                    exit,
+                } => {
+                    let i = regs[*ctr as usize].as_num().expect("counter is numeric") as usize;
+                    let items = regs[*list as usize].as_list().expect("checked by IterInit");
+                    if i >= items.len() {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                    regs[*item as usize] = items[i].clone();
+                    regs[*ctr as usize] = Value::num((i + 1) as f64);
+                }
+                Op::CallFn {
+                    dst,
+                    f: fi,
+                    base,
+                    n,
+                } => {
+                    let b = *base as usize;
+                    let args = regs[b..b + *n as usize].to_vec();
+                    let v = self.run_fn(*fi as usize, args, f.spans[pc])?;
+                    regs[*dst as usize] = v;
+                }
+                Op::CallBuiltin { dst, name, base, n } => {
+                    let b = *base as usize;
+                    let v = builtins::call(
+                        &self.prog.names[*name as usize],
+                        &regs[b..b + *n as usize],
+                        f.spans[pc],
+                    )?;
+                    regs[*dst as usize] = v;
+                }
+                Op::Ret { src } => return Ok(regs[*src as usize].clone()),
+                Op::Fail { kind, name } => {
+                    let n = &self.prog.names[*name as usize];
+                    return Err(err(
+                        pc,
+                        match kind {
+                            FailKind::UndefVar => format!("undefined variable `{n}`"),
+                            FailKind::AssignUnbound => {
+                                format!("assignment to unbound variable `{n}`")
+                            }
+                            FailKind::NoReturn => {
+                                format!("function `{n}` finished without `return`")
+                            }
+                        },
+                    ));
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// A parsed program paired with (optionally) its bytecode-compiled
+/// form: the engine-choice façade interface adapters hold.
+///
+/// Calls route to the VM when compiled, to the tree-walking
+/// interpreter otherwise; both produce identical values and identical
+/// error messages (enforced by the differential suite in
+/// `tests/vm_props.rs`), so callers choose purely on cost.
+///
+/// # Examples
+///
+/// ```
+/// use perf_iface_lang::vm::Executable;
+/// use perf_iface_lang::{Program, Value};
+///
+/// let prog = Program::parse("fn f(x) { return x * 2; }").unwrap();
+/// let exec = Executable::compiled(prog).unwrap();
+/// let out = exec.call("f", &[Value::num(21.0)]).unwrap();
+/// assert_eq!(out.as_num().unwrap(), 42.0);
+/// ```
+pub struct Executable {
+    prog: crate::Program,
+    vm: Option<CompiledProgram>,
+}
+
+impl Executable {
+    /// Wraps a program for tree-walk evaluation.
+    pub fn interpreted(prog: crate::Program) -> Executable {
+        Executable { prog, vm: None }
+    }
+
+    /// Compiles the program to bytecode once; calls run the VM.
+    pub fn compiled(prog: crate::Program) -> Result<Executable, LangError> {
+        let vm = CompiledProgram::compile(&prog)?;
+        Ok(Executable { prog, vm: Some(vm) })
+    }
+
+    /// Whether calls run the bytecode VM.
+    pub fn is_compiled(&self) -> bool {
+        self.vm.is_some()
+    }
+
+    /// The wrapped program (source, AST, metadata).
+    pub fn program(&self) -> &crate::Program {
+        &self.prog
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        self.prog.source()
+    }
+
+    /// Returns `true` if the program defines function `name`.
+    pub fn defines(&self, name: &str) -> bool {
+        self.prog.defines(name)
+    }
+
+    /// Calls function `name` with `args` under default limits.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, LangError> {
+        match &self.vm {
+            Some(vm) => vm.call(name, args),
+            None => self.prog.call(name, args),
+        }
+    }
+
+    /// Calls function `name` with `args` under custom limits.
+    pub fn call_with_limits(
+        &self,
+        name: &str,
+        args: &[Value],
+        limits: Limits,
+    ) -> Result<Value, LangError> {
+        match &self.vm {
+            Some(vm) => vm.call_with_limits(name, args, limits),
+            None => self.prog.call_with_limits(name, args, limits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    fn both(
+        src: &str,
+        f: &str,
+        args: &[Value],
+    ) -> (Result<Value, LangError>, Result<Value, LangError>) {
+        let p = Program::parse(src).unwrap();
+        let vm = CompiledProgram::compile(&p).unwrap();
+        (p.call(f, args), vm.call(f, args))
+    }
+
+    fn assert_same(src: &str, f: &str, args: &[Value]) {
+        let (i, v) = both(src, f, args);
+        match (&i, &v) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "value divergence on {src}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "error divergence on {src}")
+            }
+            _ => panic!("outcome divergence on {src}: interp={i:?} vm={v:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_consts_fold() {
+        let p = Program::parse("const K = 6; fn f(x) { return (K * 7 + 2) + x; }").unwrap();
+        let vm = CompiledProgram::compile(&p).unwrap();
+        assert_eq!(
+            vm.call("f", &[Value::num(1.0)]).unwrap().as_num(),
+            Some(45.0)
+        );
+        // The folded subexpression is a single pool constant: the
+        // function body is Const, Bin, Ret (+ trailing Fail).
+        assert_eq!(vm.funcs[0].code.len(), 4);
+    }
+
+    #[test]
+    fn control_flow_matches_interp() {
+        let src = "fn f(n) {\n\
+                   let acc = 0;\n\
+                   let i = 0;\n\
+                   while i < n {\n\
+                     if i % 2 == 0 { acc = acc + i; } else { acc = acc - 1; }\n\
+                     i = i + 1;\n\
+                   }\n\
+                   for x in [10, 20, 30] { acc = acc + x; }\n\
+                   return acc;\n\
+                   }";
+        for n in [0.0, 1.0, 2.0, 9.0] {
+            assert_same(src, "f", &[Value::num(n)]);
+        }
+    }
+
+    #[test]
+    fn short_circuit_and_or() {
+        let src = "fn f(x) { return (x > 0 && 10 / x > 2) || x == 0; }";
+        for x in [-1.0, 0.0, 1.0, 4.0, 10.0] {
+            assert_same(src, "f", &[Value::num(x)]);
+        }
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // The rhs would be a type error; short-circuit must skip it.
+        let src = "fn f() { return false && \"no\"; }";
+        assert_same(src, "f", &[]);
+        let src = "fn g() { return true || \"no\"; }";
+        assert_same(src, "g", &[]);
+    }
+
+    #[test]
+    fn records_lists_builtins() {
+        let src = "fn f(r) {\n\
+                   let xs = [r.a, r.b, r.a + r.b];\n\
+                   return { s: sum(xs), m: max(r.a, r.b, len(xs)), p: pow(2, r.a) };\n\
+                   }";
+        let arg = Value::record([("a", Value::num(3.0)), ("b", Value::num(5.0))]);
+        assert_same(src, "f", &[arg]);
+    }
+
+    #[test]
+    fn recursion_and_depth_limit() {
+        let src = "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); }";
+        assert_same(src, "fib", &[Value::num(10.0)]);
+        let p = Program::parse("fn f(n) { return f(n + 1); }").unwrap();
+        let vm = CompiledProgram::compile(&p).unwrap();
+        assert!(matches!(
+            vm.call("f", &[Value::num(0.0)]),
+            Err(LangError::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn runtime_errors_match_interp() {
+        for (src, f, args) in [
+            ("fn f(x) { return x.nope; }", "f", vec![Value::num(1.0)]),
+            (
+                "fn f(x) { return x[3]; }",
+                "f",
+                vec![Value::list(vec![Value::num(1.0)])],
+            ),
+            ("fn f(x) { return x + \"s\"; }", "f", vec![Value::num(1.0)]),
+            (
+                "fn f(x) { if x { return 1; } return 2; }",
+                "f",
+                vec![Value::num(1.0)],
+            ),
+            (
+                "fn f(x) { for i in x { return i; } return 0; }",
+                "f",
+                vec![Value::num(1.0)],
+            ),
+            ("fn f() { let y = 1; return 1 / 0; }", "f", vec![]),
+            ("fn f(x) { return -x; }", "f", vec![Value::bool(true)]),
+            ("fn f(x) { x = 1; return x; }", "f", vec![Value::num(0.0)]),
+        ] {
+            assert_same(src, f, &args);
+        }
+    }
+
+    #[test]
+    fn non_finite_result_rejected_like_interp() {
+        assert_same("fn f() { return 1 / 0; }", "f", &[]);
+        assert_same("fn f() { return [1, 1 / 0]; }", "f", &[]);
+    }
+
+    #[test]
+    fn no_return_falls_through_identically() {
+        assert_same("fn f(x) { let y = x; }", "f", &[Value::num(1.0)]);
+    }
+
+    #[test]
+    fn shadowing_and_scoping() {
+        let src = "const C = 5;\n\
+                   fn f(x) {\n\
+                   let c = C + 1;\n\
+                   if x > 0 { let c = 100; x = x + c; }\n\
+                   return x + c + C;\n\
+                   }";
+        for x in [-1.0, 0.0, 3.0] {
+            assert_same(src, "f", &[Value::num(x)]);
+        }
+    }
+
+    #[test]
+    fn stats_mention_pool() {
+        let p = Program::parse("const K = 2; fn f() { return K * 3; }").unwrap();
+        let vm = CompiledProgram::compile(&p).unwrap();
+        assert!(vm.stats().contains("pool"));
+    }
+}

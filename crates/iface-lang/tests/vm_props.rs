@@ -1,0 +1,162 @@
+//! Differential suite for the bytecode VM: compiling a `.pi` program
+//! and running it through [`perf_iface_lang::vm::CompiledProgram`]
+//! must match the tree-walking interpreter exactly — same values on
+//! success, the same error message on failure — over randomized
+//! expressions, randomized structured programs, and randomized
+//! arguments.
+
+use perf_iface_lang::vm::CompiledProgram;
+use perf_iface_lang::{Program, Value};
+use proptest::prelude::*;
+
+/// Runs `name(args)` through both evaluators and asserts they agree
+/// (value equality, or error-display equality).
+fn assert_same(src: &str, name: &str, args: &[Value]) {
+    let prog = Program::parse(src).expect("generated source parses");
+    let vm = CompiledProgram::compile(&prog).expect("generated source compiles");
+    let a = prog.call(name, args);
+    let b = vm.call(name, args);
+    match (&a, &b) {
+        (Ok(x), Ok(y)) => assert_eq!(x, y, "values diverge for {name}{args:?}\n{src}"),
+        (Err(x), Err(y)) => assert_eq!(
+            x.to_string(),
+            y.to_string(),
+            "errors diverge for {name}{args:?}\n{src}"
+        ),
+        _ => panic!("one evaluator errored, the other did not for {name}{args:?}:\n  interp: {a:?}\n  vm: {b:?}\n{src}"),
+    }
+}
+
+/// A random arithmetic/comparison expression over `x`, `y` and a
+/// constant `K`; divisions and a `%` keep non-finite results and the
+/// finiteness gate in play.
+#[derive(Clone, Debug)]
+enum E {
+    Num(f64),
+    X,
+    Y,
+    K,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    fn source(&self) -> String {
+        match self {
+            E::Num(n) => format!("{n:?}"),
+            E::X => "x".into(),
+            E::Y => "y".into(),
+            E::K => "K".into(),
+            E::Add(a, b) => format!("({} + {})", a.source(), b.source()),
+            E::Sub(a, b) => format!("({} - {})", a.source(), b.source()),
+            E::Mul(a, b) => format!("({} * {})", a.source(), b.source()),
+            E::Div(a, b) => format!("({} / {})", a.source(), b.source()),
+            E::Rem(a, b) => format!("({} % {})", a.source(), b.source()),
+            E::Min(a, b) => format!("min({}, {})", a.source(), b.source()),
+            E::Max(a, b) => format!("max({}, {})", a.source(), b.source()),
+            E::Neg(a) => format!("(-{})", a.source()),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0.0f64..100.0).prop_map(E::Num),
+        Just(E::X),
+        Just(E::Y),
+        Just(E::K),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pure expressions: VM == interpreter on values and errors
+    /// (including the non-finite-result rejection).
+    #[test]
+    fn vm_matches_interp_on_expressions(
+        e in expr_strategy(),
+        x in -50.0f64..50.0,
+        y in -50.0f64..50.0,
+    ) {
+        let src = format!(
+            "const K = 7;\nfn f(x, y) {{ return {}; }}",
+            e.source()
+        );
+        assert_same(&src, "f", &[Value::num(x), Value::num(y)]);
+    }
+
+    /// Structured programs: loops, branches, list/record traffic,
+    /// accumulators — the shapes real `.pi` interfaces use.
+    #[test]
+    fn vm_matches_interp_on_structured_programs(
+        n in 0usize..12,
+        cut in 0.0f64..10.0,
+        scale in 1.0f64..4.0,
+    ) {
+        let src = "
+            const BASE = 3;
+            fn per_item(it, cut, scale) {
+                if it.w < cut {
+                    return BASE + it.w;
+                } else {
+                    return BASE + it.w * scale;
+                }
+            }
+            fn total(items, cut, scale) {
+                let acc = 0;
+                for it in items {
+                    acc = acc + per_item(it, cut, scale);
+                }
+                return acc;
+            }
+        ";
+        let items: Vec<Value> = (0..n)
+            .map(|i| Value::record([("w", Value::num((i % 7) as f64))]))
+            .collect();
+        assert_same(
+            src,
+            "total",
+            &[Value::list(items), Value::num(cut), Value::num(scale)],
+        );
+    }
+
+    /// Error paths: wrong arity, bad field access, list misuse — the
+    /// VM must reproduce the interpreter's message byte-for-byte.
+    #[test]
+    fn vm_matches_interp_on_runtime_errors(pick in 0usize..5, v in -5.0f64..5.0) {
+        let src = "
+            fn field(r) { return r.missing; }
+            fn index(xs, i) { return xs[i]; }
+            fn looped(x) { for i in x { return i; } return 0; }
+            fn cond(x) { if x { return 1; } return 0; }
+            fn arity(a, b) { return a + b; }
+        ";
+        let val = Value::num(v);
+        match pick {
+            0 => assert_same(src, "field", &[val]),
+            1 => assert_same(src, "index", &[Value::list(vec![Value::num(1.0)]), val]),
+            2 => assert_same(src, "looped", &[val]),
+            3 => assert_same(src, "cond", &[val]),
+            _ => assert_same(src, "arity", &[val]),
+        }
+    }
+}

@@ -306,6 +306,31 @@ impl ExprBehavior {
             outputs,
         })
     }
+
+    /// The compiled delay fast path, if the delay expression lowered to
+    /// a [`CExpr`]. Used by the static-topology stepper to specialize
+    /// firing without boxing through [`Behavior::fire`].
+    pub(crate) fn compiled_delay(&self) -> Option<&CExpr> {
+        self.c_delay.as_ref()
+    }
+
+    /// The compiled guard fast path (only meaningful when
+    /// [`Behavior::has_guard`] is true).
+    pub(crate) fn compiled_guard(&self) -> Option<&CExpr> {
+        self.c_guard.as_ref()
+    }
+
+    /// Per-output-arc compiled emit fast paths, parallel to
+    /// [`ExprBehavior::emit_flags`].
+    pub(crate) fn compiled_emits(&self) -> &[Option<CExpr>] {
+        &self.c_emits
+    }
+
+    /// Per-output-arc flags: `true` when the arc has an emit expression,
+    /// `false` when the first input payload passes through unchanged.
+    pub(crate) fn emit_flags(&self) -> &[bool] {
+        &self.emits
+    }
 }
 
 /// Whether a statement (transitively) reads the token bindings `t` or

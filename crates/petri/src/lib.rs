@@ -63,12 +63,14 @@ pub mod dot;
 pub mod engine;
 pub mod lint;
 pub mod net;
+pub mod stepper;
 pub mod text;
 pub mod token;
 pub mod trace;
 
 pub use engine::{Engine, Options, SimResult};
 pub use net::{Net, NetBuilder, PlaceId, TransId};
+pub use stepper::{CompiledNet, ExecSession, NetExec, Stepper};
 pub use token::Token;
 pub use trace::{critical_path, CriticalPath, EngineTrace, FiringRecord, Segment, TokenSrc};
 

@@ -1,0 +1,268 @@
+//! Three-way differential suite: the compiled static-topology stepper
+//! ([`perf_petri::CompiledNet`]) must be observably identical to the
+//! incremental worklist engine ([`Engine::run`]), which in turn must
+//! match the reference full-net fixpoint scan
+//! ([`Engine::run_reference`]), on randomly generated nets — same
+//! makespan, same completions (payload, birth, arrival, order), same
+//! event and firing counts, same high-water marks, same stranded
+//! report, and the same error on pathological nets. The stepper must
+//! additionally match the incremental engine's `enablement_checks`
+//! (it runs the same worklist algorithm on specialized data).
+//!
+//! Nets mix `Native` closures (forcing the stepper's dynamic fallback)
+//! with compiled `Expr` behaviors (exercising the specialized
+//! guard/delay/emit fast paths), so both execution tiers are covered
+//! by every run.
+
+use perf_iface_lang::Value;
+use perf_petri::behavior::{Behavior, ExprBehavior};
+use perf_petri::engine::{Engine, Options, SimResult};
+use perf_petri::net::{Net, NetBuilder, Transition};
+use perf_petri::token::Token;
+use perf_petri::{CompiledNet, PetriError};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct NetSpec {
+    places: Vec<Option<usize>>,
+    sinks: usize,
+    transitions: Vec<TransSpec>,
+    /// Injections: (raw place index, payload, arrival time). Late
+    /// arrivals push events past the calendar-wheel horizon, forcing
+    /// the stepper's far-heap path.
+    injections: Vec<(usize, u64, u64)>,
+}
+
+#[derive(Clone, Debug)]
+struct TransSpec {
+    inputs: Vec<(usize, usize)>,
+    outputs: Vec<(usize, usize)>,
+    base_delay: u64,
+    priority: i32,
+    servers: usize,
+    /// `Some(threshold)` guards the transition on `payload % 16 < threshold`.
+    guard: Option<u64>,
+    /// Compiled-expression behavior instead of a native closure.
+    expr: bool,
+    /// For expr behaviors: emit `t` unchanged (the stepper's
+    /// token-reuse fast path) instead of a transformed payload.
+    passthrough: bool,
+}
+
+fn spec_strategy() -> impl Strategy<Value = NetSpec> {
+    let place = prop_oneof![Just(None), (1usize..=3).prop_map(Some)];
+    let trans = (
+        prop::collection::vec((0usize..100, 1usize..=2), 1..=2),
+        prop::collection::vec((0usize..100, 1usize..=2), 0..=2),
+        0u64..=4,
+        -1i32..=2,
+        0usize..=2,
+        prop_oneof![Just(None), (4u64..=14).prop_map(Some)],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(inputs, outputs, base_delay, priority, servers, guard, expr, passthrough)| {
+                TransSpec {
+                    inputs,
+                    outputs,
+                    base_delay,
+                    priority,
+                    servers,
+                    guard,
+                    expr,
+                    passthrough,
+                }
+            },
+        );
+    (
+        prop::collection::vec(place, 2..=5),
+        1usize..=2,
+        prop::collection::vec(trans, 1..=6),
+        prop::collection::vec((0usize..100, 0u64..100, 0u64..5_000), 1..=20),
+    )
+        .prop_map(|(places, sinks, transitions, injections)| NetSpec {
+            places,
+            sinks,
+            transitions,
+            injections,
+        })
+}
+
+fn native_behavior(t: &TransSpec, n_out: usize) -> Behavior {
+    let base = t.base_delay;
+    let guard = t.guard.map(|thr| {
+        Box::new(move |ts: &[Token]| (ts[0].data.as_num().unwrap_or(0.0) as u64) % 16 < thr)
+            as Box<dyn Fn(&[Token]) -> bool>
+    });
+    Behavior::Native {
+        guard,
+        delay: Box::new(move |ts: &[Token]| base + (ts[0].data.as_num().unwrap_or(0.0) as u64) % 3),
+        transform: Box::new(move |ts: &[Token]| {
+            let v = ts
+                .iter()
+                .map(|t| t.data.as_num().unwrap_or(0.0))
+                .sum::<f64>();
+            vec![Value::num((v + 1.0) % 1024.0); n_out]
+        }),
+    }
+}
+
+fn expr_behavior(t: &TransSpec, n_out: usize) -> Behavior {
+    let delay = format!("{} + t % 3", t.base_delay);
+    let guard = t.guard.map(|thr| format!("t % 16 < {thr}"));
+    let emit = if t.passthrough {
+        None
+    } else {
+        Some("(sum(ts) + 1) % 1024".to_string())
+    };
+    let emits: Vec<Option<String>> = (0..n_out).map(|_| emit.clone()).collect();
+    Behavior::Expr(
+        ExprBehavior::compile("", &delay, guard.as_deref(), &emits)
+            .expect("generated behavior source is valid"),
+    )
+}
+
+fn build(spec: &NetSpec) -> Net {
+    let mut b = NetBuilder::new("rand");
+    let n_regular = spec.places.len();
+    let n_total = n_regular + spec.sinks;
+    let mut pids = Vec::new();
+    for (i, cap) in spec.places.iter().enumerate() {
+        pids.push(b.place(format!("p{i}"), *cap));
+    }
+    for s in 0..spec.sinks {
+        pids.push(b.sink(format!("z{s}")));
+    }
+    for (i, t) in spec.transitions.iter().enumerate() {
+        let mut inputs: Vec<(perf_petri::PlaceId, usize)> = Vec::new();
+        for &(p, w) in &t.inputs {
+            let pid = pids[p % n_regular];
+            if !inputs.iter().any(|&(q, _)| q == pid) {
+                inputs.push((pid, w));
+            }
+        }
+        let outputs: Vec<_> = t
+            .outputs
+            .iter()
+            .map(|&(p, w)| (pids[p % n_total], w))
+            .collect();
+        let n_out = outputs.len();
+        let behavior = if t.expr {
+            expr_behavior(t, n_out)
+        } else {
+            native_behavior(t, n_out)
+        };
+        b.add_transition(Transition {
+            name: format!("t{i}"),
+            inputs,
+            outputs,
+            behavior,
+            servers: t.servers,
+            priority: t.priority,
+        });
+    }
+    b.build().expect("spec-built nets are structurally valid")
+}
+
+fn place_name(spec: &NetSpec, idx: usize) -> String {
+    if idx < spec.places.len() {
+        format!("p{idx}")
+    } else {
+        format!("z{}", idx - spec.places.len())
+    }
+}
+
+const OPTS: Options = Options {
+    max_events: 5_000,
+    fail_on_deadlock: false,
+    trace: None,
+};
+
+fn run_engine(spec: &NetSpec, net: &Net, incremental: bool) -> Result<SimResult, PetriError> {
+    let n_total = spec.places.len() + spec.sinks;
+    let mut e = Engine::new(net, OPTS);
+    for &(p, v, at) in &spec.injections {
+        e.inject(
+            net.place_id(&place_name(spec, p % n_total)).unwrap(),
+            Token::at(Value::num(v as f64), at),
+        );
+    }
+    if incremental {
+        e.run()
+    } else {
+        e.run_reference()
+    }
+}
+
+fn run_compiled(spec: &NetSpec, net: &Net) -> Result<SimResult, PetriError> {
+    let n_total = spec.places.len() + spec.sinks;
+    let plan = CompiledNet::compile(net);
+    let mut s = plan.stepper(net, OPTS);
+    for &(p, v, at) in &spec.injections {
+        s.inject(
+            net.place_id(&place_name(spec, p % n_total)).unwrap(),
+            Token::at(Value::num(v as f64), at),
+        );
+    }
+    s.run()
+}
+
+/// `check_enablement`: the reference scan re-checks far more often, so
+/// only compiled-vs-incremental compares that counter.
+fn assert_identical(
+    label: &str,
+    a: &Result<SimResult, PetriError>,
+    b: &Result<SimResult, PetriError>,
+    check_enablement: bool,
+) {
+    match (a, b) {
+        (Ok(ra), Ok(rb)) => {
+            assert_eq!(ra.makespan, rb.makespan, "{label}: makespan");
+            assert_eq!(ra.events, rb.events, "{label}: event count");
+            assert_eq!(ra.firings, rb.firings, "{label}: firings");
+            assert_eq!(ra.busy, rb.busy, "{label}: busy cycles");
+            assert_eq!(ra.high_water, rb.high_water, "{label}: high-water marks");
+            assert_eq!(ra.stranded, rb.stranded, "{label}: stranded report");
+            assert_eq!(ra.completions, rb.completions, "{label}: completions");
+            if check_enablement {
+                assert_eq!(
+                    ra.enablement_checks, rb.enablement_checks,
+                    "{label}: enablement checks"
+                );
+            }
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{label}: errors differ"),
+        (a, b) => panic!("{label}: one evaluator errored, the other did not:\n  {a:?}\n  {b:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn compiled_stepper_matches_both_engines(spec in spec_strategy()) {
+        let net = build(&spec);
+        let compiled = run_compiled(&spec, &net);
+        let inc = run_engine(&spec, &net, true);
+        let refr = run_engine(&spec, &net, false);
+        assert_identical("compiled vs incremental", &compiled, &inc, true);
+        assert_identical("compiled vs reference", &compiled, &refr, false);
+    }
+
+    #[test]
+    fn marking_fingerprints_agree(spec in spec_strategy()) {
+        let net = build(&spec);
+        let n_total = spec.places.len() + spec.sinks;
+        let plan = CompiledNet::compile(&net);
+        let mut s = plan.stepper(&net, Options::default());
+        let mut e = Engine::new(&net, Options::default());
+        for &(p, v, at) in &spec.injections {
+            let pid = net.place_id(&place_name(&spec, p % n_total)).unwrap();
+            let tok = Token::at(Value::num(v as f64), at);
+            s.inject(pid, tok.clone());
+            e.inject(pid, tok);
+        }
+        prop_assert_eq!(s.marking_fingerprint(), e.marking_fingerprint());
+    }
+}

@@ -15,6 +15,7 @@
 //! ```json
 //! {"id": 1, "accel": "jpeg-decoder", "metric": "latency", "status": "ok",
 //!  "repr_used": "petri", "degraded": false, "cache_hit": false,
+//!  "engine": "compiled",
 //!  "prediction": {"lo": 12733.0, "hi": 12733.0},
 //!  "budget": {"avg": 0.01, "max": 0.05, "atol": 8.0},
 //!  "queue_us": 13.0, "service_us": 480.0}
@@ -25,7 +26,7 @@
 
 use crate::json::Json;
 use perf_core::iface::{InterfaceKind, Metric};
-use perf_core::query::WorkloadSpec;
+use perf_core::query::{EngineChoice, WorkloadSpec};
 use perf_core::trace::json_escape;
 use perf_core::{Budget, Prediction};
 
@@ -72,6 +73,11 @@ pub enum Outcome {
         budget: Budget,
         /// Whether the answer came from the result cache.
         cache_hit: bool,
+        /// Which evaluation substrate the serving backend runs on
+        /// (also reported for cache hits: the cached entry was
+        /// produced by a backend of this service's configured
+        /// engine).
+        engine: EngineChoice,
         /// Microseconds spent queued before a worker picked it up.
         queue_us: f64,
         /// Microseconds of evaluation (0 for cache hits).
@@ -249,6 +255,7 @@ impl Response {
                 degraded,
                 budget,
                 cache_hit,
+                engine,
                 queue_us,
                 service_us,
             } => {
@@ -258,10 +265,12 @@ impl Response {
                 };
                 format!(
                     "{head},\"status\":\"ok\",\"repr_used\":\"{}\",\"degraded\":{degraded},\
-                     \"cache_hit\":{cache_hit},\"prediction\":{{\"lo\":{lo},\"hi\":{hi}}},\
+                     \"cache_hit\":{cache_hit},\"engine\":\"{}\",\
+                     \"prediction\":{{\"lo\":{lo},\"hi\":{hi}}},\
                      \"budget\":{{\"avg\":{},\"max\":{},\"atol\":{}}},\
                      \"queue_us\":{queue_us:.1},\"service_us\":{service_us:.1}}}",
                     repr_name(*repr_used),
+                    engine.name(),
                     budget.avg,
                     budget.max,
                     budget.atol,
@@ -333,12 +342,14 @@ mod tests {
                 degraded: true,
                 budget: Budget::new(0.8, 3.0).with_atol(32.0),
                 cache_hit: false,
+                engine: EngineChoice::Compiled,
                 queue_us: 5.0,
                 service_us: 1.0,
             },
         };
         let s = r.to_json();
         assert!(s.contains("\"repr_used\":\"nl\""));
+        assert!(s.contains("\"engine\":\"compiled\""));
         assert!(s.contains("\"degraded\":true"));
         assert!(s.contains("\"atol\":32"));
         // The line must itself be valid JSON.

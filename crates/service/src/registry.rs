@@ -9,7 +9,7 @@ use accel_bitcoin::interface::service::BitcoinService;
 use accel_jpeg::interface::service::JpegService;
 use accel_protoacc::interface::service::ProtoaccService;
 use accel_vta::interface::service::VtaService;
-use perf_core::query::QueryBackend;
+use perf_core::query::{EngineChoice, QueryBackend};
 use perf_core::CoreError;
 
 /// Names of every accelerator the service can answer for.
@@ -17,13 +17,24 @@ pub fn accelerators() -> &'static [&'static str] {
     &["jpeg-decoder", "bitcoin-miner", "protoacc", "vta"]
 }
 
-/// Builds the backend for one accelerator name.
+/// Builds the backend for one accelerator name on the compiled
+/// evaluation substrate (the service default).
 pub fn backend(accel: &str) -> Result<Box<dyn QueryBackend>, CoreError> {
+    backend_with_engine(accel, EngineChoice::Compiled)
+}
+
+/// Builds the backend for one accelerator name with an explicit
+/// evaluation substrate (`ServiceConfig::engine` threads through
+/// here, so A/B runs and the interpreted fallback stay one flag away).
+pub fn backend_with_engine(
+    accel: &str,
+    engine: EngineChoice,
+) -> Result<Box<dyn QueryBackend>, CoreError> {
     match accel {
-        "jpeg-decoder" => Ok(Box::new(JpegService::new()?)),
-        "bitcoin-miner" => Ok(Box::new(BitcoinService::new())),
-        "protoacc" => Ok(Box::new(ProtoaccService::new())),
-        "vta" => Ok(Box::new(VtaService::new())),
+        "jpeg-decoder" => Ok(Box::new(JpegService::with_engine(engine)?)),
+        "bitcoin-miner" => Ok(Box::new(BitcoinService::with_engine(engine))),
+        "protoacc" => Ok(Box::new(ProtoaccService::with_engine(engine))),
+        "vta" => Ok(Box::new(VtaService::with_engine(engine))),
         other => Err(CoreError::Artifact(format!(
             "unknown accelerator `{other}` (have: {})",
             accelerators().join(", ")
@@ -40,8 +51,19 @@ mod tests {
         for name in accelerators() {
             let b = backend(name).unwrap();
             assert_eq!(&b.accel(), name);
+            assert_eq!(b.engine(), EngineChoice::Compiled);
             assert!(!b.spec_kinds().is_empty());
         }
         assert!(backend("nope").is_err());
+    }
+
+    #[test]
+    fn explicit_engine_is_reported_by_every_backend() {
+        for name in accelerators() {
+            for engine in [EngineChoice::Interpreted, EngineChoice::Compiled] {
+                let b = backend_with_engine(name, engine).unwrap();
+                assert_eq!(b.engine(), engine, "{name}");
+            }
+        }
     }
 }

@@ -15,9 +15,12 @@
 //!   job it checks the deadline, picks the most precise representation
 //!   the remaining budget affords, answers from the fingerprint cache
 //!   when possible, and sends the response on the job's channel.
-//! * **Cache** — a read-mostly [`RwLock`] map keyed by the backend's
-//!   deep fingerprint mixed with the metric; hits take the read lock
-//!   only, so they scale across workers.
+//! * **Cache** — a power-of-two-sharded set of read-mostly [`RwLock`]
+//!   maps keyed by the backend's deep fingerprint mixed with the
+//!   metric. Hits take one shard's read lock; misses write one shard.
+//!   Sharding by fingerprint bits keeps writers from serializing
+//!   against each other as workers scale (a single map's write lock
+//!   was the 8-worker bottleneck on cold corpora).
 //! * **Degradation ladder** — Petri net → program → NL bound. The
 //!   choice uses per-(accelerator, representation) EWMA cost
 //!   estimates; the NL rung is closed-form arithmetic and always
@@ -33,7 +36,7 @@ use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::protocol::{Outcome, ReprChoice, Request, Response};
 use crate::registry;
 use perf_core::iface::InterfaceKind;
-use perf_core::query::{Fnv1a, QueryBackend};
+use perf_core::query::{EngineChoice, Fnv1a, QueryBackend};
 use perf_core::{Budget, Prediction};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
@@ -53,6 +56,11 @@ pub struct ServiceConfig {
     pub cache_cap: usize,
     /// Deadline applied to requests that carry none, in microseconds.
     pub default_deadline_us: Option<u64>,
+    /// Which evaluation substrate worker backends run on. The
+    /// compiled substrate (static-topology Petri steppers plus the
+    /// `.pi` bytecode VM) is the default; `Interpreted` keeps the
+    /// generic engine and tree-walker for A/B runs and as a fallback.
+    pub engine: EngineChoice,
 }
 
 impl Default for ServiceConfig {
@@ -62,14 +70,30 @@ impl Default for ServiceConfig {
             queue_cap: 256,
             cache_cap: 4096,
             default_deadline_us: None,
+            engine: EngineChoice::Compiled,
         }
     }
 }
 
 /// Cold-start cost priors (microseconds) for the degradation ladder,
-/// indexed nl / program / petri. Replaced by per-accelerator EWMA
-/// after the first evaluation of each rung.
-const COST_PRIOR_US: [f64; 3] = [5.0, 300.0, 5_000.0];
+/// indexed `[engine][nl / program / petri]` (see [`eidx`]). Replaced
+/// by per-accelerator EWMA after the first evaluation of each rung.
+/// The compiled substrate's rungs are roughly an order of magnitude
+/// cheaper, so a deadline that used to force degradation to the NL
+/// bound often affords the Petri rung when `engine` is `Compiled` —
+/// the priors must reflect that or cold deadlines degrade spuriously.
+const COST_PRIOR_US: [[f64; 3]; 2] = [
+    [5.0, 300.0, 5_000.0], // interpreted
+    [5.0, 60.0, 800.0],    // compiled
+];
+
+/// Index of an engine in [`COST_PRIOR_US`].
+fn eidx(engine: EngineChoice) -> usize {
+    match engine {
+        EngineChoice::Interpreted => 0,
+        EngineChoice::Compiled => 1,
+    }
+}
 
 /// EWMA smoothing factor for cost estimates.
 const EWMA_ALPHA: f64 = 0.3;
@@ -102,9 +126,13 @@ struct Shared {
     /// Signaled when a job leaves the queue.
     space: Condvar,
     /// Fingerprint-keyed results: key mixes the backend's deep
-    /// fingerprint with the metric. Read-mostly: hits share the read
-    /// lock, only misses write.
-    cache: RwLock<HashMap<u64, (Prediction, InterfaceKind)>>,
+    /// fingerprint with the metric, sharded by the key's low bits
+    /// (power-of-two shard count). Read-mostly: hits share one
+    /// shard's read lock, only misses write, and concurrent misses on
+    /// different shards do not contend.
+    cache: Vec<RwLock<HashMap<u64, (Prediction, InterfaceKind)>>>,
+    /// Per-shard entry cap (`cache_cap / shards`, at least 1).
+    shard_cap: usize,
     metrics: Mutex<ServiceMetrics>,
     /// EWMA evaluation cost in microseconds per (accelerator,
     /// representation index).
@@ -161,6 +189,10 @@ impl Service {
             cache_cap: cfg.cache_cap.max(1),
             ..cfg
         };
+        // Enough shards that concurrent cache misses rarely collide
+        // (4x workers, rounded up to a power of two so shard selection
+        // is a mask), bounded so tiny configs don't fragment the cap.
+        let shards = (cfg.workers * 4).next_power_of_two().clamp(8, 64);
         let shared = Arc::new(Shared {
             cfg,
             queue: Mutex::new(QueueState {
@@ -169,7 +201,8 @@ impl Service {
             }),
             available: Condvar::new(),
             space: Condvar::new(),
-            cache: RwLock::new(HashMap::new()),
+            cache: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_cap: cfg.cache_cap.div_ceil(shards).max(1),
             metrics: Mutex::new(ServiceMetrics::default()),
             costs: Mutex::new(HashMap::new()),
         });
@@ -320,9 +353,14 @@ impl Service {
         *self.shared.metrics.lock().expect("metrics lock") = ServiceMetrics::default();
     }
 
-    /// Entries currently held by the result cache.
+    /// Entries currently held by the result cache, summed across
+    /// shards.
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.read().expect("cache lock").len()
+        self.shared
+            .cache
+            .iter()
+            .map(|s| s.read().expect("cache lock").len())
+            .sum()
     }
 
     /// Current queue depth (for load generators and tests).
@@ -345,6 +383,12 @@ impl Service {
         }
         self.shared.metrics.lock().expect("metrics lock").snapshot()
     }
+}
+
+/// The cache shard holding `key` (shard count is a power of two, so
+/// selection is a mask of the fingerprint's low bits).
+fn shard(shared: &Shared, key: u64) -> &RwLock<HashMap<u64, (Prediction, InterfaceKind)>> {
+    &shared.cache[(key as usize) & (shared.cache.len() - 1)]
 }
 
 /// The ladder from a requested ceiling, most precise first.
@@ -445,7 +489,7 @@ fn serve(shared: &Shared, state: &mut WorkerState, job: Job, metrics: &mut Servi
         }
     }
     if !state.backends.contains_key(&job.req.accel) {
-        match registry::backend(&job.req.accel) {
+        match registry::backend_with_engine(&job.req.accel, shared.cfg.engine) {
             Ok(b) => {
                 state.backends.insert(job.req.accel.clone(), b);
             }
@@ -468,7 +512,7 @@ fn serve(shared: &Shared, state: &mut WorkerState, job: Job, metrics: &mut Servi
     let mut cached: Option<(Prediction, InterfaceKind)> = None;
     for &rung in rungs {
         let key = cache_key(state, &job.req, rung);
-        if let Some(&hit) = shared.cache.read().expect("cache lock").get(&key) {
+        if let Some(&hit) = shard(shared, key).read().expect("cache lock").get(&key) {
             chosen = rung;
             cached = Some(hit);
             break;
@@ -482,7 +526,7 @@ fn serve(shared: &Shared, state: &mut WorkerState, job: Job, metrics: &mut Servi
                     .lock()
                     .expect("costs lock")
                     .get(&(job.req.accel.clone(), ridx(rung)))
-                    .unwrap_or(&COST_PRIOR_US[ridx(rung)]);
+                    .unwrap_or(&COST_PRIOR_US[eidx(shared.cfg.engine)][ridx(rung)]);
                 est * EST_MARGIN <= remaining_us
             }
         };
@@ -512,12 +556,14 @@ fn serve(shared: &Shared, state: &mut WorkerState, job: Job, metrics: &mut Servi
                     *slot = (1.0 - EWMA_ALPHA) * *slot + EWMA_ALPHA * service_us;
                     drop(costs);
                     let key = cache_key(state, &job.req, chosen);
-                    let mut cache = shared.cache.write().expect("cache lock");
-                    if cache.len() >= shared.cfg.cache_cap {
-                        // Simple pressure valve: drop half the entries.
-                        // Fingerprint keys are uniformly distributed,
-                        // so parity keeps an unbiased sample.
-                        cache.retain(|k, _| k % 2 == 0);
+                    let mut cache = shard(shared, key).write().expect("cache lock");
+                    if cache.len() >= shared.shard_cap {
+                        // Simple pressure valve: drop half the shard.
+                        // Keys within a shard share their low bits, so
+                        // test a bit above the shard mask; fingerprints
+                        // are uniform there, keeping an unbiased
+                        // sample.
+                        cache.retain(|k, _| (k >> 32) & 1 == 0);
                     }
                     cache.insert(key, (p, chosen));
                     (p, false, service_us)
@@ -539,6 +585,7 @@ fn serve(shared: &Shared, state: &mut WorkerState, job: Job, metrics: &mut Servi
             degraded,
             budget,
             cache_hit,
+            engine: shared.cfg.engine,
             queue_us,
             service_us,
         },

@@ -35,4 +35,10 @@ cargo run --release -p perf-bench --bin repro -- --lint-all
 # its cycle-accurate simulator (nominal + fault-injected), fast seeds,
 # all four accelerators. Exits nonzero past the recorded error budgets.
 cargo run --release -p perf-bench --bin repro -- --conformance --quick
+# Engine fast-path smoke: the compiled stepper must beat the
+# incremental engine on both stress shapes (repro exits nonzero
+# otherwise). Quick scale; the throwaway artifact is discarded.
+engine_tmp="$(mktemp)"
+cargo run --release -p perf-bench --bin repro -- --bench-engine "$engine_tmp" --quick >/dev/null
+rm -f "$engine_tmp"
 cargo bench --no-run

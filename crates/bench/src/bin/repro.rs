@@ -17,6 +17,11 @@
 //!                       # fault-injected); writes BENCH_conformance.json,
 //!                       # exit 1 on any violation. --json prints the
 //!                       # JSON report instead of the summary.
+//! repro --compose       # composite-pipeline smoke: parse the demo
+//!                       # TOML topology, lint the glued net, check
+//!                       # engine agreement and tier cross-checks,
+//!                       # run quick composite conformance; exit 1
+//!                       # on any budget violation.
 //! repro --serve         # performance-query server on stdin/stdout:
 //!                       # one JSON request (or array) per line, one
 //!                       # JSON response per line; empty line or EOF
@@ -31,7 +36,7 @@ use perf_bench::experiments::{self, ExperimentOutput};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] \
-         [--trace PATH] [--lint-all] [--conformance [--json]] \
+         [--trace PATH] [--lint-all] [--conformance [--json]] [--compose] \
          [--serve [--workers N] [--tcp ADDR]]"
     );
     std::process::exit(2);
@@ -82,6 +87,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut lint_all = false;
     let mut conformance = false;
+    let mut compose = false;
     let mut json = false;
     let mut serve = false;
     let mut workers = 4usize;
@@ -96,6 +102,7 @@ fn main() {
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--lint-all" => lint_all = true,
             "--conformance" => conformance = true,
+            "--compose" => compose = true,
             "--json" => json = true,
             "--serve" => serve = true,
             "--workers" => {
@@ -134,6 +141,12 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+
+    if compose {
+        let demo = perf_bench::composedemo::run(quick);
+        print!("{}", demo.report);
+        std::process::exit(if demo.pass { 0 } else { 1 });
     }
 
     if conformance {

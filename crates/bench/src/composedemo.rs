@@ -1,0 +1,187 @@
+//! The `repro --compose` smoke: config-driven pipeline round-trip.
+//!
+//! Exercises the whole composition story end to end on a small demo
+//! topology: parse the TOML config, lint the glued Petri net, check
+//! that the interpreted and compiled engines agree on the composite
+//! makespan, sanity-check the three composite interface tiers against
+//! each other, and finally run the quick composite conformance
+//! subject under the full Budget machinery (fault injection
+//! included). Any failure is a nonzero exit for `scripts/check.sh`.
+
+use perf_compose::{Composite, StreamParams, Topology};
+use perf_conformance::harness::run_subject;
+use perf_conformance::subjects::pipeline::PipelineSubject;
+use perf_core::query::EngineChoice;
+
+/// The demo SoC config: a decode → compress-scan → serialize chain,
+/// written as the TOML the `perf-compose` parser accepts (headers,
+/// comments, quoted strings, inline field tables).
+pub const DEMO_TOPOLOGY: &str = r#"
+# Demo SoC: decode images, scan nonces over the payload, serialize.
+name = "demo-soc"
+
+[[stage]]
+accel = "vta"
+instance = "decode"
+queue = 3
+
+[[stage]]
+accel = "bitcoin-miner"
+queue = 2
+kind = "scan"
+fields = { loop = 4, nonce_count = 8, difficulty = 512, seed = 5 }
+
+[[stage]]
+accel = "protoacc"
+instance = "serialize"
+queue = 4
+"#;
+
+/// Outcome of the compose smoke run.
+pub struct ComposeDemo {
+    /// Human-readable report, one line per check.
+    pub report: String,
+    /// Whether every check passed.
+    pub pass: bool,
+}
+
+fn check(report: &mut String, pass: &mut bool, ok: bool, line: &str) {
+    report.push_str(if ok { "  ok    " } else { "  FAIL  " });
+    report.push_str(line);
+    report.push('\n');
+    *pass &= ok;
+}
+
+/// Runs the compose smoke. `quick` shrinks stream lengths and the
+/// conformance sweep; the checks themselves are identical.
+pub fn run(quick: bool) -> ComposeDemo {
+    let mut report = String::from("repro --compose: composite pipeline smoke\n");
+    let mut pass = true;
+
+    let topo = match Topology::parse_toml(DEMO_TOPOLOGY) {
+        Ok(t) => t,
+        Err(e) => {
+            return ComposeDemo {
+                report: format!("{report}  FAIL  parse demo topology: {e}\n"),
+                pass: false,
+            };
+        }
+    };
+    report.push_str(&format!(
+        "  topology `{}`: {} ({} stages)\n",
+        topo.name,
+        topo.chain_label(),
+        topo.stages.len()
+    ));
+
+    let mut comp = match Composite::new(topo, EngineChoice::Compiled) {
+        Ok(c) => c,
+        Err(e) => {
+            return ComposeDemo {
+                report: format!("{report}  FAIL  build composite: {e}\n"),
+                pass: false,
+            };
+        }
+    };
+
+    match comp.lint_net() {
+        Ok(d) => check(
+            &mut report,
+            &mut pass,
+            !d.has_errors(),
+            "pnet lint of the glued net is clean",
+        ),
+        Err(e) => check(&mut report, &mut pass, false, &format!("lint: {e}")),
+    }
+
+    // Incremental and compiled engines must agree exactly on the
+    // composite net — same structure, same token costs.
+    let items = if quick { 5 } else { 12 };
+    let stream = StreamParams { items, seed: 7 };
+    match comp.petri_makespan_both(&stream) {
+        Ok((interp, compiled)) => check(
+            &mut report,
+            &mut pass,
+            interp == compiled,
+            &format!(
+                "engines agree on composite makespan: interpreted {interp} == compiled {compiled}"
+            ),
+        ),
+        Err(e) => check(&mut report, &mut pass, false, &format!("makespan: {e}")),
+    }
+
+    // Tier cross-check: the ground-truth stream makespan must fall
+    // inside the composite NL bounds, and the program-tier recurrence
+    // must land in the same decade as the measurement.
+    let tiers = (|| -> Result<(f64, f64, f64, f64), perf_core::CoreError> {
+        let obs = comp.measure_stream(&stream)?;
+        let actual = obs.latency.0 as f64;
+        let (lo, hi) = comp.nl_bounds(&stream)?;
+        let prog = comp.program_makespan(&stream)?;
+        Ok((actual, lo, hi, prog))
+    })();
+    match tiers {
+        Ok((actual, lo, hi, prog)) => {
+            check(
+                &mut report,
+                &mut pass,
+                lo <= actual && actual <= hi,
+                &format!("NL bounds [{lo:.0}, {hi:.0}] contain measured makespan {actual:.0}"),
+            );
+            check(
+                &mut report,
+                &mut pass,
+                prog > 0.0 && (prog - actual).abs() / actual < 0.5,
+                &format!("program-tier recurrence {prog:.0} within 50% of measured {actual:.0}"),
+            );
+        }
+        Err(e) => check(&mut report, &mut pass, false, &format!("tiers: {e}")),
+    }
+
+    // The composite conformance subject under the full Budget
+    // machinery: nominal channels plus per-stage fault injection.
+    let accel = run_subject(&mut PipelineSubject::new(), true);
+    check(
+        &mut report,
+        &mut pass,
+        accel.pass(),
+        &format!(
+            "composite conformance (quick): {} cases, {} fault regions",
+            accel.cases,
+            accel.faults.len()
+        ),
+    );
+    if !accel.pass() {
+        report.push_str(&accel.diags.render());
+    }
+
+    report.push_str(if pass {
+        "PASS: composition round-trips both substrates within budget\n"
+    } else {
+        "FAIL: see lines above\n"
+    });
+    ComposeDemo { report, pass }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_topology_parses_to_three_stages() {
+        let t = Topology::parse_toml(DEMO_TOPOLOGY).unwrap();
+        assert_eq!(t.name, "demo-soc");
+        assert_eq!(t.stages.len(), 3);
+        assert_eq!(t.stages[0].instance, "decode");
+        assert_eq!(t.stages[1].accel, "bitcoin-miner");
+        assert_eq!(t.stages[1].fields.len(), 4);
+        assert_eq!(t.chain_label(), "vta:3>bitcoin-miner:2>protoacc:4");
+    }
+
+    #[test]
+    fn compose_smoke_passes_quick() {
+        let demo = run(true);
+        assert!(demo.pass, "{}", demo.report);
+        assert!(demo.report.contains("engines agree"));
+    }
+}

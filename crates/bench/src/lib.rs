@@ -6,6 +6,7 @@
 //! runners at reduced scale; integration tests assert the headline
 //! shapes.
 
+pub mod composedemo;
 pub mod conformance;
 pub mod enginebench;
 pub mod experiments;

@@ -1,0 +1,174 @@
+//! [`QueryBackend`] adapter for composite pipelines.
+//!
+//! A [`PipelineBackend`] answers performance queries for a whole
+//! accelerator chain under the accel name `pipe:<chain>` (e.g.
+//! `pipe:jpeg-decoder:4>protoacc:8`), so the query service can serve
+//! pipeline-level questions through the same representation ladder —
+//! NL bounds, program recurrence, composite Petri net — it uses for
+//! single accelerators.
+
+use perf_core::budget::Budget;
+use perf_core::iface::{InterfaceKind, Metric};
+use perf_core::query::{EngineChoice, QueryBackend, WorkloadSpec};
+use perf_core::{CoreError, Observation, Prediction};
+
+use crate::model::{Composite, StreamParams};
+use crate::topology::Topology;
+
+/// A composite pipeline behind the [`QueryBackend`] interface.
+pub struct PipelineBackend {
+    composite: Composite,
+    /// `"pipe:<chain>"`. Leaked once per constructed topology — the
+    /// trait requires `&'static str`, and a service worker builds each
+    /// distinct topology at most once per thread.
+    name: &'static str,
+}
+
+impl PipelineBackend {
+    /// Wraps a topology.
+    pub fn new(topo: Topology, engine: EngineChoice) -> Result<PipelineBackend, CoreError> {
+        let composite = Composite::new(topo, engine)?;
+        let name = format!("pipe:{}", composite.topology().chain_label());
+        Ok(PipelineBackend {
+            composite,
+            name: Box::leak(name.into_boxed_str()),
+        })
+    }
+
+    /// Parses the one-line chain shorthand (the service's
+    /// `pipe:<chain>` accel names route here).
+    pub fn from_chain(chain: &str, engine: EngineChoice) -> Result<PipelineBackend, CoreError> {
+        PipelineBackend::new(Topology::parse_chain(chain)?, engine)
+    }
+
+    /// The underlying composite model (fault arming, differential
+    /// checks).
+    pub fn composite_mut(&mut self) -> &mut Composite {
+        &mut self.composite
+    }
+
+    /// Read access to the underlying composite model.
+    pub fn composite(&self) -> &Composite {
+        &self.composite
+    }
+}
+
+impl QueryBackend for PipelineBackend {
+    fn accel(&self) -> &'static str {
+        self.name
+    }
+
+    fn engine(&self) -> EngineChoice {
+        self.composite.engine()
+    }
+
+    fn spec_kinds(&self) -> &'static [&'static str] {
+        &["stream"]
+    }
+
+    fn predict(
+        &mut self,
+        spec: &WorkloadSpec,
+        repr: InterfaceKind,
+        metric: Metric,
+    ) -> Result<Prediction, CoreError> {
+        let stream = StreamParams::from_spec(spec)?;
+        let (lo, hi) = match repr {
+            InterfaceKind::NaturalLanguage => self.composite.nl_bounds(&stream)?,
+            InterfaceKind::Program => {
+                let m = self.composite.program_makespan(&stream)?;
+                (m, m)
+            }
+            InterfaceKind::PetriNet => {
+                let m = self.composite.petri_makespan(&stream)? as f64;
+                (m, m)
+            }
+        };
+        Ok(match metric {
+            Metric::Latency => {
+                if lo == hi {
+                    Prediction::point(lo)
+                } else {
+                    Prediction::bounds(lo, hi)
+                }
+            }
+            Metric::Throughput => {
+                let n = stream.items as f64;
+                if lo == hi {
+                    Prediction::point(n / lo.max(1.0))
+                } else {
+                    // Reciprocation flips the endpoints.
+                    Prediction::bounds(n / hi.max(1.0), n / lo.max(1.0))
+                }
+            }
+        })
+    }
+
+    fn budget(&self, repr: InterfaceKind, _metric: Metric) -> Budget {
+        // Composite budgets stack per-stage interface error on top of
+        // composition error (event-driven net / analytic recurrence vs
+        // the tick simulator's hand-off cycles), so each tier is wider
+        // than its single-accelerator counterpart. The deadband covers
+        // fill/drain hand-off cycles on short streams.
+        match repr {
+            InterfaceKind::PetriNet => Budget::new(0.08, 0.20).with_atol(64.0),
+            InterfaceKind::Program => Budget::new(0.12, 0.40).with_atol(64.0),
+            InterfaceKind::NaturalLanguage => Budget::new(0.40, 0.95).with_atol(128.0),
+        }
+    }
+
+    fn measure(&mut self, spec: &WorkloadSpec) -> Result<Observation, CoreError> {
+        let stream = StreamParams::from_spec(spec)?;
+        self.composite.measure_stream(&stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_answers_every_channel() {
+        let mut b =
+            PipelineBackend::from_chain("vta:2>protoacc:4", EngineChoice::Compiled).unwrap();
+        assert_eq!(b.accel(), "pipe:vta:2>protoacc:4");
+        assert_eq!(b.spec_kinds(), &["stream"]);
+        let spec = WorkloadSpec::new("stream")
+            .with("items", 5.0)
+            .with("seed", 2.0);
+        let obs = b.measure(&spec).unwrap();
+        let actual = Metric::Latency.of(&obs);
+        assert!(actual > 0.0);
+        for repr in [
+            InterfaceKind::NaturalLanguage,
+            InterfaceKind::Program,
+            InterfaceKind::PetriNet,
+        ] {
+            for metric in [Metric::Latency, Metric::Throughput] {
+                let p = b.predict(&spec, repr, metric).unwrap();
+                assert!(p.is_finite(), "{repr:?}/{metric:?}: {p}");
+            }
+        }
+        // NL latency bounds must contain the petri point estimate.
+        let nl = b
+            .predict(&spec, InterfaceKind::NaturalLanguage, Metric::Latency)
+            .unwrap();
+        let petri = b
+            .predict(&spec, InterfaceKind::PetriNet, Metric::Latency)
+            .unwrap();
+        assert!(nl.contains(petri.midpoint()), "nl {nl} vs petri {petri}");
+    }
+
+    #[test]
+    fn non_stream_specs_are_rejected() {
+        let mut b = PipelineBackend::from_chain("vta:2", EngineChoice::Interpreted).unwrap();
+        assert!(b.measure(&WorkloadSpec::new("random")).is_err());
+        assert!(b
+            .predict(
+                &WorkloadSpec::new("stream").with("items", 0.0),
+                InterfaceKind::Program,
+                Metric::Latency
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Pipeline topology configs.
+//!
+//! A [`Topology`] names a chain of accelerator instances with bounded
+//! inter-stage queues. It can be written two ways:
+//!
+//! * a TOML document ([`Topology::parse_toml`]) — the config format the
+//!   `repro --compose` driver and service accept from files;
+//! * a one-line chain ([`Topology::parse_chain`]) like
+//!   `"jpeg-decoder:4>protoacc:8"` — the shorthand used in service
+//!   requests (`pipe:<chain>`) and benchmark row tags.
+//!
+//! The TOML dialect is deliberately tiny (the build has no TOML crate):
+//! top-level `key = "value"` pairs, `[[stage]]` array-of-table headers,
+//! inline numeric tables for `fields`, and `#` comments. Anything else
+//! is a parse error with a line number.
+//!
+//! ```
+//! use perf_compose::Topology;
+//!
+//! let t = Topology::parse_toml(r#"
+//!     name = "decode-serialize"
+//!     [[stage]]
+//!     accel = "jpeg-decoder"
+//!     queue = 4
+//!     [[stage]]
+//!     accel = "protoacc"
+//!     queue = 8
+//! "#).unwrap();
+//! assert_eq!(t.chain_label(), "jpeg-decoder:4>protoacc:8");
+//! let shorthand = Topology::parse_chain("jpeg-decoder:4>protoacc:8").unwrap();
+//! assert_eq!(t.stages, shorthand.stages); // names differ, stages agree
+//! ```
+
+use perf_core::CoreError;
+
+/// Default inter-stage queue depth when a stage does not specify one.
+pub const DEFAULT_QUEUE: usize = 4;
+
+/// Hard ceiling on stream length accepted by composite models; keeps a
+/// malicious `items` field from wedging the service worker.
+pub const MAX_ITEMS: usize = 4096;
+
+/// One accelerator instance in a pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageCfg {
+    /// Unique instance name; becomes the stage's Petri component name
+    /// and place-name prefix. Derived from the accelerator when unset.
+    pub instance: String,
+    /// Accelerator model: one of the shipped backends
+    /// (`jpeg-decoder`, `bitcoin-miner`, `protoacc`, `vta`).
+    pub accel: String,
+    /// Depth of the bounded queue feeding this stage. For stage 0 this
+    /// is the pipeline's input-queue capacity; for later stages it is
+    /// the inter-stage buffer that carries backpressure upstream.
+    pub queue: usize,
+    /// Per-item workload-spec kind submitted to this stage's backend;
+    /// defaults to an accelerator-specific template.
+    pub kind: String,
+    /// Fixed spec fields (the template's knobs).
+    pub fields: Vec<(String, f64)>,
+    /// Name of the field varied per stream item (default `"seed"`), so
+    /// a stream exercises data-dependent behavior instead of replaying
+    /// one workload.
+    pub vary: String,
+}
+
+impl StageCfg {
+    fn blank() -> StageCfg {
+        StageCfg {
+            instance: String::new(),
+            accel: String::new(),
+            queue: 0,
+            kind: String::new(),
+            fields: Vec::new(),
+            vary: String::new(),
+        }
+    }
+}
+
+/// A named chain of accelerator stages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Pipeline name (reports, net name).
+    pub name: String,
+    /// Stages in flow order.
+    pub stages: Vec<StageCfg>,
+}
+
+/// The per-accelerator default workload template: spec kind, fixed
+/// fields, and which field to vary per item. Chosen so per-item cost is
+/// data-dependent but bounded (e.g. the bitcoin stage scans a fixed
+/// nonce window instead of mining to an unbounded first hit).
+fn default_template(accel: &str) -> Option<(&'static str, Vec<(String, f64)>)> {
+    let f = |pairs: &[(&str, f64)]| {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v))
+            .collect::<Vec<_>>()
+    };
+    match accel {
+        "jpeg-decoder" => Some(("random", f(&[("seed", 1.0)]))),
+        "bitcoin-miner" => Some((
+            "scan",
+            f(&[
+                ("loop", 4.0),
+                ("seed", 1.0),
+                ("nonce_count", 12.0),
+                ("difficulty", 16.0),
+            ]),
+        )),
+        "protoacc" => Some(("format", f(&[("idx", 1.0), ("n", 6.0), ("seed", 1.0)]))),
+        "vta" => Some(("random", f(&[("seed", 1.0), ("max_blocks", 6.0)]))),
+        _ => None,
+    }
+}
+
+fn err(line: usize, msg: impl std::fmt::Display) -> CoreError {
+    CoreError::Artifact(format!("topology line {}: {msg}", line + 1))
+}
+
+/// Cuts a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, CoreError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(err(line, format!("expected a quoted string, got `{v}`")))
+    }
+}
+
+fn parse_number(value: &str, line: usize) -> Result<f64, CoreError> {
+    let v = value.trim();
+    v.parse::<f64>()
+        .map_err(|_| err(line, format!("expected a number, got `{v}`")))
+}
+
+/// Parses `{ k = 1, j = 2.5 }` (numbers only).
+fn parse_inline_table(value: &str, line: usize) -> Result<Vec<(String, f64)>, CoreError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected an inline table `{{ k = v }}`, got `{v}`"),
+            )
+        })?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, val) = part.split_once('=').ok_or_else(|| {
+            err(
+                line,
+                format!("expected `key = number` in table, got `{part}`"),
+            )
+        })?;
+        out.push((k.trim().to_string(), parse_number(val, line)?));
+    }
+    Ok(out)
+}
+
+impl Topology {
+    /// Parses the mini-TOML config format (see module docs).
+    pub fn parse_toml(src: &str) -> Result<Topology, CoreError> {
+        let mut name = String::new();
+        let mut stages: Vec<StageCfg> = Vec::new();
+        for (ln, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[stage]]" {
+                stages.push(StageCfg::blank());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err(ln, format!("unknown table `{line}`; only [[stage]]")));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(ln, "expected `key = value`"))?;
+            let key = key.trim();
+            match stages.last_mut() {
+                None => match key {
+                    "name" => name = parse_string(value, ln)?,
+                    other => {
+                        return Err(err(
+                            ln,
+                            format!("unknown top-level key `{other}` (before any [[stage]])"),
+                        ))
+                    }
+                },
+                Some(st) => match key {
+                    "instance" => st.instance = parse_string(value, ln)?,
+                    "accel" => st.accel = parse_string(value, ln)?,
+                    "queue" => {
+                        let q = parse_number(value, ln)?;
+                        if !(1.0..=65536.0).contains(&q) {
+                            return Err(err(ln, format!("queue depth must be ≥ 1, got {q}")));
+                        }
+                        st.queue = q as usize;
+                    }
+                    "kind" => st.kind = parse_string(value, ln)?,
+                    "vary" => st.vary = parse_string(value, ln)?,
+                    "fields" => st.fields = parse_inline_table(value, ln)?,
+                    other => return Err(err(ln, format!("unknown stage key `{other}`"))),
+                },
+            }
+        }
+        let mut t = Topology {
+            name: if name.is_empty() {
+                "pipeline".to_string()
+            } else {
+                name
+            },
+            stages,
+        };
+        t.finish()?;
+        Ok(t)
+    }
+
+    /// Parses the one-line chain shorthand `accel[:queue]>accel[:queue]…`
+    /// with per-accelerator default workload templates.
+    pub fn parse_chain(chain: &str) -> Result<Topology, CoreError> {
+        let mut stages = Vec::new();
+        for part in chain.split('>') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(CoreError::Artifact(format!(
+                    "empty stage in chain `{chain}`"
+                )));
+            }
+            let (accel, queue) = match part.rsplit_once(':') {
+                Some((a, q)) => {
+                    let depth = q.trim().parse::<usize>().map_err(|_| {
+                        CoreError::Artifact(format!("bad queue depth `{q}` in chain `{chain}`"))
+                    })?;
+                    if depth == 0 {
+                        return Err(CoreError::Artifact(format!(
+                            "queue depth must be ≥ 1 in chain `{chain}`"
+                        )));
+                    }
+                    (a.trim().to_string(), depth)
+                }
+                None => (part.to_string(), DEFAULT_QUEUE),
+            };
+            stages.push(StageCfg {
+                accel,
+                queue,
+                ..StageCfg::blank()
+            });
+        }
+        let mut t = Topology {
+            name: chain.trim().to_string(),
+            stages,
+        };
+        t.finish()?;
+        Ok(t)
+    }
+
+    /// Fills defaults (instance names, workload templates, queue
+    /// depths) and validates the result.
+    fn finish(&mut self) -> Result<(), CoreError> {
+        if self.stages.is_empty() {
+            return Err(CoreError::Artifact(
+                "topology has no stages (need at least one [[stage]])".to_string(),
+            ));
+        }
+        for (i, st) in self.stages.iter_mut().enumerate() {
+            if st.accel.is_empty() {
+                return Err(CoreError::Artifact(format!("stage {i} has no `accel` key")));
+            }
+            if st.instance.is_empty() {
+                st.instance = format!("s{i}_{}", st.accel.replace('-', "_"));
+            }
+            if st.queue == 0 {
+                st.queue = DEFAULT_QUEUE;
+            }
+            if st.kind.is_empty() {
+                let (kind, fields) = default_template(&st.accel).ok_or_else(|| {
+                    CoreError::Artifact(format!(
+                        "stage `{}`: no default workload template for accelerator `{}`; \
+                         set `kind` and `fields` explicitly",
+                        st.instance, st.accel
+                    ))
+                })?;
+                st.kind = kind.to_string();
+                if st.fields.is_empty() {
+                    st.fields = fields;
+                }
+            }
+            if st.vary.is_empty() {
+                st.vary = "seed".to_string();
+            }
+        }
+        self.validate()
+    }
+
+    /// Structural checks: non-empty, unique instance names, sane queue
+    /// depths. Backend-dependent checks (does the accelerator accept
+    /// this spec kind?) happen in `Composite::new`, which has the
+    /// backends in hand.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.stages.is_empty() {
+            return Err(CoreError::Artifact("topology has no stages".to_string()));
+        }
+        for (i, st) in self.stages.iter().enumerate() {
+            if st.queue == 0 {
+                return Err(CoreError::Artifact(format!(
+                    "stage `{}` has queue depth 0",
+                    st.instance
+                )));
+            }
+            for other in &self.stages[..i] {
+                if other.instance == st.instance {
+                    return Err(CoreError::Artifact(format!(
+                        "duplicate instance name `{}`",
+                        st.instance
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical one-line label: `accel:queue>accel:queue…`. Used
+    /// to tag benchmark rows and service answers by topology.
+    pub fn chain_label(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| format!("{}:{}", s.accel, s.queue))
+            .collect::<Vec<_>>()
+            .join(">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_round_trips_and_defaults() {
+        let t = Topology::parse_chain("jpeg-decoder:4>protoacc:8").unwrap();
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[0].instance, "s0_jpeg_decoder");
+        assert_eq!(t.stages[0].kind, "random");
+        assert_eq!(t.stages[1].queue, 8);
+        assert_eq!(t.stages[1].kind, "format");
+        assert_eq!(t.chain_label(), "jpeg-decoder:4>protoacc:8");
+
+        // No queue → default depth.
+        let d = Topology::parse_chain("vta>bitcoin-miner").unwrap();
+        assert_eq!(d.stages[0].queue, DEFAULT_QUEUE);
+        assert_eq!(d.stages[1].kind, "scan");
+    }
+
+    #[test]
+    fn chain_rejects_malformed_input() {
+        assert!(Topology::parse_chain("").is_err());
+        assert!(Topology::parse_chain("jpeg-decoder>>vta").is_err());
+        assert!(Topology::parse_chain("jpeg-decoder:zero").is_err());
+        assert!(Topology::parse_chain("jpeg-decoder:0").is_err());
+        // Unknown accelerator has no template.
+        assert!(Topology::parse_chain("warp-drive:4").is_err());
+    }
+
+    #[test]
+    fn toml_full_form_parses() {
+        let t = Topology::parse_toml(
+            r#"
+            # A decode -> serialize SoC pipeline.
+            name = "decode-serialize"
+
+            [[stage]]
+            instance = "decode"
+            accel = "jpeg-decoder"
+            queue = 2
+            kind = "random"
+            fields = { seed = 7 }
+
+            [[stage]]
+            accel = "protoacc"
+            queue = 8
+            vary = "seed"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(t.name, "decode-serialize");
+        assert_eq!(t.stages[0].instance, "decode");
+        assert_eq!(t.stages[0].fields, vec![("seed".to_string(), 7.0)]);
+        assert_eq!(t.stages[1].instance, "s1_protoacc");
+        assert_eq!(t.stages[1].kind, "format");
+    }
+
+    #[test]
+    fn toml_errors_carry_line_numbers() {
+        let e = Topology::parse_toml("name = \"x\"\nbogus = 3\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(Topology::parse_toml("[[stage]]\nqueue = 0\n").is_err());
+        assert!(Topology::parse_toml("[widget]\n").is_err());
+        assert!(Topology::parse_toml("[[stage]]\naccel = unquoted\n").is_err());
+        assert!(Topology::parse_toml("").is_err());
+        // Duplicate instance names are rejected.
+        let dup = "[[stage]]\naccel = \"vta\"\ninstance = \"x\"\n\
+                   [[stage]]\naccel = \"vta\"\ninstance = \"x\"\n";
+        assert!(Topology::parse_toml(dup).is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let t = Topology::parse_toml(
+            "name = \"has#hash\" # trailing\n[[stage]]\naccel = \"vta\" # here too\n",
+        )
+        .unwrap();
+        assert_eq!(t.name, "has#hash");
+        assert_eq!(t.stages[0].accel, "vta");
+    }
+}

@@ -236,12 +236,11 @@ impl ChannelAcc {
     }
 
     fn p99(&self) -> f64 {
-        if self.rels.is_empty() {
-            return 0.0;
-        }
-        let mut v = self.rels.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        v[((v.len() - 1) as f64 * 0.99) as usize]
+        // `stats::percentile` interpolates between ranks. Truncating
+        // the rank index instead (the old `v[(n-1)*0.99 as usize]`)
+        // reported p99 = 0.0 whenever only the max sample was nonzero
+        // at small n — e.g. n=16 truncated rank 14.85 down to 14.
+        perf_core::stats::percentile(&self.rels, 99.0)
     }
 }
 
@@ -533,6 +532,41 @@ mod tests {
         assert_eq!(relative_error(&b, 100.0), 0.0);
         assert!((relative_error(&b, 150.0) - 0.2).abs() < 1e-12);
         assert!((relative_error(&b, 60.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_interpolates_at_small_n() {
+        // Regression: with 16 samples where only the max is nonzero,
+        // a truncated rank index ((16-1)*0.99 = 14.85 → 14) reported
+        // p99 = 0.0 while max > 0. Interpolation must see the tail.
+        let mut acc = ChannelAcc::default();
+        for i in 0..16 {
+            let rel = if i == 15 { 0.04 } else { 0.0 };
+            acc.record(
+                &CaseEval {
+                    rel,
+                    pred: Prediction::point(1.0),
+                    actual: 1.0,
+                },
+                i,
+            );
+        }
+        assert!(acc.max() > 0.0);
+        assert!(acc.p99() > 0.0, "p99 must not truncate away the max");
+        assert!(acc.p99() <= acc.max());
+        // Single sample: p99 == max == that sample.
+        let mut one = ChannelAcc::default();
+        one.record(
+            &CaseEval {
+                rel: 0.25,
+                pred: Prediction::point(1.0),
+                actual: 1.0,
+            },
+            0,
+        );
+        assert_eq!(one.p99(), 0.25);
+        // Empty stays 0.
+        assert_eq!(ChannelAcc::default().p99(), 0.0);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub use budget::{Budget, Contract};
 pub use harness::{relative_error, run_subject, CaseSpec, Subject, CHANNELS};
 pub use report::{AccelReport, ChannelReport, ConformanceReport, Counterexample, NlResult};
 
-/// Runs the conformance harness over all four accelerators.
+/// Runs the conformance harness over all four accelerators plus the
+/// composite pipeline subject (composed simulators vs composed
+/// interfaces).
 pub fn run_all(quick: bool) -> ConformanceReport {
     ConformanceReport {
         quick,
@@ -40,6 +42,7 @@ pub fn run_all(quick: bool) -> ConformanceReport {
             run_subject(&mut subjects::bitcoin::BitcoinSubject::new(), quick),
             run_subject(&mut subjects::protoacc::ProtoaccSubject::new(), quick),
             run_subject(&mut subjects::vta::VtaSubject::new(), quick),
+            run_subject(&mut subjects::pipeline::PipelineSubject::new(), quick),
         ],
     }
 }

@@ -1,6 +1,8 @@
-//! Harness adapters for the four accelerators.
+//! Harness adapters for the four accelerators and the composite
+//! pipeline.
 
 pub mod bitcoin;
 pub mod jpeg;
+pub mod pipeline;
 pub mod protoacc;
 pub mod vta;

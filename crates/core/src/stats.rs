@@ -203,6 +203,20 @@ mod tests {
     }
 
     #[test]
+    fn percentile_small_n_sees_the_tail() {
+        // Regression (conformance summaries): truncating the rank
+        // ((n-1)*0.99 as usize) reported p99 = 0 at n = 16 when only
+        // the max sample was nonzero. Interpolation must not.
+        let mut xs = vec![0.0; 15];
+        xs.push(0.04);
+        let p = percentile(&xs, 99.0);
+        assert!(p > 0.0 && p <= 0.04);
+        assert!((p - 0.04 * 0.85).abs() < 1e-12); // rank 14.85
+        assert_eq!(percentile(&[0.25], 99.0), 0.25);
+        assert!((percentile(&[1.0, 3.0], 99.0) - (1.0 + 2.0 * 0.99)).abs() < 1e-12);
+    }
+
+    #[test]
     fn linear_fit_exact_line() {
         let xs = [0.0, 1.0, 2.0, 3.0];
         let ys = [5.0, 7.0, 9.0, 11.0];

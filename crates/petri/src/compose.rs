@@ -17,10 +17,14 @@ use crate::PetriError;
 /// Composes two nets by fusing the given boundary places.
 ///
 /// For each `(in_a, in_b)` pair, the place named `in_a` in `a` and the
-/// place named `in_b` in `b` become one place, keeping `a`'s capacity.
-/// The fused place keeps `a`'s sink flag only if both agree; gluing a
-/// sink of `a` to a fed place of `b` clears the sink flag (tokens now
-/// flow onward instead of completing).
+/// place named `in_b` in `b` become one place with the **minimum** of
+/// the two capacities (`None` = unbounded, so `min(None, Some(c)) =
+/// Some(c)`). Taking the min preserves both components' backpressure
+/// guarantees: neither side ever sees more tokens buffered at the
+/// boundary than its own model allowed. The fused place is a sink only
+/// if *both* glued places are sinks; gluing a sink of `a` to a consumed
+/// place of `b` clears the flag (tokens now flow onward instead of
+/// completing).
 pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net, PetriError> {
     // Resolve glue pairs up front.
     let mut b_to_a: Vec<Option<PlaceId>> = vec![None; b.places().len()];
@@ -45,13 +49,10 @@ pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net,
         ..
     } = a;
 
-    // A glued place stops being a sink if the other component consumes
-    // from or feeds it (it is now interior).
-    for target in b_to_a.iter().flatten() {
-        places[target.index()].is_sink = false;
-    }
-
-    // Import b's places, remapping ids.
+    // Import b's places, remapping ids. Glued places merge their
+    // attributes into a's place instead of being dropped wholesale:
+    // capacity takes the min (both components' backpressure bounds
+    // hold), and the sink flag survives only if both sides are sinks.
     let b_prefix = format!("{}.", b.name);
     let Net {
         places: b_places,
@@ -61,6 +62,13 @@ pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net,
     let mut b_map: Vec<PlaceId> = Vec::with_capacity(b_places.len());
     for (i, mut p) in b_places.into_iter().enumerate() {
         if let Some(target) = b_to_a[i] {
+            let fused = &mut places[target.index()];
+            fused.capacity = match (fused.capacity, p.capacity) {
+                (Some(ca), Some(cb)) => Some(ca.min(cb)),
+                (Some(c), None) | (None, Some(c)) => Some(c),
+                (None, None) => None,
+            };
+            fused.is_sink = fused.is_sink && p.is_sink;
             b_map.push(target);
         } else {
             p.name = format!("{b_prefix}{}", p.name);
@@ -243,6 +251,138 @@ mod tests {
             "x"
         )
         .is_err());
+    }
+
+    #[test]
+    fn fused_capacity_takes_min() {
+        // a's boundary is an unbounded sink; b's input holds 2. The
+        // fused place must take b's bound — keeping a's unbounded
+        // capacity would silently erase b's backpressure semantics.
+        let composed =
+            compose(front(), back(), &[("boundary_out", "boundary_in")], "pipe").expect("composes");
+        let pid = composed.place_id("boundary_out").expect("kept a's name");
+        assert_eq!(composed.places()[pid.index()].capacity, Some(2));
+
+        // Both bounded: min wins, in either orientation.
+        let bounded_front = |cap| {
+            let mut b = NetBuilder::new("front");
+            let src = b.place("src", None);
+            let out = b.place("boundary_out", Some(cap));
+            let done = b.sink("adrain");
+            b.transition("fill", &[src], &[out], |_| 1, |ts| vec![ts[0].data.clone()]);
+            b.transition(
+                "adrain_t",
+                &[out],
+                &[done],
+                |_| 1,
+                |ts| vec![ts[0].data.clone()],
+            );
+            b.build().expect("valid")
+        };
+        let c = compose(
+            bounded_front(7),
+            back(),
+            &[("boundary_out", "boundary_in")],
+            "x",
+        )
+        .expect("composes");
+        let pid = c.place_id("boundary_out").expect("place");
+        assert_eq!(c.places()[pid.index()].capacity, Some(2));
+        let c = compose(
+            bounded_front(1),
+            back(),
+            &[("boundary_out", "boundary_in")],
+            "y",
+        )
+        .expect("composes");
+        let pid = c.place_id("boundary_out").expect("place");
+        assert_eq!(c.places()[pid.index()].capacity, Some(1));
+    }
+
+    #[test]
+    fn fused_capacity_matches_monolithic_backpressure() {
+        // Fast producer (1 cy) into a 5-cycle consumer through a
+        // 2-deep boundary: the composed net must reproduce the
+        // monolithic bounded-queue timing exactly.
+        let fast_front = || {
+            let mut b = NetBuilder::new("front");
+            let src = b.place("src", None);
+            let out = b.sink("boundary_out");
+            b.transition(
+                "stage_a",
+                &[src],
+                &[out],
+                |_| 1,
+                |ts| vec![ts[0].data.clone()],
+            );
+            b.build().expect("valid")
+        };
+        let mono = {
+            let mut b = NetBuilder::new("mono");
+            let src = b.place("src", None);
+            let mid = b.place("mid", Some(2));
+            let done = b.sink("done");
+            b.transition(
+                "stage_a",
+                &[src],
+                &[mid],
+                |_| 1,
+                |ts| vec![ts[0].data.clone()],
+            );
+            b.transition(
+                "stage_b",
+                &[mid],
+                &[done],
+                |_| 5,
+                |ts| vec![ts[0].data.clone()],
+            );
+            b.build().expect("valid")
+        };
+        let composed = compose(
+            fast_front(),
+            back(),
+            &[("boundary_out", "boundary_in")],
+            "pipe",
+        )
+        .expect("composes");
+        let rc = run(&composed, 16);
+        let rm = run(&mono, 16);
+        assert_eq!(rc.completions.len(), 16);
+        assert_eq!(rc.makespan, rm.makespan);
+        assert_eq!(rc.latencies(), rm.latencies());
+    }
+
+    #[test]
+    fn glued_sink_stays_sink_when_both_sides_are_sinks() {
+        // Two components whose *final* places are fused: nobody
+        // consumes from the fused place, so it must stay a sink —
+        // clearing the flag would strand every completed token.
+        let other = {
+            let mut b = NetBuilder::new("other");
+            let src = b.place("src2", None);
+            let done = b.sink("done2");
+            b.transition(
+                "stage_o",
+                &[src],
+                &[done],
+                |_| 7,
+                |ts| vec![ts[0].data.clone()],
+            );
+            b.build().expect("valid")
+        };
+        let composed =
+            compose(front(), other, &[("boundary_out", "done2")], "merged").expect("composes");
+        let pid = composed.place_id("boundary_out").expect("kept a's name");
+        assert!(composed.places()[pid.index()].is_sink);
+
+        let src = composed.place_id("src").expect("src");
+        let src2 = composed.place_id("other.src2").expect("src2");
+        let mut e = Engine::new(&composed, Options::default());
+        e.inject(src, Token::at(Value::num(0.0), 0));
+        e.inject(src2, Token::at(Value::num(1.0), 0));
+        let res = e.run().expect("runs");
+        assert_eq!(res.completions.len(), 2);
+        assert!(res.stranded.is_empty());
     }
 
     #[test]

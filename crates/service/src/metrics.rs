@@ -40,6 +40,16 @@ pub struct ServiceMetrics {
     pub degraded: u64,
     /// Highest queue depth observed at admission.
     pub queue_high_water: usize,
+    /// Times a worker returned from the admission condvar wait.
+    pub worker_wakes: u64,
+    /// Wakes that found the queue empty and re-parked — thundering-
+    /// herd evidence (more workers woken than there were bursts).
+    pub spurious_wakes: u64,
+    /// Bursts of jobs claimed from the queue.
+    pub bursts: u64,
+    /// Total time workers spent acquiring the queue lock,
+    /// microseconds — lock-hold / lock-contention evidence.
+    pub lock_wait_us: f64,
     /// Per-representation evaluation times in microseconds (cache
     /// misses only; hits cost no evaluation).
     pub service_us: [Vec<f64>; 3],
@@ -84,6 +94,10 @@ impl ServiceMetrics {
         self.cache_hits += other.cache_hits;
         self.degraded += other.degraded;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.worker_wakes += other.worker_wakes;
+        self.spurious_wakes += other.spurious_wakes;
+        self.bursts += other.bursts;
+        self.lock_wait_us += other.lock_wait_us;
         for (mine, theirs) in self.service_us.iter_mut().zip(&other.service_us) {
             mine.extend_from_slice(theirs);
         }
@@ -110,6 +124,10 @@ impl ServiceMetrics {
             cache_hits: self.cache_hits,
             degraded: self.degraded,
             queue_high_water: self.queue_high_water,
+            worker_wakes: self.worker_wakes,
+            spurious_wakes: self.spurious_wakes,
+            bursts: self.bursts,
+            lock_wait_us: self.lock_wait_us,
             queue_p50_us: stats::percentile(&self.queue_us, 50.0),
             queue_p99_us: stats::percentile(&self.queue_us, 99.0),
             per_repr,
@@ -149,6 +167,14 @@ pub struct MetricsSnapshot {
     pub degraded: u64,
     /// Highest observed queue depth.
     pub queue_high_water: usize,
+    /// Worker condvar wakes.
+    pub worker_wakes: u64,
+    /// Wakes that found the queue empty (herd evidence).
+    pub spurious_wakes: u64,
+    /// Bursts claimed from the queue.
+    pub bursts: u64,
+    /// Total worker time spent acquiring the queue lock, microseconds.
+    pub lock_wait_us: f64,
     /// Median queueing delay, microseconds.
     pub queue_p50_us: f64,
     /// 99th-percentile queueing delay, microseconds.
@@ -174,6 +200,7 @@ impl MetricsSnapshot {
         let mut s = format!(
             "{{\"submitted\":{},\"rejected\":{},\"expired\":{},\"completed\":{},\
              \"errors\":{},\"cache_hits\":{},\"degraded\":{},\"queue_high_water\":{},\
+             \"worker_wakes\":{},\"spurious_wakes\":{},\"bursts\":{},\"lock_wait_us\":{:.1},\
              \"queue_p50_us\":{:.1},\"queue_p99_us\":{:.1},\"per_repr\":{{",
             self.submitted,
             self.rejected,
@@ -183,6 +210,10 @@ impl MetricsSnapshot {
             self.cache_hits,
             self.degraded,
             self.queue_high_water,
+            self.worker_wakes,
+            self.spurious_wakes,
+            self.bursts,
+            self.lock_wait_us,
             self.queue_p50_us,
             self.queue_p99_us,
         );

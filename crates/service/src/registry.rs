@@ -5,14 +5,13 @@
 //! *constructors*: each worker thread builds its own backend set and
 //! keeps it for the thread's lifetime.
 
-use accel_bitcoin::interface::service::BitcoinService;
-use accel_jpeg::interface::service::JpegService;
-use accel_protoacc::interface::service::ProtoaccService;
-use accel_vta::interface::service::VtaService;
+use perf_compose::PipelineBackend;
 use perf_core::query::{EngineChoice, QueryBackend};
 use perf_core::CoreError;
 
-/// Names of every accelerator the service can answer for.
+/// Names of every single accelerator the service can answer for.
+/// Composite pipelines are additionally served under dynamic
+/// `pipe:<chain>` names (e.g. `pipe:jpeg-decoder:4>protoacc:8`).
 pub fn accelerators() -> &'static [&'static str] {
     &["jpeg-decoder", "bitcoin-miner", "protoacc", "vta"]
 }
@@ -30,16 +29,13 @@ pub fn backend_with_engine(
     accel: &str,
     engine: EngineChoice,
 ) -> Result<Box<dyn QueryBackend>, CoreError> {
-    match accel {
-        "jpeg-decoder" => Ok(Box::new(JpegService::with_engine(engine)?)),
-        "bitcoin-miner" => Ok(Box::new(BitcoinService::with_engine(engine))),
-        "protoacc" => Ok(Box::new(ProtoaccService::with_engine(engine))),
-        "vta" => Ok(Box::new(VtaService::with_engine(engine))),
-        other => Err(CoreError::Artifact(format!(
-            "unknown accelerator `{other}` (have: {})",
-            accelerators().join(", ")
-        ))),
+    if let Some(chain) = accel.strip_prefix("pipe:") {
+        return Ok(Box::new(PipelineBackend::from_chain(chain, engine)?));
     }
+    // The single-accelerator constructor table lives in `perf-compose`
+    // (which needs it to build pipeline stages without a dependency
+    // cycle back into this crate).
+    perf_compose::accel_backend(accel, engine)
 }
 
 #[cfg(test)]
@@ -55,6 +51,23 @@ mod tests {
             assert!(!b.spec_kinds().is_empty());
         }
         assert!(backend("nope").is_err());
+    }
+
+    #[test]
+    fn pipe_prefix_builds_a_composite_backend() {
+        let mut b = backend("pipe:vta:2>protoacc:4").unwrap();
+        assert_eq!(b.accel(), "pipe:vta:2>protoacc:4");
+        assert_eq!(b.spec_kinds(), &["stream"]);
+        let spec = perf_core::query::WorkloadSpec::new("stream").with("items", 3.0);
+        let p = b
+            .predict(
+                &spec,
+                perf_core::iface::InterfaceKind::Program,
+                perf_core::iface::Metric::Latency,
+            )
+            .unwrap();
+        assert!(p.is_finite());
+        assert!(backend("pipe:warp-drive:2").is_err());
     }
 
     #[test]

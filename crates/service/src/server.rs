@@ -39,6 +39,7 @@ use perf_core::iface::InterfaceKind;
 use perf_core::query::{EngineChoice, Fnv1a, QueryBackend};
 use perf_core::{Budget, Prediction};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -61,6 +62,12 @@ pub struct ServiceConfig {
     /// `.pi` bytecode VM) is the default; `Interpreted` keeps the
     /// generic engine and tree-walker for A/B runs and as a fallback.
     pub engine: EngineChoice,
+    /// Result-cache shard count; `0` picks one automatically from the
+    /// worker count. Shard selection masks the fingerprint's low bits,
+    /// so any requested count is **rounded up to a power of two** at
+    /// construction — a non-power-of-two count would alias distinct
+    /// shards through the mask and silently concentrate contention.
+    pub cache_shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +78,7 @@ impl Default for ServiceConfig {
             cache_cap: 4096,
             default_deadline_us: None,
             engine: EngineChoice::Compiled,
+            cache_shards: 0,
         }
     }
 }
@@ -133,6 +141,14 @@ struct Shared {
     cache: Vec<RwLock<HashMap<u64, (Prediction, InterfaceKind)>>>,
     /// Per-shard entry cap (`cache_cap / shards`, at least 1).
     shard_cap: usize,
+    /// Admission-side counters kept out of the metrics mutex: the
+    /// submit path used to take the metrics lock *while holding the
+    /// queue lock*, which stretched every queue-lock hold by a second
+    /// mutex acquisition and serialized submitters against worker
+    /// burst merges.
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    queue_high_water: AtomicUsize,
     metrics: Mutex<ServiceMetrics>,
     /// EWMA evaluation cost in microseconds per (accelerator,
     /// representation index).
@@ -190,9 +206,18 @@ impl Service {
             ..cfg
         };
         // Enough shards that concurrent cache misses rarely collide
-        // (4x workers, rounded up to a power of two so shard selection
-        // is a mask), bounded so tiny configs don't fragment the cap.
-        let shards = (cfg.workers * 4).next_power_of_two().clamp(8, 64);
+        // (4x workers by default, bounded so tiny configs don't
+        // fragment the cap). Whatever the source, the count is rounded
+        // up to a power of two: shard selection masks the key's low
+        // bits, and masking against a non-power-of-two length aliases
+        // shards (e.g. len 12 never selects shards 4–7 for half the
+        // key space and doubles up others).
+        let shards = if cfg.cache_shards == 0 {
+            (cfg.workers * 4).next_power_of_two().clamp(8, 64)
+        } else {
+            cfg.cache_shards.next_power_of_two()
+        };
+        debug_assert!(shards.is_power_of_two());
         let shared = Arc::new(Shared {
             cfg,
             queue: Mutex::new(QueueState {
@@ -203,6 +228,9 @@ impl Service {
             space: Condvar::new(),
             cache: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_cap: cfg.cache_cap.div_ceil(shards).max(1),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_high_water: AtomicUsize::new(0),
             metrics: Mutex::new(ServiceMetrics::default()),
             costs: Mutex::new(HashMap::new()),
         });
@@ -239,8 +267,8 @@ impl Service {
     /// already sent — only when the service is shut down.
     pub fn submit(&self, req: Request, tx: Sender<Response>) -> bool {
         let job = self.make_job(req, tx);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let mut q = self.shared.queue.lock().expect("queue lock");
-        self.shared.metrics.lock().expect("metrics lock").submitted += 1;
         while q.jobs.len() >= self.shared.cfg.queue_cap && !q.closed {
             q = self.shared.space.wait(q).expect("queue lock");
         }
@@ -258,8 +286,8 @@ impl Service {
     /// sent on `tx`) and `false` is returned.
     pub fn try_submit(&self, req: Request, tx: Sender<Response>) -> bool {
         let job = self.make_job(req, tx);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let q = self.shared.queue.lock().expect("queue lock");
-        self.shared.metrics.lock().expect("metrics lock").submitted += 1;
         if q.closed || q.jobs.len() >= self.shared.cfg.queue_cap {
             drop(q);
             self.reject(job);
@@ -269,24 +297,27 @@ impl Service {
         true
     }
 
-    /// Admits a whole batch under one queue lock, blocking for space as
-    /// needed (backpressure); wakes every worker once. Returns how many
-    /// were admitted — less than the batch size only if the service
-    /// shuts down mid-batch (the rest get `Rejected` responses).
+    /// Admits a whole batch under one queue lock, blocking for space
+    /// as needed (backpressure); wakes one worker per claimable burst
+    /// rather than the whole pool. Returns how many were admitted —
+    /// less than the batch size only if the service shuts down
+    /// mid-batch (the rest get `Rejected` responses).
     pub fn submit_batch(&self, reqs: Vec<Request>, tx: &Sender<Response>) -> usize {
         let mut jobs: VecDeque<Job> = reqs
             .into_iter()
             .map(|r| self.make_job(r, tx.clone()))
             .collect();
-        let total = jobs.len();
-        {
-            let mut m = self.shared.metrics.lock().expect("metrics lock");
-            m.submitted += total as u64;
-        }
+        self.shared
+            .submitted
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         let mut admitted = 0;
         let mut q = self.shared.queue.lock().expect("queue lock");
         while let Some(job) = jobs.pop_front() {
             while q.jobs.len() >= self.shared.cfg.queue_cap && !q.closed {
+                // Queue full: jobs are available, so no worker is
+                // parked on `available` for lack of work — but one may
+                // not have run since its wake. Nudge the pool and wait
+                // for space.
                 self.shared.available.notify_all();
                 q = self.shared.space.wait(q).expect("queue lock");
             }
@@ -299,11 +330,18 @@ impl Service {
         }
         let depth = q.jobs.len();
         drop(q);
-        {
-            let mut m = self.shared.metrics.lock().expect("metrics lock");
-            m.queue_high_water = m.queue_high_water.max(depth);
+        self.shared
+            .queue_high_water
+            .fetch_max(depth, Ordering::Relaxed);
+        // Wake exactly as many workers as there are bursts to claim.
+        // `notify_all` here woke the whole pool for every batch; with
+        // sub-microsecond warm-cache serves, the surplus workers lost
+        // the race, found the queue empty, and re-parked — a
+        // thundering herd of pure contention on the queue mutex.
+        let wakes = depth.div_ceil(BURST).min(self.shared.cfg.workers).max(1);
+        for _ in 0..wakes {
+            self.shared.available.notify_one();
         }
-        self.shared.available.notify_all();
         for job in jobs {
             self.reject(job);
         }
@@ -314,14 +352,14 @@ impl Service {
         q.jobs.push_back(job);
         let depth = q.jobs.len();
         drop(q);
-        let mut m = self.shared.metrics.lock().expect("metrics lock");
-        m.queue_high_water = m.queue_high_water.max(depth);
-        drop(m);
+        self.shared
+            .queue_high_water
+            .fetch_max(depth, Ordering::Relaxed);
         self.shared.available.notify_one();
     }
 
     fn reject(&self, job: Job) {
-        self.shared.metrics.lock().expect("metrics lock").rejected += 1;
+        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = job.tx.send(Response {
             id: job.req.id,
             accel: job.req.accel,
@@ -342,7 +380,7 @@ impl Service {
     /// Workers flush their burst-local counters once per burst, so a
     /// snapshot taken mid-flight may lag by a few entries.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.lock().expect("metrics lock").snapshot()
+        snapshot(&self.shared)
     }
 
     /// Clears counters and histograms while leaving the cache and
@@ -351,6 +389,9 @@ impl Service {
     /// numbers.
     pub fn reset_metrics(&self) {
         *self.shared.metrics.lock().expect("metrics lock") = ServiceMetrics::default();
+        self.shared.submitted.store(0, Ordering::Relaxed);
+        self.shared.rejected.store(0, Ordering::Relaxed);
+        self.shared.queue_high_water.store(0, Ordering::Relaxed);
     }
 
     /// Entries currently held by the result cache, summed across
@@ -381,13 +422,27 @@ impl Service {
         for w in self.workers {
             let _ = w.join();
         }
-        self.shared.metrics.lock().expect("metrics lock").snapshot()
+        snapshot(&self.shared)
     }
+}
+
+/// Counters snapshot folding the lock-free admission counters into
+/// the worker-side histogram state.
+fn snapshot(shared: &Shared) -> MetricsSnapshot {
+    let mut s = shared.metrics.lock().expect("metrics lock").snapshot();
+    s.submitted = shared.submitted.load(Ordering::Relaxed);
+    s.rejected = shared.rejected.load(Ordering::Relaxed);
+    s.queue_high_water = shared.queue_high_water.load(Ordering::Relaxed);
+    s
 }
 
 /// The cache shard holding `key` (shard count is a power of two, so
 /// selection is a mask of the fingerprint's low bits).
 fn shard(shared: &Shared, key: u64) -> &RwLock<HashMap<u64, (Prediction, InterfaceKind)>> {
+    debug_assert!(
+        shared.cache.len().is_power_of_two(),
+        "shard selection masks low bits; a non-power-of-two count aliases shards"
+    );
     &shared.cache[(key as usize) & (shared.cache.len() - 1)]
 }
 
@@ -441,19 +496,40 @@ fn worker_loop(shared: &Shared) {
     };
     let mut burst: Vec<Job> = Vec::with_capacity(BURST);
     loop {
+        let mut local = ServiceMetrics::default();
+        let leftover;
         {
+            // Time the lock acquisition itself: on a warm cache serves
+            // are sub-microsecond, so if workers stop scaling the wait
+            // here is the lock-hold evidence the svcbench diagnosis
+            // reports (vs. condvar-herd, evidenced by spurious wakes).
+            let t_lock = Instant::now();
             let mut q = shared.queue.lock().expect("queue lock");
+            local.lock_wait_us += t_lock.elapsed().as_micros() as f64;
             loop {
                 if !q.jobs.is_empty() {
                     let n = q.jobs.len().min(BURST);
                     burst.extend(q.jobs.drain(..n));
+                    local.bursts += 1;
+                    leftover = !q.jobs.is_empty();
                     break;
                 }
                 if q.closed {
                     return;
                 }
                 q = shared.available.wait(q).expect("queue lock");
+                local.worker_wakes += 1;
+                if q.jobs.is_empty() && !q.closed {
+                    local.spurious_wakes += 1;
+                }
             }
+        }
+        // Chain-wake: if jobs remain after this claim, wake exactly one
+        // more worker. Submitters wake one worker per claimable burst,
+        // so the pool fans out one wake at a time instead of stampeding
+        // on every batch.
+        if leftover {
+            shared.available.notify_one();
         }
         // One space wake-up per claimed burst, not per job.
         if burst.len() > 1 {
@@ -461,7 +537,6 @@ fn worker_loop(shared: &Shared) {
         } else {
             shared.space.notify_one();
         }
-        let mut local = ServiceMetrics::default();
         for job in burst.drain(..) {
             serve(shared, &mut state, job, &mut local);
         }
@@ -640,6 +715,47 @@ mod tests {
         let snap = svc.shutdown();
         assert_eq!(snap.completed, 4);
         assert_eq!(snap.errors, 0);
+    }
+
+    #[test]
+    fn non_power_of_two_shard_request_rounds_up() {
+        // Regression: shard selection masks the key's low bits, so a
+        // literal non-power-of-two count (12 → mask 0b1011) would
+        // never select shards 4–7 and alias the rest. Construction
+        // must round up.
+        for (req, want) in [(1, 1), (3, 4), (12, 16), (16, 16), (33, 64)] {
+            let svc = Service::start(ServiceConfig {
+                workers: 1,
+                cache_shards: req,
+                ..Default::default()
+            });
+            assert_eq!(
+                svc.shared.cache.len(),
+                want,
+                "requested {req} shards must become {want}"
+            );
+            // Every shard index must be reachable by the mask.
+            for k in 0..(want as u64 * 4) {
+                let got = (k as usize) & (svc.shared.cache.len() - 1);
+                assert!(got < svc.shared.cache.len());
+            }
+            svc.shutdown();
+        }
+        // Queries still resolve correctly on a rounded-up count.
+        let svc = Service::start(ServiceConfig {
+            workers: 2,
+            cache_shards: 12,
+            ..Default::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        for id in 0..8 {
+            svc.submit(vta_req(id, id as f64), tx.clone());
+        }
+        for _ in 0..8 {
+            assert!(matches!(rx.recv().unwrap().outcome, Outcome::Answer { .. }));
+        }
+        assert!(svc.cache_len() > 0);
+        svc.shutdown();
     }
 
     #[test]

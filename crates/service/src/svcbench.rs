@@ -42,6 +42,10 @@ pub struct BenchPoint {
     pub warm: bool,
     /// Which evaluation substrate the point's workers ran on.
     pub engine: EngineChoice,
+    /// Which workload topology the point drove: `"mixed-4"` for the
+    /// standard four-accelerator corpus, or a pipeline chain spec
+    /// (e.g. `"jpeg-decoder:4>protoacc:8"`) for composite rows.
+    pub topology: String,
     /// Requests offered.
     pub offered: u64,
     /// Requests answered.
@@ -61,6 +65,13 @@ pub struct BenchPoint {
     pub service_p50_us: f64,
     /// 99th-percentile evaluation time, microseconds.
     pub service_p99_us: f64,
+    /// Worker condvar wakes during the measured pass.
+    pub worker_wakes: u64,
+    /// Wakes that found the queue empty (thundering-herd evidence).
+    pub spurious_wakes: u64,
+    /// Total worker time spent acquiring the queue lock, microseconds
+    /// (lock-hold evidence, summed across workers).
+    pub lock_wait_us: f64,
 }
 
 impl BenchPoint {
@@ -68,14 +79,17 @@ impl BenchPoint {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"workers\":{},\"batch\":{},\"warm\":{},\"engine\":\"{}\",\
+             \"topology\":\"{}\",\
              \"offered\":{},\"completed\":{},\
              \"cache_hits\":{},\"wall_us\":{:.1},\"qps\":{:.1},\
              \"queue_p50_us\":{:.1},\"queue_p99_us\":{:.1},\
-             \"service_p50_us\":{:.1},\"service_p99_us\":{:.1}}}",
+             \"service_p50_us\":{:.1},\"service_p99_us\":{:.1},\
+             \"worker_wakes\":{},\"spurious_wakes\":{},\"lock_wait_us\":{:.1}}}",
             self.workers,
             self.batch,
             self.warm,
             self.engine.name(),
+            perf_core::trace::json_escape(&self.topology),
             self.offered,
             self.completed,
             self.cache_hits,
@@ -85,6 +99,9 @@ impl BenchPoint {
             self.queue_p99_us,
             self.service_p50_us,
             self.service_p99_us,
+            self.worker_wakes,
+            self.spurious_wakes,
+            self.lock_wait_us,
         )
     }
 }
@@ -115,6 +132,46 @@ pub struct ServiceBenchReport {
     pub best_batched_qps: f64,
     /// `best_batched_qps / baseline_qps`.
     pub speedup: f64,
+    /// Dequeue-path diagnosis for the widest warm batched point:
+    /// names whether worker scaling was limited by a condvar
+    /// thundering herd (spurious wakes), by queue-lock hold time
+    /// (workers blocked acquiring the mutex), or neither
+    /// (`"healthy"` / `"oversubscribed"`). Reported alongside the
+    /// scaling gate so a failure says *which* pathology regressed.
+    pub scaling_diagnosis: String,
+}
+
+/// Classifies the dequeue path of one measured point. Herd: a large
+/// share of condvar wakes found no work (more workers woken than
+/// bursts available). Lock-hold: workers spent a meaningful share of
+/// the point's wall time blocked acquiring the queue mutex.
+pub fn diagnose_point(p: &BenchPoint, parallelism: usize) -> String {
+    if p.workers > parallelism {
+        return format!(
+            "oversubscribed: {} workers on {} hw thread(s); scheduler, not the dequeue path",
+            p.workers, parallelism
+        );
+    }
+    let wakes = p.worker_wakes.max(1);
+    let spurious_share = p.spurious_wakes as f64 / wakes as f64;
+    let per_worker_lock_share = (p.lock_wait_us / p.workers.max(1) as f64) / p.wall_us.max(1.0);
+    if spurious_share > 0.3 && p.spurious_wakes > 16 {
+        format!(
+            "condvar-herd: {}/{} wakes found an empty queue",
+            p.spurious_wakes, p.worker_wakes
+        )
+    } else if per_worker_lock_share > 0.2 {
+        format!(
+            "lock-hold: workers spent {:.0}% of wall time acquiring the queue lock",
+            per_worker_lock_share * 100.0
+        )
+    } else {
+        format!(
+            "healthy: {:.0}% spurious wakes, {:.0}% of wall in queue-lock waits",
+            spurious_share * 100.0,
+            per_worker_lock_share * 100.0
+        )
+    }
 }
 
 impl ServiceBenchReport {
@@ -164,11 +221,12 @@ impl ServiceBenchReport {
         }
         s.push_str(&format!(
             "],\"parallelism\":{},\"baseline_qps\":{:.1},\"best_batched_qps\":{:.1},\
-             \"speedup\":{:.2},\"pass\":{}}}",
+             \"speedup\":{:.2},\"scaling_diagnosis\":\"{}\",\"pass\":{}}}",
             self.parallelism,
             self.baseline_qps,
             self.best_batched_qps,
             self.speedup,
+            perf_core::trace::json_escape(&self.scaling_diagnosis),
             self.pass()
         ));
         s
@@ -178,13 +236,14 @@ impl ServiceBenchReport {
     pub fn render(&self) -> String {
         let mut s = String::from(
             "service load sweep (identical request sequence per point)\n\
-             phase  engine       workers  batch  offered     qps  cache_hits  queue_p99_us  service_p99_us\n",
+             phase  engine       topology                 workers  batch  offered     qps  cache_hits  queue_p99_us  service_p99_us\n",
         );
         for p in &self.points {
             s.push_str(&format!(
-                "{:5}  {:11}  {:7}  {:5}  {:7}  {:6.0}  {:10}  {:12.1}  {:14.1}\n",
+                "{:5}  {:11}  {:23}  {:7}  {:5}  {:7}  {:6.0}  {:10}  {:12.1}  {:14.1}\n",
                 if p.warm { "warm" } else { "cold" },
                 p.engine.name(),
+                p.topology,
                 p.workers,
                 p.batch,
                 p.offered,
@@ -201,12 +260,13 @@ impl ServiceBenchReport {
             }
             s.push_str(&format!("  ({} hw thread(s))\n", self.parallelism));
         }
+        s.push_str(&format!("dequeue path: {}\n", self.scaling_diagnosis));
         let verdict = match (self.speedup >= 10.0, self.scaling_ok()) {
             (true, true) => "pass: >= 10x, scaling ok".to_string(),
             (false, _) => "FAIL: speedup < 10x".to_string(),
             (true, false) => format!(
-                "FAIL: warm throughput fell while adding workers within {} hw thread(s)",
-                self.parallelism
+                "FAIL: warm throughput fell while adding workers within {} hw thread(s) — {}",
+                self.parallelism, self.scaling_diagnosis
             ),
         };
         s.push_str(&format!(
@@ -292,6 +352,40 @@ pub fn corpus(total: u64) -> Vec<Request> {
         .collect()
 }
 
+/// The composite chain svcbench drives for its pipeline-tagged rows:
+/// cheap stages so the cold pass stays CI-friendly while still
+/// exercising the `pipe:` registry path end to end.
+pub const PIPELINE_CHAIN: &str = "vta:2>protoacc:4";
+
+/// Builds a pipeline-query sequence: `stream` specs against one
+/// composite topology, with the same revisit structure as [`corpus`]
+/// so warm passes measure the cache path for composite answers too.
+pub fn pipeline_corpus(total: u64, chain: &str) -> Vec<Request> {
+    (0..total)
+        .map(|i| {
+            let key = if i > REVISIT && i % REVISIT == 0 {
+                i - REVISIT * 2
+            } else {
+                i
+            };
+            Request {
+                id: i,
+                accel: format!("pipe:{chain}"),
+                spec: WorkloadSpec::new("stream")
+                    .with("items", 2.0 + (key % 6) as f64)
+                    .with("seed", (key % 16) as f64),
+                metric: if key % 2 == 0 {
+                    Metric::Latency
+                } else {
+                    Metric::Throughput
+                },
+                repr: ReprChoice::Auto,
+                deadline_us: None,
+            }
+        })
+        .collect()
+}
+
 /// Submits the whole request sequence `batch` at a time (each round
 /// waits for all of its responses before the next — batch 1 is the
 /// single-query round-trip regime) and asserts every response is an
@@ -321,6 +415,18 @@ fn drive(svc: &Service, batch: usize, reqs: &[Request]) {
 /// steady-state serving; cold points start empty, the one-shot-CLI
 /// regime where each distinct query pays a full evaluation.
 pub fn run_point(workers: usize, batch: usize, warm: bool, reqs: &[Request]) -> BenchPoint {
+    run_point_on(workers, batch, warm, reqs, "mixed-4")
+}
+
+/// [`run_point`] with an explicit topology tag for the row (the
+/// standard corpus is `"mixed-4"`; pipeline rows carry their chain).
+pub fn run_point_on(
+    workers: usize,
+    batch: usize,
+    warm: bool,
+    reqs: &[Request],
+    topology: &str,
+) -> BenchPoint {
     let cfg = ServiceConfig {
         workers,
         queue_cap: batch.max(64) * 2,
@@ -361,6 +467,7 @@ pub fn run_point(workers: usize, batch: usize, warm: bool, reqs: &[Request]) -> 
         batch,
         warm,
         engine,
+        topology: topology.to_string(),
         offered: reqs.len() as u64,
         completed: snap.completed,
         cache_hits: snap.cache_hits,
@@ -370,6 +477,9 @@ pub fn run_point(workers: usize, batch: usize, warm: bool, reqs: &[Request]) -> 
         queue_p99_us: snap.queue_p99_us,
         service_p50_us: p50,
         service_p99_us: p99,
+        worker_wakes: snap.worker_wakes,
+        spurious_wakes: snap.spurious_wakes,
+        lock_wait_us: snap.lock_wait_us,
     }
 }
 
@@ -395,33 +505,55 @@ pub fn run(quick: bool) -> ServiceBenchReport {
         (8, 64, true),
         (8, 256, true),
     ];
-    let points: Vec<BenchPoint> = sweep
+    let mut points: Vec<BenchPoint> = sweep
         .iter()
         .map(|&(w, b, warm)| run_point(w, b, warm, &reqs))
         .collect();
+    // Pipeline-tagged rows: the same cold-vs-warm story told over a
+    // composite `pipe:` chain, so the benchmark covers the pipeline
+    // query path too. Kept out of the headline stats below — those
+    // compare like with like over the mixed single-accel corpus.
+    let preqs = pipeline_corpus(if quick { 96 } else { 384 }, PIPELINE_CHAIN);
+    points.push(run_point_on(1, 1, false, &preqs, PIPELINE_CHAIN));
+    points.push(run_point_on(2, 64, true, &preqs, PIPELINE_CHAIN));
+    let mixed = |p: &&BenchPoint| p.topology == "mixed-4";
     let baseline_qps = points
         .iter()
+        .filter(mixed)
         .find(|p| p.workers == 1 && p.batch == 1 && !p.warm)
         .map(|p| p.qps)
         .unwrap_or(f64::NAN);
     let best_batched_qps = points
         .iter()
+        .filter(mixed)
         .filter(|p| p.batch >= 64 && p.warm)
         .map(|p| p.qps)
         .fold(f64::NAN, f64::max);
     let mut worker_scaling: Vec<(usize, f64)> = points
         .iter()
+        .filter(mixed)
         .filter(|p| p.warm && p.batch == 64)
         .map(|p| (p.workers, p.qps))
         .collect();
     worker_scaling.sort_by_key(|&(w, _)| w);
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Diagnose the widest warm batched point — the configuration the
+    // scaling gate judges — so a regression names its pathology.
+    let scaling_diagnosis = points
+        .iter()
+        .filter(mixed)
+        .filter(|p| p.warm && p.batch == 64)
+        .max_by_key(|p| p.workers)
+        .map(|p| diagnose_point(p, parallelism))
+        .unwrap_or_else(|| "no warm batched point measured".to_string());
     ServiceBenchReport {
         points,
         worker_scaling,
-        parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        parallelism,
         baseline_qps,
         best_batched_qps,
         speedup: best_batched_qps / baseline_qps,
+        scaling_diagnosis,
     }
 }
 
@@ -461,6 +593,7 @@ mod tests {
             baseline_qps: 10.0,
             best_batched_qps: 1600.0,
             speedup: 160.0,
+            scaling_diagnosis: "healthy".to_string(),
         };
         assert!(
             report.scaling_ok(),
@@ -485,6 +618,20 @@ mod tests {
             "a warm-throughput fall within the machine must gate"
         );
         assert!(!regressed.pass());
+    }
+
+    #[test]
+    fn pipeline_point_is_tagged_and_completes() {
+        let reqs = pipeline_corpus(12, PIPELINE_CHAIN);
+        assert!(reqs
+            .iter()
+            .all(|r| r.accel == format!("pipe:{PIPELINE_CHAIN}")));
+        assert!(reqs.iter().all(|r| r.spec.kind == "stream"));
+        let p = run_point_on(1, 4, false, &reqs, PIPELINE_CHAIN);
+        assert_eq!(p.completed, 12);
+        assert_eq!(p.topology, PIPELINE_CHAIN);
+        assert!(p.qps > 0.0);
+        assert!(p.to_json().contains(PIPELINE_CHAIN));
     }
 
     #[test]

@@ -76,6 +76,9 @@ pub struct Pipeline<T> {
     stages: Vec<Stage<T>>,
     now: u64,
     fault: Option<FaultInjector>,
+    /// When set, the armed fault plan applies only to this stage index;
+    /// otherwise every stage draws from the injection stream.
+    fault_stage: Option<usize>,
 }
 
 impl<T> Pipeline<T> {
@@ -105,6 +108,7 @@ impl<T> Pipeline<T> {
             stages,
             now: 0,
             fault: None,
+            fault_stage: None,
         }
     }
 
@@ -116,6 +120,21 @@ impl<T> Pipeline<T> {
     /// partition of elapsed time is preserved under injection.
     pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
         self.fault = plan.map(FaultInjector::new);
+        self.fault_stage = None;
+    }
+
+    /// Like [`set_fault`](Self::set_fault), but the plan applies only to
+    /// the stage at `stage` (other stages run clean). Composite models
+    /// use this to degrade an individual accelerator inside a pipeline
+    /// and watch the stall propagate across the composition boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn set_fault_on(&mut self, stage: usize, plan: Option<FaultPlan>) {
+        assert!(stage < self.stages.len(), "fault stage out of range");
+        self.fault = plan.map(FaultInjector::new);
+        self.fault_stage = plan.map(|_| stage);
     }
 
     /// Extra cycles injected by the armed fault plan so far.
@@ -180,7 +199,8 @@ impl<T> Pipeline<T> {
                 };
                 if let Some(item) = item {
                     let mut d = (self.stages[i].delay)(&item).max(1);
-                    if let Some(f) = self.fault.as_mut() {
+                    let targeted = self.fault_stage.is_none_or(|k| k == i);
+                    if let Some(f) = self.fault.as_mut().filter(|_| targeted) {
                         // Transient stall: the stage simply takes
                         // longer. Backpressure burst: after finishing,
                         // retirement is refused for the burst window.
@@ -513,6 +533,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn per_stage_fault_targets_only_that_stage() {
+        // Backpressure injected on stage 0 only: stage 0 accumulates
+        // stall cycles, stage 1 runs clean (its output is drained every
+        // tick, so any stall it shows would be injected).
+        let build = || {
+            Pipeline::new(
+                4,
+                vec![
+                    StageSpec::new("a", 4, |_: &u64| 2),
+                    StageSpec::new("b", 4, |_: &u64| 2),
+                ],
+            )
+        };
+        let plan = FaultPlan::backpressure(2, 1000, 10);
+        let mut p = build();
+        p.set_fault_on(0, Some(plan));
+        let (faulted, out) = p.run_to_completion((0..8).collect());
+        assert_eq!(out.len(), 8);
+        let cycles = p.stage_cycles();
+        assert!(cycles[0].1.stall >= 50, "targeted stage stalls: {cycles:?}");
+        assert_eq!(cycles[1].1.stall, 0, "untargeted stage clean: {cycles:?}");
+
+        let mut clean = build();
+        let (base, _) = clean.run_to_completion((0..8).collect());
+        assert!(faulted > base);
+
+        // Disarming also clears the target; re-arming with set_fault
+        // applies to every stage again.
+        let mut q = build();
+        q.set_fault_on(1, Some(plan));
+        q.set_fault(Some(plan));
+        q.run_to_completion((0..8).collect());
+        let qc = q.stage_cycles();
+        assert!(qc[0].1.stall > 0, "global plan hits stage 0: {qc:?}");
     }
 
     #[test]

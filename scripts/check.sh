@@ -35,6 +35,11 @@ cargo run --release -p perf-bench --bin repro -- --lint-all
 # its cycle-accurate simulator (nominal + fault-injected), fast seeds,
 # all four accelerators. Exits nonzero past the recorded error budgets.
 cargo run --release -p perf-bench --bin repro -- --conformance --quick
+# Composite-pipeline smoke: parse the demo TOML topology, lint the
+# glued net, require interpreted/compiled agreement on the composite
+# makespan, and run quick composite conformance. Exits nonzero on any
+# budget violation or engine divergence.
+cargo run --release -p perf-bench --bin repro -- --compose --quick
 # Engine fast-path smoke: the compiled stepper must beat the
 # incremental engine on both stress shapes (repro exits nonzero
 # otherwise). Quick scale; the throwaway artifact is discarded.

@@ -51,6 +51,7 @@ pub use accel_jpeg as jpeg;
 pub use accel_protoacc as protoacc;
 pub use accel_vta as vta;
 pub use perf_autotune as autotune;
+pub use perf_compose as compose;
 pub use perf_core as core;
 pub use perf_iface_lang as lang;
 pub use perf_petri as petri;

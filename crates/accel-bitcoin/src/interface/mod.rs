@@ -8,6 +8,7 @@ pub mod service;
 use crate::miner::{MineJob, MinerConfig};
 use perf_core::query::EngineChoice;
 use perf_core::{Diagnostics, InterfaceBundle};
+use perf_iface_lang::lint::BoxVal;
 
 /// Builds the miner's vendor-shipped interface bundle for a given
 /// configuration (compiled evaluation substrate).
@@ -24,6 +25,28 @@ pub fn bundle_with_engine(cfg: MinerConfig, engine: EngineChoice) -> InterfaceBu
         .with(Box::new(
             petri::BitcoinPetriInterface::with_engine(cfg, engine).expect("generated .pnet parses"),
         ))
+}
+
+/// The miner's declared job family as an interval box over the `.pi`
+/// program's input record. `loop` is pinned to the default synthesized
+/// configuration — the shipped `.pnet` is generated per configuration,
+/// so cross-tier checks must compare both tiers at the *same* `Loop` —
+/// while the scan window and difficulty range over every job the
+/// harnesses generate.
+pub fn workload_box() -> BoxVal {
+    let loop_ = MinerConfig::default().loop_ as f64;
+    BoxVal::record([
+        ("loop", BoxVal::point(loop_)),
+        ("nonce_count", BoxVal::num(1.0, 1_000_000.0)),
+        ("difficulty_bits", BoxVal::num(0.0, 256.0)),
+    ])
+}
+
+/// One Petri-net token's feature box: a nonce result carries only its
+/// 0/1 `golden` flag (the generated net's delays are otherwise
+/// configuration constants).
+pub fn token_box() -> BoxVal {
+    BoxVal::record([("golden", BoxVal::num(0.0, 1.0))])
 }
 
 /// Statically audits the miner's shipped interface artifacts with the

@@ -7,6 +7,7 @@ pub mod service;
 
 use crate::workload::Image;
 use perf_core::{Diagnostics, InterfaceBundle};
+use perf_iface_lang::lint::BoxVal;
 
 /// Builds the full vendor-shipped interface bundle for the JPEG
 /// decoder: prose, program, and Petri net.
@@ -18,6 +19,31 @@ pub fn bundle() -> InterfaceBundle<Image> {
         .with(Box::new(
             petri::JpegPetriInterface::new().expect("shipped .pnet net parses"),
         ))
+}
+
+/// The decoder's declared workload family as an interval box over the
+/// `.pi` program's input record: every image the workload generators
+/// can produce falls inside it (dimensions clamp to 8..4096 per axis,
+/// so 64 ≤ `orig_size` ≤ 4096², and re-encoding never leaves the
+/// 1.5×–64× compression envelope). The cross-tier bound checker
+/// evaluates the program interface over this box.
+pub fn workload_box() -> BoxVal {
+    BoxVal::record([
+        ("orig_size", BoxVal::num(64.0, 4096.0 * 4096.0)),
+        ("compress_rate", BoxVal::num(1.5, 64.0)),
+    ])
+}
+
+/// One Petri-net token's feature box: an 8×8 block carries its coded
+/// bit count (floored at 6 by the encoder, capped by 64 coefficients ×
+/// 32 bits), its nonzero-coefficient count, and a 0/1 page-crossing
+/// flag.
+pub fn token_box() -> BoxVal {
+    BoxVal::record([
+        ("bits", BoxVal::num(6.0, 2048.0)),
+        ("nz", BoxVal::num(0.0, 63.0)),
+        ("pg", BoxVal::num(0.0, 1.0)),
+    ])
 }
 
 /// Statically audits the decoder's shipped interface artifacts (the

@@ -8,6 +8,7 @@ pub mod service;
 use crate::simx::ProtoWorkload;
 use perf_core::query::EngineChoice;
 use perf_core::{Diagnostics, InterfaceBundle};
+use perf_iface_lang::lint::BoxVal;
 
 /// Builds Protoacc's vendor-shipped interface bundle (compiled
 /// evaluation substrate).
@@ -24,6 +25,38 @@ pub fn bundle_with_engine(engine: EngineChoice) -> InterfaceBundle<ProtoWorkload
         .with(Box::new(
             petri::ProtoaccPetriInterface::with_engine(engine).expect("generated .pnet parses"),
         ))
+}
+
+/// Protoacc's declared message family as an interval box over the
+/// `.pi` program's input record, restricted to *leaf* messages
+/// (`subs` pinned empty): interval boxes cannot express recursive
+/// nesting, so the cross-tier checker probes nesting with concrete
+/// message values instead and uses this box for the flat bounds.
+pub fn workload_box() -> BoxVal {
+    BoxVal::record([
+        ("num_fields", BoxVal::num(0.0, 64.0)),
+        ("num_writes", BoxVal::num(0.0, 256.0)),
+        ("wire_bytes", BoxVal::num(0.0, 4096.0)),
+        (
+            "subs",
+            BoxVal::list(
+                BoxVal::record([("num_fields", BoxVal::num(0.0, 0.0))]),
+                0.0,
+                0.0,
+            ),
+        ),
+    ])
+}
+
+/// One Petri-net token's feature box: the ingest adapter precomputes
+/// each message's read and write cost onto the token. The floors match
+/// the program tier's leaf-message floors (`MSG_SETUP + 2·MEM` for a
+/// read, `WRITE_SETUP` for a write).
+pub fn token_box() -> BoxVal {
+    BoxVal::record([
+        ("read_cost", BoxVal::num(296.0, 1.0e6)),
+        ("write_cost", BoxVal::num(5.0, 1.0e6)),
+    ])
 }
 
 /// Statically audits Protoacc's shipped interface artifacts with the

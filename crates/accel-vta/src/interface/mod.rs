@@ -8,6 +8,7 @@ pub mod service;
 use crate::isa::Program;
 use perf_core::query::EngineChoice;
 use perf_core::{Diagnostics, InterfaceBundle};
+use perf_iface_lang::lint::BoxVal;
 
 /// Places the simulation harness injects tokens into: the instruction
 /// stream plus the initially-marked engine-free resource places.
@@ -36,6 +37,30 @@ pub fn bundle_with_engine(engine: EngineChoice) -> InterfaceBundle<Program> {
         .with(Box::new(
             petri::VtaPetriInterface::full_with_engine(engine).expect("shipped .pnet parses"),
         ))
+}
+
+/// One decoded VTA instruction as an interval box: module selector
+/// `m` ∈ {0 load, 1 compute, 2 store}, 0/1 classification flags, and
+/// the work fields each engine's delay reads (DMA transfer ≤ 4 KiB,
+/// GEMM ≤ 64 Ki MACs, ALU ≤ 4 Ki ops). This is both the Petri-net
+/// token box and the element type of the program's `insns` list.
+pub fn token_box() -> BoxVal {
+    BoxVal::record([
+        ("m", BoxVal::num(0.0, 2.0)),
+        ("is_gemm", BoxVal::num(0.0, 1.0)),
+        ("is_alu", BoxVal::num(0.0, 1.0)),
+        ("is_mem", BoxVal::num(0.0, 1.0)),
+        ("is_fin", BoxVal::num(0.0, 1.0)),
+        ("bytes", BoxVal::num(0.0, 4096.0)),
+        ("macs", BoxVal::num(0.0, 65536.0)),
+        ("ops", BoxVal::num(0.0, 4096.0)),
+    ])
+}
+
+/// VTA's declared workload family: instruction streams of 1–64
+/// decoded instructions drawn from [`token_box`].
+pub fn workload_box() -> BoxVal {
+    BoxVal::record([("insns", BoxVal::list(token_box(), 1.0, 64.0))])
 }
 
 /// Statically audits VTA's shipped interface artifacts — the `.pi`

@@ -11,7 +11,14 @@
 //!                       # traced run of every substrate: writes the
 //!                       # combined JSON report, prints folded stacks
 //! repro --lint-all      # static perf-lint audit of every shipped
-//!                       # .pnet net and .pi program; exit 1 on findings
+//!                       # .pnet net and .pi program (plus the demo
+//!                       # composite's glued net); exit 1 on findings
+//! repro --xcheck        # cross-tier consistency audit: NL claims vs.
+//!                       # program-tier interval bounds vs. Petri-net
+//!                       # structural bounds for every accelerator and
+//!                       # the demo composite — no simulation; exit 1
+//!                       # on any error or warning. --json prints one
+//!                       # JSON object per target.
 //! repro --conformance   # differential conformance check of every
 //!                       # interface against its simulator (nominal +
 //!                       # fault-injected); writes BENCH_conformance.json,
@@ -36,8 +43,8 @@ use perf_bench::experiments::{self, ExperimentOutput};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] \
-         [--trace PATH] [--lint-all] [--conformance [--json]] [--compose] \
-         [--serve [--workers N] [--tcp ADDR]]"
+         [--trace PATH] [--lint-all] [--xcheck [--json]] [--conformance [--json]] \
+         [--compose] [--serve [--workers N] [--tcp ADDR]]"
     );
     std::process::exit(2);
 }
@@ -86,6 +93,7 @@ fn main() {
     let mut engine_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut lint_all = false;
+    let mut xcheck = false;
     let mut conformance = false;
     let mut compose = false;
     let mut json = false;
@@ -101,6 +109,7 @@ fn main() {
             "--bench-engine" => engine_out = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--lint-all" => lint_all = true,
+            "--xcheck" => xcheck = true,
             "--conformance" => conformance = true,
             "--compose" => compose = true,
             "--json" => json = true,
@@ -163,6 +172,12 @@ fn main() {
         }
         eprintln!("wrote {path}");
         std::process::exit(if rep.pass() { 0 } else { 1 });
+    }
+
+    if xcheck {
+        let (report, clean) = perf_bench::xcheckall::report(json);
+        print!("{report}");
+        std::process::exit(if clean { 0 } else { 1 });
     }
 
     if lint_all {

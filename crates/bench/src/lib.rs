@@ -12,5 +12,6 @@ pub mod enginebench;
 pub mod experiments;
 pub mod lintall;
 pub mod tracedemo;
+pub mod xcheckall;
 
 pub use experiments::{run_all, ExperimentOutput};

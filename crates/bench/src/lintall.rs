@@ -8,7 +8,9 @@
 //! performance interface that does not survive its own lint is not an
 //! artifact a tool can reason about.
 
-use perf_core::{Diagnostics, Severity};
+use perf_compose::{Composite, Topology};
+use perf_core::query::EngineChoice;
+use perf_core::{Diagnostic, Diagnostics, Severity};
 
 /// One accelerator's audit result.
 pub struct AccelLint {
@@ -18,7 +20,28 @@ pub struct AccelLint {
     pub diagnostics: Diagnostics,
 }
 
-/// Lints every accelerator's shipped interface artifacts.
+/// Structural lint of the demo pipeline's *glued* net: composition can
+/// introduce defects (starved boundaries, impossible bursts) that no
+/// per-accelerator audit sees, so the composite net gets the same
+/// treatment as the shipped component nets.
+fn demo_composite_lint() -> Diagnostics {
+    let build = Topology::parse_toml(crate::composedemo::DEMO_TOPOLOGY)
+        .and_then(|topo| Composite::new(topo, EngineChoice::Compiled));
+    match build.and_then(|c| c.lint_net()) {
+        Ok(ds) => ds,
+        Err(e) => {
+            let mut ds = Diagnostics::new();
+            ds.push(
+                Diagnostic::error("PC005", format!("demo composite failed to build: {e}"))
+                    .with_origin("composedemo"),
+            );
+            ds
+        }
+    }
+}
+
+/// Lints every accelerator's shipped interface artifacts, plus the
+/// glued net of the demo composite pipeline.
 pub fn lint_all() -> Vec<AccelLint> {
     vec![
         AccelLint {
@@ -36,6 +59,10 @@ pub fn lint_all() -> Vec<AccelLint> {
         AccelLint {
             name: "vta",
             diagnostics: accel_vta::interface::lint(),
+        },
+        AccelLint {
+            name: "compose-demo",
+            diagnostics: demo_composite_lint(),
         },
     ]
 }
@@ -69,7 +96,7 @@ mod tests {
     #[test]
     fn all_four_accelerators_are_audited_and_clean() {
         let audits = lint_all();
-        assert_eq!(audits.len(), 4);
+        assert_eq!(audits.len(), 5);
         for a in &audits {
             assert_eq!(
                 a.diagnostics.count(Severity::Error),
@@ -87,8 +114,10 @@ mod tests {
             );
         }
         // The structural facts themselves are reported: every
-        // accelerator's net has at least one P-invariant.
-        for a in &audits {
+        // accelerator's net has at least one P-invariant. (The glued
+        // demo net is audited for defects only; its invariants depend
+        // on the topology.)
+        for a in audits.iter().filter(|a| a.name != "compose-demo") {
             assert!(
                 a.diagnostics.has_code("PN111"),
                 "{} reports no invariant",

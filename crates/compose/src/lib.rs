@@ -27,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod lint;
 pub mod model;
 pub mod topology;
 

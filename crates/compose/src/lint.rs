@@ -1,0 +1,317 @@
+//! Topology-level lints (`PC0xx`): static checks on a pipeline config
+//! before anything is simulated.
+//!
+//! The composition boundary is where per-accelerator interfaces stop
+//! helping: a topology can name a queue that will always saturate, a
+//! queue that can never bind, or a stage template its accelerator does
+//! not accept — all statically detectable from the TOML alone plus the
+//! stages' *program-tier* throughput ceilings (extracted with the
+//! interval bound analyzer in `perf_iface_lang::lint`, no simulation).
+//!
+//! Severities follow the shipped-artifact gate convention: template
+//! and parse problems are errors (the pipeline will not run, or will
+//! not run as written); rate-structure findings are informational —
+//! a saturating inter-stage queue is often the *point* of a bounded
+//! pipeline (backpressure), so `PC001`/`PC002` surface structure
+//! without failing `repro --xcheck`.
+
+use crate::model::accel_backend;
+use crate::topology::{default_template, StageCfg, Topology, MAX_ITEMS};
+use perf_core::diag::{Diagnostic, Diagnostics};
+use perf_core::query::EngineChoice;
+use perf_iface_lang::lint::{bound_src, BoxVal};
+
+/// The topology lint catalog: code, summary.
+pub const TOPOLOGY_CODES: &[(&str, &str)] = &[
+    (
+        "PC001",
+        "rate mismatch between adjacent stages: the producer's program-tier \
+         throughput ceiling exceeds the consumer's, so the bounded queue \
+         between them saturates and throttles the producer (info)",
+    ),
+    (
+        "PC002",
+        "queue can never bind: its depth is at least the stream-length cap, \
+         so backpressure through it is unreachable (info)",
+    ),
+    (
+        "PC003",
+        "stage/template mismatch: the spec kind is not accepted by the \
+         accelerator's backend, or the varied field is not part of the \
+         stage template",
+    ),
+    ("PC004", "unknown accelerator name in a stage"),
+    ("PC005", "topology config failed to parse or validate"),
+];
+
+/// The stage's throughput ceiling from its accelerator's *program*
+/// interface: the upper end of the interval the bound analyzer
+/// guarantees for the accel's throughput function over its declared
+/// workload box, narrowed by the stage's fixed spec fields where they
+/// map onto program-input features. `None` when the accelerator is
+/// unknown or the extracted ceiling is unbounded.
+fn stage_tput_ceiling(st: &StageCfg) -> Option<f64> {
+    // (program source, throughput fn, workload box, spec→box field map)
+    let (src, fname, mut bx, map): (&str, &str, BoxVal, &[(&str, &str)]) = match st.accel.as_str() {
+        "jpeg-decoder" => (
+            accel_jpeg::interface::program::JPEG_PI_SRC,
+            "tput_jpeg_decode",
+            accel_jpeg::interface::workload_box(),
+            &[],
+        ),
+        "bitcoin-miner" => (
+            accel_bitcoin::interface::program::BITCOIN_PI_SRC,
+            "max_tput_job",
+            accel_bitcoin::interface::workload_box(),
+            &[
+                ("loop", "loop"),
+                ("nonce_count", "nonce_count"),
+                ("difficulty", "difficulty_bits"),
+            ],
+        ),
+        "protoacc" => (
+            accel_protoacc::interface::program::PROTOACC_PI_SRC,
+            "tput_protoacc_ser",
+            accel_protoacc::interface::workload_box(),
+            &[],
+        ),
+        "vta" => (
+            accel_vta::interface::program::VTA_PI_SRC,
+            "tput_vta",
+            accel_vta::interface::workload_box(),
+            &[],
+        ),
+        _ => return None,
+    };
+    for (spec_field, box_field) in map {
+        if let Some(&(_, v)) = st.fields.iter().find(|(k, _)| k == spec_field) {
+            bx = bx.with_field(box_field, BoxVal::point(v));
+        }
+    }
+    let iv = bound_src(src, fname, &bx).ok()?;
+    iv.hi.is_finite().then_some(iv.hi)
+}
+
+/// Lints a finished [`Topology`]. Line numbers point at each stage's
+/// `[[stage]]` stanza when the topology came from TOML.
+pub fn lint(topo: &Topology) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let at = |i: usize, st: &StageCfg, d: Diagnostic| -> Diagnostic {
+        let d = d.with_at(format!("stage `{}`", st.instance));
+        match topo.stage_lines.get(i) {
+            Some(&ln) if ln > 0 => d.with_pos(ln as u32, 1),
+            _ => d,
+        }
+    };
+    let mut ceilings: Vec<Option<f64>> = Vec::with_capacity(topo.stages.len());
+    for (i, st) in topo.stages.iter().enumerate() {
+        match accel_backend(&st.accel, EngineChoice::Compiled) {
+            Err(_) => {
+                ds.push(at(
+                    i,
+                    st,
+                    Diagnostic::error(
+                        "PC004",
+                        format!(
+                            "unknown accelerator `{}` (have: jpeg-decoder, bitcoin-miner, \
+                             protoacc, vta)",
+                            st.accel
+                        ),
+                    ),
+                ));
+                ceilings.push(None);
+                continue;
+            }
+            Ok(b) => {
+                if !b.spec_kinds().contains(&st.kind.as_str()) {
+                    ds.push(at(
+                        i,
+                        st,
+                        Diagnostic::error(
+                            "PC003",
+                            format!(
+                                "accelerator `{}` does not accept spec kind `{}` (accepts: {})",
+                                st.accel,
+                                st.kind,
+                                b.spec_kinds().join(", ")
+                            ),
+                        ),
+                    ));
+                }
+                if st.vary != "seed" && !st.fields.iter().any(|(k, _)| k == &st.vary) {
+                    ds.push(at(
+                        i,
+                        st,
+                        Diagnostic::error(
+                            "PC003",
+                            format!(
+                                "varied field `{}` is not part of the stage template \
+                                 (fields: {})",
+                                st.vary,
+                                st.fields
+                                    .iter()
+                                    .map(|(k, _)| k.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                        ),
+                    ));
+                }
+                ceilings.push(stage_tput_ceiling(st));
+            }
+        }
+        if st.queue >= MAX_ITEMS {
+            ds.push(at(
+                i,
+                st,
+                Diagnostic::info(
+                    "PC002",
+                    format!(
+                        "queue feeding stage `{}` (depth {}) can never bind: streams are \
+                         capped at {MAX_ITEMS} items",
+                        st.instance, st.queue
+                    ),
+                ),
+            ));
+        }
+    }
+    for j in 0..topo.stages.len().saturating_sub(1) {
+        let (Some(p), Some(c)) = (ceilings[j], ceilings[j + 1]) else {
+            continue;
+        };
+        if p > c * (1.0 + 1e-9) {
+            let consumer = &topo.stages[j + 1];
+            ds.push(at(
+                j + 1,
+                consumer,
+                Diagnostic::info(
+                    "PC001",
+                    format!(
+                        "stage `{}` can produce up to {p:.4} items/cycle but stage `{}` \
+                         accepts at most {c:.4}: the bounded queue `{}.in` (depth {}) \
+                         saturates and becomes the binding constraint",
+                        topo.stages[j].instance,
+                        consumer.instance,
+                        consumer.instance,
+                        consumer.queue
+                    ),
+                ),
+            ));
+        }
+    }
+    ds.sort();
+    ds.with_origin(&format!("topology `{}`", topo.name))
+}
+
+/// Lints a topology TOML document without requiring it to be valid:
+/// parse failures become `PC005`, unknown accelerators `PC004` with
+/// the stanza's line number, and well-formed configs get the full
+/// [`lint`] pass.
+pub fn lint_toml(origin: &str, src: &str) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let raw = match Topology::parse_toml_raw(src) {
+        Ok(raw) => raw,
+        Err(e) => {
+            ds.push(Diagnostic::error("PC005", e.to_string()));
+            return ds.with_origin(origin);
+        }
+    };
+    let mut blocked = false;
+    for (i, st) in raw.stages.iter().enumerate() {
+        if st.accel.is_empty() {
+            ds.push(
+                Diagnostic::error("PC005", format!("stage {i} has no `accel` key"))
+                    .with_pos(raw.stage_lines[i] as u32, 1),
+            );
+            blocked = true;
+        } else if default_template(&st.accel).is_none() {
+            ds.push(
+                Diagnostic::error(
+                    "PC004",
+                    format!(
+                        "unknown accelerator `{}` (have: jpeg-decoder, bitcoin-miner, \
+                         protoacc, vta)",
+                        st.accel
+                    ),
+                )
+                .with_pos(raw.stage_lines[i] as u32, 1),
+            );
+            blocked = true;
+        }
+    }
+    if blocked {
+        ds.sort();
+        return ds.with_origin(origin);
+    }
+    let mut topo = raw;
+    if let Err(e) = topo.finish() {
+        ds.push(Diagnostic::error("PC005", e.to_string()));
+        return ds.with_origin(origin);
+    }
+    ds.merge(lint(&topo));
+    ds.sort();
+    ds.with_origin(origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_core::Severity;
+
+    #[test]
+    fn demo_style_chain_has_no_errors_or_warnings() {
+        let topo = Topology::parse_chain("vta:3>bitcoin-miner:2>protoacc:4").unwrap();
+        let ds = lint(&topo);
+        assert_eq!(ds.count(Severity::Error), 0, "{}", ds.render());
+        assert_eq!(ds.count(Severity::Warning), 0, "{}", ds.render());
+    }
+
+    #[test]
+    fn rate_mismatch_names_the_binding_queue() {
+        // The miner (≤ 1/loop items per cycle) feeds the much slower
+        // protoacc serializer: the inter-stage queue must saturate.
+        let topo = Topology::parse_chain("bitcoin-miner:2>protoacc:4").unwrap();
+        let ds = lint(&topo);
+        let pc1 = ds.find("PC001").expect("rate mismatch detected");
+        assert_eq!(pc1.severity, Severity::Info);
+        assert!(pc1.message.contains("s1_protoacc.in"), "{}", pc1.message);
+        assert!(pc1.message.contains("depth 4"), "{}", pc1.message);
+    }
+
+    #[test]
+    fn never_binding_queue_is_flagged() {
+        let topo = Topology::parse_chain(&format!("vta:2>protoacc:{MAX_ITEMS}")).unwrap();
+        let ds = lint(&topo);
+        let pc2 = ds.find("PC002").expect("never-binding queue detected");
+        assert_eq!(pc2.severity, Severity::Info);
+    }
+
+    #[test]
+    fn template_mismatches_are_line_numbered_errors() {
+        let src = "name = \"bad\"\n\
+                   [[stage]]\n\
+                   accel = \"vta\"\n\
+                   kind = \"scan\"\n\
+                   [[stage]]\n\
+                   accel = \"protoacc\"\n\
+                   vary = \"bogus\"\n";
+        let ds = lint_toml("bad.toml", src);
+        assert!(ds.has_errors(), "{}", ds.render());
+        let kinds: Vec<_> = ds.items().iter().filter(|d| d.code == "PC003").collect();
+        assert_eq!(kinds.len(), 2, "{}", ds.render());
+        assert_eq!(kinds[0].line, Some(2), "kind mismatch points at its stanza");
+        assert_eq!(kinds[1].line, Some(5), "vary mismatch points at its stanza");
+    }
+
+    #[test]
+    fn unknown_accel_and_parse_failures_are_diagnosed() {
+        let ds = lint_toml("x.toml", "[[stage]]\naccel = \"warp-drive\"\n");
+        assert_eq!(ds.find("PC004").expect("unknown accel").line, Some(1));
+
+        let ds = lint_toml("x.toml", "nonsense\n");
+        assert!(ds.find("PC005").is_some(), "{}", ds.render());
+
+        let ds = lint_toml("x.toml", "[[stage]]\nqueue = 2\n");
+        assert!(ds.find("PC005").is_some(), "{}", ds.render());
+    }
+}

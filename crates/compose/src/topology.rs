@@ -84,13 +84,18 @@ pub struct Topology {
     pub name: String,
     /// Stages in flow order.
     pub stages: Vec<StageCfg>,
+    /// 1-based source line of each `[[stage]]` header, parallel to
+    /// `stages`. Zero for stages that were not parsed from TOML (the
+    /// chain shorthand has no line structure), so topology lints can
+    /// point at the offending stanza when one exists.
+    pub stage_lines: Vec<usize>,
 }
 
 /// The per-accelerator default workload template: spec kind, fixed
 /// fields, and which field to vary per item. Chosen so per-item cost is
 /// data-dependent but bounded (e.g. the bitcoin stage scans a fixed
 /// nonce window instead of mining to an unbounded first hit).
-fn default_template(accel: &str) -> Option<(&'static str, Vec<(String, f64)>)> {
+pub(crate) fn default_template(accel: &str) -> Option<(&'static str, Vec<(String, f64)>)> {
     let f = |pairs: &[(&str, f64)]| {
         pairs
             .iter()
@@ -178,8 +183,19 @@ fn parse_inline_table(value: &str, line: usize) -> Result<Vec<(String, f64)>, Co
 impl Topology {
     /// Parses the mini-TOML config format (see module docs).
     pub fn parse_toml(src: &str) -> Result<Topology, CoreError> {
+        let mut t = Topology::parse_toml_raw(src)?;
+        t.finish()?;
+        Ok(t)
+    }
+
+    /// Parses the TOML without filling defaults or validating: the
+    /// topology linter uses this so it can diagnose unknown
+    /// accelerators and template mismatches (which `finish` would
+    /// reject outright) with stanza line numbers.
+    pub(crate) fn parse_toml_raw(src: &str) -> Result<Topology, CoreError> {
         let mut name = String::new();
         let mut stages: Vec<StageCfg> = Vec::new();
+        let mut stage_lines: Vec<usize> = Vec::new();
         for (ln, raw) in src.lines().enumerate() {
             let line = strip_comment(raw).trim();
             if line.is_empty() {
@@ -187,6 +203,7 @@ impl Topology {
             }
             if line == "[[stage]]" {
                 stages.push(StageCfg::blank());
+                stage_lines.push(ln + 1);
                 continue;
             }
             if line.starts_with('[') {
@@ -223,16 +240,15 @@ impl Topology {
                 },
             }
         }
-        let mut t = Topology {
+        Ok(Topology {
             name: if name.is_empty() {
                 "pipeline".to_string()
             } else {
                 name
             },
             stages,
-        };
-        t.finish()?;
-        Ok(t)
+            stage_lines,
+        })
     }
 
     /// Parses the one-line chain shorthand `accel[:queue]>accel[:queue]…`
@@ -266,9 +282,11 @@ impl Topology {
                 ..StageCfg::blank()
             });
         }
+        let stage_lines = vec![0; stages.len()];
         let mut t = Topology {
             name: chain.trim().to_string(),
             stages,
+            stage_lines,
         };
         t.finish()?;
         Ok(t)
@@ -276,7 +294,7 @@ impl Topology {
 
     /// Fills defaults (instance names, workload templates, queue
     /// depths) and validates the result.
-    fn finish(&mut self) -> Result<(), CoreError> {
+    pub(crate) fn finish(&mut self) -> Result<(), CoreError> {
         if self.stages.is_empty() {
             return Err(CoreError::Artifact(
                 "topology has no stages (need at least one [[stage]])".to_string(),

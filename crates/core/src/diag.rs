@@ -276,23 +276,42 @@ impl Diagnostics {
         }
     }
 
-    /// Sorts findings worst-first, then by origin, code and position —
-    /// the order a reader wants and the order the JSON report uses.
+    /// The canonical finding order: worst-first, then origin, code,
+    /// position, object and message. A *total* order over every field
+    /// an analysis sets, so two runs that find the same facts render
+    /// byte-identically even when the analyses visited hash maps in
+    /// different orders.
+    fn order(a: &Diagnostic, b: &Diagnostic) -> core::cmp::Ordering {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.origin.cmp(&b.origin))
+            .then_with(|| a.code.cmp(&b.code))
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.col.cmp(&b.col))
+            .then_with(|| a.at.cmp(&b.at))
+            .then_with(|| a.message.cmp(&b.message))
+    }
+
+    /// Sorts findings into the canonical order (see
+    /// [`Diagnostics::render`]) — the order a reader wants and the
+    /// order the JSON report uses.
     pub fn sort(&mut self) {
-        self.items.sort_by(|a, b| {
-            b.severity
-                .cmp(&a.severity)
-                .then_with(|| a.origin.cmp(&b.origin))
-                .then_with(|| a.code.cmp(&b.code))
-                .then_with(|| a.line.cmp(&b.line))
-                .then_with(|| a.col.cmp(&b.col))
-        });
+        self.items.sort_by(Self::order);
+    }
+
+    /// The findings in canonical order, without mutating the set.
+    fn sorted(&self) -> Vec<&Diagnostic> {
+        let mut v: Vec<&Diagnostic> = self.items.iter().collect();
+        v.sort_by(|a, b| Self::order(a, b));
+        v
     }
 
     /// Renders every finding rustc-style, followed by a summary line.
+    /// Output is always in canonical order regardless of insertion
+    /// order, so lint output and golden tests stay deterministic.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        for d in &self.items {
+        for d in self.sorted() {
             s.push_str(&d.render());
             s.push_str("\n\n");
         }
@@ -318,10 +337,11 @@ impl Diagnostics {
         }
     }
 
-    /// Renders the whole set as one machine-readable JSON object.
+    /// Renders the whole set as one machine-readable JSON object, in
+    /// the same canonical order as [`Diagnostics::render`].
     pub fn render_json(&self) -> String {
         let mut s = String::from("{\"diagnostics\":[");
-        for (i, d) in self.items.iter().enumerate() {
+        for (i, d) in self.sorted().into_iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -422,6 +442,27 @@ mod tests {
             sevs,
             vec![Severity::Error, Severity::Warning, Severity::Info]
         );
+    }
+
+    #[test]
+    fn rendering_is_insertion_order_independent() {
+        // Same findings pushed in opposite orders must render (text and
+        // JSON) byte-identically, even without an explicit sort() —
+        // analyses that walk hash maps depend on this.
+        let a1 = Diagnostic::error("PN105", "arc too wide").with_at("transition `a`");
+        let a2 = Diagnostic::error("PN105", "arc too wide").with_at("transition `b`");
+        let mut fwd = Diagnostics::new();
+        fwd.push(a1.clone());
+        fwd.push(a2.clone());
+        let mut rev = Diagnostics::new();
+        rev.push(a2);
+        rev.push(a1);
+        assert_eq!(fwd.render(), rev.render());
+        assert_eq!(fwd.render_json(), rev.render_json());
+        // And sort() itself agrees with the rendered order.
+        fwd.sort();
+        rev.sort();
+        assert_eq!(fwd, rev);
     }
 
     #[test]

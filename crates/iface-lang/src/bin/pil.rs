@@ -3,6 +3,7 @@
 //! ```text
 //! pil check FILE                # parse + static checks
 //! pil lint FILE [--json]        # all static checks + perf-lint analyses
+//! pil verify FILE [--json]      # compile to bytecode + run the verifier
 //! pil fmt FILE                  # canonical formatting to stdout
 //! pil run FILE FUNC [ARG...]    # evaluate a function
 //! ```
@@ -14,7 +15,7 @@
 //! code 1; the tool never panics on user-supplied files.
 
 use perf_core::diag::{Diagnostic, Diagnostics};
-use perf_iface_lang::{check, lexer, lint, parser, printer, LangError, Program, Value};
+use perf_iface_lang::{check, lexer, lint, parser, printer, vm, LangError, Program, Value};
 
 /// Full help text: every subcommand with every flag. The `--help`
 /// output and the short usage line are kept in sync by the
@@ -27,6 +28,10 @@ usage:
   pil lint FILE [--json]       all static checks + perf-lint analyses;
                                --json renders diagnostics as JSON;
                                exit 1 on errors
+  pil verify FILE [--json]     compile to bytecode and run the machine-
+                               level verifier (PBC codes: stack balance,
+                               jump targets, operand kinds); exit 1 on
+                               errors
   pil fmt FILE                 canonical formatting to stdout
   pil run FILE FUNC [ARG...]   evaluate a function; arguments are
                                numbers (42, 3.5), booleans, or records
@@ -36,8 +41,8 @@ usage:
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pil check FILE | pil lint FILE [--json] | pil fmt FILE \
-         | pil run FILE FUNC [ARG...] | pil --help"
+        "usage: pil check FILE | pil lint FILE [--json] | pil verify FILE [--json] \
+         | pil fmt FILE | pil run FILE FUNC [ARG...] | pil --help"
     );
     std::process::exit(2);
 }
@@ -139,6 +144,32 @@ fn main() {
             ds.sort();
             if json {
                 println!("{}", ds.render_json());
+            } else {
+                print!("{}", ds.render());
+            }
+            if ds.has_errors() {
+                std::process::exit(1);
+            }
+        }
+        Some("verify") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let json = rest.iter().any(|a| a == "--json");
+            rest.retain(|a| a != "--json");
+            let [path] = rest.as_slice() else { usage() };
+            let src = read(path, json);
+            let p = Program::parse(&src).unwrap_or_else(|e| fail(lang_diag(path, &e), json));
+            let compiled = vm::CompiledProgram::compile(&p)
+                .unwrap_or_else(|e| fail(lang_diag(path, &e), json));
+            let mut ds = compiled.verify();
+            ds.set_origin(path);
+            ds.sort();
+            if json {
+                println!("{}", ds.render_json());
+            } else if ds.items().is_empty() {
+                println!(
+                    "{path}: bytecode verified ({} functions)",
+                    p.ast().functions.len()
+                );
             } else {
                 print!("{}", ds.render());
             }

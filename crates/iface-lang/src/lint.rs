@@ -25,6 +25,16 @@
 //! arithmetically (performance inputs are sizes and counts), and only
 //! *provable* facts are reported, so a clean bill of health on the
 //! shipped interfaces stays meaningful.
+//!
+//! The same interpreter doubles as a **bound extractor** for the
+//! cross-tier consistency pass (`perf-xcheck`): [`bound_fn`] evaluates
+//! a function with its workload parameter bound to a declared *box*
+//! ([`BoxVal`] — per-feature intervals, possibly nested records and
+//! bounded-length lists) and returns a guaranteed `[lo, hi]` enclosure
+//! of every value the function can return inside that box. Simple
+//! accumulation loops (`for x in w.items { acc = acc + cost(x); }`)
+//! are summarized as `len * delta` instead of widened, so list-shaped
+//! workloads still yield finite bounds.
 
 use crate::ast::{BinOp, Expr, FnDecl, Program, Stmt, UnOp};
 use crate::error::Span;
@@ -186,24 +196,47 @@ pub struct Interval {
 }
 
 impl Interval {
-    const FULL: Interval = Interval {
+    /// The whole real line: `[-inf, +inf]`.
+    pub const FULL: Interval = Interval {
         lo: f64::NEG_INFINITY,
         hi: f64::INFINITY,
     };
-    const NONNEG: Interval = Interval {
+    /// The non-negative half-line: `[0, +inf]`.
+    pub const NONNEG: Interval = Interval {
         lo: 0.0,
         hi: f64::INFINITY,
     };
 
-    fn point(v: f64) -> Interval {
+    /// Builds `[lo, hi]`; callers are trusted to pass `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// Builds the degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
         Interval { lo: v, hi: v }
+    }
+
+    /// Both bounds finite.
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// The midpoint of a finite interval (`lo` when unbounded above).
+    pub fn mid(&self) -> f64 {
+        if self.is_finite() {
+            (self.lo + self.hi) / 2.0
+        } else {
+            self.lo
+        }
     }
 
     fn is_finite_point(&self) -> bool {
         self.lo == self.hi && self.lo.is_finite()
     }
 
-    fn hull(self, o: Interval) -> Interval {
+    /// The smallest interval containing both `self` and `o`.
+    pub fn hull(self, o: Interval) -> Interval {
         Interval {
             lo: self.lo.min(o.lo),
             hi: self.hi.max(o.hi),
@@ -218,27 +251,37 @@ impl Interval {
         }
     }
 
-    fn neg(self) -> Interval {
+    /// Interval negation.
+    // Not `std::ops` impls: these are plain by-value methods so callers in
+    // the bound extractor can fold over operator lists uniformly without
+    // importing the trait per operator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Interval {
         Interval {
             lo: -self.hi,
             hi: -self.lo,
         }
     }
 
-    fn add(self, o: Interval) -> Interval {
+    /// Interval addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, o: Interval) -> Interval {
         Interval {
             lo: self.lo + o.lo,
             hi: self.hi + o.hi,
         }
     }
 
-    fn sub(self, o: Interval) -> Interval {
+    /// Interval subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Interval) -> Interval {
         self.add(o.neg())
     }
 
     /// Builds the hull of candidate products, mapping the indeterminate
     /// `0 * inf` (NaN) to 0 — correct for the value *sets* involved.
-    fn mul(self, o: Interval) -> Interval {
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, o: Interval) -> Interval {
         let cands = [
             self.lo * o.lo,
             self.lo * o.hi,
@@ -255,7 +298,12 @@ impl Interval {
         Interval { lo, hi }
     }
 
-    fn div(self, o: Interval) -> Interval {
+    /// Interval division; a divisor straddling zero yields [`FULL`]
+    /// (the runtime produces `+/-inf` there).
+    ///
+    /// [`FULL`]: Interval::FULL
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, o: Interval) -> Interval {
         if o.lo <= 0.0 && o.hi >= 0.0 {
             // Divisor may be zero: the runtime yields +/-inf there.
             return Interval::FULL;
@@ -277,12 +325,17 @@ impl Interval {
     }
 }
 
-/// Abstract value: a numeric interval, a (possibly-known) boolean, or
-/// an unknown of any type.
+/// Abstract value: a numeric interval, a (possibly-known) boolean, a
+/// record with per-field abstractions, a homogeneous list with a
+/// length interval, or an unknown of any type. The record and list
+/// shapes only arise when a declared workload box is in play (see
+/// [`bound_fn`]); plain lints keep abstracting structures to `Any`.
 #[derive(Clone, Debug, PartialEq)]
 enum AbsVal {
     Num(Interval),
     Bool(Option<bool>),
+    Rec(Rc<Vec<(String, AbsVal)>>),
+    ListOf { elem: Rc<AbsVal>, len: Interval },
     Any,
 }
 
@@ -304,7 +357,7 @@ impl AbsVal {
             AbsVal::Num(i) => *i,
             AbsVal::Bool(Some(b)) => Interval::point(if *b { 1.0 } else { 0.0 }),
             AbsVal::Bool(None) => Interval { lo: 0.0, hi: 1.0 },
-            AbsVal::Any => Interval::NONNEG,
+            AbsVal::Rec(_) | AbsVal::ListOf { .. } | AbsVal::Any => Interval::NONNEG,
         }
     }
 
@@ -312,6 +365,36 @@ impl AbsVal {
         match (self, o) {
             (AbsVal::Num(a), AbsVal::Num(b)) => AbsVal::Num(a.hull(*b)),
             (AbsVal::Bool(a), AbsVal::Bool(b)) => AbsVal::Bool(if a == b { *a } else { None }),
+            (AbsVal::Rec(a), AbsVal::Rec(b)) => {
+                if a.len() == b.len() && a.iter().zip(b.iter()).all(|((k, _), (j, _))| k == j) {
+                    AbsVal::Rec(Rc::new(
+                        a.iter()
+                            .zip(b.iter())
+                            .map(|((k, va), (_, vb))| (k.clone(), va.join(vb)))
+                            .collect(),
+                    ))
+                } else {
+                    AbsVal::Any
+                }
+            }
+            (AbsVal::ListOf { elem: ea, len: la }, AbsVal::ListOf { elem: eb, len: lb }) => {
+                AbsVal::ListOf {
+                    elem: Rc::new(ea.join(eb)),
+                    len: la.hull(*lb),
+                }
+            }
+            _ => AbsVal::Any,
+        }
+    }
+
+    /// Field lookup on a record abstraction (`Any` otherwise).
+    fn field(&self, name: &str) -> AbsVal {
+        match self {
+            AbsVal::Rec(fs) => fs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(AbsVal::Any),
             _ => AbsVal::Any,
         }
     }
@@ -426,7 +509,31 @@ impl<'a> Analyzer<'a> {
                 widen_assigned(body, env);
             }
             Stmt::For(var, iter, body, _) => {
-                self.eval(iter, env);
+                let it = self.eval(iter, env);
+                if let AbsVal::ListOf { elem, len } = &it {
+                    let len = Interval {
+                        lo: len.lo.max(0.0),
+                        hi: len.hi.max(0.0),
+                    };
+                    if let Some(deltas) = self.for_summary(var, elem, body, env) {
+                        // Summarized bodies contain no `return`, so `ret`
+                        // is untouched; diagnostics still come from one
+                        // ordinary pass in a scratch env (per-iteration
+                        // state must not leak into the post-loop env).
+                        let mut scratch = env.clone();
+                        scratch.insert(var.clone(), (**elem).clone());
+                        let mut scratch_ret = ret.clone();
+                        self.run_block(body, &mut scratch, &mut scratch_ret);
+                        for (x, d) in deltas {
+                            let start = env
+                                .get(&x)
+                                .map(|v| v.as_interval())
+                                .unwrap_or(Interval::NONNEG);
+                            env.insert(x, AbsVal::Num(start.add(len.mul(d))));
+                        }
+                        return;
+                    }
+                }
                 widen_assigned(body, env);
                 env.insert(var.clone(), AbsVal::Any);
                 self.run_block(body, env, ret);
@@ -448,14 +555,17 @@ impl<'a> Analyzer<'a> {
                 .or_else(|| self.consts.get(name))
                 .cloned()
                 .unwrap_or(AbsVal::Any),
-            Expr::Field(base, _, _) => {
-                self.eval(base, env);
-                AbsVal::Any
+            Expr::Field(base, name, _) => {
+                let b = self.eval(base, env);
+                b.field(name)
             }
             Expr::Index(base, idx, _) => {
-                self.eval(base, env);
+                let b = self.eval(base, env);
                 self.eval(idx, env);
-                AbsVal::Any
+                match b {
+                    AbsVal::ListOf { elem, .. } => (*elem).clone(),
+                    _ => AbsVal::Any,
+                }
             }
             Expr::Unary(op, inner, _) => {
                 let v = self.eval(inner, env);
@@ -659,8 +769,30 @@ impl<'a> Analyzer<'a> {
                     Interval::FULL
                 });
             }
-            "len" => return AbsVal::Num(Interval::NONNEG),
-            "sum" | "num" => return AbsVal::Num(Interval::FULL),
+            "len" => {
+                return AbsVal::Num(match args.first() {
+                    Some(AbsVal::ListOf { len, .. }) => *len,
+                    _ => Interval::NONNEG,
+                })
+            }
+            "sum" => {
+                return AbsVal::Num(match args.first() {
+                    // Sum of `k` values each inside the element interval,
+                    // `k` inside the length interval: the interval product
+                    // covers every combination (including the empty sum).
+                    Some(AbsVal::ListOf { elem, len }) => len.mul(elem.as_interval()),
+                    _ => Interval::FULL,
+                });
+            }
+            "num" => {
+                // num(bool) yields 0 or 1; num(number) is the identity.
+                return AbsVal::Num(match args.first() {
+                    Some(AbsVal::Bool(Some(b))) => Interval::point(f64::from(*b)),
+                    Some(AbsVal::Bool(None)) => Interval { lo: 0.0, hi: 1.0 },
+                    Some(AbsVal::Num(a)) => *a,
+                    _ => Interval::FULL,
+                });
+            }
             _ => {}
         }
         // User function: inline unless recursive or too deep.
@@ -682,6 +814,140 @@ impl<'a> Analyzer<'a> {
         self.report = was;
         self.stack.pop();
         ret
+    }
+
+    /// Attempts to summarize a `for` body as per-iteration interval
+    /// deltas: every write must be an accumulation `x = x + d` (in
+    /// either operand order) whose delta `d` reads no accumulated
+    /// variable; `if` branches hull their branch sums; `let` locals
+    /// are allowed. Returns `None` (the caller falls back to widening)
+    /// for any other shape — `while`/`for`/`return` in the body,
+    /// non-additive writes, or self-referential deltas.
+    fn for_summary(
+        &mut self,
+        var: &str,
+        elem: &AbsVal,
+        body: &[Stmt],
+        env: &Env,
+    ) -> Option<Vec<(String, Interval)>> {
+        let mut acc = HashSet::new();
+        collect_assigned(body, &mut acc);
+        if acc.is_empty() || acc.contains(var) {
+            return None;
+        }
+        let mut denv = env.clone();
+        for x in &acc {
+            denv.remove(x);
+        }
+        denv.insert(var.to_string(), elem.clone());
+        // Diagnostics come from the caller's scratch pass; suppress
+        // them here so nothing is double-reported.
+        let was = std::mem::replace(&mut self.report, false);
+        let out = self.path_deltas(body, &mut denv, &acc);
+        self.report = was;
+        out.map(|m| m.into_iter().collect())
+    }
+
+    /// Per-variable interval sum of the accumulation deltas along one
+    /// straight-line path: sequential deltas add, `if` alternatives
+    /// hull (a conditionally-skipped accumulation contributes 0).
+    fn path_deltas(
+        &mut self,
+        stmts: &[Stmt],
+        denv: &mut Env,
+        acc: &HashSet<String>,
+    ) -> Option<HashMap<String, Interval>> {
+        let zero = Interval::point(0.0);
+        let mut out: HashMap<String, Interval> = HashMap::new();
+        for s in stmts {
+            match s {
+                Stmt::Let(name, e, _) => {
+                    if acc.contains(name) || expr_mentions(e, acc) {
+                        return None;
+                    }
+                    let v = self.eval(e, denv);
+                    denv.insert(name.clone(), v);
+                }
+                Stmt::Assign(x, e, _) => {
+                    let d = match e {
+                        Expr::Binary(BinOp::Add, l, r, _) => {
+                            if matches!(&**l, Expr::Var(v, _) if v == x) {
+                                r
+                            } else if matches!(&**r, Expr::Var(v, _) if v == x) {
+                                l
+                            } else {
+                                return None;
+                            }
+                        }
+                        _ => return None,
+                    };
+                    if expr_mentions(d, acc) {
+                        return None;
+                    }
+                    let dv = self.eval(d, denv).as_interval();
+                    let cur = out.get(x).copied().unwrap_or(zero);
+                    out.insert(x.clone(), cur.add(dv));
+                }
+                Stmt::If(c, a, b, _) => {
+                    if expr_mentions(c, acc) {
+                        return None;
+                    }
+                    self.eval(c, denv);
+                    let da = self.path_deltas(a, &mut denv.clone(), acc)?;
+                    let db = self.path_deltas(b, &mut denv.clone(), acc)?;
+                    let keys: HashSet<&String> = da.keys().chain(db.keys()).collect();
+                    for k in keys {
+                        let d = da
+                            .get(k)
+                            .copied()
+                            .unwrap_or(zero)
+                            .hull(db.get(k).copied().unwrap_or(zero));
+                        let cur = out.get(k.as_str()).copied().unwrap_or(zero);
+                        out.insert((*k).clone(), cur.add(d));
+                    }
+                }
+                Stmt::Expr(e, _) => {
+                    if expr_mentions(e, acc) {
+                        return None;
+                    }
+                    self.eval(e, denv);
+                }
+                Stmt::Return(..) | Stmt::While(..) | Stmt::For(..) => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Variables written by `=` assignment anywhere in `stmts`.
+fn collect_assigned(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(name, _, _) => {
+                out.insert(name.clone());
+            }
+            Stmt::If(_, a, b, _) => {
+                collect_assigned(a, out);
+                collect_assigned(b, out);
+            }
+            Stmt::For(_, _, body, _) | Stmt::While(_, body, _) => collect_assigned(body, out),
+            Stmt::Let(..) | Stmt::Return(..) | Stmt::Expr(..) => {}
+        }
+    }
+}
+
+/// Whether `e` reads any variable in `names`.
+fn expr_mentions(e: &Expr, names: &HashSet<String>) -> bool {
+    match e {
+        Expr::Var(name, _) => names.contains(name),
+        Expr::Field(b, _, _) => expr_mentions(b, names),
+        Expr::Index(b, i, _) => expr_mentions(b, names) || expr_mentions(i, names),
+        Expr::Unary(_, inner, _) => expr_mentions(inner, names),
+        Expr::Binary(_, l, r, _) => expr_mentions(l, names) || expr_mentions(r, names),
+        Expr::Call(_, args, _) => args.iter().any(|a| expr_mentions(a, names)),
+        Expr::List(items, _) => items.iter().any(|i| expr_mentions(i, names)),
+        Expr::Record(fs, _) => fs.iter().any(|(_, v)| expr_mentions(v, names)),
+        Expr::Num(..) | Expr::Str(..) | Expr::Bool(..) => false,
     }
 }
 
@@ -987,6 +1253,192 @@ fn collect_fields(
     }
 }
 
+// ---------------------------------------------------------------------
+// Workload boxes and bound extraction (perf-xcheck layer 1)
+// ---------------------------------------------------------------------
+
+/// A *workload box*: the abstract shape of every workload an
+/// accelerator declares it accepts. Scalars are intervals, lists carry
+/// an element box plus a length interval, and records mirror the
+/// workload's field structure. [`bound_fn`] evaluates a `.pi` function
+/// over a box and returns a guaranteed enclosure of its result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoxVal {
+    /// A scalar feature constrained to an interval.
+    Num(Interval),
+    /// A list whose every element fits `elem` and whose length lies in
+    /// `len`.
+    List {
+        /// Box every element is drawn from.
+        elem: Box<BoxVal>,
+        /// Interval the list length lies in (clamped to `>= 0`).
+        len: Interval,
+    },
+    /// A record with per-field boxes, in declaration order.
+    Record(Vec<(String, BoxVal)>),
+}
+
+impl BoxVal {
+    /// Scalar box `[lo, hi]`.
+    pub fn num(lo: f64, hi: f64) -> BoxVal {
+        BoxVal::Num(Interval::new(lo, hi))
+    }
+
+    /// Scalar box pinned to a single value.
+    pub fn point(v: f64) -> BoxVal {
+        BoxVal::Num(Interval::point(v))
+    }
+
+    /// List box with element shape `elem` and length in `[lo, hi]`.
+    pub fn list(elem: BoxVal, lo: f64, hi: f64) -> BoxVal {
+        BoxVal::List {
+            elem: Box::new(elem),
+            len: Interval::new(lo, hi),
+        }
+    }
+
+    /// Record box from `(field, box)` pairs.
+    pub fn record(fields: impl IntoIterator<Item = (&'static str, BoxVal)>) -> BoxVal {
+        BoxVal::Record(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Returns the box for `name` if this is a record containing it.
+    pub fn field(&self, name: &str) -> Option<&BoxVal> {
+        match self {
+            BoxVal::Record(fs) => fs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Replaces (or appends) the box for record field `name`. No-op on
+    /// non-records. Used to narrow a box to a pipeline stage's fixed
+    /// fields or to sweep one claim axis.
+    pub fn with_field(mut self, name: &str, val: BoxVal) -> BoxVal {
+        if let BoxVal::Record(fs) = &mut self {
+            if let Some(slot) = fs.iter_mut().find(|(k, _)| k == name) {
+                slot.1 = val;
+            } else {
+                fs.push((name.to_string(), val));
+            }
+        }
+        self
+    }
+
+    /// Concretizes the box into one runtime [`Value`]: scalars take
+    /// `lo + t * (hi - lo)` for `t` in `[0, 1]`, list lengths round the
+    /// interpolated length, records recurse. Returns `None` when any
+    /// bound involved is infinite — such boxes abstract fine but cannot
+    /// be sampled. Used by the xcheck NL probes to test claims with the
+    /// concrete interpreter, no simulation involved.
+    pub fn sample(&self, t: f64) -> Option<Value> {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            BoxVal::Num(iv) => {
+                if !iv.is_finite() {
+                    return None;
+                }
+                Some(Value::num(iv.lo + t * (iv.hi - iv.lo)))
+            }
+            BoxVal::List { elem, len } => {
+                if !len.is_finite() {
+                    return None;
+                }
+                let n = (len.lo + t * (len.hi - len.lo)).round().max(0.0) as usize;
+                let item = elem.sample(t)?;
+                Some(Value::list(vec![item; n]))
+            }
+            BoxVal::Record(fs) => {
+                let mut out = Vec::with_capacity(fs.len());
+                for (k, v) in fs {
+                    out.push((k.clone(), v.sample(t)?));
+                }
+                Some(Value::record_owned(out))
+            }
+        }
+    }
+}
+
+/// Converts a box to the analyzer's abstract domain.
+fn absval_of_box(b: &BoxVal) -> AbsVal {
+    match b {
+        BoxVal::Num(iv) => AbsVal::Num(*iv),
+        BoxVal::List { elem, len } => AbsVal::ListOf {
+            elem: Rc::new(absval_of_box(elem)),
+            len: Interval {
+                lo: len.lo.max(0.0),
+                hi: len.hi.max(0.0),
+            },
+        },
+        BoxVal::Record(fs) => AbsVal::Rec(Rc::new(
+            fs.iter()
+                .map(|(k, v)| (k.clone(), absval_of_box(v)))
+                .collect(),
+        )),
+    }
+}
+
+/// Evaluates function `fname` of `prog` abstractly with its single
+/// workload parameter bound to `arg`, returning a guaranteed interval
+/// enclosure of every value the function can return for workloads
+/// inside the box. Errors if the function is missing or does not take
+/// exactly one parameter; a function that provably never returns a
+/// number yields an error rather than a silent `FULL`.
+pub fn bound_fn(prog: &Program, fname: &str, arg: &BoxVal) -> Result<Interval, String> {
+    bound_call(prog, fname, std::slice::from_ref(arg))
+}
+
+/// Multi-argument form of [`bound_fn`]: each parameter is bound to the
+/// corresponding box. Used for the generated `.pnet` delay wrappers
+/// `__delay(t, ts)`, which take the token payload and the payload list.
+pub fn bound_call(prog: &Program, fname: &str, args: &[BoxVal]) -> Result<Interval, String> {
+    let f = prog
+        .functions
+        .iter()
+        .find(|f| f.name == fname)
+        .ok_or_else(|| format!("no function `{fname}` in program"))?;
+    if f.params.len() != args.len() {
+        return Err(format!(
+            "`{fname}` takes {} parameters but {} boxes were supplied",
+            f.params.len(),
+            args.len()
+        ));
+    }
+    let consts = const_env(prog);
+    let mut sink = Diagnostics::new();
+    let mut az = Analyzer {
+        prog,
+        consts: &consts,
+        out: &mut sink,
+        report: false,
+        stack: vec![f.name.clone()],
+    };
+    let env: Env = f
+        .params
+        .iter()
+        .zip(args)
+        .map(|(p, b)| (p.clone(), absval_of_box(b)))
+        .collect();
+    match az.run_fn(f, env) {
+        AbsVal::Num(iv) => Ok(iv),
+        AbsVal::Bool(_) => Err(format!("`{fname}` returns a boolean, not a latency")),
+        _ => Ok(Interval::NONNEG),
+    }
+}
+
+/// Convenience wrapper: parses `src` and runs [`bound_fn`]. Parse
+/// failures surface as the error string.
+pub fn bound_src(src: &str, fname: &str, arg: &BoxVal) -> Result<Interval, String> {
+    let ast = crate::lexer::lex(src)
+        .and_then(|t| crate::parser::parse(&t))
+        .map_err(|e| e.to_string())?;
+    bound_fn(&ast, fname, arg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1115,6 +1567,142 @@ mod tests {
             assert!(seen.insert(code), "duplicate code {code}");
             assert!(code.starts_with("PIL"));
             assert!(!desc.is_empty());
+        }
+    }
+
+    // -- bound extraction ---------------------------------------------
+
+    #[test]
+    fn bound_scalar_formula() {
+        // jpeg-like affine formula over a scalar box.
+        let b = BoxVal::record([
+            ("size", BoxVal::num(100.0, 200.0)),
+            ("rate", BoxVal::num(2.0, 4.0)),
+        ]);
+        let iv = bound_src(
+            "fn latency_f(w) { return 50 + w.size / w.rate; }",
+            "latency_f",
+            &b,
+        )
+        .unwrap();
+        assert_eq!(iv, Interval::new(75.0, 150.0));
+    }
+
+    #[test]
+    fn bound_accumulation_loop_is_finite() {
+        // The for-summary must give len * delta, not widen to +inf.
+        let b = BoxVal::record([(
+            "items",
+            BoxVal::list(BoxVal::record([("cost", BoxVal::num(3.0, 5.0))]), 2.0, 10.0),
+        )]);
+        let iv = bound_src(
+            "fn latency_f(w) { let t = 7; for x in w.items { t = t + x.cost; } return t; }",
+            "latency_f",
+            &b,
+        )
+        .unwrap();
+        assert!(iv.is_finite(), "widened: {iv:?}");
+        assert_eq!(iv, Interval::new(7.0 + 2.0 * 3.0, 7.0 + 10.0 * 5.0));
+    }
+
+    #[test]
+    fn bound_conditional_accumulation_hulls_with_zero() {
+        // A conditionally-skipped accumulation contributes [0, delta].
+        let b = BoxVal::record([(
+            "items",
+            BoxVal::list(BoxVal::record([("big", BoxVal::num(0.0, 1.0))]), 4.0, 4.0),
+        )]);
+        let iv = bound_src(
+            "fn latency_f(w) { let t = 0; for x in w.items { if x.big > 0 { t = t + 10; } } return t; }",
+            "latency_f",
+            &b,
+        )
+        .unwrap();
+        assert_eq!(iv, Interval::new(0.0, 40.0));
+    }
+
+    #[test]
+    fn bound_len_and_sum_builtins() {
+        let b = BoxVal::record([("items", BoxVal::list(BoxVal::num(1.0, 2.0), 3.0, 5.0))]);
+        let iv = bound_src(
+            "fn latency_f(w) { return len(w.items) * 4 + sum(w.items); }",
+            "latency_f",
+            &b,
+        )
+        .unwrap();
+        assert_eq!(
+            iv,
+            Interval::new(3.0 * 4.0 + 3.0 * 1.0, 5.0 * 4.0 + 5.0 * 2.0)
+        );
+    }
+
+    #[test]
+    fn bound_fn_rejects_bad_signatures() {
+        let src = "fn two(a, b) { return a + b; }";
+        let ast = parse(&lex(src).unwrap()).unwrap();
+        assert!(bound_fn(&ast, "missing", &BoxVal::point(1.0)).is_err());
+        assert!(bound_fn(&ast, "two", &BoxVal::point(1.0)).is_err());
+    }
+
+    #[test]
+    fn bound_fn_does_not_emit_diagnostics() {
+        // report=false: extraction must stay silent even over code that
+        // would lint (dead branch under the box).
+        let b = BoxVal::record([("size", BoxVal::num(1.0, 2.0))]);
+        let iv = bound_src(
+            "fn latency_f(w) { if w.size < 100 { return w.size; } return 1000; }",
+            "latency_f",
+            &b,
+        )
+        .unwrap();
+        assert!(iv.lo >= 1.0 && iv.hi <= 1000.0, "{iv:?}");
+    }
+
+    #[test]
+    fn box_sampling_concretizes_endpoints() {
+        let b = BoxVal::record([
+            ("size", BoxVal::num(10.0, 20.0)),
+            ("items", BoxVal::list(BoxVal::point(1.0), 0.0, 4.0)),
+        ]);
+        let lo = b.sample(0.0).unwrap();
+        let hi = b.sample(1.0).unwrap();
+        assert_eq!(lo.field("size").unwrap().as_num(), Some(10.0));
+        assert_eq!(hi.field("size").unwrap().as_num(), Some(20.0));
+        assert_eq!(lo.field("items").unwrap().as_list().unwrap().len(), 0);
+        assert_eq!(hi.field("items").unwrap().as_list().unwrap().len(), 4);
+        // Unbounded boxes cannot be sampled.
+        assert!(BoxVal::num(0.0, f64::INFINITY).sample(0.5).is_none());
+    }
+
+    #[test]
+    fn sampled_values_fall_inside_extracted_bounds() {
+        // Soundness spot-check: concrete runs at several box points must
+        // land inside the abstract enclosure.
+        let src = "fn latency_f(w) { let t = 12; for x in w.items { if x.kind > 0 { t = t + x.cost * 2; } else { t = t + x.cost; } } return t + w.size / 8; }";
+        let b = BoxVal::record([
+            ("size", BoxVal::num(64.0, 512.0)),
+            (
+                "items",
+                BoxVal::list(
+                    BoxVal::record([
+                        ("kind", BoxVal::num(0.0, 1.0)),
+                        ("cost", BoxVal::num(2.0, 9.0)),
+                    ]),
+                    1.0,
+                    6.0,
+                ),
+            ),
+        ]);
+        let iv = bound_src(src, "latency_f", &b).unwrap();
+        assert!(iv.is_finite(), "{iv:?}");
+        let prog = crate::Program::parse(src).unwrap();
+        for i in 0..=4 {
+            let w = b.sample(i as f64 / 4.0).unwrap();
+            let got = prog.call("latency_f", &[w]).unwrap().as_num().unwrap();
+            assert!(
+                iv.lo <= got && got <= iv.hi,
+                "sample {i}: {got} outside {iv:?}"
+            );
         }
     }
 }

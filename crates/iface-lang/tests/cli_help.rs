@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const SUBCOMMANDS: [&str; 4] = ["check", "lint", "fmt", "run"];
+const SUBCOMMANDS: [&str; 5] = ["check", "lint", "verify", "fmt", "run"];
 
 fn run(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_pil"))

@@ -11,6 +11,7 @@ use crate::compile::{compile_fn, CExpr};
 use crate::token::Token;
 use crate::PetriError;
 use perf_iface_lang::interp::eval_consts;
+use perf_iface_lang::lint::Interval;
 use perf_iface_lang::{Interp, Limits, Program, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -95,6 +96,28 @@ impl Behavior {
                     Some(true)
                 } else {
                     e.const_fn_value("__guard").and_then(|v| v.as_bool())
+                }
+            }
+        }
+    }
+
+    /// A guaranteed `[lo, hi]` enclosure of the delay for input tokens
+    /// drawn from the box `tok`, via interval abstract interpretation
+    /// of the `__delay` wrapper ([`perf_iface_lang::lint::bound_call`]
+    /// with `t` bound to `tok` and `ts` to an unbounded list of such
+    /// tokens). Native closures are opaque and enclose to `[0, +inf]`;
+    /// so does any expression the abstract interpreter cannot pin down.
+    /// The engine rejects negative runtime delays, so the lower bound
+    /// is clamped to `>= 0`.
+    pub fn delay_interval(&self, tok: &perf_iface_lang::lint::BoxVal) -> Interval {
+        use perf_iface_lang::lint::{bound_call, BoxVal};
+        match self {
+            Behavior::Native { .. } => Interval::NONNEG,
+            Behavior::Expr(e) => {
+                let ts = BoxVal::list(tok.clone(), 0.0, f64::INFINITY);
+                match bound_call(e.prog.ast(), "__delay", &[tok.clone(), ts]) {
+                    Ok(iv) => Interval::new(iv.lo.max(0.0), iv.hi.max(0.0)),
+                    Err(_) => Interval::NONNEG,
                 }
             }
         }

@@ -3,6 +3,10 @@
 //! ```text
 //! pnet check FILE                                 # parse + structural report
 //! pnet lint FILE [--entry PLACE]... [--json]      # static perf-lint analyses
+//! pnet bound FILE [--entry PLACE]... [--json] [field=LO..HI...]
+//!                                                 # structural latency floor +
+//!                                                 # throughput ceiling, no
+//!                                                 # simulation
 //! pnet dot FILE                                   # Graphviz to stdout
 //! pnet run FILE PLACE N [field=VAL...]            # inject N tokens, simulate
 //! pnet trace FILE PLACE N [--folded] [field=VAL...]
@@ -15,6 +19,7 @@
 //! code 1; the tool never panics on user-supplied files.
 
 use perf_core::diag::{Diagnostic, Diagnostics};
+use perf_iface_lang::lint::BoxVal;
 use perf_iface_lang::Value;
 use perf_petri::engine::{Engine, Options};
 use perf_petri::token::Token;
@@ -33,9 +38,20 @@ usage:
   pnet lint FILE [--entry PLACE]... [--json]
                                         static perf-lint analyses;
                                         --entry marks token-injection
-                                        places for reachability,
-                                        --json renders diagnostics as
-                                        JSON; exit 1 on errors
+                                        places for reachability (inferred
+                                        from the net structure when
+                                        omitted), --json renders
+                                        diagnostics as JSON; exit 1 on
+                                        errors
+  pnet bound FILE [--entry PLACE]... [--json] [field=LO..HI...]
+                                        structural bounds without
+                                        simulation: critical-path latency
+                                        floor and bottleneck throughput
+                                        ceiling, valid for every token
+                                        whose payload fields lie in the
+                                        given LO..HI boxes (field=V pins
+                                        a point; unlisted fields are
+                                        unconstrained)
   pnet dot FILE                         Graphviz rendering to stdout
   pnet run FILE PLACE N [field=VAL...]  inject N tokens at PLACE and
                                         simulate to completion
@@ -48,7 +64,8 @@ usage:
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pnet check FILE | pnet lint FILE [--entry PLACE]... [--json] | pnet dot FILE \
+        "usage: pnet check FILE | pnet lint FILE [--entry PLACE]... [--json] \
+         | pnet bound FILE [--entry PLACE]... [--json] [field=LO..HI...] | pnet dot FILE \
          | pnet run FILE PLACE N [field=VAL...] | pnet trace FILE PLACE N [--folded] [field=VAL...] \
          | pnet --help"
     );
@@ -188,6 +205,20 @@ fn main() {
                     ),
                 }
             }
+            if entry_ids.is_empty() {
+                // Surface what the reachability lints will assume: the
+                // structurally-inferred injection places.
+                let inferred: Vec<&str> = lint::infer_entries(&net)
+                    .into_iter()
+                    .map(|id| net.places()[id.index()].name.as_str())
+                    .collect();
+                if !inferred.is_empty() {
+                    eprintln!(
+                        "pnet: no --entry given; inferred entry places: {}",
+                        inferred.join(", ")
+                    );
+                }
+            }
             let mut ds = lint::lint(
                 &net,
                 if entry_ids.is_empty() {
@@ -204,6 +235,126 @@ fn main() {
             }
             if ds.has_errors() {
                 std::process::exit(1);
+            }
+        }
+        Some("bound") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let json = rest.iter().any(|a| a == "--json");
+            rest.retain(|a| a != "--json");
+            let mut entries: Vec<String> = Vec::new();
+            let mut operands: Vec<String> = Vec::new();
+            let mut it = rest.into_iter();
+            while let Some(a) = it.next() {
+                if a == "--entry" {
+                    match it.next() {
+                        Some(p) => entries.push(p),
+                        None => usage(),
+                    }
+                } else {
+                    operands.push(a);
+                }
+            }
+            let Some((path, field_specs)) = operands.split_first() else {
+                usage()
+            };
+            let net = load(path);
+            let mut fields: Vec<(String, BoxVal)> = Vec::new();
+            for pair in field_specs {
+                let Some((k, v)) = pair.split_once('=') else {
+                    eprintln!("pnet: expected field=LO..HI or field=VALUE, got `{pair}`");
+                    std::process::exit(2);
+                };
+                let iv = if let Some((lo, hi)) = v.split_once("..") {
+                    match (lo.parse::<f64>(), hi.parse::<f64>()) {
+                        (Ok(lo), Ok(hi)) if lo <= hi => BoxVal::num(lo, hi),
+                        _ => {
+                            eprintln!("pnet: bad interval in `{pair}` (want LO..HI, LO <= HI)");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    match v.parse::<f64>() {
+                        Ok(n) => BoxVal::point(n),
+                        Err(_) => {
+                            eprintln!("pnet: non-numeric value in `{pair}`");
+                            std::process::exit(2);
+                        }
+                    }
+                };
+                fields.push((k.to_string(), iv));
+            }
+            let mut entry_ids = Vec::new();
+            for e in &entries {
+                match net.place_id(e) {
+                    Some(id) => entry_ids.push(id),
+                    None => fail(
+                        Diagnostic::error("PN003", format!("no place `{e}` for --entry"))
+                            .with_origin(path),
+                        json,
+                    ),
+                }
+            }
+            let inferred = entry_ids.is_empty();
+            if inferred {
+                entry_ids = lint::infer_entries(&net);
+            }
+            let res = if fields.is_empty() {
+                perf_petri::bounds_any(&net, Some(&entry_ids))
+            } else {
+                let tok = fields
+                    .into_iter()
+                    .fold(BoxVal::record([]), |bx, (k, iv)| bx.with_field(&k, iv));
+                perf_petri::bounds(&net, Some(&entry_ids), &tok)
+            };
+            let nb =
+                res.unwrap_or_else(|e| fail(Diagnostic::error("PN003", e).with_origin(path), json));
+            if json {
+                // Non-finite bounds (an unconstrained token box) become
+                // JSON null rather than the invalid literal `inf`.
+                let num = |v: f64| {
+                    if v.is_finite() {
+                        v.to_string()
+                    } else {
+                        "null".to_string()
+                    }
+                };
+                let delays: Vec<String> = nb
+                    .delays
+                    .iter()
+                    .map(|(n, iv)| {
+                        format!(
+                            "{{\"transition\":{n:?},\"lo\":{},\"hi\":{}}}",
+                            num(iv.lo),
+                            num(iv.hi)
+                        )
+                    })
+                    .collect();
+                let entries_json: Vec<String> =
+                    nb.entries.iter().map(|e| format!("{e:?}")).collect();
+                println!(
+                    "{{\"net\":{:?},\"entries\":[{}],\"entries_inferred\":{},\
+                     \"latency_floor\":{},\"throughput_ceiling\":{},\"delays\":[{}]}}",
+                    net.name,
+                    entries_json.join(","),
+                    inferred,
+                    num(nb.latency_lo),
+                    num(nb.throughput_hi),
+                    delays.join(",")
+                );
+            } else {
+                println!("{path}: net `{}`", net.name);
+                println!(
+                    "  entries:            {}{}",
+                    nb.entries.join(", "),
+                    if inferred { " (inferred)" } else { "" }
+                );
+                println!("  latency floor:      {} cycles", nb.latency_lo);
+                println!("  throughput ceiling: {} items/cycle", nb.throughput_hi);
+                println!("  transition delays:");
+                let width = nb.delays.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+                for (name, iv) in &nb.delays {
+                    println!("    {name:width$}  [{}, {}]", iv.lo, iv.hi);
+                }
             }
         }
         Some("dot") if args.len() == 2 => {

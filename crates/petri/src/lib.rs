@@ -56,6 +56,7 @@
 
 pub mod analysis;
 pub mod behavior;
+pub mod bound;
 pub mod compile;
 pub mod components;
 pub mod compose;
@@ -68,6 +69,7 @@ pub mod text;
 pub mod token;
 pub mod trace;
 
+pub use bound::{bounds, bounds_any, NetBounds};
 pub use engine::{Engine, Options, SimResult};
 pub use net::{Net, NetBuilder, PlaceId, TransId};
 pub use stepper::{CompiledNet, ExecSession, NetExec, Stepper};

@@ -147,10 +147,8 @@ pub fn lint(net: &Net, entries: Option<&[PlaceId]>) -> Diagnostics {
             }
         }
         None => {
-            for (i, m) in marked.iter_mut().enumerate() {
-                if net.producers[i].is_empty() && !net.places()[i].is_sink {
-                    *m = true;
-                }
+            for p in infer_entries(net) {
+                marked[p.index()] = true;
             }
         }
     }
@@ -164,6 +162,19 @@ pub fn lint(net: &Net, entries: Option<&[PlaceId]>) -> Diagnostics {
     trap_report(net, &covered, &mut out);
     out.sort();
     out
+}
+
+/// Structurally source-like places: no producing transition and not a
+/// sink. These are the spots a harness must inject tokens into for
+/// anything downstream to happen, so marking-dependent analyses (and
+/// the [`crate::bound`] extractor) assume them as entries when none are
+/// declared. `pnet lint` reports the inferred set so a markless lint run
+/// is explicit about the assumption instead of silently skipping.
+pub fn infer_entries(net: &Net) -> Vec<PlaceId> {
+    (0..net.places().len())
+        .filter(|&i| net.producers[i].is_empty() && !net.places()[i].is_sink)
+        .map(PlaceId)
+        .collect()
 }
 
 /// PN102 orphan places and PN101 dead ends.

@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const SUBCOMMANDS: [&str; 5] = ["check", "lint", "dot", "run", "trace"];
+const SUBCOMMANDS: [&str; 6] = ["check", "lint", "bound", "dot", "run", "trace"];
 const LINT_FLAGS: [&str; 2] = ["--entry", "--json"];
 
 fn run(args: &[&str]) -> std::process::Output {

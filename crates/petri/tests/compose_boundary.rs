@@ -1,0 +1,112 @@
+//! Composition-boundary mutation corpus.
+//!
+//! `compose()` fuses boundary places with min-capacity and
+//! both-must-be-sinks semantics precisely so that gluing cannot
+//! silently weaken either component's model. These tests seed the
+//! classic boundary mistakes — capacity mismatches that make a
+//! downstream burst impossible, and sink-to-sink fusions that cut a
+//! component off from its token supply — and assert the structural
+//! lints (`PN0xx`/`PN1xx`) catch every one.
+
+use perf_petri::compose::compose;
+use perf_petri::lint::lint;
+use perf_petri::text::parse;
+
+fn net(src: &str) -> perf_petri::Net {
+    parse(src).expect("component net parses")
+}
+
+/// Correct-by-construction baseline: producer's `out` glued onto
+/// consumer's `in`, capacities compatible, downstream still reachable.
+#[test]
+fn healthy_glue_lints_clean() {
+    let a =
+        net("net a\nplace in_a\nplace out_a cap 4\ntrans ta\n  in in_a\n  out out_a\n  delay 1\n");
+    let b = net("net b\nplace in_b cap 4\nsink done\ntrans tb\n  in in_b\n  out done\n  delay 1\n");
+    let g = compose(a, b, &[("out_a", "in_b")], "glued").unwrap();
+    let entries = [g.place_id("in_a").unwrap()];
+    let ds = lint(&g, Some(&entries));
+    assert!(!ds.has_errors(), "{}", ds.render());
+}
+
+/// Fused boundary capacity is the min of the two sides: neither
+/// component ever sees more buffered tokens than its own model allowed.
+#[test]
+fn boundary_capacity_takes_the_min() {
+    let a =
+        net("net a\nplace in_a\nplace out_a cap 2\ntrans ta\n  in in_a\n  out out_a\n  delay 1\n");
+    let b = net("net b\nplace in_b cap 8\nsink done\ntrans tb\n  in in_b\n  out done\n  delay 1\n");
+    let g = compose(a, b, &[("out_a", "in_b")], "glued").unwrap();
+    let fused = g.place_id("out_a").unwrap();
+    assert_eq!(g.places()[fused.index()].capacity, Some(2));
+}
+
+/// Mutation: the consumer drains the boundary in bursts of 4, but the
+/// producer's boundary model is capped at 2 — after min-fusion the
+/// burst can never be enabled. `PN105` (arc weight exceeds place
+/// capacity) must fire, and `PN104` marks the starved transition dead.
+#[test]
+fn mismatched_boundary_capacity_burst_is_pn105() {
+    let a =
+        net("net a\nplace in_a\nplace out_a cap 2\ntrans ta\n  in in_a\n  out out_a\n  delay 1\n");
+    let b =
+        net("net b\nplace in_b cap 8\nsink done\ntrans tb\n  in in_b x 4\n  out done\n  delay 1\n");
+    let g = compose(a, b, &[("out_a", "in_b")], "glued").unwrap();
+    let entries = [g.place_id("in_a").unwrap()];
+    let ds = lint(&g, Some(&entries));
+    assert!(ds.find("PN105").is_some(), "{}", ds.render());
+}
+
+/// Mutation: gluing the producer's sink onto the consumer's *sink*
+/// (instead of its input) leaves the consumer's real input place with
+/// no token source: an initially-unmarked siphon that kills its
+/// transition. `PN103`/`PN104` must fire.
+#[test]
+fn sink_to_sink_fusion_starves_the_consumer() {
+    let a = net("net a\nplace in_a\nsink out_a\ntrans ta\n  in in_a\n  out out_a\n  delay 1\n");
+    let b = net("net b\nplace in_b\nsink done\ntrans tb\n  in in_b\n  out done\n  delay 1\n");
+    let g = compose(a, b, &[("out_a", "done")], "glued").unwrap();
+    let entries = [g.place_id("in_a").unwrap()];
+    let ds = lint(&g, Some(&entries));
+    assert!(
+        ds.find("PN103").is_some() || ds.find("PN104").is_some(),
+        "{}",
+        ds.render()
+    );
+    // The fused place stays a sink — both sides were sinks — so the
+    // consumer's pipeline is provably dead, not merely re-routed.
+    let fused = g.place_id("out_a").unwrap();
+    assert!(g.places()[fused.index()].is_sink);
+}
+
+/// Gluing a sink onto a *consumed* place clears the sink flag: tokens
+/// flow onward instead of completing at the boundary.
+#[test]
+fn sink_to_input_fusion_clears_the_sink_flag() {
+    let a = net("net a\nplace in_a\nsink out_a\ntrans ta\n  in in_a\n  out out_a\n  delay 1\n");
+    let b = net("net b\nplace in_b\nsink done\ntrans tb\n  in in_b\n  out done\n  delay 1\n");
+    let g = compose(a, b, &[("out_a", "in_b")], "glued").unwrap();
+    let fused = g.place_id("out_a").unwrap();
+    assert!(!g.places()[fused.index()].is_sink);
+}
+
+/// Mutation: glue names that don't exist on either side are hard
+/// errors, not silent no-ops.
+#[test]
+fn unknown_glue_places_are_rejected() {
+    const A: &str = "net a\nplace in_a\nsink out_a\ntrans ta\n  in in_a\n  out out_a\n  delay 1\n";
+    const B: &str = "net b\nplace in_b\nsink done\ntrans tb\n  in in_b\n  out done\n  delay 1\n";
+    assert!(compose(net(A), net(B), &[("nope", "in_b")], "g").is_err());
+    assert!(compose(net(A), net(B), &[("out_a", "nope")], "g").is_err());
+}
+
+/// Mutation: double-gluing one consumer place onto two producer places
+/// is rejected — a fused place must have exactly one identity.
+#[test]
+fn double_glue_is_rejected() {
+    let a = net(
+        "net a\nplace in_a\nsink out_a\nsink out_a2\ntrans ta\n  in in_a\n  out out_a\n  delay 1\ntrans ta2\n  in in_a\n  out out_a2\n  delay 1\n",
+    );
+    let b = net("net b\nplace in_b\nsink done\ntrans tb\n  in in_b\n  out done\n  delay 1\n");
+    assert!(compose(a, b, &[("out_a", "in_b"), ("out_a2", "in_b")], "g").is_err());
+}

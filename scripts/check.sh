@@ -28,9 +28,15 @@ if [[ "$quick" == "1" ]]; then
 fi
 
 cargo clippy --workspace --all-targets -- -D warnings
-# Static perf-lint audit of every shipped .pnet net and .pi program;
-# exits nonzero on any error- or warning-severity finding.
+# Static perf-lint audit of every shipped .pnet net and .pi program
+# (plus the demo composite's glued net); exits nonzero on any error-
+# or warning-severity finding.
 cargo run --release -p perf-bench --bin repro -- --lint-all
+# Cross-tier consistency audit: NL claims vs. program-tier interval
+# bounds vs. Petri-net structural bounds for every accelerator and the
+# demo composite, proven statically — no simulation. Exits nonzero on
+# any error or warning.
+cargo run --release -p perf-bench --bin repro -- --xcheck
 # Differential conformance gate: every interface representation against
 # its cycle-accurate simulator (nominal + fault-injected), fast seeds,
 # all four accelerators. Exits nonzero past the recorded error budgets.

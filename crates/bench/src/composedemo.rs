@@ -10,6 +10,7 @@
 
 use perf_compose::{Composite, StreamParams, Topology};
 use perf_conformance::harness::run_subject;
+use perf_conformance::subjects::dag::DagSubject;
 use perf_conformance::subjects::pipeline::PipelineSubject;
 use perf_core::query::EngineChoice;
 
@@ -37,6 +38,57 @@ instance = "serialize"
 queue = 4
 "#;
 
+/// The demo fan-out/fan-in SoC config: a replicated decode stage
+/// round-robining its stream across a miner branch and a packer
+/// branch, which merge back into one serializer. Written with explicit
+/// `[[edge]]` tables — the DAG form of the config format.
+pub const DEMO_DAG_TOPOLOGY: &str = r#"
+# Demo SoC, branched: decode fans out over two unlike branches that
+# merge into a final serializer.
+name = "demo-soc-dag"
+
+[[stage]]
+accel = "vta"
+instance = "decode"
+queue = 3
+replicas = 2
+
+[[stage]]
+accel = "bitcoin-miner"
+instance = "scan"
+queue = 2
+kind = "scan"
+fields = { loop = 4, nonce_count = 8, difficulty = 512, seed = 5 }
+
+[[stage]]
+accel = "protoacc"
+instance = "pack"
+queue = 2
+
+[[stage]]
+accel = "protoacc"
+instance = "serialize"
+queue = 4
+
+[[edge]]
+from = "decode"
+to = "scan"
+policy = "round-robin"
+
+[[edge]]
+from = "decode"
+to = "pack"
+policy = "round-robin"
+
+[[edge]]
+from = "scan"
+to = "serialize"
+
+[[edge]]
+from = "pack"
+to = "serialize"
+"#;
+
 /// Outcome of the compose smoke run.
 pub struct ComposeDemo {
     /// Human-readable report, one line per check.
@@ -52,46 +104,51 @@ fn check(report: &mut String, pass: &mut bool, ok: bool, line: &str) {
     *pass &= ok;
 }
 
-/// Runs the compose smoke. `quick` shrinks stream lengths and the
-/// conformance sweep; the checks themselves are identical.
-pub fn run(quick: bool) -> ComposeDemo {
-    let mut report = String::from("repro --compose: composite pipeline smoke\n");
-    let mut pass = true;
-
-    let topo = match Topology::parse_toml(DEMO_TOPOLOGY) {
+/// Runs the shared per-topology checks — parse, config lint, net
+/// lint, engine agreement, tier cross-check — appending one report
+/// line per check.
+fn smoke_topology(report: &mut String, pass: &mut bool, src: &str, quick: bool) {
+    let topo = match Topology::parse_toml(src) {
         Ok(t) => t,
         Err(e) => {
-            return ComposeDemo {
-                report: format!("{report}  FAIL  parse demo topology: {e}\n"),
-                pass: false,
-            };
+            check(report, pass, false, &format!("parse demo topology: {e}"));
+            return;
         }
     };
     report.push_str(&format!(
-        "  topology `{}`: {} ({} stages)\n",
+        "  topology `{}`: {} ({} stages, {} edges)\n",
         topo.name,
         topo.chain_label(),
-        topo.stages.len()
+        topo.stages.len(),
+        topo.edges.len()
     ));
+
+    // Config-level lint catches graph pathologies (PC006 cycles,
+    // PC007 orphans, PC008 policy mismatches) before any net exists.
+    let cfg = perf_compose::lint::lint_toml("demo", src);
+    check(
+        report,
+        pass,
+        !cfg.has_errors(),
+        "config lint of the demo topology is clean",
+    );
 
     let mut comp = match Composite::new(topo, EngineChoice::Compiled) {
         Ok(c) => c,
         Err(e) => {
-            return ComposeDemo {
-                report: format!("{report}  FAIL  build composite: {e}\n"),
-                pass: false,
-            };
+            check(report, pass, false, &format!("build composite: {e}"));
+            return;
         }
     };
 
     match comp.lint_net() {
         Ok(d) => check(
-            &mut report,
-            &mut pass,
+            report,
+            pass,
             !d.has_errors(),
             "pnet lint of the glued net is clean",
         ),
-        Err(e) => check(&mut report, &mut pass, false, &format!("lint: {e}")),
+        Err(e) => check(report, pass, false, &format!("lint: {e}")),
     }
 
     // Incremental and compiled engines must agree exactly on the
@@ -100,14 +157,14 @@ pub fn run(quick: bool) -> ComposeDemo {
     let stream = StreamParams { items, seed: 7 };
     match comp.petri_makespan_both(&stream) {
         Ok((interp, compiled)) => check(
-            &mut report,
-            &mut pass,
+            report,
+            pass,
             interp == compiled,
             &format!(
                 "engines agree on composite makespan: interpreted {interp} == compiled {compiled}"
             ),
         ),
-        Err(e) => check(&mut report, &mut pass, false, &format!("makespan: {e}")),
+        Err(e) => check(report, pass, false, &format!("makespan: {e}")),
     }
 
     // Tier cross-check: the ground-truth stream makespan must fall
@@ -123,23 +180,34 @@ pub fn run(quick: bool) -> ComposeDemo {
     match tiers {
         Ok((actual, lo, hi, prog)) => {
             check(
-                &mut report,
-                &mut pass,
+                report,
+                pass,
                 lo <= actual && actual <= hi,
                 &format!("NL bounds [{lo:.0}, {hi:.0}] contain measured makespan {actual:.0}"),
             );
             check(
-                &mut report,
-                &mut pass,
+                report,
+                pass,
                 prog > 0.0 && (prog - actual).abs() / actual < 0.5,
                 &format!("program-tier recurrence {prog:.0} within 50% of measured {actual:.0}"),
             );
         }
-        Err(e) => check(&mut report, &mut pass, false, &format!("tiers: {e}")),
+        Err(e) => check(report, pass, false, &format!("tiers: {e}")),
     }
+}
 
-    // The composite conformance subject under the full Budget
-    // machinery: nominal channels plus per-stage fault injection.
+/// Runs the compose smoke. `quick` shrinks stream lengths and the
+/// conformance sweep; the checks themselves are identical.
+pub fn run(quick: bool) -> ComposeDemo {
+    let mut report = String::from("repro --compose: composite pipeline smoke\n");
+    let mut pass = true;
+
+    smoke_topology(&mut report, &mut pass, DEMO_TOPOLOGY, quick);
+    smoke_topology(&mut report, &mut pass, DEMO_DAG_TOPOLOGY, quick);
+
+    // The composite conformance subjects under the full Budget
+    // machinery: nominal channels plus per-stage fault injection, over
+    // the linear chain and the branched DAG.
     let accel = run_subject(&mut PipelineSubject::new(), true);
     check(
         &mut report,
@@ -153,6 +221,20 @@ pub fn run(quick: bool) -> ComposeDemo {
     );
     if !accel.pass() {
         report.push_str(&accel.diags.render());
+    }
+    let dag = run_subject(&mut DagSubject::new(), true);
+    check(
+        &mut report,
+        &mut pass,
+        dag.pass(),
+        &format!(
+            "DAG conformance (quick): {} cases, {} fault regions",
+            dag.cases,
+            dag.faults.len()
+        ),
+    );
+    if !dag.pass() {
+        report.push_str(&dag.diags.render());
     }
 
     report.push_str(if pass {
@@ -179,9 +261,26 @@ mod tests {
     }
 
     #[test]
+    fn dag_demo_topology_parses_to_a_diamond() {
+        let t = Topology::parse_toml(DEMO_DAG_TOPOLOGY).unwrap();
+        assert_eq!(t.name, "demo-soc-dag");
+        assert_eq!(t.stages.len(), 4);
+        assert_eq!(t.edges.len(), 4);
+        assert_eq!(t.stages[0].replicas, 2);
+        assert!(
+            !t.is_chain(),
+            "explicit fan-out must not degrade to a chain"
+        );
+        t.validate()
+            .expect("shipped DAG config must be well-formed");
+    }
+
+    #[test]
     fn compose_smoke_passes_quick() {
         let demo = run(true);
         assert!(demo.pass, "{}", demo.report);
         assert!(demo.report.contains("engines agree"));
+        assert!(demo.report.contains("demo-soc-dag"));
+        assert!(demo.report.contains("DAG conformance"));
     }
 }

@@ -18,7 +18,7 @@ mod tests {
     fn quick_conformance_passes() {
         let rep = run(true);
         assert!(rep.pass(), "{}", rep.render());
-        assert_eq!(rep.accels.len(), 5);
+        assert_eq!(rep.accels.len(), 6);
         // Every accelerator exercises all four channels nominally and
         // at least one in- and one out-of-contract fault region.
         for a in &rep.accels {

@@ -18,18 +18,8 @@ pub struct XcheckResult {
     pub diagnostics: Diagnostics,
 }
 
-/// Cross-checks every shipped accelerator plus the demo composite
-/// pipeline.
-pub fn xcheck_all() -> Vec<XcheckResult> {
-    let mut out = Vec::new();
-    for accel in perf_xcheck::accels() {
-        out.push(XcheckResult {
-            name: accel.to_string(),
-            diagnostics: perf_xcheck::xcheck_accel(accel)
-                .expect("shipped accelerator names are registered"),
-        });
-    }
-    match Topology::parse_toml(crate::composedemo::DEMO_TOPOLOGY) {
+fn xcheck_demo_config(out: &mut Vec<XcheckResult>, src: &str) {
+    match Topology::parse_toml(src) {
         Ok(topo) => out.push(XcheckResult {
             name: format!("composite `{}`", topo.name),
             diagnostics: perf_xcheck::xcheck_topology(&topo),
@@ -49,6 +39,22 @@ pub fn xcheck_all() -> Vec<XcheckResult> {
             });
         }
     }
+}
+
+/// Cross-checks every shipped accelerator plus the two demo composite
+/// pipelines (linear chain and fan-out/fan-in DAG — the latter runs
+/// the static Petri bound extractor over a *branched* glued net).
+pub fn xcheck_all() -> Vec<XcheckResult> {
+    let mut out = Vec::new();
+    for accel in perf_xcheck::accels() {
+        out.push(XcheckResult {
+            name: accel.to_string(),
+            diagnostics: perf_xcheck::xcheck_accel(accel)
+                .expect("shipped accelerator names are registered"),
+        });
+    }
+    xcheck_demo_config(&mut out, crate::composedemo::DEMO_TOPOLOGY);
+    xcheck_demo_config(&mut out, crate::composedemo::DEMO_DAG_TOPOLOGY);
     out
 }
 
@@ -94,15 +100,15 @@ mod tests {
     fn shipped_artifacts_are_cross_tier_consistent() {
         let (report, clean) = report(false);
         assert!(clean, "{report}");
-        // Four accelerators plus the composite demo.
-        assert_eq!(xcheck_all().len(), 5);
+        // Four accelerators plus the chain and DAG composite demos.
+        assert_eq!(xcheck_all().len(), 6);
     }
 
     #[test]
     fn json_report_is_one_object_per_target() {
         let (report, clean) = report(true);
         assert!(clean, "{report}");
-        assert_eq!(report.lines().count(), 5);
+        assert_eq!(report.lines().count(), 6);
         for line in report.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }

@@ -160,6 +160,40 @@ mod tests {
     }
 
     #[test]
+    fn backend_accepts_dag_chain_specs() {
+        let mut b = PipelineBackend::from_chain(
+            "vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3",
+            EngineChoice::Compiled,
+        )
+        .unwrap();
+        assert_eq!(
+            b.accel(),
+            "pipe:vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3",
+            "layered DAGs keep a round-trippable service name"
+        );
+        let spec = WorkloadSpec::new("stream")
+            .with("items", 5.0)
+            .with("seed", 2.0);
+        let actual = Metric::Latency.of(&b.measure(&spec).unwrap());
+        assert!(actual > 0.0);
+        for repr in [
+            InterfaceKind::NaturalLanguage,
+            InterfaceKind::Program,
+            InterfaceKind::PetriNet,
+        ] {
+            let p = b.predict(&spec, repr, Metric::Latency).unwrap();
+            assert!(p.is_finite(), "{repr:?}: {p}");
+        }
+        let nl = b
+            .predict(&spec, InterfaceKind::NaturalLanguage, Metric::Latency)
+            .unwrap();
+        let petri = b
+            .predict(&spec, InterfaceKind::PetriNet, Metric::Latency)
+            .unwrap();
+        assert!(nl.contains(petri.midpoint()), "nl {nl} vs petri {petri}");
+    }
+
+    #[test]
     fn non_stream_specs_are_rejected() {
         let mut b = PipelineBackend::from_chain("vta:2", EngineChoice::Interpreted).unwrap();
         assert!(b.measure(&WorkloadSpec::new("random")).is_err());

@@ -8,12 +8,14 @@
 //! model. This crate makes that concrete:
 //!
 //! 1. [`Topology`] — a tiny TOML config (or a `a:4>b:8` one-liner)
-//!    naming accelerator instances and the bounded queues between
-//!    them.
+//!    naming accelerator instances, the bounded queues between them,
+//!    and — via `[[edge]]` tables or `(a|b)` chain groups — fan-out/
+//!    fan-in DAG shapes with round-robin or broadcast distribution and
+//!    per-stage server replication.
 //! 2. [`Composite`] — realizes a topology twice: a cycle-accurate
-//!    chained system (`crates/sim` FIFO pipeline over per-stage
-//!    measured costs) as ground truth, and a composite Petri net built
-//!    by gluing per-stage component nets through
+//!    system (`crates/sim` FIFO pipeline or DAG pipeline over
+//!    per-stage measured costs) as ground truth, and a composite Petri
+//!    net built by gluing per-stage component nets through
 //!    [`perf_petri::compose`], where shared boundary places carry the
 //!    queue capacities and backpressure is structural.
 //! 3. [`PipelineBackend`] — the composite as a [`QueryBackend`], so
@@ -32,5 +34,7 @@ pub mod model;
 pub mod topology;
 
 pub use backend::PipelineBackend;
-pub use model::{accel_backend, pipeline_makespan, Composite, StreamParams};
-pub use topology::{StageCfg, Topology};
+pub use model::{
+    accel_backend, dag_makespan, pipeline_makespan, Composite, DagPlan, Job, StreamParams,
+};
+pub use topology::{EdgeCfg, Policy, StageCfg, Topology};

@@ -16,7 +16,7 @@
 //! without failing `repro --xcheck`.
 
 use crate::model::accel_backend;
-use crate::topology::{default_template, StageCfg, Topology, MAX_ITEMS};
+use crate::topology::{default_template, GraphIssue, Policy, StageCfg, Topology, MAX_ITEMS};
 use perf_core::diag::{Diagnostic, Diagnostics};
 use perf_core::query::EngineChoice;
 use perf_iface_lang::lint::{bound_src, BoxVal};
@@ -42,6 +42,21 @@ pub const TOPOLOGY_CODES: &[(&str, &str)] = &[
     ),
     ("PC004", "unknown accelerator name in a stage"),
     ("PC005", "topology config failed to parse or validate"),
+    (
+        "PC006",
+        "edge graph has a cycle (including self-loops): a pipeline's stage \
+         graph must be a DAG",
+    ),
+    (
+        "PC007",
+        "broken stream path: no injection point, more than one, or a stage \
+         the stream can never reach",
+    ),
+    (
+        "PC008",
+        "fan-out policy mismatch: one producer's out-edges declare \
+         conflicting round-robin/broadcast policies",
+    ),
 ];
 
 /// The stage's throughput ceiling from its accelerator's *program*
@@ -90,6 +105,45 @@ fn stage_tput_ceiling(st: &StageCfg) -> Option<f64> {
     }
     let iv = bound_src(src, fname, &bx).ok()?;
     iv.hi.is_finite().then_some(iv.hi)
+}
+
+/// Maps a structural edge-graph issue to its catalog diagnostic,
+/// pointed at the offending `[[edge]]`/`[[stage]]` stanza when the
+/// topology came from TOML.
+fn graph_diag(topo: &Topology, issue: &GraphIssue) -> Diagnostic {
+    let edge_line = |e: usize| topo.edges.get(e).map(|e| e.line).filter(|&l| l > 0);
+    let stage_line = |s: usize| topo.stage_lines.get(s).copied().filter(|&l| l > 0);
+    let (code, line) = match issue {
+        GraphIssue::UnknownEndpoint { edge, .. } | GraphIssue::DuplicateEdge { edge } => {
+            ("PC005", edge_line(*edge))
+        }
+        GraphIssue::SelfLoop { edge } => ("PC006", edge_line(*edge)),
+        GraphIssue::Cycle { stages } => {
+            // Point at the first edge inside the cycle.
+            let line = topo
+                .edges
+                .iter()
+                .find(|e| stages.contains(&e.from) && stages.contains(&e.to))
+                .map(|e| e.line)
+                .filter(|&l| l > 0);
+            ("PC006", line)
+        }
+        GraphIssue::NoSource | GraphIssue::MultiSource { .. } => ("PC007", None),
+        GraphIssue::Unreachable { stage } => ("PC007", stage_line(*stage)),
+        GraphIssue::PolicyMismatch { stage } => {
+            let line = topo
+                .out_edges(*stage)
+                .into_iter()
+                .find(|&e| topo.edges[e].policy.is_some())
+                .and_then(edge_line);
+            ("PC008", line)
+        }
+    };
+    let d = Diagnostic::error(code, issue.render(topo));
+    match line {
+        Some(l) => d.with_pos(l as u32, 1),
+        None => d,
+    }
 }
 
 /// Lints a finished [`Topology`]. Line numbers point at each stage's
@@ -175,22 +229,60 @@ pub fn lint(topo: &Topology) -> Diagnostics {
             ));
         }
     }
-    for j in 0..topo.stages.len().saturating_sub(1) {
-        let (Some(p), Some(c)) = (ceilings[j], ceilings[j + 1]) else {
+    for issue in topo.graph_issues() {
+        ds.push(graph_diag(topo, &issue));
+    }
+    // Rate mismatches follow the edge graph: the arrival rate at a
+    // consumer sums every in-edge's producer ceiling (scaled down by
+    // the producer's fan-out under round-robin — each edge carries a
+    // 1/outdeg share — and by nothing under broadcast, which copies
+    // the full stream), against the consumer's ceiling times its
+    // replica count. On a chain this is the producer-vs-consumer
+    // comparison the linear linter made.
+    for (v, consumer) in topo.stages.iter().enumerate() {
+        let ins = topo.in_edges(v);
+        if ins.is_empty() {
             continue;
-        };
-        if p > c * (1.0 + 1e-9) {
-            let consumer = &topo.stages[j + 1];
+        }
+        let Some(c) = ceilings[v] else { continue };
+        let mut arrival = 0.0_f64;
+        let mut producers: Vec<&str> = Vec::new();
+        let mut all_known = true;
+        for &e in &ins {
+            let Some(u) = topo.stage_index(&topo.edges[e].from) else {
+                all_known = false;
+                break;
+            };
+            let Some(p) = ceilings[u] else {
+                all_known = false;
+                break;
+            };
+            let outs = topo.out_edges(u).len();
+            let share = if outs > 1 && topo.policy_of(u) == Policy::RoundRobin {
+                1.0 / outs as f64
+            } else {
+                1.0
+            };
+            arrival += p * topo.stages[u].replicas as f64 * share;
+            producers.push(&topo.stages[u].instance);
+        }
+        let accept = c * consumer.replicas as f64;
+        if all_known && arrival > accept * (1.0 + 1e-9) {
             ds.push(at(
-                j + 1,
+                v,
                 consumer,
                 Diagnostic::info(
                     "PC001",
                     format!(
-                        "stage `{}` can produce up to {p:.4} items/cycle but stage `{}` \
-                         accepts at most {c:.4}: the bounded queue `{}.in` (depth {}) \
-                         saturates and becomes the binding constraint",
-                        topo.stages[j].instance,
+                        "stage{} {} can produce up to {arrival:.4} items/cycle but stage \
+                         `{}` accepts at most {accept:.4}: the bounded queue `{}.in` \
+                         (depth {}) saturates and becomes the binding constraint",
+                        if producers.len() == 1 { "" } else { "s" },
+                        producers
+                            .iter()
+                            .map(|p| format!("`{p}`"))
+                            .collect::<Vec<_>>()
+                            .join(" + "),
                         consumer.instance,
                         consumer.instance,
                         consumer.queue
@@ -244,9 +336,20 @@ pub fn lint_toml(origin: &str, src: &str) -> Diagnostics {
         return ds.with_origin(origin);
     }
     let mut topo = raw;
-    if let Err(e) = topo.finish() {
+    // Fill defaults but skip `validate`: a broken edge graph should
+    // surface as structured `PC006`/`PC007`/`PC008` diagnostics with
+    // stanza line numbers (via `lint`'s graph pass), not one opaque
+    // `PC005`. Non-graph validation failures (duplicate instance
+    // names, out-of-range counts) still map to `PC005`.
+    if let Err(e) = topo.fill_defaults() {
         ds.push(Diagnostic::error("PC005", e.to_string()));
         return ds.with_origin(origin);
+    }
+    if topo.graph_issues().is_empty() {
+        if let Err(e) = topo.validate() {
+            ds.push(Diagnostic::error("PC005", e.to_string()));
+            return ds.with_origin(origin);
+        }
     }
     ds.merge(lint(&topo));
     ds.sort();
@@ -301,6 +404,75 @@ mod tests {
         assert_eq!(kinds.len(), 2, "{}", ds.render());
         assert_eq!(kinds[0].line, Some(2), "kind mismatch points at its stanza");
         assert_eq!(kinds[1].line, Some(5), "vary mismatch points at its stanza");
+    }
+
+    #[test]
+    fn branched_demo_topology_lints_clean() {
+        let topo = Topology::parse_chain("vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3").unwrap();
+        let ds = lint(&topo);
+        assert_eq!(ds.count(Severity::Error), 0, "{}", ds.render());
+        assert_eq!(ds.count(Severity::Warning), 0, "{}", ds.render());
+    }
+
+    #[test]
+    fn cycle_is_pc006_with_an_edge_line() {
+        let src = "[[stage]]\ninstance = \"a\"\naccel = \"vta\"\n\
+                   [[stage]]\ninstance = \"b\"\naccel = \"protoacc\"\n\
+                   [[edge]]\nfrom = \"a\"\nto = \"b\"\n\
+                   [[edge]]\nfrom = \"b\"\nto = \"a\"\n";
+        let ds = lint_toml("cyc.toml", src);
+        let pc6 = ds.find("PC006").expect("cycle detected");
+        assert_eq!(pc6.severity, Severity::Error);
+        assert_eq!(pc6.line, Some(7), "points at an edge inside the cycle");
+        // Self-loops are the smallest cycle.
+        let src = "[[stage]]\ninstance = \"a\"\naccel = \"vta\"\n\
+                   [[edge]]\nfrom = \"a\"\nto = \"a\"\n";
+        let ds = lint_toml("loop.toml", src);
+        assert_eq!(ds.find("PC006").expect("self-loop").line, Some(4));
+    }
+
+    #[test]
+    fn orphan_stage_is_pc007() {
+        let src = "[[stage]]\ninstance = \"a\"\naccel = \"vta\"\n\
+                   [[stage]]\ninstance = \"b\"\naccel = \"protoacc\"\n\
+                   [[stage]]\ninstance = \"c\"\naccel = \"vta\"\n\
+                   [[edge]]\nfrom = \"a\"\nto = \"b\"\n";
+        let ds = lint_toml("orphan.toml", src);
+        let pc7 = ds.find("PC007").expect("orphan stage detected");
+        assert_eq!(pc7.severity, Severity::Error);
+        assert!(pc7.message.contains("injection point"), "{}", pc7.message);
+    }
+
+    #[test]
+    fn policy_mismatch_is_pc008() {
+        let src = "[[stage]]\ninstance = \"a\"\naccel = \"vta\"\n\
+                   [[stage]]\ninstance = \"b\"\naccel = \"protoacc\"\n\
+                   [[stage]]\ninstance = \"c\"\naccel = \"protoacc\"\n\
+                   [[edge]]\nfrom = \"a\"\nto = \"b\"\npolicy = \"broadcast\"\n\
+                   [[edge]]\nfrom = \"a\"\nto = \"c\"\npolicy = \"round-robin\"\n";
+        let ds = lint_toml("mixed.toml", src);
+        let pc8 = ds.find("PC008").expect("policy mismatch detected");
+        assert_eq!(pc8.severity, Severity::Error);
+        assert_eq!(pc8.line, Some(10), "points at a policy-declaring edge");
+    }
+
+    #[test]
+    fn fan_in_rate_mismatch_sums_the_producers() {
+        // Two miners broadcast-merge... rather, two miners feed one
+        // serializer; their combined ceiling exceeds its acceptance.
+        let src = "[[stage]]\ninstance = \"src\"\naccel = \"bitcoin-miner\"\n\
+                   [[stage]]\ninstance = \"m1\"\naccel = \"bitcoin-miner\"\n\
+                   [[stage]]\ninstance = \"m2\"\naccel = \"bitcoin-miner\"\n\
+                   [[stage]]\ninstance = \"ser\"\naccel = \"protoacc\"\nqueue = 2\n\
+                   [[edge]]\nfrom = \"src\"\nto = \"m1\"\n\
+                   [[edge]]\nfrom = \"src\"\nto = \"m2\"\n\
+                   [[edge]]\nfrom = \"m1\"\nto = \"ser\"\n\
+                   [[edge]]\nfrom = \"m2\"\nto = \"ser\"\n";
+        let ds = lint_toml("fanin.toml", src);
+        assert_eq!(ds.count(Severity::Error), 0, "{}", ds.render());
+        let pc1 = ds.find("PC001").expect("combined rate mismatch detected");
+        assert!(pc1.message.contains("`m1` + `m2`"), "{}", pc1.message);
+        assert!(pc1.message.contains("ser.in"), "{}", pc1.message);
     }
 
     #[test]

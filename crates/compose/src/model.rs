@@ -1,37 +1,56 @@
 //! The composite pipeline model.
 //!
-//! A [`Composite`] realizes a [`Topology`] on both substrates:
+//! A [`Composite`] realizes a [`Topology`] — a linear chain or a
+//! fan-out/fan-in DAG — on both substrates:
 //!
-//! * **Ground truth** — a cycle-accurate [`perf_sim::Pipeline`] whose
-//!   per-stage, per-item cost is the stage accelerator's *measured*
-//!   latency for that item's workload, chained through bounded FIFOs.
-//!   This is "the SoC": independent accelerator models coupled only by
-//!   queues and backpressure.
-//! * **Composite Petri net** — per-stage component nets (`in` →
-//!   `serve` → `out`) folded through [`perf_petri::compose`], gluing
-//!   each stage's `out` sink onto the next stage's bounded `in` place.
-//!   The fused place keeps the tighter capacity and loses sink-ness
-//!   (only one side is a sink), so backpressure emerges from net
-//!   structure rather than per-stage modeling — exactly the fused-place
-//!   semantics `compose` guarantees.
+//! * **Ground truth** — cycle-accurate simulation whose per-stage,
+//!   per-item cost is the stage accelerator's *measured* latency for
+//!   that item's workload, coupled through bounded FIFOs: a
+//!   [`perf_sim::Pipeline`] for chains, a [`perf_sim::DagPipeline`]
+//!   for branched topologies. This is "the SoC": independent
+//!   accelerator models coupled only by queues and backpressure.
+//! * **Composite Petri net** — per-stage component nets folded through
+//!   [`perf_petri::compose`] in topological order, gluing each
+//!   producer's `out` sink onto its consumer's bounded `in` place. The
+//!   fused place keeps the tighter capacity and loses sink-ness (only
+//!   one side is a sink), so backpressure emerges from net structure
+//!   rather than per-stage modeling — exactly the fused-place
+//!   semantics `compose` guarantees. Fan-out and fan-in are explicit
+//!   structure, never place aliasing (which [`perf_petri::compose`]
+//!   rejects): round-robin fan-out is a guarded router transition per
+//!   out-edge reading the token's precomputed route field, broadcast
+//!   is one serve transition with an output arc per out-edge, and
+//!   fan-in is a capacity-1 latch place per in-edge merged into the
+//!   stage's bounded input queue by zero-delay transitions.
 //!
 //! The Petri, program, and NL tiers all predict from the *stage
 //! interfaces* (never from the composite simulator), composing
 //! per-stage predictions structurally: the Petri tier runs the
 //! composite net, the program tier evaluates a bounded-buffer schedule
-//! recurrence, and the NL tier combines closed-form per-stage bounds.
+//! recurrence ([`pipeline_makespan`] on chains, [`dag_makespan`] on
+//! DAGs), and the NL tier combines closed-form per-stage bounds
+//! (busiest-stage / longest-path lower, serialization upper).
+//!
+//! Routing is *static*: a [`DagPlan`] computed once per stream decides
+//! which out-edge every item takes at every round-robin fan-out
+//! (by the item's rank among that stage's visitors, modulo fan-out) and
+//! what jobs each stage therefore processes. All three predictive tiers
+//! and the ground truth share that plan, so they predict the same
+//! traffic rather than guessing at each other's arbitration.
 
 use perf_core::iface::{InterfaceKind, Metric};
 use perf_core::query::{EngineChoice, QueryBackend, WorkloadSpec};
 use perf_core::units::{Cycles, Throughput};
 use perf_core::{CoreError, Observation};
 use perf_iface_lang::Value;
+use perf_petri::behavior::Behavior;
 use perf_petri::lint::lint;
+use perf_petri::net::Transition;
 use perf_petri::{Net, NetBuilder, NetExec, Options, Token};
-use perf_sim::{FaultPlan, Pipeline, StageSpec};
+use perf_sim::{DagNodeSpec, DagPipeline, FaultPlan, Pipeline, Route, StageSpec};
 use std::collections::HashMap;
 
-use crate::topology::{Topology, MAX_ITEMS};
+use crate::topology::{Policy, Topology, MAX_ITEMS};
 
 use accel_bitcoin::interface::service::BitcoinService;
 use accel_jpeg::interface::service::JpegService;
@@ -82,8 +101,16 @@ impl StreamParams {
                 "stream `items` must be ≥ 1, got {items}"
             )));
         }
+        // Reject oversize streams instead of silently clamping: a
+        // caller asking for 10k items used to get a 4096-item answer
+        // labeled as if it covered the full request.
+        if items > MAX_ITEMS as f64 {
+            return Err(CoreError::Artifact(format!(
+                "stream `items` must be ≤ {MAX_ITEMS}, got {items}"
+            )));
+        }
         Ok(StreamParams {
-            items: (items as usize).min(MAX_ITEMS),
+            items: items as usize,
             seed: spec.get_or("seed", 1.0) as u64,
         })
     }
@@ -262,9 +289,14 @@ impl Composite {
         Ok(observation(makespan, stream.items))
     }
 
-    /// Chains `crates/sim` FIFO stages with the topology's queue depths
-    /// and the given per-item costs; returns the elapsed cycles.
+    /// Runs `crates/sim` FIFO stages with the topology's queue depths
+    /// and the given per-item costs; returns the elapsed cycles. Chains
+    /// keep the original single-pipeline model; branched or replicated
+    /// topologies run the DAG pipeline with the shared route plan.
     fn simulate(&self, costs: &[Vec<f64>]) -> u64 {
+        if !self.topo.is_chain() {
+            return self.simulate_dag(costs);
+        }
         let k = self.stages();
         let n = costs.len();
         let specs: Vec<StageSpec<usize>> = (0..k)
@@ -291,6 +323,54 @@ impl Composite {
         elapsed
     }
 
+    /// Ground truth for branched/replicated topologies: a
+    /// [`perf_sim::DagPipeline`] wired per the edge graph, routing by
+    /// the stream's static [`DagPlan`].
+    fn simulate_dag(&self, costs: &[Vec<f64>]) -> u64 {
+        let n = costs.len();
+        let plan = DagPlan::new(&self.topo, n);
+        let specs: Vec<DagNodeSpec<usize>> = (0..self.stages())
+            .map(|u| {
+                let st = &self.topo.stages[u];
+                let col: Vec<u64> = costs.iter().map(|row| row[u].max(1.0) as u64).collect();
+                let mut spec =
+                    DagNodeSpec::new(st.instance.clone(), st.queue, move |i: &usize| col[*i])
+                        .replicas(st.replicas);
+                let outs = self.topo.out_edges(u);
+                if !outs.is_empty() {
+                    let targets: Vec<usize> = outs
+                        .iter()
+                        .map(|&e| {
+                            self.topo
+                                .stage_index(&self.topo.edges[e].to)
+                                .expect("validated topology")
+                        })
+                        .collect();
+                    let route = if outs.len() > 1 && self.topo.policy_of(u) == Policy::Broadcast {
+                        Route::Broadcast
+                    } else {
+                        let slots: Vec<usize> =
+                            (0..n).map(|i| plan.route[u][i].unwrap_or(0)).collect();
+                        Route::Pick(Box::new(move |i: &usize| slots[*i]))
+                    };
+                    spec = spec.targets(targets, route);
+                }
+                spec
+            })
+            .collect();
+        let mut pipe = DagPipeline::new(specs);
+        if let Some((stage, fault)) = self.fault {
+            pipe.set_fault_on(stage, Some(fault));
+        }
+        let terminal_jobs: usize = (0..self.stages())
+            .filter(|&u| self.topo.out_edges(u).is_empty())
+            .map(|u| plan.jobs[u].len())
+            .sum();
+        let (elapsed, out) = pipe.run_to_completion((0..n).collect());
+        debug_assert_eq!(out.len(), terminal_jobs, "composite DAG dropped items");
+        elapsed
+    }
+
     /// Builds the composite Petri net by folding per-stage component
     /// nets through [`perf_petri::compose`]. Structure only — token
     /// payloads carry the per-item costs (see [`Self::stream_tokens`]).
@@ -302,6 +382,9 @@ impl Composite {
     /// sink — tokens flow on, and a full boundary place blocks the
     /// upstream `serve`, which is backpressure by construction.
     pub fn build_net(&self) -> Result<Net, CoreError> {
+        if !self.topo.is_chain() {
+            return self.build_dag_net();
+        }
         let k = self.stages();
         let mut net = self.stage_net(0)?;
         // The boundary place's name in the accumulated net: stage 0's
@@ -315,6 +398,186 @@ impl Composite {
             boundary = format!("{}.out", self.topo.stages[j].instance);
         }
         Ok(net)
+    }
+
+    /// Folds per-stage component nets into the composite DAG net, in
+    /// topological order so every producer's boundary place exists
+    /// (with a known name) before its consumer is glued on.
+    ///
+    /// Per-stage shape: a fan-out of one is the chain's
+    /// `in → serve → out`; a round-robin fan-out of `k` serves into a
+    /// `mid` place drained by `k` zero-delay router transitions (one
+    /// per out-edge, guarded on the token's `r<stage>` route field, so
+    /// routing is deterministic head-of-line); a broadcast fan-out
+    /// gives `serve` one output arc per out-edge, cloning the payload.
+    /// A fan-in of `m` presents `m` capacity-1 latch places (`in0…`),
+    /// each merged into the stage's bounded `in` queue by a zero-delay
+    /// transition — every glue pair stays a distinct 1-to-1 fusion,
+    /// which is exactly what [`perf_petri::compose`]'s aliasing checks
+    /// require of well-formed composition.
+    fn build_dag_net(&self) -> Result<Net, CoreError> {
+        let order = self.topo.topo_order();
+        let source = self.topo.source();
+        debug_assert_eq!(order[0], source, "validated topology starts at its source");
+        // The boundary-place name of (stage, out-slot) in the
+        // accumulated net: the first-folded component keeps unprefixed
+        // names, later ones are prefixed by instance.
+        let out_name = |u: usize, slot: usize| -> String {
+            let base = if self.topo.out_edges(u).len() <= 1 {
+                "out".to_string()
+            } else {
+                format!("out{slot}")
+            };
+            if u == source {
+                base
+            } else {
+                format!("{}.{base}", self.topo.stages[u].instance)
+            }
+        };
+        let mut net = self.dag_stage_net(source)?;
+        for &v in &order[1..] {
+            let part = self.dag_stage_net(v)?;
+            let ins = self.topo.in_edges(v);
+            let pairs: Vec<(String, String)> = ins
+                .iter()
+                .enumerate()
+                .map(|(slot, &e)| {
+                    let u = self
+                        .topo
+                        .stage_index(&self.topo.edges[e].from)
+                        .expect("validated topology");
+                    let uslot = self
+                        .topo
+                        .out_edges(u)
+                        .iter()
+                        .position(|&x| x == e)
+                        .expect("edge is an out-edge of its producer");
+                    let b_name = if ins.len() == 1 {
+                        "in".to_string()
+                    } else {
+                        format!("in{slot}")
+                    };
+                    (out_name(u, uslot), b_name)
+                })
+                .collect();
+            let refs: Vec<(&str, &str)> = pairs
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            net = perf_petri::compose::compose(net, part, &refs, &self.topo.name)?;
+        }
+        Ok(net)
+    }
+
+    /// One DAG stage as a standalone component net (see
+    /// [`Self::build_dag_net`] for the shapes).
+    fn dag_stage_net(&self, u: usize) -> Result<Net, CoreError> {
+        let st = &self.topo.stages[u];
+        let mut b = NetBuilder::new(st.instance.clone());
+        let m = self.topo.in_edges(u).len();
+        let inp = if m == 0 {
+            // The source's input is the injection point and stays
+            // unbounded (the workload is fully known up front).
+            b.place("in", None)
+        } else {
+            let inp = b.place("in", Some(st.queue));
+            if m > 1 {
+                for slot in 0..m {
+                    let latch = b.place(format!("in{slot}"), Some(1));
+                    b.transition(
+                        format!("merge{slot}"),
+                        &[latch],
+                        &[inp],
+                        |_| 0,
+                        |ts| vec![ts[0].data.clone()],
+                    );
+                }
+            }
+            inp
+        };
+        let key = format!("c{u}");
+        let delay: perf_petri::behavior::DelayFn = Box::new(move |ts: &[Token]| {
+            ts[0]
+                .data
+                .field(&key)
+                .and_then(Value::as_num)
+                .map(|c| c.max(1.0) as u64)
+                .unwrap_or(1)
+        });
+        let outs = self.topo.out_edges(u);
+        let fan = outs.len();
+        if fan <= 1 {
+            let out = b.sink("out");
+            b.add_transition(Transition {
+                name: "serve".to_string(),
+                inputs: vec![(inp, 1)],
+                outputs: vec![(out, 1)],
+                behavior: Behavior::Native {
+                    guard: None,
+                    delay,
+                    transform: Box::new(|ts| vec![ts[0].data.clone()]),
+                },
+                servers: st.replicas.max(1),
+                priority: 0,
+            });
+        } else if self.topo.policy_of(u) == Policy::Broadcast {
+            let out_ids: Vec<_> = (0..fan).map(|s| b.sink(format!("out{s}"))).collect();
+            b.add_transition(Transition {
+                name: "serve".to_string(),
+                inputs: vec![(inp, 1)],
+                outputs: out_ids.iter().map(|&o| (o, 1)).collect(),
+                behavior: Behavior::Native {
+                    guard: None,
+                    delay,
+                    transform: Box::new(move |ts| vec![ts[0].data.clone(); fan]),
+                },
+                servers: st.replicas.max(1),
+                priority: 0,
+            });
+        } else {
+            // Round-robin: serve lands in `mid` (capacity = replicas,
+            // so the output-capacity reservation never throttles the
+            // servers), then one guarded zero-delay router per
+            // out-edge moves the token to its planned branch.
+            let mid = b.place("mid", Some(st.replicas.max(1)));
+            b.add_transition(Transition {
+                name: "serve".to_string(),
+                inputs: vec![(inp, 1)],
+                outputs: vec![(mid, 1)],
+                behavior: Behavior::Native {
+                    guard: None,
+                    delay,
+                    transform: Box::new(|ts| vec![ts[0].data.clone()]),
+                },
+                servers: st.replicas.max(1),
+                priority: 0,
+            });
+            let rkey = format!("r{u}");
+            for s in 0..fan {
+                let out = b.sink(format!("out{s}"));
+                let rk = rkey.clone();
+                b.add_transition(Transition {
+                    name: format!("route{s}"),
+                    inputs: vec![(mid, 1)],
+                    outputs: vec![(out, 1)],
+                    behavior: Behavior::Native {
+                        guard: Some(Box::new(move |ts: &[Token]| {
+                            ts[0]
+                                .data
+                                .field(&rk)
+                                .and_then(Value::as_num)
+                                .map(|v| v as usize == s)
+                                .unwrap_or(false)
+                        })),
+                        delay: Box::new(|_| 0),
+                        transform: Box::new(|ts| vec![ts[0].data.clone()]),
+                    },
+                    servers: 1,
+                    priority: 0,
+                });
+            }
+        }
+        Ok(b.build()?)
     }
 
     /// One stage as a standalone component net.
@@ -347,17 +610,34 @@ impl Composite {
 
     /// The stream's tokens for the composite net: one record per item
     /// carrying every stage's Petri-tier predicted cost (`c0..ck`), all
-    /// available at time 0.
+    /// available at time 0. On DAG topologies each token also carries
+    /// its planned route slot `r<stage>` for every round-robin fan-out
+    /// stage — the router transitions' guards read these fields.
     pub fn stream_tokens(&mut self, stream: &StreamParams) -> Result<Vec<Token>, CoreError> {
         let costs = self.predicted_costs(stream, InterfaceKind::PetriNet)?;
+        let routes: Vec<(usize, Vec<Option<usize>>)> = if self.topo.is_chain() {
+            Vec::new()
+        } else {
+            let plan = DagPlan::new(&self.topo, stream.items);
+            (0..self.stages())
+                .filter(|&u| {
+                    self.topo.out_edges(u).len() > 1 && self.topo.policy_of(u) == Policy::RoundRobin
+                })
+                .map(|u| (u, plan.route[u].clone()))
+                .collect()
+        };
         Ok(costs
             .iter()
-            .map(|row| {
-                let fields = row
+            .enumerate()
+            .map(|(i, row)| {
+                let cost_fields = row
                     .iter()
                     .enumerate()
                     .map(|(j, &(lo, hi))| (format!("c{j}"), Value::num((lo + hi) / 2.0)));
-                Token::at(Value::record_owned(fields), 0)
+                let route_fields = routes
+                    .iter()
+                    .map(|(u, slots)| (format!("r{u}"), Value::num(slots[i].unwrap_or(0) as f64)));
+                Token::at(Value::record_owned(cost_fields.chain(route_fields)), 0)
             })
             .collect())
     }
@@ -414,39 +694,59 @@ impl Composite {
     }
 
     /// Program-tier composite prediction: bounded-buffer schedule
-    /// recurrence over per-stage program-tier cost midpoints.
+    /// recurrence over per-stage program-tier cost midpoints —
+    /// [`pipeline_makespan`] on chains, [`dag_makespan`] on DAGs.
     pub fn program_makespan(&mut self, stream: &StreamParams) -> Result<f64, CoreError> {
         let bounds = self.predicted_costs(stream, InterfaceKind::Program)?;
         let costs: Vec<Vec<f64>> = bounds
             .iter()
             .map(|row| row.iter().map(|&(lo, hi)| (lo + hi) / 2.0).collect())
             .collect();
-        Ok(pipeline_makespan(&costs, &self.buffers()))
+        if self.topo.is_chain() {
+            return Ok(pipeline_makespan(&costs, &self.buffers()));
+        }
+        let plan = DagPlan::new(&self.topo, stream.items);
+        let replicas: Vec<usize> = self.topo.stages.iter().map(|s| s.replicas).collect();
+        let queues: Vec<usize> = self.topo.stages.iter().map(|s| s.queue).collect();
+        Ok(dag_makespan(&costs, &plan, &replicas, &queues))
     }
 
     /// NL-tier composite bounds on stream makespan, composed from the
-    /// per-stage NL bounds: the pipeline can go no faster than its
-    /// busiest stage or its slowest item's serial path, and no slower
-    /// than full serialization (plus one hand-off cycle per item-stage).
+    /// per-stage NL bounds over the stream's job plan: the pipeline can
+    /// go no faster than its busiest stage (that stage's job-cost sum
+    /// spread over its replicas) or any single job's critical path
+    /// through the DAG, and no slower than full serialization of every
+    /// job (plus one hand-off cycle per job, item and stage). On a
+    /// chain — one job per item per stage, one server each — this is
+    /// exactly the busiest-stage / slowest-item formula the linear
+    /// composition used.
     pub fn nl_bounds(&mut self, stream: &StreamParams) -> Result<(f64, f64), CoreError> {
         let bounds = self.predicted_costs(stream, InterfaceKind::NaturalLanguage)?;
         let n = stream.items;
         let k = self.stages();
-        let mut stage_lo = vec![0.0; k];
-        let mut item_lo = vec![0.0; n];
-        let mut total_hi = 0.0;
-        for (i, row) in bounds.iter().enumerate() {
-            for (j, &(lo, hi)) in row.iter().enumerate() {
-                stage_lo[j] += lo;
-                item_lo[i] += lo;
+        let plan = DagPlan::new(&self.topo, n);
+        let mut lower = 0.0_f64;
+        let mut total_hi = 0.0_f64;
+        // path[u][p]: longest lower-bound path ending at job p of
+        // stage u, swept in topological order.
+        let mut path: Vec<Vec<f64>> = plan.jobs.iter().map(|j| vec![0.0; j.len()]).collect();
+        for &u in &plan.order {
+            let mut stage_lo = 0.0;
+            for p in 0..plan.jobs[u].len() {
+                let job = plan.jobs[u][p];
+                let (lo, hi) = bounds[job.item][u];
+                stage_lo += lo;
                 total_hi += hi;
+                let upstream = match job.src {
+                    None => 0.0,
+                    Some((su, sp)) => path[su][sp],
+                };
+                path[u][p] = upstream + lo;
+                lower = lower.max(path[u][p]);
             }
+            lower = lower.max(stage_lo / self.topo.stages[u].replicas.max(1) as f64);
         }
-        let lower = stage_lo
-            .iter()
-            .chain(item_lo.iter())
-            .fold(0.0_f64, |a, &b| a.max(b));
-        let upper = total_hi + (n * k + n + k) as f64;
+        let upper = total_hi + (plan.total_jobs() + n + k) as f64;
         Ok((lower, upper.max(lower)))
     }
 }
@@ -482,6 +782,188 @@ pub fn pipeline_makespan(costs: &[Vec<f64>], buffers: &[usize]) -> f64 {
         }
     }
     exit[n - 1][k - 1]
+}
+
+/// One unit of work at one stage: which stream item it carries and
+/// which upstream job produced it (`None` at the source). Broadcast
+/// fan-in means a stage can process several jobs for the same item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Stream item index.
+    pub item: usize,
+    /// Producing `(stage, job index)`; `None` for source injections.
+    pub src: Option<(usize, usize)>,
+}
+
+/// The static routing and job plan of an `n`-item stream through a
+/// topology: which out-edge each item takes at every round-robin
+/// fan-out, and consequently which jobs every stage processes, in
+/// assumed FIFO order (by item, then by in-edge slot).
+///
+/// The plan is shared by the ground-truth simulator, the composite
+/// Petri net (as token route fields guarded by router transitions),
+/// the schedule recurrence and the NL bound algebra, so every tier
+/// predicts the same traffic.
+pub struct DagPlan {
+    /// Stage indices in topological order.
+    pub order: Vec<usize>,
+    /// `route[u][i]`: the out-edge *slot* (index into
+    /// `Topology::out_edges(u)`) item `i` takes leaving stage `u`.
+    /// `None` when the item never visits `u` or `u` does not
+    /// round-robin (single out-edge, broadcast, or terminal).
+    pub route: Vec<Vec<Option<usize>>>,
+    /// `jobs[v]`: the jobs stage `v` processes, in FIFO order.
+    pub jobs: Vec<Vec<Job>>,
+}
+
+impl DagPlan {
+    /// Plans an `n`-item stream through a validated topology.
+    ///
+    /// Round-robin slots rotate by each item's *rank* among the
+    /// distinct items visiting that stage (not the raw item index), so
+    /// nested fan-outs keep balancing instead of aliasing onto one
+    /// edge. Broadcast copies of an item inherit the item's route at
+    /// every later fan-out (item-affinity): copies take the same path.
+    pub fn new(topo: &Topology, n: usize) -> DagPlan {
+        let k = topo.stages.len();
+        let order = topo.topo_order();
+        let source = topo.source();
+        let mut route: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
+        let mut jobs: Vec<Vec<Job>> = vec![Vec::new(); k];
+        // (item, in_slot, src_stage, src_job) deliveries, per consumer.
+        let mut deliveries: Vec<Vec<(usize, usize, usize, usize)>> = vec![Vec::new(); k];
+        for &u in &order {
+            if u == source {
+                jobs[u] = (0..n).map(|item| Job { item, src: None }).collect();
+            } else {
+                deliveries[u].sort_by_key(|&(item, slot, _, _)| (item, slot));
+                jobs[u] = deliveries[u]
+                    .iter()
+                    .map(|&(item, _, su, sp)| Job {
+                        item,
+                        src: Some((su, sp)),
+                    })
+                    .collect();
+            }
+            let outs = topo.out_edges(u);
+            if outs.is_empty() {
+                continue;
+            }
+            let round_robin = outs.len() > 1 && topo.policy_of(u) == Policy::RoundRobin;
+            if round_robin {
+                let mut visitors: Vec<usize> = jobs[u].iter().map(|j| j.item).collect();
+                visitors.sort_unstable();
+                visitors.dedup();
+                for (rank, &i) in visitors.iter().enumerate() {
+                    route[u][i] = Some(rank % outs.len());
+                }
+            }
+            for (p, job) in jobs[u].iter().enumerate() {
+                for (s, &e) in outs.iter().enumerate() {
+                    if round_robin && route[u][job.item] != Some(s) {
+                        continue;
+                    }
+                    let v = topo
+                        .stage_index(&topo.edges[e].to)
+                        .expect("validated topology");
+                    let slot = topo
+                        .in_edges(v)
+                        .iter()
+                        .position(|&x| x == e)
+                        .expect("edge is an in-edge of its consumer");
+                    deliveries[v].push((job.item, slot, u, p));
+                }
+            }
+        }
+        DagPlan { order, route, jobs }
+    }
+
+    /// Total jobs across all stages (`items × stages` on a chain;
+    /// broadcast fan-out adds copies).
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Bounded-buffer schedule recurrence generalized to DAG topologies:
+/// the earliest feasible start/departure of every [`Job`] under
+/// `replicas[u]`-server stages and finite per-stage input queues
+/// (`queues[v]` slots ahead of stage `v`; the source's own queue never
+/// binds because its items are all available at time 0).
+///
+/// The laws mirror [`pipeline_makespan`], per job instead of per item:
+/// a job starts once it has arrived (its producer *departed*), its
+/// stage's queue discipline admits it (FIFO by plan order), and a
+/// server is free (the `replicas`-th previous job departed). It
+/// departs when finished *and* its consumer's queue has a slot — a
+/// job may leave only once the job `queues[w]` positions ahead of its
+/// delivery has started at `w`, the recurrence form of "a finished
+/// item keeps occupying its server while downstream is full". Credits
+/// against jobs not yet scheduled (same-item positions later in the
+/// topological sweep) are skipped optimistically. On a chain this
+/// reduces exactly to [`pipeline_makespan`].
+///
+/// `costs[i][u]` is item `i`'s cost at stage `u`; every job of an item
+/// at a stage costs the same. Returns the latest departure.
+pub fn dag_makespan(
+    costs: &[Vec<f64>],
+    plan: &DagPlan,
+    replicas: &[usize],
+    queues: &[usize],
+) -> f64 {
+    let n = costs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = plan.jobs.len();
+    // Reverse map: consumers[u][p] = the (stage, job) deliveries fed by
+    // job p of stage u.
+    let mut consumers: Vec<Vec<Vec<(usize, usize)>>> = plan
+        .jobs
+        .iter()
+        .map(|j| vec![Vec::new(); j.len()])
+        .collect();
+    for (w, jobs) in plan.jobs.iter().enumerate() {
+        for (q, job) in jobs.iter().enumerate() {
+            if let Some((u, p)) = job.src {
+                consumers[u][p].push((w, q));
+            }
+        }
+    }
+    let mut start: Vec<Vec<f64>> = plan.jobs.iter().map(|j| vec![0.0; j.len()]).collect();
+    let mut dep: Vec<Vec<f64>> = start.clone();
+    let mut done: Vec<Vec<bool>> = plan.jobs.iter().map(|j| vec![false; j.len()]).collect();
+    let mut ptr = vec![0usize; k];
+    let mut makespan = 0.0_f64;
+    for (i, item_costs) in costs.iter().enumerate() {
+        for &u in &plan.order {
+            while ptr[u] < plan.jobs[u].len() && plan.jobs[u][ptr[u]].item == i {
+                let p = ptr[u];
+                ptr[u] += 1;
+                let job = plan.jobs[u][p];
+                let arrival = match job.src {
+                    None => 0.0,
+                    Some((su, sp)) => dep[su][sp],
+                };
+                let fifo = if p == 0 { 0.0 } else { start[u][p - 1] };
+                let r = replicas[u].max(1);
+                let server = if p >= r { dep[u][p - r] } else { 0.0 };
+                start[u][p] = arrival.max(fifo).max(server);
+                let finish = start[u][p] + item_costs[u].max(1.0);
+                let mut d = finish;
+                for &(w, q) in &consumers[u][p] {
+                    let cap = queues[w];
+                    if cap != usize::MAX && q >= cap && done[w][q - cap] {
+                        d = d.max(start[w][q - cap]);
+                    }
+                }
+                dep[u][p] = d;
+                done[u][p] = true;
+                makespan = makespan.max(d);
+            }
+        }
+    }
+    makespan
 }
 
 /// Packages a composite makespan as an [`Observation`].
@@ -596,6 +1078,171 @@ mod tests {
         c.set_fault(1, None);
         let back = Metric::Latency.of(&c.measure_stream(&STREAM).unwrap());
         assert_eq!(back, clean, "disarming restores the clean measurement");
+    }
+
+    #[test]
+    fn oversize_streams_are_rejected_not_clamped() {
+        // `items = 10000` used to be silently clamped to MAX_ITEMS and
+        // answered as if the full stream had been modeled.
+        let spec = WorkloadSpec::new("stream").with("items", 10_000.0);
+        let err = StreamParams::from_spec(&spec).unwrap_err();
+        assert!(err.to_string().contains("4096"), "{err}");
+        assert!(err.to_string().contains("10000"), "{err}");
+        // The boundary itself is accepted.
+        let spec = WorkloadSpec::new("stream").with("items", 4096.0);
+        assert_eq!(StreamParams::from_spec(&spec).unwrap().items, 4096);
+    }
+
+    #[test]
+    fn dag_plan_round_robins_by_rank_with_item_affinity() {
+        let topo = Topology::parse_chain("vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3").unwrap();
+        let plan = DagPlan::new(&topo, 6);
+        // Items alternate between the two middle stages…
+        for i in 0..6 {
+            assert_eq!(plan.route[0][i], Some(i % 2));
+        }
+        // …so each branch serves half the stream, and the join sees
+        // every item exactly once.
+        assert_eq!(plan.jobs[1].len(), 3);
+        assert_eq!(plan.jobs[2].len(), 3);
+        assert_eq!(plan.jobs[3].len(), 6);
+        assert_eq!(plan.total_jobs(), 6 + 3 + 3 + 6);
+        // Join jobs arrive in item order.
+        let items: Vec<usize> = plan.jobs[3].iter().map(|j| j.item).collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dag_makespan_reduces_to_pipeline_makespan_on_chains() {
+        let topo = Topology::parse_chain("vta:2>protoacc:3>bitcoin-miner:2").unwrap();
+        let n = 9;
+        let costs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i * 7 % 13 + 1) as f64, (i * 5 % 11 + 2) as f64, 4.0])
+            .collect();
+        let buffers = [3usize, 2, usize::MAX];
+        let chain = pipeline_makespan(&costs, &buffers);
+        let plan = DagPlan::new(&topo, n);
+        let dag = dag_makespan(&costs, &plan, &[1, 1, 1], &[2, 3, 2]);
+        assert_eq!(chain, dag, "DAG recurrence must reduce exactly on chains");
+    }
+
+    #[test]
+    fn dag_composite_round_trips_both_engines_and_lints() {
+        let topo = Topology::parse_chain("vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3").unwrap();
+        let mut c = Composite::new(topo, EngineChoice::Compiled).unwrap();
+        let (interp, comp) = c.petri_makespan_both(&STREAM).unwrap();
+        assert_eq!(interp, comp, "engines must agree on the branched net");
+        assert!(interp > 0);
+        let diags = c.lint_net().unwrap();
+        assert!(!diags.has_errors(), "{}", diags.render());
+    }
+
+    #[test]
+    fn dag_tiers_track_ground_truth() {
+        let topo = Topology::parse_chain("vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3").unwrap();
+        let mut c = Composite::new(topo, EngineChoice::Compiled).unwrap();
+        let actual = Metric::Latency.of(&c.measure_stream(&STREAM).unwrap());
+        assert!(actual > 0.0);
+        // NL bounds contain the measurement (same tolerance as the
+        // chain test: the upper bound is intentionally loose).
+        let (lo, hi) = c.nl_bounds(&STREAM).unwrap();
+        assert!(lo <= hi);
+        assert!(lo > 0.0);
+        assert!(actual <= hi * 1.05, "actual {actual} vs NL upper {hi}");
+        // The program recurrence models the same blocking law as the
+        // DAG simulator; allow hand-off slack per job plus headroom for
+        // merge arbitration differences.
+        let costs = c.measured_costs(&STREAM).unwrap();
+        let sim = c.simulate(&costs) as f64;
+        let plan = DagPlan::new(c.topology(), STREAM.items);
+        let replicas: Vec<usize> = c.topology().stages.iter().map(|s| s.replicas).collect();
+        let queues: Vec<usize> = c.topology().stages.iter().map(|s| s.queue).collect();
+        let analytic = dag_makespan(&costs, &plan, &replicas, &queues);
+        let slack = (plan.total_jobs() * 4 + 64) as f64;
+        assert!(
+            (sim - analytic).abs() <= slack,
+            "sim {sim} vs recurrence {analytic} (slack {slack})"
+        );
+    }
+
+    #[test]
+    fn broadcast_topology_copies_the_stream() {
+        let toml = r#"
+            name = "bcast"
+            [[stage]]
+            instance = "dec"
+            accel = "vta"
+            queue = 2
+            [[stage]]
+            instance = "a"
+            accel = "protoacc"
+            queue = 2
+            [[stage]]
+            instance = "b"
+            accel = "protoacc"
+            queue = 2
+            [[edge]]
+            from = "dec"
+            to = "a"
+            policy = "broadcast"
+            [[edge]]
+            from = "dec"
+            to = "b"
+            policy = "broadcast"
+        "#;
+        let topo = Topology::parse_toml(toml).unwrap();
+        let plan = DagPlan::new(&topo, 4);
+        assert_eq!(plan.jobs[1].len(), 4, "each branch sees every item");
+        assert_eq!(plan.jobs[2].len(), 4);
+        let mut c = Composite::new(topo, EngineChoice::Compiled).unwrap();
+        let stream = StreamParams { items: 4, seed: 1 };
+        let actual = Metric::Latency.of(&c.measure_stream(&stream).unwrap());
+        assert!(actual > 0.0);
+        let (interp, comp) = c.petri_makespan_both(&stream).unwrap();
+        assert_eq!(interp, comp);
+        let (lo, hi) = c.nl_bounds(&stream).unwrap();
+        assert!(lo > 0.0 && actual <= hi * 1.05, "{lo}..{hi} vs {actual}");
+    }
+
+    #[test]
+    fn replicas_speed_up_the_bottleneck_stage() {
+        // vta dominates this chain by ~2 orders of magnitude, so
+        // doubling *its* servers must show up in every tier.
+        let single = Topology::parse_chain("vta:2>bitcoin-miner:4>protoacc:2").unwrap();
+        let doubled = Topology::parse_chain("vta*2:2>bitcoin-miner:4>protoacc:2").unwrap();
+        let stream = StreamParams { items: 8, seed: 3 };
+        let mut c1 = Composite::new(single, EngineChoice::Compiled).unwrap();
+        let mut c2 = Composite::new(doubled, EngineChoice::Compiled).unwrap();
+        let t1 = Metric::Latency.of(&c1.measure_stream(&stream).unwrap());
+        let t2 = Metric::Latency.of(&c2.measure_stream(&stream).unwrap());
+        assert!(
+            t2 < t1,
+            "doubling the bottleneck's servers must cut the makespan ({t2} vs {t1})"
+        );
+        // The Petri realization agrees (serve transition gets the
+        // replica count as its server count).
+        let p1 = c1.petri_makespan(&stream).unwrap();
+        let p2 = c2.petri_makespan(&stream).unwrap();
+        assert!(p2 < p1, "petri replicas must help too ({p2} vs {p1})");
+        // And the recurrence's lower tiers see the speedup as well.
+        let g1 = c1.program_makespan(&stream).unwrap();
+        let g2 = c2.program_makespan(&stream).unwrap();
+        assert!(g2 < g1, "recurrence replicas must help ({g2} vs {g1})");
+    }
+
+    #[test]
+    fn fault_on_a_dag_stage_slows_the_stream() {
+        let topo = Topology::parse_chain("vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3").unwrap();
+        let mut c = Composite::new(topo, EngineChoice::Compiled).unwrap();
+        let clean = Metric::Latency.of(&c.measure_stream(&STREAM).unwrap());
+        c.set_fault(3, Some(FaultPlan::backpressure(2, 900, 500)));
+        let faulted = Metric::Latency.of(&c.measure_stream(&STREAM).unwrap());
+        assert!(faulted > clean, "faulted {faulted} vs clean {clean}");
+        c.set_fault(3, None);
+        assert_eq!(
+            Metric::Latency.of(&c.measure_stream(&STREAM).unwrap()),
+            clean
+        );
     }
 
     #[test]

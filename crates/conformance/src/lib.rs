@@ -32,8 +32,8 @@ pub use harness::{relative_error, run_subject, CaseSpec, Subject, CHANNELS};
 pub use report::{AccelReport, ChannelReport, ConformanceReport, Counterexample, NlResult};
 
 /// Runs the conformance harness over all four accelerators plus the
-/// composite pipeline subject (composed simulators vs composed
-/// interfaces).
+/// two composite pipeline subjects (composed simulators vs composed
+/// interfaces, over a linear chain and a fan-out/fan-in DAG).
 pub fn run_all(quick: bool) -> ConformanceReport {
     ConformanceReport {
         quick,
@@ -43,6 +43,7 @@ pub fn run_all(quick: bool) -> ConformanceReport {
             run_subject(&mut subjects::protoacc::ProtoaccSubject::new(), quick),
             run_subject(&mut subjects::vta::VtaSubject::new(), quick),
             run_subject(&mut subjects::pipeline::PipelineSubject::new(), quick),
+            run_subject(&mut subjects::dag::DagSubject::new(), quick),
         ],
     }
 }

@@ -2,6 +2,7 @@
 //! pipeline.
 
 pub mod bitcoin;
+pub mod dag;
 pub mod jpeg;
 pub mod pipeline;
 pub mod protoacc;

@@ -26,8 +26,14 @@ use crate::PetriError;
 /// place of `b` clears the flag (tokens now flow onward instead of
 /// completing).
 pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net, PetriError> {
-    // Resolve glue pairs up front.
+    // Resolve glue pairs up front. Each place — on *either* side — may
+    // appear in at most one pair: repeating a `b` place would give one
+    // consumer two producers' identities, and repeating an `a` place
+    // would three-way-merge places with no defined token-flow
+    // semantics. Fan-out/fan-in must be modeled with explicit router
+    // or merge transitions, not by aliasing the glue.
     let mut b_to_a: Vec<Option<PlaceId>> = vec![None; b.places().len()];
+    let mut a_glued: Vec<bool> = vec![false; a.places().len()];
     for (an, bn) in glue {
         let pa = a.place_id(an).ok_or_else(|| {
             PetriError::Structure(format!("glue place `{an}` not in `{}`", a.name))
@@ -38,6 +44,11 @@ pub fn compose(a: Net, b: Net, glue: &[(&str, &str)], name: &str) -> Result<Net,
         if b_to_a[pb.index()].is_some() {
             return Err(PetriError::Structure(format!(
                 "place `{bn}` glued more than once"
+            )));
+        }
+        if std::mem::replace(&mut a_glued[pa.index()], true) {
+            return Err(PetriError::Structure(format!(
+                "place `{an}` glued more than once"
             )));
         }
         b_to_a[pb.index()] = Some(pa);
@@ -251,6 +262,29 @@ mod tests {
             "x"
         )
         .is_err());
+    }
+
+    #[test]
+    fn double_glue_of_one_a_place_rejected() {
+        // The dual of `double_glue_rejected`: one producer place named
+        // in two pairs would merge both consumer inputs into it — a
+        // three-way fusion that silently aliased fan-out before the
+        // check existed.
+        let mut b = NetBuilder::new("two_ins");
+        let i1 = b.place("i1", Some(2));
+        let i2 = b.place("i2", Some(2));
+        let done = b.sink("done");
+        b.transition("t1", &[i1], &[done], |_| 1, |ts| vec![ts[0].data.clone()]);
+        b.transition("t2", &[i2], &[done], |_| 1, |ts| vec![ts[0].data.clone()]);
+        let consumer = b.build().expect("valid");
+        let err = compose(
+            front(),
+            consumer,
+            &[("boundary_out", "i1"), ("boundary_out", "i2")],
+            "x",
+        )
+        .expect_err("same a place in two pairs must be rejected");
+        assert!(err.to_string().contains("glued more than once"), "{err}");
     }
 
     #[test]

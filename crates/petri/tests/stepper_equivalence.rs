@@ -237,6 +237,105 @@ fn assert_identical(
     }
 }
 
+/// Deterministic branched regression: a fan-out/fan-in diamond whose
+/// routers guard on a token *field* (the shape `perf-compose` emits
+/// for round-robin DAG stages: record payloads, `r`-field dispatch,
+/// multi-server serve, delay-0 merge) must agree across all three
+/// evaluators. The random corpus above reaches branched topologies but
+/// only number payloads; this pins the record/field path.
+#[test]
+fn field_routed_diamond_matches_across_evaluators() {
+    type Guard = Option<Box<dyn Fn(&[Token]) -> bool>>;
+    let passthrough = |delay: u64, guard: Guard| Behavior::Native {
+        guard,
+        delay: Box::new(move |_: &[Token]| delay),
+        transform: Box::new(|ts: &[Token]| vec![ts[0].data.clone()]),
+    };
+    let route = |s: u64| -> Guard {
+        Some(Box::new(move |ts: &[Token]| {
+            ts[0]
+                .data
+                .field("r")
+                .and_then(Value::as_num)
+                .map(|v| v as u64 == s)
+                .unwrap_or(false)
+        }))
+    };
+    let mut b = NetBuilder::new("diamond");
+    let inp = b.place("in", None);
+    let mid = b.place("mid", Some(2));
+    let q0 = b.place("q0", Some(2));
+    let q1 = b.place("q1", Some(2));
+    let acc = b.place("acc", Some(4));
+    let out = b.sink("out");
+    let tr = |name: &str, i, o, behavior, servers| Transition {
+        name: name.to_string(),
+        inputs: vec![(i, 1)],
+        outputs: vec![(o, 1)],
+        behavior,
+        servers,
+        priority: 0,
+    };
+    // Two servers up front so in-flight tokens overlap, like a
+    // `replicas = 2` stage.
+    b.add_transition(tr("serve", inp, mid, passthrough(2, None), 2));
+    b.add_transition(tr("r0", mid, q0, passthrough(0, route(0)), 1));
+    b.add_transition(tr("r1", mid, q1, passthrough(0, route(1)), 1));
+    b.add_transition(tr("w0", q0, acc, passthrough(3, None), 1));
+    b.add_transition(tr("w1", q1, acc, passthrough(5, None), 1));
+    b.add_transition(tr("ser", acc, out, passthrough(1, None), 1));
+    let net = b.build().unwrap();
+
+    let run = |mode: usize| -> Result<SimResult, PetriError> {
+        let opts = Options {
+            max_events: 10_000,
+            fail_on_deadlock: false,
+            trace: None,
+        };
+        let entry = net.place_id("in").unwrap();
+        let tokens = (0..10).map(|i| {
+            let fields = [
+                ("r".to_string(), Value::num((i % 2) as f64)),
+                ("v".to_string(), Value::num(i as f64)),
+            ];
+            Token::at(Value::record_owned(fields), i)
+        });
+        match mode {
+            0 => {
+                let plan = CompiledNet::compile(&net);
+                let mut s = plan.stepper(&net, opts);
+                tokens.for_each(|t| s.inject(entry, t));
+                s.run()
+            }
+            _ => {
+                let mut e = Engine::new(&net, opts);
+                tokens.for_each(|t| e.inject(entry, t));
+                if mode == 1 {
+                    e.run()
+                } else {
+                    e.run_reference()
+                }
+            }
+        }
+    };
+    let compiled = run(0);
+    let inc = run(1);
+    let refr = run(2);
+    assert_identical("compiled vs incremental", &compiled, &inc, true);
+    assert_identical("compiled vs reference", &compiled, &refr, false);
+    let r = compiled.expect("diamond completes");
+    assert_eq!(
+        r.completions.len(),
+        10,
+        "all items retired through the merge"
+    );
+    assert_eq!(
+        (r.firings[3], r.firings[4]),
+        (5, 5),
+        "branch loads split 5/5"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 

@@ -138,4 +138,32 @@ not json\n\
             assert!(crate::json::Json::parse(l).is_ok(), "invalid JSON: {l}");
         }
     }
+
+    /// Regression: an oversize stream request must come back as a
+    /// rendered protocol error, not a silently clamped-to-4096 answer
+    /// labeled as if it covered the full request.
+    #[test]
+    fn oversize_pipeline_stream_is_a_protocol_error() {
+        let input = "\
+{\"id\":1,\"accel\":\"pipe:vta:2>protoacc:2\",\"metric\":\"latency\",\"spec\":{\"kind\":\"stream\",\"items\":10000}}\n\
+{\"id\":2,\"accel\":\"pipe:vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3\",\"metric\":\"latency\",\"spec\":{\"kind\":\"stream\",\"items\":4,\"seed\":2}}\n\
+\n";
+        let mut out = Vec::new();
+        let served = serve_lines(
+            std::io::BufReader::new(input.as_bytes()),
+            &mut out,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(served, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.matches("\"status\":\"error\"").count(), 1, "{text}");
+        assert!(text.contains("4096"), "{text}");
+        assert!(text.contains("10000"), "{text}");
+        // The DAG chain spec flows through the `pipe:` registry path.
+        assert_eq!(text.matches("\"status\":\"ok\"").count(), 1, "{text}");
+    }
 }

@@ -357,6 +357,12 @@ pub fn corpus(total: u64) -> Vec<Request> {
 /// exercising the `pipe:` registry path end to end.
 pub const PIPELINE_CHAIN: &str = "vta:2>protoacc:4";
 
+/// The branched composite svcbench drives for its DAG-tagged rows: a
+/// round-robin fan-out across two parallel serializer branches merged
+/// back into one, so the benchmark covers router/merge composition and
+/// the DAG recurrence through the same `pipe:` path.
+pub const PIPELINE_DAG: &str = "vta:2>(protoacc:2|bitcoin-miner:2)>protoacc:3";
+
 /// Builds a pipeline-query sequence: `stream` specs against one
 /// composite topology, with the same revisit structure as [`corpus`]
 /// so warm passes measure the cache path for composite answers too.
@@ -516,6 +522,11 @@ pub fn run(quick: bool) -> ServiceBenchReport {
     let preqs = pipeline_corpus(if quick { 96 } else { 384 }, PIPELINE_CHAIN);
     points.push(run_point_on(1, 1, false, &preqs, PIPELINE_CHAIN));
     points.push(run_point_on(2, 64, true, &preqs, PIPELINE_CHAIN));
+    // DAG-tagged row: one warm batched point over the fan-out/fan-in
+    // topology (cold composite DAG evaluation is the dominant cost, so
+    // a single point keeps the bench CI-friendly).
+    let dreqs = pipeline_corpus(if quick { 48 } else { 192 }, PIPELINE_DAG);
+    points.push(run_point_on(2, 64, true, &dreqs, PIPELINE_DAG));
     let mixed = |p: &&BenchPoint| p.topology == "mixed-4";
     let baseline_qps = points
         .iter()
@@ -632,6 +643,18 @@ mod tests {
         assert_eq!(p.topology, PIPELINE_CHAIN);
         assert!(p.qps > 0.0);
         assert!(p.to_json().contains(PIPELINE_CHAIN));
+    }
+
+    #[test]
+    fn dag_pipeline_point_is_tagged_and_completes() {
+        let reqs = pipeline_corpus(8, PIPELINE_DAG);
+        assert!(reqs
+            .iter()
+            .all(|r| r.accel == format!("pipe:{PIPELINE_DAG}")));
+        let p = run_point_on(1, 4, false, &reqs, PIPELINE_DAG);
+        assert_eq!(p.completed, 8);
+        assert_eq!(p.topology, PIPELINE_DAG);
+        assert!(p.qps > 0.0);
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! Tick-accurate DAG pipelines: fan-out, fan-in and replicated nodes.
+//!
+//! [`Pipeline`](crate::Pipeline) models a linear chain; real SoCs are
+//! DAGs — one decoder feeding two consumers, N replicated units behind
+//! one dispatcher, branches merging back into a shared serializer. A
+//! [`DagPipeline`] is the ground-truth analogue for those shapes: each
+//! node owns one bounded input [`Fifo`], serves up to
+//! `replicas` items concurrently, and hands finished items to its
+//! out-edges either by caller-defined selection ([`Route::Pick`]) or by
+//! copying to every edge ([`Route::Broadcast`]). Fan-in needs no
+//! mechanism at all: several producers simply push into the same
+//! consumer's input queue, in deterministic (reverse-topological
+//! producer) order.
+//!
+//! Backpressure is identical to the linear model: a finished item keeps
+//! occupying its server until every target queue it must enter has
+//! space, so a full consumer throttles its producers — and, whole-DAG,
+//! the branch with the slowest consumer governs the merged rate.
+//!
+//! ```
+//! use perf_sim::dag::{DagNodeSpec, DagPipeline, Route};
+//!
+//! // split ──▶ a ──▶ join ◀── b ◀── split  (diamond, round-robin)
+//! let nodes = vec![
+//!     DagNodeSpec::new("split", 2, |_: &u32| 1)
+//!         .targets(vec![1, 2], Route::Pick(Box::new(|i: &u32| *i as usize))),
+//!     DagNodeSpec::new("a", 2, |_: &u32| 5).targets(vec![3], Route::Pick(Box::new(|_| 0))),
+//!     DagNodeSpec::new("b", 2, |_: &u32| 5).targets(vec![3], Route::Pick(Box::new(|_| 0))),
+//!     DagNodeSpec::new("join", 2, |_: &u32| 1),
+//! ];
+//! let mut dag = DagPipeline::new(nodes);
+//! let (elapsed, done) = dag.run_to_completion((0..8).collect());
+//! assert_eq!(done.len(), 8);
+//! // Two 5-cycle branches in parallel beat one serial 5-cycle stage.
+//! assert!(elapsed < 8 * 5);
+//! ```
+
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::fifo::Fifo;
+use std::collections::VecDeque;
+
+/// How a node distributes finished items across its out-edges.
+pub enum Route<T> {
+    /// Each finished item leaves on exactly one out-edge: the closure
+    /// maps the item to an out-edge *slot* (taken modulo the number of
+    /// targets). Callers encode their routing discipline here — e.g. a
+    /// precomputed round-robin plan keyed by item index.
+    Pick(Box<dyn Fn(&T) -> usize>),
+    /// Every finished item is copied onto every out-edge; the copies
+    /// are independent items downstream (a merge interleaves them, it
+    /// does not re-join them).
+    Broadcast,
+}
+
+/// Static description of one DAG node.
+pub struct DagNodeSpec<T> {
+    name: String,
+    queue: usize,
+    replicas: usize,
+    delay: Box<dyn Fn(&T) -> u64>,
+    targets: Vec<usize>,
+    route: Route<T>,
+}
+
+impl<T> DagNodeSpec<T> {
+    /// A terminal single-server node: `queue` bounds its input FIFO,
+    /// `delay` is its per-item service time in cycles.
+    pub fn new(
+        name: impl Into<String>,
+        queue: usize,
+        delay: impl Fn(&T) -> u64 + 'static,
+    ) -> DagNodeSpec<T> {
+        DagNodeSpec {
+            name: name.into(),
+            queue,
+            replicas: 1,
+            delay: Box::new(delay),
+            targets: Vec::new(),
+            route: Route::Broadcast,
+        }
+    }
+
+    /// Sets the number of parallel servers (≥ 1) sharing the input
+    /// queue — the sim-side meaning of a stage's `replicas` key.
+    pub fn replicas(mut self, r: usize) -> DagNodeSpec<T> {
+        assert!(r >= 1, "a node needs at least one server");
+        self.replicas = r;
+        self
+    }
+
+    /// Sets the node's out-edges (indices into the pipeline's node
+    /// vector, in edge order) and its distribution policy.
+    pub fn targets(mut self, targets: Vec<usize>, route: Route<T>) -> DagNodeSpec<T> {
+        self.targets = targets;
+        self.route = route;
+        self
+    }
+}
+
+struct DagNode<T> {
+    spec: DagNodeSpec<T>,
+    input: Fifo<T>,
+    /// Items in service, in dispatch order: `(completion_time, item)`.
+    in_service: VecDeque<(u64, T)>,
+    /// Finished items refuse to retire while `now < hold_until`
+    /// (injected backpressure burst), exactly as if a target were full.
+    hold_until: u64,
+    busy_cycles: u64,
+    stall_cycles: u64,
+    processed: u64,
+}
+
+/// Per-node counters reported by [`DagPipeline::node_stats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DagNodeStats {
+    /// Node name.
+    pub name: String,
+    /// Items that completed service and retired downstream.
+    pub processed: u64,
+    /// Server-cycles spent in service (a node with R replicas can
+    /// accumulate R per elapsed cycle).
+    pub busy_cycles: u64,
+    /// Server-cycles a finished item spent blocked on a full target.
+    pub stall_cycles: u64,
+}
+
+/// A tick-accurate DAG of bounded-queue service nodes.
+///
+/// Construction checks the structure: targets must be in range, no
+/// self-loops, the edge graph must be acyclic, and exactly one node
+/// (the *source*) has no in-edges — that is where
+/// [`run_to_completion`](Self::run_to_completion) injects items.
+/// Nodes with no out-edges are *terminal*; their outputs are the
+/// pipeline's completions.
+pub struct DagPipeline<T> {
+    nodes: Vec<DagNode<T>>,
+    source: usize,
+    /// Reverse-topological node order: consumers step before their
+    /// producers so space freed downstream is visible upstream within
+    /// the same cycle (flow-through), matching the linear pipeline.
+    rev_topo: Vec<usize>,
+    completions: Vec<T>,
+    now: u64,
+    fault: Option<FaultInjector>,
+    fault_node: Option<usize>,
+}
+
+impl<T: Clone> DagPipeline<T> {
+    /// Builds the pipeline from node specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target index is out of range or a self-loop, if the
+    /// edge graph has a cycle, or if the number of source nodes (no
+    /// in-edges) is not exactly one.
+    pub fn new(specs: Vec<DagNodeSpec<T>>) -> DagPipeline<T> {
+        assert!(!specs.is_empty(), "DAG pipeline needs at least one node");
+        let n = specs.len();
+        let mut indeg = vec![0usize; n];
+        for (i, s) in specs.iter().enumerate() {
+            for &t in &s.targets {
+                assert!(t < n, "node `{}` targets out-of-range node {t}", s.name);
+                assert!(t != i, "node `{}` targets itself", s.name);
+                indeg[t] += 1;
+            }
+        }
+        let sources: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        assert!(
+            sources.len() == 1,
+            "DAG pipeline needs exactly one source node, found {}",
+            sources.len()
+        );
+        // Kahn topological sort; leftover nodes mean a cycle.
+        let mut topo = Vec::with_capacity(n);
+        let mut deg = indeg.clone();
+        let mut ready: VecDeque<usize> = sources.iter().copied().collect();
+        while let Some(u) = ready.pop_front() {
+            topo.push(u);
+            for &t in &specs[u].targets {
+                deg[t] -= 1;
+                if deg[t] == 0 {
+                    ready.push_back(t);
+                }
+            }
+        }
+        assert!(topo.len() == n, "DAG pipeline edge graph has a cycle");
+        topo.reverse();
+        let nodes = specs
+            .into_iter()
+            .map(|spec| {
+                let input = Fifo::new(format!("{}.in", spec.name), spec.queue.max(1));
+                DagNode {
+                    spec,
+                    input,
+                    in_service: VecDeque::new(),
+                    hold_until: 0,
+                    busy_cycles: 0,
+                    stall_cycles: 0,
+                    processed: 0,
+                }
+            })
+            .collect();
+        DagPipeline {
+            nodes,
+            source: sources[0],
+            rev_topo: topo,
+            completions: Vec::new(),
+            now: 0,
+            fault: None,
+            fault_node: None,
+        }
+    }
+
+    /// Arms (or with `None` disarms) deterministic fault injection on
+    /// one node, with the same plan semantics as the linear pipeline's
+    /// [`set_fault_on`](crate::Pipeline::set_fault_on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_fault_on(&mut self, node: usize, plan: Option<FaultPlan>) {
+        assert!(node < self.nodes.len(), "fault node out of range");
+        self.fault = plan.map(FaultInjector::new);
+        self.fault_node = plan.map(|_| node);
+    }
+
+    /// Current simulation time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Offers an item to the source node's input queue; fails when
+    /// full.
+    pub fn push_input(&mut self, item: T) -> Result<(), T> {
+        self.nodes[self.source].input.push(item)
+    }
+
+    /// Whether any item remains anywhere in the DAG.
+    pub fn is_busy(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|nd| !nd.input.is_empty() || !nd.in_service.is_empty())
+    }
+
+    /// Items that reached a terminal node so far, in completion order.
+    pub fn completions(&self) -> &[T] {
+        &self.completions
+    }
+
+    /// Advances one clock cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        for oi in 0..self.rev_topo.len() {
+            let i = self.rev_topo[oi];
+            // 1. Retire finished items, in dispatch order. An item
+            //    leaves only when *every* queue it must enter has
+            //    space; otherwise it keeps its server (backpressure).
+            let mut slot = 0;
+            while slot < self.nodes[i].in_service.len() {
+                let held = self.nodes[i].hold_until > now;
+                let (emit, blocked) = {
+                    let nd = &self.nodes[i];
+                    let (done, item) = &nd.in_service[slot];
+                    if *done > now {
+                        (None, false)
+                    } else if held {
+                        (None, true)
+                    } else if nd.spec.targets.is_empty() {
+                        (Some(Vec::new()), false)
+                    } else {
+                        let outs: Vec<usize> = match &nd.spec.route {
+                            Route::Broadcast => nd.spec.targets.clone(),
+                            Route::Pick(f) => {
+                                vec![nd.spec.targets[f(item) % nd.spec.targets.len()]]
+                            }
+                        };
+                        if outs.iter().all(|&t| !self.nodes[t].input.is_full()) {
+                            (Some(outs), false)
+                        } else {
+                            (None, true)
+                        }
+                    }
+                };
+                match emit {
+                    Some(outs) => {
+                        let (_, item) = self.nodes[i].in_service.remove(slot).expect("in range");
+                        self.nodes[i].processed += 1;
+                        if outs.is_empty() {
+                            self.completions.push(item);
+                        } else {
+                            for &t in &outs {
+                                self.nodes[t]
+                                    .input
+                                    .push(item.clone())
+                                    .unwrap_or_else(|_| unreachable!("space checked"));
+                            }
+                        }
+                        // `slot` now indexes the next entry already.
+                    }
+                    None => {
+                        if blocked {
+                            self.nodes[i].stall_cycles += 1;
+                        }
+                        slot += 1;
+                    }
+                }
+            }
+            // 2. Dispatch waiting items onto idle servers.
+            while self.nodes[i].in_service.len() < self.nodes[i].spec.replicas {
+                let Some(item) = self.nodes[i].input.pop() else {
+                    break;
+                };
+                let mut d = (self.nodes[i].spec.delay)(&item).max(1);
+                let targeted = self.fault_node.is_none_or(|k| k == i);
+                if let Some(f) = self.fault.as_mut().filter(|_| targeted) {
+                    d += f.stage_stall();
+                    let burst = f.backpressure_burst();
+                    if burst > 0 {
+                        self.nodes[i].hold_until = now + d + burst;
+                    }
+                }
+                self.nodes[i].in_service.push_back((now + d, item));
+            }
+            self.nodes[i].busy_cycles += self.nodes[i].in_service.len() as u64;
+        }
+        self.now += 1;
+    }
+
+    /// Feeds `items` into the source and runs until the DAG drains.
+    /// Returns `(elapsed_cycles, completions)` measured from the
+    /// current time; completions from every terminal node interleave in
+    /// completion order.
+    pub fn run_to_completion(&mut self, items: Vec<T>) -> (u64, Vec<T>) {
+        let start = self.now;
+        let drained = self.completions.len();
+        let mut pending: VecDeque<T> = items.into();
+        let mut idle_ticks = 0u64;
+        while !pending.is_empty() || self.is_busy() {
+            while let Some(item) = pending.pop_front() {
+                match self.push_input(item) {
+                    Ok(()) => {}
+                    Err(item) => {
+                        pending.push_front(item);
+                        break;
+                    }
+                }
+            }
+            let before = self.completions.len();
+            self.tick();
+            if self.completions.len() == before {
+                idle_ticks += 1;
+                assert!(
+                    idle_ticks < 100_000_000,
+                    "DAG pipeline made no progress for 1e8 cycles; wedged?"
+                );
+            } else {
+                idle_ticks = 0;
+            }
+        }
+        (self.now - start, self.completions.split_off(drained))
+    }
+
+    /// Per-node counters over the cycles simulated so far.
+    pub fn node_stats(&self) -> Vec<DagNodeStats> {
+        self.nodes
+            .iter()
+            .map(|nd| DagNodeStats {
+                name: nd.spec.name.clone(),
+                processed: nd.processed,
+                busy_cycles: nd.busy_cycles,
+                stall_cycles: nd.stall_cycles,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, StageSpec};
+
+    fn pick(f: impl Fn(&usize) -> usize + 'static) -> Route<usize> {
+        Route::Pick(Box::new(f))
+    }
+
+    /// A two-node DAG chain must time out identically to the linear
+    /// `Pipeline` on the same costs and queue depths.
+    #[test]
+    fn chain_dag_matches_linear_pipeline() {
+        let costs = [7u64, 3, 9, 4, 8, 2, 6, 5];
+        let dcosts = costs;
+        let nodes = vec![
+            DagNodeSpec::new("a", 2, move |i: &usize| dcosts[*i]).targets(vec![1], pick(|_| 0)),
+            DagNodeSpec::new("b", 3, move |i: &usize| dcosts[*i] + 2),
+        ];
+        let mut dag = DagPipeline::new(nodes);
+        let (d_elapsed, d_out) = dag.run_to_completion((0..costs.len()).collect());
+
+        let c0 = costs;
+        let c1 = costs;
+        let mut lin = Pipeline::new(
+            2,
+            vec![
+                StageSpec::new("a", 3, move |i: &usize| c0[*i]),
+                StageSpec::new("b", costs.len(), move |i: &usize| c1[*i] + 2),
+            ],
+        );
+        let (l_elapsed, l_out) = lin.run_to_completion((0..costs.len()).collect());
+        assert_eq!(d_out, l_out);
+        assert_eq!(d_elapsed, l_elapsed);
+    }
+
+    /// Round-robin fan-out across two equal branches roughly halves
+    /// the bottleneck stage's effective service time.
+    #[test]
+    fn round_robin_fanout_parallelizes_the_bottleneck() {
+        let serial = {
+            let mut p = Pipeline::new(
+                4,
+                vec![
+                    StageSpec::new("feed", 4, |_: &usize| 1),
+                    StageSpec::new("work", 16, |_: &usize| 10),
+                ],
+            );
+            p.run_to_completion((0..16).collect()).0
+        };
+        let nodes = vec![
+            DagNodeSpec::new("feed", 4, |_: &usize| 1)
+                .targets(vec![1, 2], pick(|i: &usize| *i % 2)),
+            DagNodeSpec::new("work0", 4, |_: &usize| 10).targets(vec![3], pick(|_| 0)),
+            DagNodeSpec::new("work1", 4, |_: &usize| 10).targets(vec![3], pick(|_| 0)),
+            DagNodeSpec::new("drain", 4, |_: &usize| 1),
+        ];
+        let mut dag = DagPipeline::new(nodes);
+        let (elapsed, out) = dag.run_to_completion((0..16).collect());
+        assert_eq!(out.len(), 16);
+        assert!(
+            elapsed * 3 < serial * 2,
+            "fan-out {elapsed} should clearly beat serial {serial}"
+        );
+    }
+
+    /// Broadcast copies every item to every branch: completions double
+    /// and a full branch throttles the producer (atomic hand-off).
+    #[test]
+    fn broadcast_duplicates_and_backpressures() {
+        let nodes = vec![
+            DagNodeSpec::new("src", 2, |_: &usize| 1).targets(vec![1, 2], Route::Broadcast),
+            DagNodeSpec::new("fast", 1, |_: &usize| 1),
+            DagNodeSpec::new("slow", 1, |_: &usize| 50),
+        ];
+        let mut dag = DagPipeline::new(nodes);
+        let (elapsed, out) = dag.run_to_completion((0..6).collect());
+        assert_eq!(out.len(), 12, "each item completes on both branches");
+        // The slow branch gates the broadcast: ~6 × 50 cycles.
+        assert!(elapsed >= 300, "slow branch must gate: {elapsed}");
+        let stats = dag.node_stats();
+        assert!(stats[0].stall_cycles > 0, "producer must stall: {stats:?}");
+    }
+
+    /// Replicated servers drain a queue R× faster once saturated.
+    #[test]
+    fn replicas_scale_service_throughput() {
+        let run = |r: usize| {
+            let nodes = vec![DagNodeSpec::new("work", 8, |_: &usize| 20).replicas(r)];
+            DagPipeline::new(nodes)
+                .run_to_completion((0..12).collect())
+                .0
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(one >= 240, "single server is serial: {one}");
+        assert!(
+            three * 2 < one,
+            "3 replicas ({three}) must clearly beat 1 ({one})"
+        );
+    }
+
+    /// Fault injection on one node slows the stream; disarming
+    /// restores the clean timing.
+    #[test]
+    fn faults_inject_and_disarm() {
+        let build = || {
+            DagPipeline::new(vec![
+                DagNodeSpec::new("a", 2, |_: &usize| 2)
+                    .targets(vec![1, 2], pick(|i: &usize| *i % 2)),
+                DagNodeSpec::new("b", 2, |_: &usize| 4).targets(vec![3], pick(|_| 0)),
+                DagNodeSpec::new("c", 2, |_: &usize| 4).targets(vec![3], pick(|_| 0)),
+                DagNodeSpec::new("d", 2, |_: &usize| 1),
+            ])
+        };
+        let clean = build().run_to_completion((0..10).collect()).0;
+        let mut faulted = build();
+        faulted.set_fault_on(1, Some(FaultPlan::backpressure(3, 900, 200)));
+        let slow = faulted.run_to_completion((0..10).collect()).0;
+        assert!(slow > clean, "fault must slow the DAG: {slow} vs {clean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_edges_panic() {
+        let _ = DagPipeline::new(vec![
+            DagNodeSpec::new("src", 1, |_: &usize| 1).targets(vec![1], pick(|_| 0)),
+            DagNodeSpec::new("a", 1, |_: &usize| 1).targets(vec![2], pick(|_| 0)),
+            DagNodeSpec::new("b", 1, |_: &usize| 1).targets(vec![1], pick(|_| 0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one source")]
+    fn two_sources_panic() {
+        let _ = DagPipeline::new(vec![
+            DagNodeSpec::new("a", 1, |_: &usize| 1).targets(vec![2], pick(|_| 0)),
+            DagNodeSpec::new("b", 1, |_: &usize| 1).targets(vec![2], pick(|_| 0)),
+            DagNodeSpec::new("sink", 1, |_: &usize| 1),
+        ]);
+    }
+}

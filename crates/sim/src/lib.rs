@@ -4,8 +4,8 @@
 //! `accel-bitcoin`, `accel-protoacc`, `accel-vta`) are cycle-level
 //! simulators standing in for the RTL the paper measured. This crate is
 //! their shared substrate: bounded FIFOs with backpressure ([`fifo`]),
-//! an in-order multi-stage pipeline model ([`pipeline`]), DRAM and TLB
-//! models ([`mem`]), statistics counters ([`stats`]), a bounded event
+//! an in-order multi-stage pipeline model ([`pipeline`]), its fan-out/
+//! fan-in DAG generalization ([`dag`]), DRAM and TLB models ([`mem`]), statistics counters ([`stats`]), a bounded event
 //! trace ([`trace`]) and deterministic fault injection ([`fault`]) for
 //! probing interface contracts outside nominal operation.
 //!
@@ -15,6 +15,7 @@
 //! net evaluates the same performance behavior orders of magnitude
 //! faster.
 
+pub mod dag;
 pub mod fault;
 pub mod fifo;
 pub mod mem;
@@ -22,6 +23,7 @@ pub mod pipeline;
 pub mod stats;
 pub mod trace;
 
+pub use dag::{DagNodeSpec, DagNodeStats, DagPipeline, Route};
 pub use fault::{FaultInjector, FaultPlan};
 pub use fifo::Fifo;
 pub use mem::{DramModel, Tlb};

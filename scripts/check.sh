@@ -39,12 +39,14 @@ cargo run --release -p perf-bench --bin repro -- --lint-all
 cargo run --release -p perf-bench --bin repro -- --xcheck
 # Differential conformance gate: every interface representation against
 # its cycle-accurate simulator (nominal + fault-injected), fast seeds,
-# all four accelerators. Exits nonzero past the recorded error budgets.
+# all four accelerators plus the chain and DAG composite subjects.
+# Exits nonzero past the recorded error budgets.
 cargo run --release -p perf-bench --bin repro -- --conformance --quick
-# Composite-pipeline smoke: parse the demo TOML topology, lint the
-# glued net, require interpreted/compiled agreement on the composite
-# makespan, and run quick composite conformance. Exits nonzero on any
-# budget violation or engine divergence.
+# Composite-pipeline smoke: parse both demo TOML topologies (linear
+# chain and fan-out/fan-in DAG), lint the configs and glued nets,
+# require interpreted/compiled agreement on the composite makespans,
+# and run quick composite conformance for both subjects. Exits nonzero
+# on any budget violation or engine divergence.
 cargo run --release -p perf-bench --bin repro -- --compose --quick
 # Engine fast-path smoke: the compiled stepper must beat the
 # incremental engine on both stress shapes (repro exits nonzero

@@ -3,13 +3,23 @@
 //! ```text
 //! repro                 # run everything at paper-scale sample sizes
 //! repro --quick         # smaller samples (seconds instead of minutes)
-//! repro --exp e4        # a single experiment
+//! repro --exp e4        # a single experiment (legacy direct path)
 //! repro --markdown OUT  # also write a measured-values report
+//! repro --experiments   # the declarative spec-driven runner: every
+//!                       # experiment from crates/bench/specs/
+//!                       # experiments.toml, criteria checked, exit 1
+//!                       # on any failure.
+//!                       #   --only E4     one experiment
+//!                       #   --json        machine-readable results
+//!                       #   --write PATH  regenerate EXPERIMENTS.md
+//!                       #   --check PATH  CI drift gate vs committed
 //! repro --bench-engine BENCH_engine.json
 //!                       # only the engine throughput benchmark
-//! repro --trace TRACE.json
+//! repro --trace TRACE.json [--perfetto OUT.json]
 //!                       # traced run of every substrate: writes the
-//!                       # combined JSON report, prints folded stacks
+//!                       # combined JSON report, prints folded stacks;
+//!                       # --perfetto also writes a Chrome JSON trace
+//!                       # loadable at ui.perfetto.dev
 //! repro --lint-all      # static perf-lint audit of every shipped
 //!                       # .pnet net and .pi program (plus the demo
 //!                       # composite's glued net); exit 1 on findings
@@ -38,13 +48,55 @@
 //!                       # instead of stdio.
 //! ```
 
+use perf_bench::exp;
 use perf_bench::experiments::{self, ExperimentOutput};
+
+const HELP: &str = "\
+repro — regenerate the paper's tables and figures
+
+usage: repro [--quick] [--exp eN] [--markdown PATH]
+       repro --experiments [--quick] [--only EID] [--json]
+                           [--write PATH] [--check PATH]
+       repro --bench-engine PATH [--quick]
+       repro --trace PATH [--perfetto OUT] [--quick]
+       repro --lint-all | --xcheck [--json] | --conformance [--json] | --compose
+       repro --serve [--workers N] [--tcp ADDR]
+
+modes:
+  (default)       run experiment runners directly and print their tables
+  --experiments   the declarative runner: executes every spec in
+                  crates/bench/specs/experiments.toml (one table row per
+                  variant-axis point, fixed seeds), evaluates each spec's
+                  pass criteria, and exits 1 if any criterion fails.
+                  --only EID restricts to one experiment; --json prints a
+                  JSON document; --write PATH regenerates EXPERIMENTS.md;
+                  --check PATH is the CI drift gate (committed file vs
+                  regenerated: prose byte-exact, measured digits masked,
+                  stable sections byte-exact).
+  --trace PATH    traced run of every substrate. Writes a combined JSON
+                  report to PATH and prints folded stacks. The report is
+                  {\"petri\": <trace report>, \"components\": [...]}, where
+                  the petri object has fields net, makespan, events,
+                  enablement_checks, firings_recorded, firings_evicted,
+                  critical_path_total, transitions[] and critical_path[]
+                  (same schema as `pnet trace`). --perfetto OUT also
+                  writes a Chrome JSON trace (trace-event format, 1 cycle
+                  = 1 us) with one process per substrate — open it at
+                  ui.perfetto.dev; per-stage slice durations telescope
+                  exactly to each reported makespan.
+
+flags:
+  --quick         smaller sample counts (seconds instead of minutes)
+  --json          machine-readable output where the mode supports it
+  -h, --help      this text
+";
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--exp eN] [--markdown PATH] [--bench-engine PATH] \
-         [--trace PATH] [--lint-all] [--xcheck [--json]] [--conformance [--json]] \
-         [--compose] [--serve [--workers N] [--tcp ADDR]]"
+         [--trace PATH [--perfetto OUT]] [--experiments [--only EID] [--json] \
+         [--write PATH] [--check PATH]] [--lint-all] [--xcheck [--json]] \
+         [--conformance [--json]] [--compose] [--serve [--workers N] [--tcp ADDR]]"
     );
     std::process::exit(2);
 }
@@ -92,6 +144,11 @@ fn main() {
     let mut markdown: Option<String> = None;
     let mut engine_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut perfetto_out: Option<String> = None;
+    let mut experiments_mode = false;
+    let mut only_spec: Option<String> = None;
+    let mut write_doc: Option<String> = None;
+    let mut check_doc_path: Option<String> = None;
     let mut lint_all = false;
     let mut xcheck = false;
     let mut conformance = false;
@@ -108,6 +165,11 @@ fn main() {
             "--markdown" => markdown = Some(args.next().unwrap_or_else(|| usage())),
             "--bench-engine" => engine_out = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--perfetto" => perfetto_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--experiments" => experiments_mode = true,
+            "--only" => only_spec = Some(args.next().unwrap_or_else(|| usage())),
+            "--write" => write_doc = Some(args.next().unwrap_or_else(|| usage())),
+            "--check" => check_doc_path = Some(args.next().unwrap_or_else(|| usage())),
             "--lint-all" => lint_all = true,
             "--xcheck" => xcheck = true,
             "--conformance" => conformance = true,
@@ -121,8 +183,64 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return;
+            }
             _ => usage(),
         }
+    }
+
+    if experiments_mode {
+        let file = exp::load().unwrap_or_else(|e| {
+            eprintln!("broken shipped spec file: {e}");
+            std::process::exit(1);
+        });
+        if let Some(id) = &only_spec {
+            if file.find(id).is_none() {
+                eprintln!("unknown experiment `{id}`");
+                std::process::exit(2);
+            }
+            if write_doc.is_some() || check_doc_path.is_some() {
+                eprintln!("--write/--check need the full experiment set; drop --only");
+                std::process::exit(2);
+            }
+        }
+        let res = exp::run_specs(&file, quick, only_spec.as_deref()).unwrap_or_else(|e| {
+            eprintln!("experiments failed: {e}");
+            std::process::exit(1);
+        });
+        if json {
+            print!("{}", res.render_json());
+        } else {
+            print!("{}", res.render_text());
+        }
+        if let Some(path) = &write_doc {
+            if let Err(e) = std::fs::write(path, res.render_doc()) {
+                io_fail("cannot write experiments doc", path, e);
+            }
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &check_doc_path {
+            let committed = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| io_fail("cannot read committed experiments doc", path, e));
+            if let Err(d) = exp::check_doc(&committed, &res.render_doc(), &file) {
+                eprintln!("experiments doc drift: {d}");
+                eprintln!("regenerate with: repro --experiments --write {path}");
+                std::process::exit(1);
+            }
+            eprintln!("{path} matches the regenerated experiments");
+        }
+        std::process::exit(if res.pass() { 0 } else { 1 });
+    }
+
+    if only_spec.is_some() || write_doc.is_some() || check_doc_path.is_some() {
+        eprintln!("--only/--write/--check require --experiments");
+        usage();
+    }
+    if perfetto_out.is_some() && trace_out.is_none() {
+        eprintln!("--perfetto requires --trace");
+        usage();
     }
 
     if serve {
@@ -198,6 +316,12 @@ fn main() {
         }
         print!("{}", demo.folded);
         eprintln!("wrote {path}");
+        if let Some(pf) = perfetto_out {
+            if let Err(e) = std::fs::write(&pf, &demo.chrome) {
+                io_fail("cannot write Chrome trace", &pf, e);
+            }
+            eprintln!("wrote {pf} (open at ui.perfetto.dev)");
+        }
         return;
     }
 

@@ -196,6 +196,76 @@ fn smoke_topology(report: &mut String, pass: &mut bool, src: &str, quick: bool) 
     }
 }
 
+/// Structured results of the per-topology checks, for the E14
+/// experiment variant (`exp::run_variant` turns one of these into a
+/// table row; `smoke_topology` above renders the same checks as
+/// prose).
+pub struct TopologyMetrics {
+    /// `Topology::chain_label()` of the parsed config.
+    pub label: String,
+    /// Stage count.
+    pub stages: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Config-level lint (PC0xx) found no errors.
+    pub config_lint_clean: bool,
+    /// `pnet`-level lint of the glued net found no errors.
+    pub net_lint_clean: bool,
+    /// Composite makespan under the incremental engine.
+    pub interp: u64,
+    /// Composite makespan under the compiled stepper.
+    pub compiled: u64,
+    /// Ground-truth stream makespan from the composed simulators.
+    pub measured: f64,
+    /// Composite NL lower bound.
+    pub nl_lo: f64,
+    /// Composite NL upper bound.
+    pub nl_hi: f64,
+    /// Program-tier recurrence prediction.
+    pub prog: f64,
+}
+
+impl TopologyMetrics {
+    /// Relative error of the program-tier recurrence against the
+    /// measured makespan.
+    pub fn prog_rel_err(&self) -> f64 {
+        (self.prog - self.measured).abs() / self.measured
+    }
+}
+
+/// Runs the shared per-topology checks and returns them as structured
+/// values instead of report lines.
+pub fn topology_metrics(src: &str, quick: bool) -> Result<TopologyMetrics, perf_core::CoreError> {
+    let topo = Topology::parse_toml(src)?;
+    let label = topo.chain_label();
+    let stages = topo.stages.len();
+    let edges = topo.edges.len();
+    let config_lint_clean = !perf_compose::lint::lint_toml("demo", src).has_errors();
+    let mut comp = Composite::new(topo, EngineChoice::Compiled)?;
+    let net_lint_clean = !comp.lint_net()?.has_errors();
+    let stream = StreamParams {
+        items: if quick { 5 } else { 12 },
+        seed: 7,
+    };
+    let (interp, compiled) = comp.petri_makespan_both(&stream)?;
+    let measured = comp.measure_stream(&stream)?.latency.0 as f64;
+    let (nl_lo, nl_hi) = comp.nl_bounds(&stream)?;
+    let prog = comp.program_makespan(&stream)?;
+    Ok(TopologyMetrics {
+        label,
+        stages,
+        edges,
+        config_lint_clean,
+        net_lint_clean,
+        interp,
+        compiled,
+        measured,
+        nl_lo,
+        nl_hi,
+        prog,
+    })
+}
+
 /// Runs the compose smoke. `quick` shrinks stream lengths and the
 /// conformance sweep; the checks themselves are identical.
 pub fn run(quick: bool) -> ComposeDemo {

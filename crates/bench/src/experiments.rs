@@ -219,74 +219,102 @@ pub fn e3_protoacc_program(instances: usize) -> Result<ExperimentOutput, CoreErr
     })
 }
 
+/// One table row plus the named measured values it contributes —
+/// what a per-axis-variant runner ([`e4_row`], [`e9_row`]) returns.
+pub type RowAndValues = (Vec<String>, Vec<(String, f64)>);
+
+/// Header of the E4 table; [`e4_row`] rows line up with it.
+pub const E4_HEADERS: [&str; 7] = [
+    "Accel",
+    "Latency err paper",
+    "Latency err ours",
+    "Tput err paper",
+    "Tput err ours",
+    "Complexity paper",
+    "Complexity ours",
+];
+
+/// One variant of E4: the Table-1 row for `accel` (`"jpeg"` or
+/// `"vta"`) at `n` workloads, as (cells, named values).
+pub fn e4_row(accel: &str, n: usize) -> Result<RowAndValues, CoreError> {
+    match accel {
+        "jpeg" => {
+            let mut sim = accel_jpeg::JpegCycleSim::default();
+            let iface = accel_jpeg::interface::petri::JpegPetriInterface::new()?;
+            let mut g = accel_jpeg::ImageGen::new(50);
+            let imgs = g.gen_many(n);
+            let lat = validate(&mut sim, &iface, Metric::Latency, &imgs)?;
+            let tput = validate(&mut sim, &iface, Metric::Throughput, &imgs)?;
+            let impl_src = accel_jpeg::implementation_sources().join("\n");
+            let cx = Complexity::measure(
+                iface.source(),
+                CommentStyle::Hash,
+                &impl_src,
+                CommentStyle::Slashes,
+            );
+            Ok((
+                vec![
+                    "JPEG".into(),
+                    "0.09% (0.50%)".into(),
+                    lat.point.paper_style(),
+                    "0.09% (0.51%)".into(),
+                    tput.point.paper_style(),
+                    "2.5%".into(),
+                    cx.paper_style(),
+                ],
+                vec![
+                    ("e4_jpeg_lat_avg".into(), lat.point.avg),
+                    ("e4_jpeg_lat_max".into(), lat.point.max),
+                    ("e4_jpeg_complexity".into(), cx.ratio()),
+                ],
+            ))
+        }
+        "vta" => {
+            let mut sim =
+                accel_vta::VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
+            let iface = accel_vta::interface::petri::VtaPetriInterface::new_full()?;
+            let mut g = accel_vta::gen::ProgGen::new(1500);
+            let progs = g.gen_many(n);
+            let lat = validate(&mut sim, &iface, Metric::Latency, &progs)?;
+            let tput = validate(&mut sim, &iface, Metric::Throughput, &progs)?;
+            let impl_src = accel_vta::implementation_sources().join("\n");
+            let cx = Complexity::measure(
+                iface.source(),
+                CommentStyle::Hash,
+                &impl_src,
+                CommentStyle::Slashes,
+            );
+            Ok((
+                vec![
+                    "VTA".into(),
+                    "1.49% (9.3%)".into(),
+                    lat.point.paper_style(),
+                    "1.44% (8.55%)".into(),
+                    tput.point.paper_style(),
+                    "2.6%".into(),
+                    cx.paper_style(),
+                ],
+                vec![
+                    ("e4_vta_lat_avg".into(), lat.point.avg),
+                    ("e4_vta_lat_max".into(), lat.point.max),
+                    ("e4_vta_complexity".into(), cx.ratio()),
+                ],
+            ))
+        }
+        other => Err(CoreError::Artifact(format!(
+            "E4 has no accelerator `{other}` (have: jpeg, vta)"
+        ))),
+    }
+}
+
 /// E4 — Table 1: Petri-net accuracy and complexity for JPEG and VTA.
 pub fn e4_table1(n_jpeg: usize, n_vta: usize) -> Result<ExperimentOutput, CoreError> {
-    let mut table = Table::new(vec![
-        "Accel",
-        "Latency err paper",
-        "Latency err ours",
-        "Tput err paper",
-        "Tput err ours",
-        "Complexity paper",
-        "Complexity ours",
-    ]);
+    let mut table = Table::new(E4_HEADERS.to_vec());
     let mut values = Vec::new();
-
-    // JPEG row.
-    {
-        let mut sim = accel_jpeg::JpegCycleSim::default();
-        let iface = accel_jpeg::interface::petri::JpegPetriInterface::new()?;
-        let mut g = accel_jpeg::ImageGen::new(50);
-        let imgs = g.gen_many(n_jpeg);
-        let lat = validate(&mut sim, &iface, Metric::Latency, &imgs)?;
-        let tput = validate(&mut sim, &iface, Metric::Throughput, &imgs)?;
-        let impl_src = accel_jpeg::implementation_sources().join("\n");
-        let cx = Complexity::measure(
-            iface.source(),
-            CommentStyle::Hash,
-            &impl_src,
-            CommentStyle::Slashes,
-        );
-        table.row(vec![
-            "JPEG".into(),
-            "0.09% (0.50%)".into(),
-            lat.point.paper_style(),
-            "0.09% (0.51%)".into(),
-            tput.point.paper_style(),
-            "2.5%".into(),
-            cx.paper_style(),
-        ]);
-        values.push(("e4_jpeg_lat_avg".into(), lat.point.avg));
-        values.push(("e4_jpeg_lat_max".into(), lat.point.max));
-        values.push(("e4_jpeg_complexity".into(), cx.ratio()));
-    }
-    // VTA row.
-    {
-        let mut sim = accel_vta::VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
-        let iface = accel_vta::interface::petri::VtaPetriInterface::new_full()?;
-        let mut g = accel_vta::gen::ProgGen::new(1500);
-        let progs = g.gen_many(n_vta);
-        let lat = validate(&mut sim, &iface, Metric::Latency, &progs)?;
-        let tput = validate(&mut sim, &iface, Metric::Throughput, &progs)?;
-        let impl_src = accel_vta::implementation_sources().join("\n");
-        let cx = Complexity::measure(
-            iface.source(),
-            CommentStyle::Hash,
-            &impl_src,
-            CommentStyle::Slashes,
-        );
-        table.row(vec![
-            "VTA".into(),
-            "1.49% (9.3%)".into(),
-            lat.point.paper_style(),
-            "1.44% (8.55%)".into(),
-            tput.point.paper_style(),
-            "2.6%".into(),
-            cx.paper_style(),
-        ]);
-        values.push(("e4_vta_lat_avg".into(), lat.point.avg));
-        values.push(("e4_vta_lat_max".into(), lat.point.max));
-        values.push(("e4_vta_complexity".into(), cx.ratio()));
+    for (accel, n) in [("jpeg", n_jpeg), ("vta", n_vta)] {
+        let (row, vals) = e4_row(accel, n)?;
+        table.row(row);
+        values.extend(vals);
     }
     Ok(ExperimentOutput {
         id: "E4",
@@ -481,40 +509,60 @@ pub fn e8_offload(n_requests: usize) -> Result<ExperimentOutput, CoreError> {
     })
 }
 
+/// Header of the E9 table; [`e9_row`] rows line up with it.
+pub const E9_HEADERS: [&str; 4] = [
+    "Net",
+    "Avg (max) latency err",
+    "Events/program",
+    "Transitions",
+];
+
+/// One variant of E9: the ablation row for `net` (`"full"` or
+/// `"lite"`) at `n` programs, as (cells, named values).
+pub fn e9_row(net: &str, n: usize) -> Result<RowAndValues, CoreError> {
+    let (label, iface) = match net {
+        "full" => (
+            "full (dep tokens)",
+            accel_vta::interface::petri::VtaPetriInterface::new_full()?,
+        ),
+        "lite" => (
+            "lite (corner-cut)",
+            accel_vta::interface::petri::VtaPetriInterface::new_lite()?,
+        ),
+        other => {
+            return Err(CoreError::Artifact(format!(
+                "E9 has no net variant `{other}` (have: full, lite)"
+            )))
+        }
+    };
+    let mut sim = accel_vta::VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
+    let mut g = accel_vta::gen::ProgGen::new(99);
+    let progs = g.gen_many(n);
+    let r = validate(&mut sim, &iface, Metric::Latency, &progs)?;
+    let mut events = 0.0;
+    for p in &progs {
+        events += iface.run(p)?.events as f64;
+    }
+    Ok((
+        vec![
+            label.into(),
+            r.point.paper_style(),
+            format!("{:.0}", events / n as f64),
+            format!("{}", iface.net().transitions().len()),
+        ],
+        vec![(format!("e9_{net}_avg"), r.point.avg)],
+    ))
+}
+
 /// E9 — ablation: full vs corner-cut VTA Petri net.
 pub fn e9_petri_ablation(n_progs: usize) -> Result<ExperimentOutput, CoreError> {
-    let mut sim = accel_vta::VtaCycleSim::new_timing_only(accel_vta::VtaHwConfig::default());
-    let full = accel_vta::interface::petri::VtaPetriInterface::new_full()?;
-    let lite = accel_vta::interface::petri::VtaPetriInterface::new_lite()?;
-    let mut g = accel_vta::gen::ProgGen::new(99);
-    let progs = g.gen_many(n_progs);
-    let rf = validate(&mut sim, &full, Metric::Latency, &progs)?;
-    let rl = validate(&mut sim, &lite, Metric::Latency, &progs)?;
-    // Evaluation cost: events processed per program.
-    let mut full_events = 0.0;
-    let mut lite_events = 0.0;
-    for p in &progs {
-        full_events += full.run(p)?.events as f64;
-        lite_events += lite.run(p)?.events as f64;
+    let mut table = Table::new(E9_HEADERS.to_vec());
+    let mut values = Vec::new();
+    for net in ["full", "lite"] {
+        let (row, vals) = e9_row(net, n_progs)?;
+        table.row(row);
+        values.extend(vals);
     }
-    let mut table = Table::new(vec![
-        "Net",
-        "Avg (max) latency err",
-        "Events/program",
-        "Transitions",
-    ]);
-    table.row(vec![
-        "full (dep tokens)".into(),
-        rf.point.paper_style(),
-        format!("{:.0}", full_events / n_progs as f64),
-        format!("{}", full.net().transitions().len()),
-    ]);
-    table.row(vec![
-        "lite (corner-cut)".into(),
-        rl.point.paper_style(),
-        format!("{:.0}", lite_events / n_progs as f64),
-        format!("{}", lite.net().transitions().len()),
-    ]);
     Ok(ExperimentOutput {
         id: "E9",
         title: "Ablation — corner-cutting the VTA Petri net (§3/§5)",
@@ -525,10 +573,7 @@ pub fn e9_petri_ablation(n_progs: usize) -> Result<ExperimentOutput, CoreError> 
              attributes to 'deliberately cutting corners', magnified."
                 .into(),
         ],
-        values: vec![
-            ("e9_full_avg".into(), rf.point.avg),
-            ("e9_lite_avg".into(), rl.point.avg),
-        ],
+        values,
     })
 }
 
@@ -579,9 +624,16 @@ pub fn e10_autotune_quality() -> Result<ExperimentOutput, CoreError> {
         format!("{:?} @ {:.0} cyc", best_petri.0, best_petri.1),
     ]);
     table.row(vec!["tuning regret".into(), pct(regret)]);
+    // Fixed units: `Duration`'s `{:?}` switches between ms and s,
+    // which defeats the digit-masked drift comparison in
+    // `exp::check_doc`.
     table.row(vec![
         "profiling time".into(),
-        format!("{:?} vs {:?}", cyc.time_spent(), pet.time_spent()),
+        format!(
+            "{:.0} ms vs {:.0} ms",
+            cyc.time_spent().as_secs_f64() * 1e3,
+            pet.time_spent().as_secs_f64() * 1e3
+        ),
     ]);
     Ok(ExperimentOutput {
         id: "E10",

@@ -9,6 +9,7 @@
 pub mod composedemo;
 pub mod conformance;
 pub mod enginebench;
+pub mod exp;
 pub mod experiments;
 pub mod lintall;
 pub mod tracedemo;

@@ -46,7 +46,7 @@ use perf_iface_lang::Value;
 use perf_petri::behavior::Behavior;
 use perf_petri::lint::lint;
 use perf_petri::net::Transition;
-use perf_petri::{Net, NetBuilder, NetExec, Options, Token};
+use perf_petri::{Engine, Net, NetBuilder, NetExec, Options, SimResult, Token};
 use perf_sim::{DagNodeSpec, DagPipeline, FaultPlan, Pipeline, Route, StageSpec};
 use std::collections::HashMap;
 
@@ -671,6 +671,37 @@ impl Composite {
         let tokens = self.stream_tokens(stream)?;
         let net = self.build_net()?;
         self.run_net(net, &tokens, self.engine)
+    }
+
+    /// Runs the composite net with firing-trace recording enabled and
+    /// returns the net together with the traced [`SimResult`] — the
+    /// input to [`perf_petri::critical_path`] and the Chrome-trace
+    /// exporter. Always uses the incremental interpreter (the compiled
+    /// stepper does not record traces).
+    pub fn petri_traced(&mut self, stream: &StreamParams) -> Result<(Net, SimResult), CoreError> {
+        let tokens = self.stream_tokens(stream)?;
+        let net = self.build_net()?;
+        let entry = net
+            .place_id("in")
+            .ok_or_else(|| CoreError::Artifact("composite net lost its `in` place".into()))?;
+        let mut engine = Engine::new(
+            &net,
+            Options {
+                trace: Some(perf_petri::trace::DEFAULT_TRACE_CAPACITY),
+                ..Options::default()
+            },
+        );
+        for t in &tokens {
+            engine.inject(entry, t.clone());
+        }
+        let res = engine.run()?;
+        if !res.stranded.is_empty() {
+            return Err(CoreError::Artifact(format!(
+                "composite net stranded tokens: {:?}",
+                res.stranded
+            )));
+        }
+        Ok((net, res))
     }
 
     /// Runs the composite net on *both* engines (incremental

@@ -43,6 +43,6 @@ pub use error::CoreError;
 pub use iface::{GroundTruth, InterfaceBundle, InterfaceKind, PerfInterface};
 pub use predict::{Observation, Prediction};
 pub use query::{QueryBackend, WorkloadSpec};
-pub use trace::{MemorySink, NullSink, StageCycles, TraceSink};
+pub use trace::{ChromeTrace, MemorySink, NullSink, StageCycles, TraceSink};
 pub use units::{Cycles, Freq, Throughput};
 pub use validate::{ErrorStats, ValidationReport};

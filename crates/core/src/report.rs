@@ -44,6 +44,22 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Rebuilds a table from owned headers and rows (the experiment
+    /// framework merges per-variant row sets into one table).
+    pub fn from_parts(headers: Vec<String>, rows: Vec<Vec<String>>) -> Table {
+        Table { headers, rows }
+    }
+
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -241,6 +241,160 @@ impl MemorySink {
     }
 }
 
+/// A Chrome JSON ("Trace Event Format") trace builder, loadable by
+/// ui.perfetto.dev and `chrome://tracing`.
+///
+/// The workspace ships no protobuf stack, so Perfetto export uses the
+/// JSON form of the trace-event format: one `"X"` (complete) event per
+/// slice with microsecond `ts`/`dur`, plus `"M"` metadata events
+/// naming processes and threads. Simulated **cycles map 1:1 to
+/// microseconds** — a slice of `dur: 9` is a 9-cycle occupancy. Each
+/// `(pid, tid)` pair is one named track; producers group related
+/// tracks under one pid (e.g. all transitions of one net).
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Events emitted so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names the process `pid` (one per track group).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Names the track `(pid, tid)`.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Emits a complete slice on track `(pid, tid)` covering
+    /// `[ts, ts + dur)` microseconds (= simulated cycles). `args` are
+    /// extra key/value pairs; each value must already be a valid JSON
+    /// literal (use [`ChromeTrace::json_str`] for strings).
+    pub fn slice(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+        name: &str,
+        args: &[(&str, String)],
+    ) {
+        let args_json = if args.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = args
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+                .collect();
+            format!(",\"args\":{{{}}}", pairs.join(","))
+        };
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts},\"dur\":{dur}{args_json}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Emits a thread-scoped instant event at `ts` microseconds.
+    pub fn instant(&mut self, pid: u32, tid: u32, ts: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Renders a string as a JSON literal for [`ChromeTrace::slice`]
+    /// args.
+    pub fn json_str(s: &str) -> String {
+        format!("\"{}\"", json_escape(s))
+    }
+
+    /// Renders the whole trace as one JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+            self.events.join(",\n")
+        )
+    }
+}
+
+impl MemorySink {
+    /// Exports the sink's records into a Chrome trace under process
+    /// `pid`: one track per `component.stage` with its busy → stall →
+    /// idle cycles tiled from 0 (totals, not a timeline — the sims
+    /// record aggregates); one track per span component with its spans
+    /// laid end to end (nanoseconds floored to microseconds, minimum
+    /// 1 µs so every span stays visible); point events as instants on
+    /// track 0.
+    pub fn chrome_events(&self, pid: u32, ct: &mut ChromeTrace) {
+        let mut tid = 1u32;
+        for s in &self.stages {
+            ct.thread_name(pid, tid, &format!("{}.{}", s.component, s.stage));
+            let mut at = 0u64;
+            for (state, n) in [
+                ("busy", s.cycles.busy),
+                ("stall", s.cycles.stall),
+                ("idle", s.cycles.idle),
+            ] {
+                if n > 0 {
+                    ct.slice(pid, tid, at, n, state, &[]);
+                    at += n;
+                }
+            }
+            tid += 1;
+        }
+        let mut span_tracks: Vec<(String, u32, u64)> = Vec::new();
+        for s in &self.spans {
+            let entry = match span_tracks.iter_mut().find(|(c, _, _)| *c == s.component) {
+                Some(e) => e,
+                None => {
+                    ct.thread_name(pid, tid, &format!("{}.spans", s.component));
+                    span_tracks.push((s.component.clone(), tid, 0));
+                    tid += 1;
+                    span_tracks.last_mut().expect("just pushed")
+                }
+            };
+            let dur = (s.nanos / 1_000).max(1);
+            ct.slice(
+                pid,
+                entry.1,
+                entry.2,
+                dur,
+                &s.label,
+                &[("detail", ChromeTrace::json_str(&s.detail))],
+            );
+            entry.2 += dur;
+        }
+        for e in &self.events {
+            ct.instant(pid, 0, e.cycle, &format!("{}: {}", e.source, e.what));
+        }
+    }
+}
+
 impl TraceSink for MemorySink {
     fn stage(&mut self, component: &str, stage: &str, cycles: StageCycles) {
         self.stages.push(StageRecord {
@@ -338,5 +492,63 @@ mod tests {
     #[test]
     fn stage_cycles_utilization_handles_empty() {
         assert_eq!(StageCycles::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_renders_metadata_and_slices() {
+        let mut ct = ChromeTrace::new();
+        assert!(ct.is_empty());
+        ct.process_name(3, "petri:demo");
+        ct.thread_name(3, 1, "huffman");
+        ct.slice(3, 1, 10, 9, "service", &[("seq", "4".to_string())]);
+        ct.slice(
+            3,
+            1,
+            19,
+            0,
+            "zero-width",
+            &[("kind", ChromeTrace::json_str("queue"))],
+        );
+        ct.instant(3, 0, 42, "finish");
+        assert_eq!(ct.len(), 5);
+        let j = ct.to_json();
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"ph\":\"M\""));
+        assert!(j.contains("\"name\":\"process_name\""));
+        assert!(j.contains("\"ts\":10,\"dur\":9,\"args\":{\"seq\":4}"));
+        assert!(j.contains("\"args\":{\"kind\":\"queue\"}"));
+        assert!(j.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn memory_sink_chrome_export_tiles_stage_states() {
+        let mut m = MemorySink::new();
+        m.stage(
+            "jpeg",
+            "idct",
+            StageCycles {
+                busy: 7,
+                stall: 2,
+                idle: 0,
+            },
+        );
+        m.span("autotune", "petri-net", "cache=miss", 2_500);
+        m.span("autotune", "petri-net", "cache=hit", 10);
+        m.event(5, "vta", "finish retired");
+        let mut ct = ChromeTrace::new();
+        m.chrome_events(9, &mut ct);
+        let j = ct.to_json();
+        // Stage states tile from 0: busy [0,7), stall [7,9); idle omitted.
+        assert!(j.contains("\"name\":\"jpeg.idct\""));
+        assert!(j.contains("\"ts\":0,\"dur\":7"));
+        assert!(j.contains("\"ts\":7,\"dur\":2"));
+        assert!(!j.contains("\"name\":\"idle\""));
+        // Spans lay end to end on one per-component track, with a
+        // 1 µs floor keeping sub-microsecond spans visible.
+        assert!(j.contains("\"name\":\"autotune.spans\""));
+        assert!(j.contains("\"ts\":0,\"dur\":2"));
+        assert!(j.contains("\"ts\":2,\"dur\":1"));
+        // Point events become instants.
+        assert!(j.contains("vta: finish retired"));
     }
 }

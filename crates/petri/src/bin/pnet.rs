@@ -9,10 +9,13 @@
 //!                                                 # simulation
 //! pnet dot FILE                                   # Graphviz to stdout
 //! pnet run FILE PLACE N [field=VAL...]            # inject N tokens, simulate
-//! pnet trace FILE PLACE N [--folded] [field=VAL...]
+//! pnet trace FILE PLACE N [--folded] [--perfetto OUT] [field=VAL...]
 //!                                                 # traced run: JSON report
 //!                                                 # (or folded stacks) with
-//!                                                 # critical-path attribution
+//!                                                 # critical-path attribution;
+//!                                                 # --perfetto writes a Chrome
+//!                                                 # JSON trace for
+//!                                                 # ui.perfetto.dev
 //! ```
 //!
 //! Malformed inputs are reported as rendered diagnostics with exit
@@ -55,10 +58,25 @@ usage:
   pnet dot FILE                         Graphviz rendering to stdout
   pnet run FILE PLACE N [field=VAL...]  inject N tokens at PLACE and
                                         simulate to completion
-  pnet trace FILE PLACE N [--folded] [field=VAL...]
+  pnet trace FILE PLACE N [--folded] [--perfetto OUT] [field=VAL...]
                                         traced run with critical-path
                                         attribution: JSON report, or
-                                        folded stacks with --folded
+                                        folded stacks with --folded;
+                                        --perfetto OUT also writes a
+                                        Chrome JSON trace (trace-event
+                                        format, 1 cycle = 1 us; open at
+                                        ui.perfetto.dev) with a
+                                        critical-path track whose slice
+                                        durations sum exactly to the
+                                        makespan, plus one track per
+                                        transition.
+                                        JSON report fields: net,
+                                        makespan, events,
+                                        enablement_checks,
+                                        firings_recorded,
+                                        firings_evicted,
+                                        critical_path_total,
+                                        transitions[], critical_path[]
   pnet --help                           this text
 ";
 
@@ -66,8 +84,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pnet check FILE | pnet lint FILE [--entry PLACE]... [--json] \
          | pnet bound FILE [--entry PLACE]... [--json] [field=LO..HI...] | pnet dot FILE \
-         | pnet run FILE PLACE N [field=VAL...] | pnet trace FILE PLACE N [--folded] [field=VAL...] \
-         | pnet --help"
+         | pnet run FILE PLACE N [field=VAL...] \
+         | pnet trace FILE PLACE N [--folded] [--perfetto OUT] [field=VAL...] | pnet --help"
     );
     std::process::exit(2);
 }
@@ -395,6 +413,14 @@ fn main() {
             let mut rest: Vec<String> = args[1..].to_vec();
             let folded = rest.iter().any(|a| a == "--folded");
             rest.retain(|a| a != "--folded");
+            let mut perfetto: Option<String> = None;
+            if let Some(i) = rest.iter().position(|a| a == "--perfetto") {
+                rest.remove(i);
+                if i >= rest.len() {
+                    usage();
+                }
+                perfetto = Some(rest.remove(i));
+            }
             if rest.len() < 3 {
                 usage();
             }
@@ -414,6 +440,17 @@ fn main() {
                 std::process::exit(1);
             });
             let path = critical_path(&res);
+            if let Some(out) = &perfetto {
+                let doc = perf_petri::trace::chrome_trace_json(&net, &res, path.as_ref());
+                if let Err(e) = std::fs::write(out, doc) {
+                    fail(
+                        Diagnostic::error("PN001", format!("cannot write Chrome trace: {e}"))
+                            .with_origin(out.as_str()),
+                        false,
+                    );
+                }
+                eprintln!("pnet: wrote {out} (open at ui.perfetto.dev)");
+            }
             if folded {
                 if let Some(p) = &path {
                     print!("{}", p.to_folded(&net));

@@ -16,7 +16,7 @@
 
 use crate::engine::SimResult;
 use crate::net::Net;
-use perf_core::trace::json_escape;
+use perf_core::trace::{json_escape, ChromeTrace};
 use std::collections::VecDeque;
 
 /// Default ring capacity when tracing is enabled without an explicit
@@ -390,6 +390,84 @@ pub fn trace_report_json(net: &Net, res: &SimResult, path: Option<&CriticalPath>
     )
 }
 
+/// Exports a traced run into `ct` as one Chrome-trace process (see
+/// [`perf_core::trace::ChromeTrace`]; 1 simulated cycle = 1 µs).
+///
+/// Track mapping:
+///
+/// * **tid 0 — `critical-path`**: one slice per [`Segment`], named
+///   `<kind>:<transition>` (or `@inject` / `@truncated`). The walk in
+///   [`critical_path`] produces contiguous segments, so these slices
+///   tile `[0, makespan]` exactly — their durations telescope to the
+///   reported end-to-end latency, which this function returns.
+/// * **tid i+1 — one track per transition**, in [`Net::transitions`]
+///   order: one slice per retained [`FiringRecord`] covering the
+///   firing's service interval `[time, time + delay)`, with the
+///   firing's `seq` and token counts as args.
+///
+/// Returns the summed critical-path slice durations (0 when `path` is
+/// `None`); callers assert it equals [`SimResult::makespan`].
+pub fn chrome_trace_events(
+    net: &Net,
+    res: &SimResult,
+    path: Option<&CriticalPath>,
+    pid: u32,
+    ct: &mut ChromeTrace,
+) -> u64 {
+    ct.process_name(pid, &format!("petri:{}", net.name));
+    ct.thread_name(pid, 0, "critical-path");
+    for (i, t) in net.transitions().iter().enumerate() {
+        ct.thread_name(pid, i as u32 + 1, &t.name);
+    }
+    if let Some(trace) = &res.trace {
+        for rec in trace.records() {
+            ct.slice(
+                pid,
+                rec.trans as u32 + 1,
+                rec.time,
+                rec.delay,
+                &net.transitions()[rec.trans].name,
+                &[
+                    ("seq", rec.seq.to_string()),
+                    ("tokens_in", rec.tokens_in.to_string()),
+                    ("tokens_out", rec.tokens_out.to_string()),
+                ],
+            );
+        }
+    }
+    let mut attributed = 0u64;
+    if let Some(p) = path {
+        for s in &p.segments {
+            attributed += s.cycles;
+            if s.cycles == 0 {
+                continue;
+            }
+            let name = match s.trans {
+                Some(t) => format!("{}:{}", s.kind.name(), net.transitions()[t].name),
+                None => format!("@{}", s.kind.name()),
+            };
+            ct.slice(
+                pid,
+                0,
+                s.start,
+                s.cycles,
+                &name,
+                &[("kind", ChromeTrace::json_str(s.kind.name()))],
+            );
+        }
+    }
+    attributed
+}
+
+/// Renders a traced run as a standalone Chrome JSON trace document
+/// (`pnet trace --perfetto`): one process (pid 0) with the track
+/// layout of [`chrome_trace_events`].
+pub fn chrome_trace_json(net: &Net, res: &SimResult, path: Option<&CriticalPath>) -> String {
+    let mut ct = ChromeTrace::new();
+    chrome_trace_events(net, res, path, 0, &mut ct);
+    ct.to_json()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +614,55 @@ mod tests {
         let r = e.run().unwrap();
         assert!(r.trace.is_none());
         assert!(critical_path(&r).is_none());
+    }
+
+    #[test]
+    fn chrome_export_critical_path_telescopes_to_makespan() {
+        // Backpressured pipeline: queue + service + inject segments all
+        // appear, and the critical-path track still tiles [0, makespan].
+        let mut b = NetBuilder::new("ct");
+        let a = b.place("a", None);
+        let m = b.place("m", Some(2));
+        let z = b.sink("z");
+        b.transition("s0", &[a], &[m], |_| 2, passthrough(1));
+        b.transition("s1", &[m], &[z], |_| 7, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, traced_opts());
+        for _ in 0..5 {
+            e.inject(a, Token::at(Value::num(0.0), 0));
+        }
+        let r = e.run().unwrap();
+        let cp = critical_path(&r).unwrap();
+        let mut ct = ChromeTrace::new();
+        let attributed = chrome_trace_events(&net, &r, Some(&cp), 4, &mut ct);
+        assert_eq!(attributed, r.makespan, "slices must telescope exactly");
+        let j = ct.to_json();
+        assert!(j.contains("\"name\":\"petri:ct\""));
+        assert!(j.contains("\"name\":\"critical-path\""));
+        assert!(j.contains("\"name\":\"service:s1\""));
+        assert!(j.contains("\"name\":\"queue:s1\""));
+        // Per-transition firing slices carry their sequence numbers.
+        assert!(j.contains("\"seq\":0"));
+        // Standalone document form.
+        let doc = chrome_trace_json(&net, &r, Some(&cp));
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn chrome_export_without_path_attributes_zero() {
+        let mut b = NetBuilder::new("np");
+        let a = b.place("a", None);
+        let z = b.sink("z");
+        b.transition("t", &[a], &[z], |_| 1, passthrough(1));
+        let net = b.build().unwrap();
+        let mut e = Engine::new(&net, Options::default());
+        e.inject(a, Token::at(Value::num(0.0), 0));
+        let r = e.run().unwrap();
+        let mut ct = ChromeTrace::new();
+        assert_eq!(chrome_trace_events(&net, &r, None, 0, &mut ct), 0);
+        // Metadata still names the process and every transition track.
+        assert!(ct.to_json().contains("\"name\":\"petri:np\""));
     }
 
     #[test]

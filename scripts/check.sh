@@ -22,6 +22,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # deadlocking, and every degraded answer must stay inside the serving
 # representation's conformance budget.
 cargo test -q --release -p perf-service --test e2e saturation
+# Experiments gate: run every declarative spec at quick scale and
+# check the committed EXPERIMENTS.md against the regenerated doc —
+# prose and stable tables byte-exact, volatile numbers digit-masked.
+# Exits nonzero on drift or on any pass-criteria failure.
+cargo run --release -p perf-bench --bin repro -- --experiments --quick --check EXPERIMENTS.md
 
 if [[ "$quick" == "1" ]]; then
     exit 0
